@@ -1,0 +1,347 @@
+(* rtt - command-line front end for the resource-time tradeoff library.
+
+   Subcommands:
+     solve    run an algorithm on an instance file
+     gen      generate a random instance file
+     exact    brute-force optimum of a (small) instance file
+     sp       solve a random series-parallel instance with the exact DP
+     reduce   run one of the paper's hardness reductions
+     dot      export an instance's DAG as Graphviz
+     demo     the Figure 4/5 walkthrough *)
+
+open Cmdliner
+open Rtt_dag
+open Rtt_num
+open Rtt_core
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+
+let instance_arg =
+  let doc = "Instance file (see lib/core/io.mli for the format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc)
+
+let budget_arg =
+  let doc = "Resource budget B." in
+  Arg.(value & opt int 4 & info [ "b"; "budget" ] ~docv:"B" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let load path = Io.read_file path
+
+let pp_alloc p alloc =
+  let parts = ref [] in
+  Array.iteri
+    (fun v r ->
+      if r > 0 then begin
+        let name = Option.value ~default:(string_of_int v) (Dag.label p.Problem.dag v) in
+        parts := Printf.sprintf "%s=%d" name r :: !parts
+      end)
+    alloc;
+  if !parts = [] then "(none)" else String.concat " " (List.rev !parts)
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+
+let algo_enum =
+  Arg.enum
+    [
+      ("bicriteria", `Bicriteria);
+      ("binary", `Binary);
+      ("kway", `Kway);
+      ("binary-bicriteria", `Binary_bicriteria);
+    ]
+
+let solve_cmd =
+  let algo =
+    let doc = "Algorithm: bicriteria | binary | kway | binary-bicriteria." in
+    Arg.(value & opt algo_enum `Bicriteria & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+  in
+  let alpha =
+    let doc = "Rounding threshold alpha (rational, e.g. 1/2) for bicriteria." in
+    Arg.(value & opt string "1/2" & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+  in
+  let run path algo budget alpha =
+    let p = load path in
+    (match algo with
+    | `Bicriteria ->
+        let bi = Bicriteria.min_makespan p ~budget ~alpha:(Rat.of_string alpha) in
+        Format.printf "LP lower bound:   %s@." (Rat.to_string bi.Bicriteria.lp.Lp_relax.makespan);
+        Format.printf "rounded makespan: %d (bound %s)@." bi.Bicriteria.rounded.Rounding.makespan
+          (Rat.to_string bi.Bicriteria.makespan_bound);
+        Format.printf "resources used:   %d (bound %s)@." bi.Bicriteria.rounded.Rounding.budget_used
+          (Rat.to_string bi.Bicriteria.budget_bound);
+        Format.printf "allocation:       %s@." (pp_alloc p bi.Bicriteria.rounded.Rounding.allocation)
+    | `Binary ->
+        let r = Binary_approx.min_makespan p ~budget in
+        Format.printf "makespan: %d (LP lower bound %s, guarantee 4x)@." r.Binary_approx.makespan
+          (Rat.to_string r.Binary_approx.lp_makespan);
+        Format.printf "budget:   %d of %d@." r.Binary_approx.budget_used budget;
+        Format.printf "allocation: %s@." (pp_alloc p r.Binary_approx.allocation)
+    | `Kway ->
+        let r = Kway_approx.min_makespan p ~budget in
+        Format.printf "makespan: %d (LP lower bound %s, guarantee 5x)@." r.Kway_approx.makespan
+          (Rat.to_string r.Kway_approx.lp_makespan);
+        Format.printf "budget:   %d of %d@." r.Kway_approx.budget_used budget;
+        Format.printf "allocation: %s@." (pp_alloc p r.Kway_approx.allocation)
+    | `Binary_bicriteria ->
+        let r = Binary_bicriteria.min_makespan p ~budget in
+        Format.printf "makespan: %d (bound %s)@." r.Binary_bicriteria.makespan
+          (Rat.to_string r.Binary_bicriteria.makespan_bound);
+        Format.printf "budget:   %d (bound %s)@." r.Binary_bicriteria.budget_used
+          (Rat.to_string r.Binary_bicriteria.resource_bound);
+        Format.printf "allocation: %s@." (pp_alloc p r.Binary_bicriteria.allocation));
+    0
+  in
+  let info = Cmd.info "solve" ~doc:"Run an approximation algorithm on an instance file." in
+  Cmd.v info Term.(const run $ instance_arg $ algo $ budget_arg $ alpha)
+
+(* ------------------------------------------------------------------ *)
+(* exact                                                               *)
+
+let exact_cmd =
+  let target =
+    let doc = "Makespan target (switches to the minimum-resource objective)." in
+    Arg.(value & opt (some int) None & info [ "t"; "target" ] ~docv:"T" ~doc)
+  in
+  let run path budget target =
+    let p = load path in
+    (match target with
+    | None ->
+        let r = Exact.min_makespan p ~budget in
+        Format.printf "optimal makespan: %d (budget used %d of %d)@." r.Exact.makespan
+          r.Exact.budget_used budget;
+        Format.printf "allocation: %s@." (pp_alloc p r.Exact.allocation)
+    | Some t -> (
+        match Exact.min_resource p ~target:t with
+        | Some r ->
+            Format.printf "minimum resources for makespan <= %d: %d@." t r.Exact.budget_used;
+            Format.printf "allocation: %s@." (pp_alloc p r.Exact.allocation)
+        | None -> Format.printf "target %d is unreachable at any budget@." t));
+    0
+  in
+  let info = Cmd.info "exact" ~doc:"Brute-force optimum of a small instance." in
+  Cmd.v info Term.(const run $ instance_arg $ budget_arg $ target)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+
+let gen_cmd =
+  let kind =
+    Arg.enum [ ("hub", `Hub); ("layered", `Layered); ("er", `Er) ]
+    |> fun e ->
+    Arg.(value & opt e `Hub & info [ "k"; "kind" ] ~docv:"KIND" ~doc:"hub | layered | er (hub instances have fan-in heavy nodes where reducers matter).")
+  in
+  let n =
+    Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Number of vertices (hubs x fan for hub; layers for layered).")
+  in
+  let run kind n seed =
+    let rng = Random.State.make [| seed |] in
+    let g =
+      match kind with
+      | `Layered -> Gen.layered rng ~layers:n ~width:4 ~edge_prob:0.3
+      | `Er -> Gen.erdos_renyi rng ~n ~edge_prob:0.35
+      | `Hub ->
+          let g = Dag.create () in
+          let s = Dag.add_vertex ~label:"s" g in
+          let prev = ref s in
+          let hubs = max 1 (n / 8) in
+          for _ = 1 to hubs do
+            let hub = Dag.add_vertex g in
+            let feeders = List.init (6 + Random.State.int rng 6) (fun _ -> Dag.add_vertex g) in
+            List.iter
+              (fun f ->
+                Dag.add_edge g !prev f;
+                Dag.add_edge g f hub)
+              feeders;
+            prev := hub
+          done;
+          let t = Dag.add_vertex ~label:"t" g in
+          Dag.add_edge g !prev t;
+          g
+    in
+    let p = Problem.of_race_dag g Problem.Binary in
+    print_string (Io.to_string p);
+    0
+  in
+  let info = Cmd.info "gen" ~doc:"Generate a random instance on stdout." in
+  Cmd.v info Term.(const run $ kind $ n $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sp                                                                  *)
+
+let sp_cmd =
+  let leaves = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Number of jobs.") in
+  let run leaves budget seed =
+    let rng = Random.State.make [| seed |] in
+    let tree =
+      Sp.map
+        (fun _ -> Rtt_duration.Binary_split.to_duration ~work:(4 + Random.State.int rng 28))
+        (Gen.random_sp rng ~leaves ~series_bias:0.5)
+    in
+    Format.printf "structure: %a@." (Sp.pp (fun fmt d -> Rtt_duration.Duration.pp fmt d)) tree;
+    let ms, alloc = Sp_exact.min_makespan tree ~budget in
+    Format.printf "optimal makespan with B=%d: %d@." budget ms;
+    Format.printf "allocation: %s@."
+      (String.concat " " (List.map string_of_int (Sp.leaves alloc)));
+    0
+  in
+  let info = Cmd.info "sp" ~doc:"Exact DP on a random series-parallel instance (Section 3.4)." in
+  Cmd.v info Term.(const run $ leaves $ budget_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* reduce                                                              *)
+
+let reduce_cmd =
+  let kind =
+    Arg.enum
+      [ ("sat", `Sat); ("sat-split", `Split); ("minresource", `Minres); ("partition", `Partition); ("n3dm", `N3dm) ]
+    |> fun e ->
+    Arg.(required & pos 0 (some e) None & info [] ~docv:"KIND" ~doc:"sat | sat-split | minresource | partition | n3dm.")
+  in
+  let run kind seed =
+    let open Rtt_reductions in
+    let rng = Random.State.make [| seed |] in
+    (match kind with
+    | `Sat ->
+        let f = Sat.random rng ~n_vars:3 ~n_clauses:2 in
+        Format.printf "formula: %a@." Sat.pp f;
+        let red = Gadget_general.reduce f in
+        Format.printf "budget n+2m = %d, target 1, %d jobs@." red.Gadget_general.budget
+          (Problem.n_jobs red.Gadget_general.instance.Aoa.problem);
+        (match Gadget_general.decide_by_assignments red with
+        | Some _ -> Format.printf "result: YES (matches SAT oracle: %b)@." (Sat.solve f <> None)
+        | None -> Format.printf "result: NO (matches SAT oracle: %b)@." (Sat.solve f = None))
+    | `Split ->
+        let f = Sat.random rng ~n_vars:3 ~n_clauses:1 in
+        Format.printf "formula: %a@." Sat.pp f;
+        let red = Gadget_split.reduce f in
+        Format.printf "x = %d, y = %d, budget 2n+4m = %d, target %d, %d cells@." red.Gadget_split.x
+          red.Gadget_split.y red.Gadget_split.budget red.Gadget_split.target
+          (Dag.n_vertices red.Gadget_split.dag);
+        (match Gadget_split.decide_by_assignments red with
+        | Some _ -> Format.printf "result: YES (oracle: %b)@." (Sat.solve f <> None)
+        | None -> Format.printf "result: NO (oracle: %b)@." (Sat.solve f = None))
+    | `Minres ->
+        let f = Sat.random rng ~n_vars:4 ~n_clauses:3 in
+        Format.printf "formula: %a@." Sat.pp f;
+        let red = Minresource_red.reduce f in
+        Format.printf "minimum units: %d (2 iff satisfiable; oracle satisfiable: %b)@."
+          (Minresource_red.min_units red) (Sat.solve f <> None)
+    | `Partition ->
+        let items = Array.init (4 + Random.State.int rng 3) (fun _ -> 1 + Random.State.int rng 8) in
+        Format.printf "items: [%s]@."
+          (String.concat "; " (Array.to_list (Array.map string_of_int items)));
+        let red = Partition_red.reduce items in
+        Format.printf "budget %d, target %d, treewidth certificate width %d@." red.Partition_red.budget
+          red.Partition_red.target
+          (Treewidth.width (Partition_red.tree_decomposition red));
+        Format.printf "result: %s (oracle: %b)@."
+          (if Partition_red.decide_by_subsets red <> None then "YES" else "NO")
+          (Partition_red.partition_exists items)
+    | `N3dm ->
+        let n = 2 + Random.State.int rng 2 in
+        let rec gen () =
+          let mk () = Array.init n (fun _ -> 1 + Random.State.int rng 5) in
+          let a = mk () and b = mk () and c = mk () in
+          let total = Array.fold_left ( + ) 0 (Array.concat [ a; b; c ]) in
+          if total mod n = 0 then (a, b, c) else gen ()
+        in
+        let a, b, c = gen () in
+        let show arr = String.concat ";" (Array.to_list (Array.map string_of_int arr)) in
+        Format.printf "A=[%s] B=[%s] C=[%s]@." (show a) (show b) (show c);
+        let red = Rtt_reductions.N3dm_red.reduce ~a ~b ~c in
+        Format.printf "budget n^2 = %d, target 2M+T = %d@." (N3dm_red.budget red) (N3dm_red.target red);
+        Format.printf "result: %s (oracle: %b)@."
+          (if N3dm_red.decide_by_matchings red <> None then "YES" else "NO")
+          (N3dm_red.n3dm_exists ~a ~b ~c <> None));
+    0
+  in
+  let info = Cmd.info "reduce" ~doc:"Run one of the paper's hardness reductions on a random instance." in
+  Cmd.v info Term.(const run $ kind $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pareto                                                              *)
+
+let pareto_cmd =
+  let approx =
+    Arg.(value & flag & info [ "approx" ] ~doc:"Use the (4/3,14/5) LP pipeline instead of brute force.")
+  in
+  let max_budget =
+    Arg.(value & opt int 8 & info [ "max-budget" ] ~docv:"B" ~doc:"Largest budget to sweep (default 8; exact sweeps are exponential).")
+  in
+  let run path approx max_budget =
+    let p = load path in
+    let curve =
+      if approx then Pareto.approximate ~max_budget p else Pareto.exact ~max_budget p
+    in
+    Format.printf "%8s | %10s@." "budget" "makespan";
+    List.iter
+      (fun (pt : Pareto.point) -> Format.printf "%8d | %10d@." pt.Pareto.budget pt.Pareto.makespan)
+      curve;
+    let knees = Pareto.knees curve in
+    Format.printf "knees: %s@."
+      (String.concat ", " (List.map (fun (k : Pareto.point) -> string_of_int k.Pareto.budget) knees));
+    0
+  in
+  let info = Cmd.info "pareto" ~doc:"Sweep the space-time tradeoff curve of an instance." in
+  Cmd.v info Term.(const run $ instance_arg $ approx $ max_budget)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+
+let dot_cmd =
+  let run path =
+    let p = load path in
+    print_string (Dot.to_dot ~name:"instance" p.Problem.dag);
+    0
+  in
+  let info = Cmd.info "dot" ~doc:"Export an instance's DAG as Graphviz DOT on stdout." in
+  Cmd.v info Term.(const run $ instance_arg)
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+
+let demo_cmd =
+  let run () =
+    let g = Dag.create () in
+    let s = Dag.add_vertex ~label:"s" g in
+    let a = Dag.add_vertex ~label:"a" g in
+    let b = Dag.add_vertex ~label:"b" g in
+    let c = Dag.add_vertex ~label:"c" g in
+    let d = Dag.add_vertex ~label:"d" g in
+    let t = Dag.add_vertex ~label:"t" g in
+    let xs = List.init 5 (fun i -> Dag.add_vertex ~label:(Printf.sprintf "x%d" i) g) in
+    Dag.add_edge g s a;
+    Dag.add_edge g a b;
+    Dag.add_edge g b c;
+    List.iter
+      (fun x ->
+        Dag.add_edge g s x;
+        Dag.add_edge g x c)
+      xs;
+    Dag.add_edge g c d;
+    Dag.add_edge g (List.hd xs) d;
+    Dag.add_edge g d t;
+    let p = Problem.of_race_dag g Problem.Binary in
+    Format.printf "Figure 4/5 walkthrough: node c has in-degree 6, works = in-degrees.@.";
+    let ms0, path = Schedule.critical_path p (Schedule.zero_allocation p) in
+    Format.printf "no extra space: makespan %d along %s@." ms0
+      (String.concat " -> "
+         (List.map (fun v -> Option.value ~default:(string_of_int v) (Dag.label p.Problem.dag v)) path));
+    let r = Exact.min_makespan p ~budget:2 in
+    Format.printf "two units of space: makespan %d, allocation %s@." r.Exact.makespan
+      (pp_alloc p r.Exact.allocation);
+    0
+  in
+  let info = Cmd.info "demo" ~doc:"The Figure 4/5 walkthrough (makespan 11 -> 10 with 2 units)." in
+  Cmd.v info Term.(const run $ const ())
+
+let main =
+  let doc = "Discrete resource-time tradeoff with resource reuse over paths (SPAA '19 reproduction)." in
+  let info = Cmd.info "rtt" ~version:"1.0.0" ~doc in
+  Cmd.group info [ solve_cmd; exact_cmd; gen_cmd; sp_cmd; reduce_cmd; pareto_cmd; dot_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval' main)

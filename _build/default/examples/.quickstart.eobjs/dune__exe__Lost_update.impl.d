@@ -1,0 +1,1 @@
+examples/lost_update.ml: Format Interp List Prog Race Rtt_parsim String

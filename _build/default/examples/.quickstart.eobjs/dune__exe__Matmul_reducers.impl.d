@@ -1,0 +1,1 @@
+examples/matmul_reducers.ml: Float Format List Matmul Rtt_parsim

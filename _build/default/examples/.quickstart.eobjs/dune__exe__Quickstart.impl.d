@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bicriteria Dag Dot Exact Format List Lp_relax Option Printf Problem Rat Rounding Rtt_core Rtt_dag Rtt_num Schedule String

@@ -1,0 +1,1 @@
+examples/race_detect.ml: Array Dag Exact Format List Problem Prog Race Race_dag Reducer_sim Rtt_core Rtt_dag Rtt_parsim Schedule Sim

@@ -1,0 +1,1 @@
+examples/sat_hardness.ml: Aoa Array Format Fun Gadget_general List Minresource_red Printf Problem Rtt_core Rtt_reductions Sat Schedule String

@@ -1,0 +1,1 @@
+examples/sp_pipeline.ml: Array Exact Format Hashtbl List Printf Problem Rtt_core Rtt_dag Rtt_duration Sp Sp_exact String

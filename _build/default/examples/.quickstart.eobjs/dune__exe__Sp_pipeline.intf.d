@@ -1,0 +1,1 @@
+examples/sp_pipeline.mli:

@@ -1,0 +1,43 @@
+(* Figure 1, executed: enumerate every interleaving of the racy double
+   increment and watch the lost update appear; then check that the
+   sequential (or reducer-mediated) semantics is deterministic.
+
+     dune exec examples/lost_update.exe *)
+
+open Rtt_parsim
+
+let incr : Interp.combine = fun ~dst ~srcs:_ -> dst + 1
+
+let show outcomes = String.concat ", " (List.map string_of_int outcomes)
+
+let () =
+  Format.printf "Figure 1: two parallel threads execute x <- x + 1 (x starts at 0)@.@.";
+  let p = Prog.counter_race in
+  Format.printf "races detected statically: %d@." (List.length (Race.find p));
+  Format.printf "possible final values of x over all interleavings: {%s}@."
+    (show (Interp.possible_outcomes incr p 0));
+  Format.printf "  (the paper: \"the print statement will print an incorrect result (either 1 or 2)\")@.@.";
+
+  (* replay the exact losing schedule: both threads read before either writes *)
+  let lost = Interp.run_schedule incr p ~schedule:[ 0; 2; 1; 3 ] in
+  Format.printf "read-read-write-write schedule: x = %d (the lost update)@." (List.assoc 0 lost);
+  let ok = Interp.run_schedule incr p ~schedule:[ 0; 1; 2; 3 ] in
+  Format.printf "serialized schedule:            x = %d@.@." (List.assoc 0 ok);
+
+  (* more threads, more ways to lose *)
+  List.iter
+    (fun k ->
+      let p = Prog.par (List.init k (fun _ -> Prog.update 0 [ 0 ])) in
+      Format.printf "%d parallel increments -> outcomes {%s}@." k
+        (show (Interp.possible_outcomes incr p 0)))
+    [ 2; 3; 4 ];
+
+  (* the fix: serialize (what a lock does), or use a reducer tree *)
+  let serialized = Prog.seq (List.init 4 (fun _ -> Prog.update 0 [ 0 ])) in
+  Format.printf "@.4 sequenced increments -> outcomes {%s} (deterministic: %b)@."
+    (show (Interp.possible_outcomes incr serialized 0))
+    (Interp.is_deterministic incr serialized);
+  Format.printf
+    "@.A lock restores determinism at the cost of serialization: that cost is what@.";
+  Format.printf
+    "reducers buy back, and what the whole resource-time tradeoff problem is about.@."

@@ -1,0 +1,26 @@
+(* The Parallel-MM space-time tradeoff of Section 1 (Figure 3): how
+   reducer height trades extra space for update-phase span.
+
+     dune exec examples/matmul_reducers.exe *)
+
+open Rtt_parsim
+
+let () =
+  Format.printf "Parallel-MM (Figure 3): n x n matrix multiply, reducers on every Z[i][j]@.@.";
+  List.iter
+    (fun n ->
+      Format.printf "n = %d (lock-only span: %d)@." n (Matmul.serial_span ~n);
+      Format.printf "  %8s %10s %14s %10s@." "height" "span" "extra space" "speedup";
+      let hmax = int_of_float (Float.log2 (float_of_int n)) in
+      for h = 0 to hmax do
+        Format.printf "  %8d %10d %14d %9.2fx@." h (Matmul.span ~n ~height:h)
+          (Matmul.extra_space ~n ~height:h) (Matmul.speedup ~n ~height:h)
+      done;
+      Format.printf "@.")
+    [ 16; 64; 256 ];
+  Format.printf "The paper's headline points:@.";
+  let n = 256 in
+  Format.printf "- h=1 almost halves the running time using 2n^2 = %d extra cells: %d -> %d@."
+    (2 * n * n) (Matmul.serial_span ~n) (Matmul.span ~n ~height:1);
+  Format.printf "- h=log n reaches Theta(log n) using Theta(n^3) cells: span %d for n=%d@."
+    (Matmul.span ~n ~height:8) n

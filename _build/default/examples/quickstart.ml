@@ -1,0 +1,65 @@
+(* Quickstart: build a small resource-time tradeoff instance, solve it
+   exactly and with the Theorem 3.4 bi-criteria pipeline, and inspect
+   the resource routing.
+
+     dune exec examples/quickstart.exe *)
+
+open Rtt_dag
+open Rtt_core
+open Rtt_num
+
+let () =
+  (* A fan-in DAG: eight producers write into a hot cell, which feeds a
+     consumer. Jobs on vertices; the hot cell can host a recursive
+     binary reducer (Equation 3 duration function). *)
+  let g = Dag.create () in
+  let src = Dag.add_vertex ~label:"src" g in
+  let hot = Dag.add_vertex ~label:"hot" g in
+  let out = Dag.add_vertex ~label:"out" g in
+  let producers = List.init 8 (fun i -> Dag.add_vertex ~label:(Printf.sprintf "p%d" i) g) in
+  List.iter
+    (fun p ->
+      Dag.add_edge g src p;
+      Dag.add_edge g p hot)
+    producers;
+  Dag.add_edge g hot out;
+
+  (* work = in-degree, reducer tradeoff at every vertex *)
+  let p = Problem.of_race_dag g Problem.Binary in
+  Format.printf "instance:@.%a@." Problem.pp p;
+
+  let base = Schedule.makespan p (Schedule.zero_allocation p) in
+  Format.printf "makespan with no extra space: %d@." base;
+
+  (* what does each budget buy? (exact optimum) *)
+  Format.printf "@.budget sweep (exact):@.";
+  List.iter
+    (fun budget ->
+      let r = Exact.min_makespan p ~budget in
+      Format.printf "  B=%d -> makespan %d (used %d)@." budget r.Exact.makespan r.Exact.budget_used)
+    [ 0; 2; 4; 8 ];
+
+  (* the LP + rounding pipeline of Theorem 3.4 *)
+  let bi = Bicriteria.min_makespan p ~budget:4 ~alpha:Rat.half in
+  Format.printf "@.bi-criteria (alpha = 1/2, B = 4):@.";
+  Format.printf "  LP lower bound:   %s@." (Rat.to_string bi.Bicriteria.lp.Lp_relax.makespan);
+  Format.printf "  rounded makespan: %d (bound %s)@." bi.Bicriteria.rounded.Rounding.makespan
+    (Rat.to_string bi.Bicriteria.makespan_bound);
+  Format.printf "  resources used:   %d (bound %s)@." bi.Bicriteria.rounded.Rounding.budget_used
+    (Rat.to_string bi.Bicriteria.budget_bound);
+  Format.printf "  guarantees hold:  %b@." (Bicriteria.satisfies_guarantees bi);
+
+  (* explicit unit routing: every resource unit follows one path *)
+  let alloc = bi.Bicriteria.rounded.Rounding.allocation in
+  let value, paths = Schedule.min_budget_with_routing p alloc in
+  Format.printf "@.routing of %d units (resource reuse over paths):@." value;
+  List.iter
+    (fun (path, units) ->
+      Format.printf "  %d unit(s): %s@." units
+        (String.concat " -> "
+           (List.map (fun v -> Option.value ~default:(string_of_int v) (Dag.label p.Problem.dag v)) path)))
+    paths;
+
+  (* and the DOT rendering for graphviz users *)
+  Format.printf "@.DOT output written to _build/quickstart.dot@.";
+  Dot.write_file "quickstart.dot" (Dot.to_dot ~name:"quickstart" p.Problem.dag)

@@ -1,0 +1,55 @@
+(* The Section 4.1 hardness gadgets, run as an executable construction:
+   reduce the paper's example formula (Figure 9), decide it through the
+   DAG, and exhibit the factor-2 makespan gap of Theorem 4.3.
+
+     dune exec examples/sat_hardness.exe *)
+
+open Rtt_core
+open Rtt_reductions
+
+let () =
+  let f = Sat.example_paper in
+  Format.printf "formula (Figure 9): %a@." Sat.pp f;
+  let red = Gadget_general.reduce f in
+  Format.printf "reduced DAG: %d jobs, budget n+2m = %d, target makespan %d@."
+    (Problem.n_jobs red.Gadget_general.instance.Aoa.problem)
+    red.Gadget_general.budget red.Gadget_general.target;
+
+  (* decide through the reduction *)
+  (match Gadget_general.decide_by_assignments red with
+  | Some a ->
+      Format.printf "YES instance - assignment: %s@."
+        (String.concat ""
+           (List.mapi (fun i b -> Printf.sprintf "V%d=%c " i (if b then 'T' else 'F')) (Array.to_list a)
+           |> List.map Fun.id));
+      Format.printf "  achieves makespan %d within budget (min-flow %d)@."
+        (Gadget_general.makespan_of_assignment red a)
+        (Schedule.min_budget red.Gadget_general.instance.Aoa.problem
+           (Gadget_general.allocation_of_assignment red a))
+  | None -> Format.printf "NO instance@.");
+
+  (* the approximation gap: every invalid assignment is stuck at 2 *)
+  Format.printf "@.makespan per assignment (1 iff exactly-one-true everywhere):@.";
+  for mask = 0 to 7 do
+    let a = Array.init 3 (fun i -> mask land (1 lsl i) <> 0) in
+    Format.printf "  %c%c%c -> makespan %d %s@."
+      (if a.(0) then 'T' else 'F')
+      (if a.(1) then 'T' else 'F')
+      (if a.(2) then 'T' else 'F')
+      (Gadget_general.makespan_of_assignment red a)
+      (if Sat.satisfies f a then "(satisfying)" else "")
+  done;
+
+  (* an unsatisfiable formula shows the other side of the gap *)
+  let unsat = Sat.make ~n_vars:3 [ [ (0, true); (0, true); (0, true) ] ] in
+  let red2 = Gadget_general.reduce unsat in
+  Format.printf "@.unsatisfiable formula %a: best assignment makespan >= 2? %b@." Sat.pp unsat
+    (Gadget_general.decide_by_assignments red2 = None);
+  Format.printf
+    "=> a sub-2-factor approximation would decide 1-in-3SAT (Theorem 4.3).@.";
+
+  (* same story for the minimum-resource objective (Theorem 4.4) *)
+  let mr_sat = Minresource_red.reduce f and mr_unsat = Minresource_red.reduce unsat in
+  Format.printf "@.minimum-resource reduction (Theorem 4.4): satisfiable needs %d units, unsatisfiable %d@."
+    (Minresource_red.min_units mr_sat) (Minresource_red.min_units mr_unsat);
+  Format.printf "=> a sub-3/2-factor resource approximation is NP-hard.@."

@@ -1,0 +1,1 @@
+lib/core/bicriteria.ml: Array List Lp_relax Rat Rounding Rtt_num Transform

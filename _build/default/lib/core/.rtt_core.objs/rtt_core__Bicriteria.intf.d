@@ -1,0 +1,1 @@
+lib/core/bicriteria.mli: Lp_relax Problem Rat Rounding Rtt_num Transform

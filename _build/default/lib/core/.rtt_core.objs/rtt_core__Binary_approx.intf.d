@@ -1,0 +1,1 @@
+lib/core/binary_approx.mli: Bicriteria Problem Rtt_num

@@ -1,0 +1,1 @@
+lib/core/binary_bicriteria.ml: Array Duration Lp_relax Problem Rat Rtt_duration Rtt_num Schedule Transform

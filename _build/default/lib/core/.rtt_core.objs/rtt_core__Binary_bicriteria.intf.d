@@ -1,0 +1,1 @@
+lib/core/binary_bicriteria.mli: Lp_relax Problem Rat Rtt_num

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Duration List Longest_path Problem Rtt_dag Rtt_duration Schedule

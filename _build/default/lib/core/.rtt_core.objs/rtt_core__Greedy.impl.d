@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Array Duration List Problem Rtt_duration Schedule

@@ -1,0 +1,1 @@
+lib/core/io.ml: Array Buffer Dag Duration Fun Hashtbl List Printf Problem Rtt_dag Rtt_duration String

@@ -1,0 +1,1 @@
+lib/core/kway_approx.ml: Array Bicriteria Duration Lp_relax Problem Rat Rounding Rtt_duration Rtt_num Schedule Transform

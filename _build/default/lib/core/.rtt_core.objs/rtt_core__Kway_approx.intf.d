@@ -1,0 +1,1 @@
+lib/core/kway_approx.mli: Bicriteria Problem Rtt_num

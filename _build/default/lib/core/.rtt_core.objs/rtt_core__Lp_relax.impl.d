@@ -1,0 +1,1 @@
+lib/core/lp_relax.ml: Array Dag Linexpr List Lp Printf Rat Rtt_dag Rtt_lp Rtt_num Transform

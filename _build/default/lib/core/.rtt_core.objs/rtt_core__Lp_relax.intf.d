@@ -1,0 +1,1 @@
+lib/core/lp_relax.mli: Rat Rtt_num Transform

@@ -1,0 +1,1 @@
+lib/core/nonreusable.ml: Array Dag Duration Exact Linexpr List Longest_path Lp Lp_relax Problem Rat Rtt_dag Rtt_duration Rtt_lp Rtt_num Transform

@@ -1,0 +1,1 @@
+lib/core/nonreusable.mli: Exact Problem Rat Rtt_num

@@ -1,0 +1,1 @@
+lib/core/pareto.ml: Binary_bicriteria Exact List Problem

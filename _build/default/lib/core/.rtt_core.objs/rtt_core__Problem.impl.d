@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Binary_split Dag Duration Format Kway Rtt_dag Rtt_duration

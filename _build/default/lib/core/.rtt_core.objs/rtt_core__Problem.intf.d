@@ -1,0 +1,1 @@
+lib/core/problem.mli: Dag Duration Format Rtt_dag Rtt_duration

@@ -1,0 +1,1 @@
+lib/core/processors.ml: Array Dag Fun List Longest_path Problem Rtt_dag Schedule

@@ -1,0 +1,1 @@
+lib/core/processors.mli: Problem Schedule

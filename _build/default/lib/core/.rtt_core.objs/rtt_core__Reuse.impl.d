@@ -1,0 +1,1 @@
+lib/core/reuse.ml: Array List Problem Schedule

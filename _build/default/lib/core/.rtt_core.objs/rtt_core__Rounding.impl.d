@@ -1,0 +1,1 @@
+lib/core/rounding.ml: Array Dag Lp_relax Maxflow Minflow Rat Rtt_dag Rtt_flow Rtt_num Transform

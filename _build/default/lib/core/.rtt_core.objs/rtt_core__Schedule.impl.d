@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Dag Decompose Duration List Longest_path Maxflow Minflow Problem Rtt_dag Rtt_duration Rtt_flow

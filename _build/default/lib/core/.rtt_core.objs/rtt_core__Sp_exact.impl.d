@@ -1,0 +1,1 @@
+lib/core/sp_exact.ml: Array Duration List Rtt_dag Rtt_duration Sp

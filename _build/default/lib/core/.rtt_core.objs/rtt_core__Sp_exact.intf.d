@@ -1,0 +1,1 @@
+lib/core/sp_exact.mli: Duration Rtt_dag Rtt_duration Sp

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Dag Duration List Printf Problem Rat Rtt_dag Rtt_duration Rtt_num

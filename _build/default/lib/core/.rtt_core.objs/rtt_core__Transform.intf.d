@@ -1,0 +1,1 @@
+lib/core/transform.mli: Dag Problem Rat Rtt_dag Rtt_num

@@ -1,0 +1,95 @@
+open Rtt_num
+
+type t = {
+  transform : Transform.t;
+  lp : Lp_relax.solution;
+  rounded : Rounding.t;
+  alpha : Rat.t;
+  makespan_bound : Rat.t;
+  budget_bound : Rat.t;
+}
+
+let finish transform lp alpha =
+  let rounded = Rounding.round transform ~alpha lp in
+  {
+    transform;
+    lp;
+    rounded;
+    alpha;
+    makespan_bound = Rat.div lp.Lp_relax.makespan alpha;
+    budget_bound = Rat.div lp.Lp_relax.budget_used (Rat.sub Rat.one alpha);
+  }
+
+let min_makespan p ~budget ~alpha =
+  if budget < 0 then invalid_arg "Bicriteria.min_makespan: negative budget";
+  if Rat.(alpha <= Rat.zero) || Rat.(alpha >= Rat.one) then invalid_arg "Bicriteria: alpha must be in (0, 1)";
+  let transform = Transform.of_problem p in
+  let lp = Lp_relax.min_makespan transform ~budget in
+  finish transform lp alpha
+
+let min_resource p ~target ~alpha =
+  if Rat.(alpha <= Rat.zero) || Rat.(alpha >= Rat.one) then invalid_arg "Bicriteria: alpha must be in (0, 1)";
+  let transform = Transform.of_problem p in
+  match Lp_relax.min_resource transform ~target:(Rat.of_int target) with
+  | None -> None
+  | Some lp -> Some (finish transform lp alpha)
+
+let best_alpha p ~budget =
+  if budget < 0 then invalid_arg "Bicriteria.best_alpha: negative budget";
+  let transform = Transform.of_problem p in
+  let lp = Lp_relax.min_makespan transform ~budget in
+  (* candidate thresholds: the realized duration ratios of two-tuple
+     edges; rounding flips exactly when alpha crosses one of them *)
+  let ratios =
+    Array.to_list
+      (Array.mapi
+         (fun i (e : Transform.edge) ->
+           match e.Transform.upgrade with
+           | Some _ when e.Transform.t0 > 0 ->
+               Some (Rat.div (Lp_relax.edge_duration e lp.Lp_relax.flow.(i)) (Rat.of_int e.Transform.t0))
+           | _ -> None)
+         transform.Transform.edges)
+  in
+  let thresholds =
+    List.sort_uniq Rat.compare
+      (List.filter_map
+         (fun r ->
+           match r with
+           | Some r when Rat.(r > Rat.zero) && Rat.(r < Rat.one) -> Some r
+           | _ -> None)
+         ratios)
+  in
+  (* one alpha strictly inside each interval between consecutive
+     thresholds (plus one above the largest): alpha just above a
+     threshold upgrades every edge at or below it *)
+  let candidates =
+    let rec midpoints = function
+      | a :: (b :: _ as rest) -> Rat.div (Rat.add a b) Rat.two :: midpoints rest
+      | [ a ] -> [ Rat.div (Rat.add a Rat.one) Rat.two ]
+      | [] -> []
+    in
+    let below =
+      match thresholds with
+      | t :: _ -> [ Rat.div t Rat.two ]
+      | [] -> []
+    in
+    let mids = midpoints thresholds in
+    let all = below @ mids in
+    if all = [] then [ Rat.half ] else all
+  in
+  let evaluate alpha = finish transform lp alpha in
+  let results = List.map evaluate candidates in
+  let fits r = r.rounded.Rounding.budget_used <= budget in
+  let better a b =
+    if fits a <> fits b then fits a
+    else if a.rounded.Rounding.makespan <> b.rounded.Rounding.makespan then
+      a.rounded.Rounding.makespan < b.rounded.Rounding.makespan
+    else a.rounded.Rounding.budget_used < b.rounded.Rounding.budget_used
+  in
+  match results with
+  | [] -> assert false
+  | first :: rest -> List.fold_left (fun acc r -> if better r acc then r else acc) first rest
+
+let satisfies_guarantees t =
+  Rat.(Rat.of_int t.rounded.Rounding.makespan <= t.makespan_bound)
+  && Rat.(Rat.of_int t.rounded.Rounding.budget_used <= t.budget_bound)

@@ -1,0 +1,42 @@
+(** The (1/α, 1/(1−α)) bi-criteria approximation of Theorem 3.4.
+
+    Pipeline: transform the instance to D″, solve LP 6–10 with the given
+    budget, α-round, compute the integral min-flow, and pull the result
+    back to a per-vertex allocation. Guarantees (both machine-checkable
+    from the returned record):
+    - [rounded.budget_used <= ceil (budget / (1 - α))], and more sharply
+      [<= lp.budget_used / (1 - α)];
+    - [rounded.makespan <= lp.makespan / α], and [lp.makespan] is a lower
+      bound on the optimal makespan with the given budget. *)
+
+open Rtt_num
+
+type t = {
+  transform : Transform.t;
+  lp : Lp_relax.solution;
+  rounded : Rounding.t;
+  alpha : Rat.t;
+  makespan_bound : Rat.t;  (** (1/α) · LP makespan *)
+  budget_bound : Rat.t;  (** (1/(1−α)) · LP budget used *)
+}
+
+val min_makespan : Problem.t -> budget:int -> alpha:Rat.t -> t
+(** @raise Invalid_argument unless [0 < alpha < 1] and [budget >= 0]. *)
+
+val min_resource : Problem.t -> target:int -> alpha:Rat.t -> t option
+(** Same rounding applied to the minimum-resource LP: [None] when the
+    makespan target is unreachable even with unlimited resources. The
+    rounded makespan is at most [target / α] and the resources used are
+    at most [1/(1−α)] times the LP optimum, which lower-bounds OPT. *)
+
+val satisfies_guarantees : t -> bool
+(** Checks both bi-criteria inequalities exactly. *)
+
+val best_alpha : Problem.t -> budget:int -> t
+(** Chooses α automatically: the rounding outcome only changes when α
+    crosses one of the finitely many ratios [t_e(f*_e) / t_e(0)] of the
+    LP solution, so trying one α per threshold interval enumerates every
+    reachable rounding. Returns the outcome with the smallest makespan
+    whose integral min-flow fits the {e original} budget, falling back
+    to the smallest-budget outcome when none fits. Strictly dominates
+    any fixed-α choice on the same instance. *)

@@ -1,0 +1,21 @@
+(** The 4-approximation for minimum makespan under recursive binary
+    splitting duration functions (Section 3.2, Theorem 3.10).
+
+    Bi-criteria at α = 1/2, then budget repair: a job whose rounded
+    allocation [r_j] exceeds the LP resource [r*_j] is halved to
+    [r_j / 2] (the next binary reducer level), which is at most [r*_j]
+    since [r_j <= 2 r*_j]. Halving a binary reducer at most doubles its
+    duration, so each job runs in at most [4 t*_j]. *)
+
+type t = {
+  allocation : int array;
+  makespan : int;
+  budget_used : int;
+  lp_makespan : Rtt_num.Rat.t;  (** lower bound on OPT *)
+  bicriteria : Bicriteria.t;
+}
+
+val min_makespan : Problem.t -> budget:int -> t
+(** Intended for instances built with
+    {!Rtt_duration.Binary_split.to_duration}.
+    @raise Invalid_argument on negative budget. *)

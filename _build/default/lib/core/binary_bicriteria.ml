@@ -1,0 +1,71 @@
+open Rtt_num
+open Rtt_duration
+
+type t = {
+  allocation : int array;
+  makespan : int;
+  budget_used : int;
+  lp : Lp_relax.solution;
+  resource_bound : Rat.t;
+  makespan_bound : Rat.t;
+}
+
+let round_resource r ~max_level =
+  if Rat.(r < Rat.one) then 0
+  else begin
+    (* find i with 2^i <= r < 2^(i+1) *)
+    let i = ref 0 in
+    while
+      let next = Rat.of_int (1 lsl (!i + 1)) in
+      Rat.(next <= r)
+    do
+      incr i
+    done;
+    let lo = 1 lsl !i in
+    let midpoint = Rat.of_ints (3 * lo) 2 in
+    let rounded = if Rat.(r < midpoint) then lo else 2 * lo in
+    min rounded max_level
+  end
+
+let round_all p tr (lp : Lp_relax.solution) =
+  let n = Problem.n_jobs p in
+  let allocation =
+    Array.init n (fun v ->
+        let d = Problem.duration p v in
+        if Duration.is_constant d then 0
+        else begin
+          let r = Transform.vertex_lp_resource tr ~flow:(fun i -> lp.Lp_relax.flow.(i)) v in
+          round_resource r ~max_level:(Duration.max_useful_resource d)
+        end)
+  in
+  let budget_used = Schedule.min_budget p allocation in
+  let makespan = Schedule.makespan p allocation in
+  {
+    allocation;
+    makespan;
+    budget_used;
+    lp;
+    resource_bound = Rat.mul (Rat.of_ints 4 3) lp.Lp_relax.budget_used;
+    makespan_bound = Rat.mul (Rat.of_ints 14 5) lp.Lp_relax.makespan;
+  }
+
+let min_makespan p ~budget =
+  if budget < 0 then invalid_arg "Binary_bicriteria.min_makespan: negative budget";
+  let tr = Transform.of_problem p in
+  let lp = Lp_relax.min_makespan tr ~budget in
+  round_all p tr lp
+
+let min_resource p ~target =
+  if target < 0 then invalid_arg "Binary_bicriteria.min_resource: negative target";
+  let tr = Transform.of_problem p in
+  match Lp_relax.min_resource tr ~target:(Rat.of_int target) with
+  | None -> None
+  | Some lp ->
+      let r = round_all p tr lp in
+      (* for the min-resource objective the makespan bound is driven by
+         the target rather than the LP's (possibly smaller) makespan *)
+      Some { r with makespan_bound = Rat.mul (Rat.of_ints 14 5) (Rat.of_int target) }
+
+let satisfies_guarantees t =
+  Rat.(Rat.of_int t.budget_used <= t.resource_bound)
+  && Rat.(Rat.of_int t.makespan <= t.makespan_bound)

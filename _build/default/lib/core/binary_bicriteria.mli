@@ -1,0 +1,40 @@
+(** The improved (4/3, 14/5) bi-criteria approximation for recursive
+    binary splitting duration functions (Section 3.3, Theorem 3.16).
+
+    After solving LP 6–10, the (fractional) resource [r] that the LP
+    routes through each job's parallel chains is rounded to a reducer
+    level by the paper's rule: [r < 1] rounds to 0;
+    [2^i <= r < 3·2^(i-1)] rounds {e down} to [2^i]; and
+    [3·2^(i-1) <= r < 2^(i+1)] rounds {e up} to [2^(i+1)]. Rounding up
+    costs at most a 4/3 factor in resources (Lemma 3.15); rounding down
+    costs at most a 14/5 factor in each job's duration
+    (Lemmas 3.12–3.14). *)
+
+open Rtt_num
+
+type t = {
+  allocation : int array;
+  makespan : int;
+  budget_used : int;
+  lp : Lp_relax.solution;
+  resource_bound : Rat.t;  (** (4/3) · LP budget used *)
+  makespan_bound : Rat.t;  (** (14/5) · LP makespan *)
+}
+
+val round_resource : Rat.t -> max_level:int -> int
+(** The Section 3.3 rounding rule, capped at the job's largest useful
+    reducer level. Exposed for unit tests. *)
+
+val min_makespan : Problem.t -> budget:int -> t
+(** @raise Invalid_argument on negative budget. *)
+
+val min_resource : Problem.t -> target:int -> t option
+(** Extension (not stated in the paper, but a direct corollary of
+    Theorem 3.16 applied to the minimum-resource LP): solve LP 6–10 with
+    the makespan constrained to [target] and minimize the source
+    outflow, then round with the same rule. Resources used are at most
+    [(4/3)] times the LP optimum — hence at most [(4/3) OPT] — while
+    the makespan stays within [(14/5) target]. [None] when the target
+    is unreachable. *)
+
+val satisfies_guarantees : t -> bool

@@ -1,0 +1,92 @@
+open Rtt_dag
+open Rtt_duration
+
+type t = { makespan : int; budget_used : int; allocation : int array }
+
+exception Too_large of int
+
+let check_size ~max_states options =
+  let states =
+    Array.fold_left
+      (fun acc opts ->
+        let n = List.length opts in
+        if acc > max_states then acc else acc * max 1 n)
+      1 options
+  in
+  if states > max_states then raise (Too_large states)
+
+(* Per-vertex candidate allocations: the duration function's step points
+   not exceeding the resource cap (no more than cap units can ever reach
+   one vertex). *)
+let options_of (p : Problem.t) ~cap =
+  Array.init (Problem.n_jobs p) (fun v ->
+      let tuples = Duration.tuples p.durations.(v) in
+      match List.filter (fun (r, _) -> r <= cap) tuples with
+      | [] -> [ (0, Duration.base_time p.durations.(v)) ]
+      | l -> l)
+
+(* Lower bound on the makespan of any completion of a partial assignment
+   over vertices [0 .. n_set - 1]: assigned vertices keep their chosen
+   duration, unassigned ones optimistically take their best one. *)
+let partial_lower_bound (p : Problem.t) time n_set =
+  Longest_path.makespan p.dag ~weight:(fun v ->
+      if v < n_set then time.(v) else Duration.best_time p.durations.(v))
+
+let min_makespan ?(max_states = 2_000_000) (p : Problem.t) ~budget =
+  if budget < 0 then invalid_arg "Exact.min_makespan: negative budget";
+  let options = options_of p ~cap:budget in
+  check_size ~max_states options;
+  let n = Problem.n_jobs p in
+  let best = ref { makespan = max_int; budget_used = 0; allocation = Array.make n 0 } in
+  let alloc = Array.make n 0 and time = Array.make n 0 in
+  let rec go v =
+    if partial_lower_bound p time v >= !best.makespan then ()
+    else if v = n then begin
+      let ms = Longest_path.makespan p.dag ~weight:(fun u -> time.(u)) in
+      if ms < !best.makespan then begin
+        let used = Schedule.min_budget p alloc in
+        if used <= budget then best := { makespan = ms; budget_used = used; allocation = Array.copy alloc }
+      end
+    end
+    else
+      List.iter
+        (fun (r, t) ->
+          alloc.(v) <- r;
+          time.(v) <- t;
+          go (v + 1))
+        options.(v)
+  in
+  go 0;
+  (* the zero allocation is always feasible, so a solution exists *)
+  assert (!best.makespan < max_int);
+  !best
+
+let min_resource ?(max_states = 2_000_000) (p : Problem.t) ~target =
+  if target < 0 then invalid_arg "Exact.min_resource: negative target";
+  let cap = Problem.max_meaningful_budget p in
+  let options = options_of p ~cap in
+  check_size ~max_states options;
+  let n = Problem.n_jobs p in
+  let best = ref None in
+  let alloc = Array.make n 0 and time = Array.make n 0 in
+  let rec go v =
+    if partial_lower_bound p time v > target then ()
+    else if v = n then begin
+      let ms = Longest_path.makespan p.dag ~weight:(fun u -> time.(u)) in
+      if ms <= target then begin
+        let used = Schedule.min_budget p alloc in
+        match !best with
+        | Some b when b.budget_used <= used -> ()
+        | _ -> best := Some { makespan = ms; budget_used = used; allocation = Array.copy alloc }
+      end
+    end
+    else
+      List.iter
+        (fun (r, t) ->
+          alloc.(v) <- r;
+          time.(v) <- t;
+          go (v + 1))
+        options.(v)
+  in
+  go 0;
+  !best

@@ -1,0 +1,27 @@
+(** Brute-force exact solver — the reference oracle.
+
+    Enumerates, over every vertex, the resource levels at which its
+    duration function actually steps (other allocations waste resource),
+    checks realizability of each combination with a min-flow, and keeps
+    the best. Exponential in the number of non-constant jobs; intended
+    for the small instances against which the approximation algorithms
+    are validated in the benchmarks. Branch-and-bound pruning on a
+    partial-assignment makespan lower bound keeps typical instances
+    fast. *)
+
+type t = { makespan : int; budget_used : int; allocation : int array }
+
+exception Too_large of int
+(** Raised when the search space exceeds [max_states] (the payload is
+    the estimated state count). *)
+
+val min_makespan : ?max_states:int -> Problem.t -> budget:int -> t
+(** The true optimal makespan with the given budget (Question 1.3
+    semantics: resources reused over paths).
+    @raise Too_large when the product of per-vertex option counts
+    exceeds [max_states] (default [2_000_000]).
+    @raise Invalid_argument on negative budget. *)
+
+val min_resource : ?max_states:int -> Problem.t -> target:int -> t option
+(** Minimum budget achieving makespan at most [target]; [None] when the
+    target is unreachable. *)

@@ -1,0 +1,52 @@
+open Rtt_duration
+
+type t = { allocation : int array; makespan : int; budget_used : int; steps : int }
+
+(* next step point of v's duration function beyond the current level *)
+let next_step (p : Problem.t) v current =
+  let tuples = Duration.tuples p.Problem.durations.(v) in
+  List.find_opt (fun (r, _) -> r > current) tuples
+
+let min_makespan (p : Problem.t) ~budget =
+  if budget < 0 then invalid_arg "Greedy.min_makespan: negative budget";
+  let n = Problem.n_jobs p in
+  let alloc = Array.make n 0 in
+  let steps = ref 0 in
+  let current_ms = ref (Schedule.makespan p alloc) in
+  let current_budget = ref 0 in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (* evaluate every single-job upgrade *)
+    let best = ref None in
+    for v = 0 to n - 1 do
+      match next_step p v alloc.(v) with
+      | None -> ()
+      | Some (r, _) ->
+          let saved = alloc.(v) in
+          alloc.(v) <- r;
+          let cost = Schedule.min_budget p alloc in
+          if cost <= budget then begin
+            let ms = Schedule.makespan p alloc in
+            if ms < !current_ms then begin
+              (* improvement per extra unit (extra units may be zero when
+                 reuse absorbs the upgrade — those are taken greedily) *)
+              let gain = !current_ms - ms and extra = max 0 (cost - !current_budget) in
+              let score = (float_of_int gain /. float_of_int (extra + 1), -extra) in
+              match !best with
+              | Some (s, _, _, _) when s >= score -> ()
+              | _ -> best := Some (score, v, r, (ms, cost))
+            end
+          end;
+          alloc.(v) <- saved
+    done;
+    match !best with
+    | Some (_, v, r, (ms, cost)) ->
+        alloc.(v) <- r;
+        current_ms := ms;
+        current_budget := cost;
+        incr steps;
+        improved := true
+    | None -> ()
+  done;
+  { allocation = alloc; makespan = !current_ms; budget_used = !current_budget; steps = !steps }

@@ -1,0 +1,20 @@
+(** A practical greedy baseline for the minimum-makespan problem.
+
+    Not part of the paper's toolbox — included as the ablation baseline
+    the benchmarks compare the LP pipeline against. Repeatedly considers
+    upgrading one job to its next duration step, evaluates the true
+    min-flow cost of the upgraded allocation, and commits the upgrade
+    with the best makespan improvement per extra unit of budget;
+    stops when no affordable upgrade improves the makespan. Runs in
+    polynomial time but carries no approximation guarantee (the
+    benchmarks exhibit instances where it loses to the LP rounding). *)
+
+type t = {
+  allocation : int array;
+  makespan : int;
+  budget_used : int;
+  steps : int;  (** committed upgrades *)
+}
+
+val min_makespan : Problem.t -> budget:int -> t
+(** @raise Invalid_argument on negative budget. *)

@@ -1,0 +1,66 @@
+open Rtt_dag
+open Rtt_duration
+
+let to_string (p : Problem.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "vertices %d\n" (Problem.n_jobs p));
+  Array.iteri
+    (fun v d ->
+      if not (Duration.is_constant d) || Duration.base_time d <> 0 then begin
+        Buffer.add_string buf (Printf.sprintf "duration %d" v);
+        List.iter (fun (r, t) -> Buffer.add_string buf (Printf.sprintf " %d:%d" r t)) (Duration.tuples d);
+        Buffer.add_char buf '\n'
+      end)
+    p.Problem.durations;
+  List.iter (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v)) (Dag.edges p.Problem.dag);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let n = ref (-1) in
+  let durations = Hashtbl.create 16 in
+  let edges = ref [] in
+  let fail line msg = invalid_arg (Printf.sprintf "Io.of_string: %s in %S" msg line) in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+        | [ "vertices"; k ] -> (
+            match int_of_string_opt k with
+            | Some k when k > 0 -> n := k
+            | _ -> fail line "bad vertex count")
+        | "duration" :: v :: tuples -> (
+            match int_of_string_opt v with
+            | Some v ->
+                let parse_tuple w =
+                  match String.split_on_char ':' w with
+                  | [ r; t ] -> (
+                      match (int_of_string_opt r, int_of_string_opt t) with
+                      | Some r, Some t -> (r, t)
+                      | _ -> fail line "bad tuple")
+                  | _ -> fail line "bad tuple"
+                in
+                Hashtbl.replace durations v (Duration.make (List.map parse_tuple tuples))
+            | None -> fail line "bad vertex")
+        | [ "edge"; u; v ] -> (
+            match (int_of_string_opt u, int_of_string_opt v) with
+            | Some u, Some v -> edges := (u, v) :: !edges
+            | _ -> fail line "bad edge")
+        | _ -> fail line "unknown directive"
+      end)
+    lines;
+  if !n < 0 then invalid_arg "Io.of_string: missing vertices directive";
+  let g = Dag.of_edges ~n:!n (List.rev !edges) in
+  Problem.make g ~durations:(fun v ->
+      match Hashtbl.find_opt durations v with Some d -> d | None -> Duration.constant 0)
+
+let write_file path p =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string p))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

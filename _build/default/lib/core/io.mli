@@ -1,0 +1,19 @@
+(** Plain-text serialization of problem instances.
+
+    The format, one directive per line ([#] starts a comment):
+    {v
+    vertices <n>
+    duration <v> <r>:<t> <r>:<t> ...
+    edge <u> <v>
+    v}
+    Vertices without a [duration] line default to constant 0. The reader
+    normalizes the graph through {!Problem.make}, so the written and
+    re-read instance may gain a super source/sink. *)
+
+val to_string : Problem.t -> string
+
+val of_string : string -> Problem.t
+(** @raise Invalid_argument on malformed input. *)
+
+val write_file : string -> Problem.t -> unit
+val read_file : string -> Problem.t

@@ -1,0 +1,32 @@
+open Rtt_num
+open Rtt_duration
+
+type t = {
+  allocation : int array;
+  makespan : int;
+  budget_used : int;
+  lp_makespan : Rat.t;
+  bicriteria : Bicriteria.t;
+}
+
+let min_makespan p ~budget =
+  let bi = Bicriteria.min_makespan p ~budget ~alpha:Rat.half in
+  let tr = bi.Bicriteria.transform in
+  let lp = bi.Bicriteria.lp in
+  let rounded_alloc = bi.Bicriteria.rounded.Rounding.allocation in
+  let n = Problem.n_jobs p in
+  let allocation =
+    Array.init n (fun v ->
+        if Duration.is_constant (Problem.duration p v) then 0
+        else begin
+          let r_star = Transform.vertex_lp_resource tr ~flow:(fun i -> lp.Lp_relax.flow.(i)) v in
+          let r_j = rounded_alloc.(v) in
+          if Rat.(Rat.of_int r_j <= r_star) then r_j
+          else if r_j > 3 then r_j / 2
+          else if Rat.(r_star >= Rat.two) then 2
+          else 0
+        end)
+  in
+  let budget_used = Schedule.min_budget p allocation in
+  let makespan = Schedule.makespan p allocation in
+  { allocation; makespan; budget_used; lp_makespan = lp.Lp_relax.makespan; bicriteria = bi }

@@ -1,0 +1,25 @@
+(** The 5-approximation for minimum makespan under k-way splitting
+    duration functions (Section 3.2, Theorem 3.9).
+
+    Runs the bi-criteria pipeline at α = 1/2 — giving a (2, 2)
+    approximation — and then repairs the budget: every job whose rounded
+    allocation [r_j] exceeds the (fractional) resource [r*_j] the LP
+    routed through it is cut back to [k <= r*_j]:
+    [k = floor (r_j / 2)] when [r_j > 3], else [k = 2] if [r*_j >= 2]
+    and [k = 0] otherwise (Lemmas 3.5–3.8). The min-flow with the
+    repaired requirements never exceeds the original budget, and each
+    job's duration grows to at most [5 t*_j]. *)
+
+type t = {
+  allocation : int array;
+  makespan : int;
+  budget_used : int;
+  lp_makespan : Rtt_num.Rat.t;  (** lower bound on OPT *)
+  bicriteria : Bicriteria.t;  (** the intermediate (2,2) run *)
+}
+
+val min_makespan : Problem.t -> budget:int -> t
+(** The instance's duration functions are expected to be of k-way type
+    ({!Rtt_duration.Kway.to_duration}); the algorithm is well-defined on
+    any instance but the 5·OPT guarantee is specific to that class.
+    @raise Invalid_argument on negative budget. *)

@@ -1,0 +1,35 @@
+(** Question 1.1: the tradeoff problem {e without} resource reuse.
+
+    When every job owns its resources forever, realizing an allocation
+    costs its plain sum and the problem becomes the classical discrete
+    time-cost tradeoff problem (De et al.; Skutella's rounding — the
+    algorithmic ancestor the paper builds LP 6–10 on). This module
+    implements that regime with the same machinery: the Skutella-style
+    LP over D″ (per-edge upgrade variables, a sum budget, no flow
+    conservation), the same α-rounding, and a brute-force exact solver.
+
+    Its purpose here is comparative: benchmark A5 prices identical
+    instances under no-reuse vs path-reuse, which is the quantitative
+    content of the paper's claim that routing resources along paths is
+    worth formalizing. *)
+
+open Rtt_num
+
+type t = {
+  lp_makespan : Rat.t;  (** LP lower bound on the no-reuse OPT *)
+  lp_budget_used : Rat.t;
+  makespan : int;  (** after α-rounding *)
+  budget_used : int;  (** plain sum of the rounded allocation *)
+  allocation : int array;
+  makespan_bound : Rat.t;  (** (1/α)·LP makespan *)
+  budget_bound : Rat.t;  (** 1/(1−α)·LP budget *)
+}
+
+val min_makespan : Problem.t -> budget:int -> alpha:Rat.t -> t
+(** Skutella-style (1/α, 1/(1−α)) bi-criteria for the no-reuse regime.
+    @raise Invalid_argument unless [0 < alpha < 1] and [budget >= 0]. *)
+
+val satisfies_guarantees : t -> bool
+
+val exact : ?max_states:int -> Problem.t -> budget:int -> Exact.t
+(** Brute force with the sum-budget feasibility test (no min-flow). *)

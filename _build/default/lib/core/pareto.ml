@@ -1,0 +1,32 @@
+type point = { budget : int; makespan : int; allocation : int array }
+
+let cap_budget p = function
+  | Some b -> min b (Problem.max_meaningful_budget p)
+  | None -> Problem.max_meaningful_budget p
+
+let exact ?max_budget ?max_states p =
+  let top = cap_budget p max_budget in
+  List.init (top + 1) (fun budget ->
+      let r = Exact.min_makespan ?max_states p ~budget in
+      { budget; makespan = r.Exact.makespan; allocation = r.Exact.allocation })
+
+let knees points =
+  let rec go last = function
+    | [] -> []
+    | pt :: rest -> if pt.makespan < last then pt :: go pt.makespan rest else go last rest
+  in
+  go max_int points
+
+let approximate ?max_budget p =
+  let top = cap_budget p max_budget in
+  let best = ref None in
+  List.init (top + 1) (fun budget ->
+      let r = Binary_bicriteria.min_makespan p ~budget in
+      let candidate = { budget; makespan = r.Binary_bicriteria.makespan; allocation = r.Binary_bicriteria.allocation } in
+      let chosen =
+        match !best with
+        | Some b when b.makespan <= candidate.makespan -> { b with budget }
+        | _ -> candidate
+      in
+      best := Some chosen;
+      chosen)

@@ -1,0 +1,32 @@
+(** The space–time tradeoff curve of an instance.
+
+    The paper optimizes one point (fixed budget or fixed target); a
+    user deciding how much extra space to pay for wants the whole
+    frontier: for each budget, the best reachable makespan. Exact
+    frontiers enumerate budgets against the brute-force solver (small
+    instances); approximate frontiers run the Theorem 3.16 pipeline per
+    budget and are usable at scale. Both curves are non-increasing and
+    flatten exactly at {!Problem.max_meaningful_budget}. *)
+
+type point = {
+  budget : int;
+  makespan : int;
+  allocation : int array;
+}
+
+val exact : ?max_budget:int -> ?max_states:int -> Problem.t -> point list
+(** One point per budget in [0 .. max_budget] (default:
+    {!Problem.max_meaningful_budget}, capped there in any case), each
+    the true optimum. Consecutive duplicates are kept so the curve is
+    directly plottable.
+    @raise Exact.Too_large like {!Exact.min_makespan}. *)
+
+val knees : point list -> point list
+(** The budgets where the makespan actually improves — the purchase
+    points a practitioner cares about. *)
+
+val approximate : ?max_budget:int -> Problem.t -> point list
+(** Same sweep through {!Binary_bicriteria.min_makespan}; points carry
+    that algorithm's (4/3, 14/5) guarantees rather than optimality. The
+    curve is made monotone by carrying the best allocation forward
+    (the LP value can wobble across budgets after rounding). *)

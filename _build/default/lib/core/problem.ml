@@ -1,0 +1,46 @@
+open Rtt_dag
+open Rtt_duration
+
+type t = {
+  dag : Dag.t;
+  durations : Duration.t array;
+  source : Dag.vertex;
+  sink : Dag.vertex;
+}
+
+type objective = Min_makespan of { budget : int } | Min_resource of { target : int }
+
+let make dag ~durations =
+  if Dag.n_vertices dag = 0 then invalid_arg "Problem.make: empty graph";
+  if not (Dag.is_dag dag) then invalid_arg "Problem.make: graph has a cycle";
+  let n_before = Dag.n_vertices dag in
+  let source, sink = Dag.ensure_single_source_sink dag in
+  let durs =
+    Array.init (Dag.n_vertices dag) (fun v ->
+        if v < n_before then durations v else Duration.constant 0)
+  in
+  { dag; durations = durs; source; sink }
+
+let n_jobs p = Dag.n_vertices p.dag
+let duration p v = p.durations.(v)
+
+let works dag = Array.init (Dag.n_vertices dag) (fun v -> Dag.in_degree dag v)
+
+type reducer_kind = No_reducer | Kway | Binary
+
+let of_race_dag dag kind =
+  let w = works dag in
+  make dag ~durations:(fun v ->
+      let work = w.(v) in
+      match kind with
+      | No_reducer -> Duration.constant work
+      | Kway -> Kway.to_duration ~work
+      | Binary -> Binary_split.to_duration ~work)
+
+let max_meaningful_budget p =
+  Array.fold_left (fun acc d -> acc + Duration.max_useful_resource d) 0 p.durations
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>instance: %d jobs, source %d, sink %d@," (n_jobs p) p.source p.sink;
+  Array.iteri (fun v d -> Format.fprintf fmt "  job %d: %a@," v Duration.pp d) p.durations;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,51 @@
+(** Instances of the discrete resource-time tradeoff problem with
+    resource reuse over paths (Section 2 of the paper).
+
+    An instance is a single-source single-sink DAG whose vertices are
+    jobs, each with a non-increasing duration function. Resources flow
+    from the source to the sink along paths; a unit of resource may be
+    used by every job on its path (Question 1.3). *)
+
+open Rtt_dag
+open Rtt_duration
+
+type t = private {
+  dag : Dag.t;
+  durations : Duration.t array;  (** indexed by vertex *)
+  source : Dag.vertex;
+  sink : Dag.vertex;
+}
+
+type objective =
+  | Min_makespan of { budget : int }
+      (** minimize makespan subject to at most [budget] resource units *)
+  | Min_resource of { target : int }
+      (** minimize resource units subject to makespan at most [target] *)
+
+val make : Dag.t -> durations:(Dag.vertex -> Duration.t) -> t
+(** Takes ownership of the DAG: it is normalized in place to a single
+    source and sink (any super-source/sink added receives a constant-0
+    duration; [durations] is consulted only for the original vertices).
+    @raise Invalid_argument if the graph is empty or not acyclic. *)
+
+val n_jobs : t -> int
+
+val duration : t -> Dag.vertex -> Duration.t
+
+val works : Dag.t -> int array
+(** The paper's Section 1 convention for race DAGs: each vertex's work
+    (= base duration) is its in-degree. *)
+
+type reducer_kind = No_reducer | Kway | Binary
+
+val of_race_dag : Dag.t -> reducer_kind -> t
+(** Builds an instance from a race DAG [D(P)]: work = in-degree; the
+    duration function of each vertex is the chosen reducer's tradeoff
+    applied to that work ({!Rtt_duration.Kway} / {!Rtt_duration.Binary_split}),
+    or constant when [No_reducer]. *)
+
+val max_meaningful_budget : t -> int
+(** Sum over vertices of the largest useful resource — no instance ever
+    benefits from a larger budget. *)
+
+val pp : Format.formatter -> t -> unit

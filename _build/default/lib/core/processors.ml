@@ -1,0 +1,71 @@
+open Rtt_dag
+
+type t = { finish : int; processor_of_job : int array; start_times : int array }
+
+let list_schedule (p : Problem.t) alloc ~processors =
+  if processors < 1 then invalid_arg "Processors.list_schedule: processors < 1";
+  let g = p.Problem.dag in
+  let n = Problem.n_jobs p in
+  let durations = Schedule.durations_at p alloc in
+  (* critical-path priority: longest duration-weighted path to the sink *)
+  let priority =
+    let rev = Dag.transpose g in
+    Longest_path.finish_times rev ~weight:(fun v -> durations.(v))
+  in
+  let indeg = Array.init n (fun v -> Dag.in_degree g v) in
+  let ready = ref [] in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then ready := v :: !ready
+  done;
+  let sort_ready () = ready := List.sort (fun a b -> compare priority.(b) priority.(a)) !ready in
+  sort_ready ();
+  (* running jobs as (finish_time, job, processor); free processors as ids *)
+  let running = ref [] in
+  let free = ref (List.init processors Fun.id) in
+  let processor_of_job = Array.make n (-1) in
+  let start_times = Array.make n 0 in
+  let clock = ref 0 in
+  let completed = ref 0 in
+  let overall = ref 0 in
+  while !completed < n do
+    (* start as many ready jobs as processors allow *)
+    let rec start () =
+      match (!ready, !free) with
+      | v :: rest, pid :: more ->
+          ready := rest;
+          free := more;
+          processor_of_job.(v) <- pid;
+          start_times.(v) <- !clock;
+          running := (!clock + durations.(v), v, pid) :: !running;
+          start ()
+      | _ -> ()
+    in
+    start ();
+    (* advance to the earliest completion *)
+    (match !running with
+    | [] ->
+        (* all processors idle and nothing ready with jobs pending: the
+           DAG would have to be cyclic, which Problem.make excludes *)
+        assert (!completed = n)
+    | l ->
+        let finish_at = List.fold_left (fun acc (f, _, _) -> min acc f) max_int l in
+        clock := finish_at;
+        let done_now, still = List.partition (fun (f, _, _) -> f = finish_at) l in
+        running := still;
+        List.iter
+          (fun (f, v, pid) ->
+            overall := max !overall f;
+            free := pid :: !free;
+            incr completed;
+            List.iter
+              (fun w ->
+                indeg.(w) <- indeg.(w) - 1;
+                if indeg.(w) = 0 then ready := w :: !ready)
+              (Dag.succ g v))
+          done_now;
+        sort_ready ())
+  done;
+  { finish = !overall; processor_of_job; start_times }
+
+let speedup_curve p alloc ~processors =
+  List.map (fun k -> (k, (list_schedule p alloc ~processors:k).finish)) processors

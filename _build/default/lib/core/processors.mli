@@ -1,0 +1,22 @@
+(** Bounded-processor execution of an allocated instance.
+
+    Observation 1.1 bounds the running time of the program with
+    {e unbounded} processors by the DAG's makespan. This module supplies
+    the finite-processor side: greedy (Graham) list scheduling of the
+    jobs under their allocated durations, with critical-path priority.
+    The classic sandwich
+    [max (T_inf, ceil (W / p)) <= T_p <= T_inf + W / p]
+    (with [W] total work and [T_inf] the makespan) is asserted by the
+    test suite. *)
+
+type t = {
+  finish : int;  (** completion time with [p] processors *)
+  processor_of_job : int array;  (** which processor ran each job *)
+  start_times : int array;
+}
+
+val list_schedule : Problem.t -> Schedule.allocation -> processors:int -> t
+(** @raise Invalid_argument when [processors < 1]. *)
+
+val speedup_curve : Problem.t -> Schedule.allocation -> processors:int list -> (int * int) list
+(** [(p, T_p)] for each processor count. *)

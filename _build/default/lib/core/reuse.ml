@@ -1,0 +1,35 @@
+type budgets = { none : int; over_paths : int; global : int }
+
+let no_reuse_budget (p : Problem.t) alloc =
+  ignore p;
+  Array.fold_left ( + ) 0 alloc
+
+let global_reuse_budget (p : Problem.t) alloc =
+  let durations = Schedule.durations_at p alloc in
+  let finish = Schedule.finish_times p alloc in
+  (* job v holds alloc.(v) units during [finish - duration, finish);
+     zero-duration jobs hold nothing *)
+  let events = ref [] in
+  Array.iteri
+    (fun v r ->
+      if r > 0 && durations.(v) > 0 then begin
+        events := (finish.(v) - durations.(v), r) :: (finish.(v), -r) :: !events
+      end)
+    alloc;
+  (* releases sort before acquisitions at the same instant: the manager
+     reclaims before it hands out *)
+  let ordered = List.sort compare !events in
+  let peak = ref 0 and cur = ref 0 in
+  List.iter
+    (fun (_, delta) ->
+      cur := !cur + delta;
+      if !cur > !peak then peak := !cur)
+    ordered;
+  !peak
+
+let budgets p alloc =
+  {
+    none = no_reuse_budget p alloc;
+    over_paths = Schedule.min_budget p alloc;
+    global = global_reuse_budget p alloc;
+  }

@@ -1,0 +1,34 @@
+(** The three resource-reuse regimes of Questions 1.1–1.3.
+
+    Given a fixed allocation, the budget needed to realize it depends on
+    how resources may be reused:
+
+    - {b none} (Question 1.1): every job owns its units forever —
+      budget = sum of allocations;
+    - {b over paths} (Question 1.3, this paper): units travel
+      source→sink paths — budget = min-flow with vertex lower bounds;
+    - {b global} (Question 1.2): a memory manager reclaims units the
+      moment a job finishes — budget = the peak concurrent usage of the
+      earliest-start schedule (a lower bound on any schedule-aware
+      optimum, and exactly the manager's high-water mark when jobs run
+      as early as possible).
+
+    Always [global <= paths <= none]; the ablation benchmark quantifies
+    the gaps, which is the empirical content of the paper's claim that
+    path reuse recovers most of global reuse without a central
+    manager. *)
+
+type budgets = {
+  none : int;
+  over_paths : int;
+  global : int;
+}
+
+val budgets : Problem.t -> Schedule.allocation -> budgets
+
+val no_reuse_budget : Problem.t -> Schedule.allocation -> int
+(** Sum of the allocation. *)
+
+val global_reuse_budget : Problem.t -> Schedule.allocation -> int
+(** Peak concurrent usage when every job starts as early as possible
+    and holds its units exactly during its execution window. *)

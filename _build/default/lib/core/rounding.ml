@@ -1,0 +1,56 @@
+open Rtt_dag
+open Rtt_num
+open Rtt_flow
+
+type t = {
+  upgraded : bool array;
+  requirement : int array;
+  flow : int array;
+  budget_used : int;
+  makespan : int;
+  allocation : int array;
+}
+
+let rounded_edge_time (tr : Transform.t) r i = if r.upgraded.(i) then 0 else tr.edges.(i).t0
+
+let round (tr : Transform.t) ~alpha (sol : Lp_relax.solution) =
+  if Rat.(alpha <= Rat.zero) || Rat.(alpha >= Rat.one) then invalid_arg "Rounding.round: alpha must be in (0, 1)";
+  let ne = Array.length tr.edges in
+  let upgraded =
+    Array.init ne (fun i ->
+        let e = tr.edges.(i) in
+        match e.upgrade with
+        | None -> false
+        | Some _ ->
+            let t = Lp_relax.edge_duration e sol.flow.(i) in
+            let threshold = Rat.mul alpha (Rat.of_int e.t0) in
+            Rat.(t < threshold))
+  in
+  let requirement =
+    Array.init ne (fun i ->
+        if upgraded.(i) then match tr.edges.(i).upgrade with Some r -> r | None -> 0 else 0)
+  in
+  let specs =
+    Array.mapi
+      (fun i (e : Transform.edge) ->
+        { Minflow.src = e.src; dst = e.dst; lower = requirement.(i); upper = Maxflow.infinity })
+      tr.edges
+  in
+  let result =
+    match Minflow.solve ~n:(Dag.n_vertices tr.graph) ~s:tr.source ~t:tr.sink specs with
+    | Some r -> r
+    | None -> assert false (* infinite uppers: always feasible *)
+  in
+  let r =
+    {
+      upgraded;
+      requirement;
+      flow = result.Minflow.edge_flow;
+      budget_used = result.Minflow.value;
+      makespan = 0;
+      allocation = [||];
+    }
+  in
+  let makespan = Transform.makespan_with tr ~edge_time:(rounded_edge_time tr r) in
+  let allocation = Transform.allocation_of_upgrades tr ~upgraded:(fun i -> upgraded.(i)) in
+  { r with makespan; allocation }

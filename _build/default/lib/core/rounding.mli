@@ -1,0 +1,29 @@
+(** α-rounding of the LP solution and the integral min-flow (Section 3.1,
+    LP 11–13).
+
+    Given a fractional LP solution and a threshold [0 < α < 1], an edge
+    whose relaxed duration [t_e(f*_e)] fell strictly below [α · t_e(0)]
+    is rounded {e up} in resources (requirement [r_e], duration 0); all
+    others are rounded {e down} (requirement 0, duration [t_e(0)]). The
+    resource requirement thus inflates by at most [1/(1-α)] per edge and
+    the duration by at most [1/α] (Lemmas 3.2–3.3). A combinatorial
+    min-flow with the requirements as lower bounds then yields an
+    integral routing. *)
+
+open Rtt_num
+
+type t = {
+  upgraded : bool array;  (** per transformed edge *)
+  requirement : int array;  (** f'_e: [r_e] if upgraded else 0 *)
+  flow : int array;  (** integral min-flow meeting the requirements *)
+  budget_used : int;  (** value of that flow *)
+  makespan : int;  (** makespan of D″ under the rounded durations *)
+  allocation : int array;  (** pulled back to original vertices *)
+}
+
+val round : Transform.t -> alpha:Rat.t -> Lp_relax.solution -> t
+(** @raise Invalid_argument unless [0 < alpha < 1]. *)
+
+val rounded_edge_time : Transform.t -> t -> int -> int
+(** Duration of transformed edge [i] after rounding: 0 if upgraded,
+    [t0] otherwise. *)

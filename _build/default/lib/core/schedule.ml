@@ -1,0 +1,68 @@
+open Rtt_dag
+open Rtt_duration
+open Rtt_flow
+
+type allocation = int array
+
+let check_alloc (p : Problem.t) alloc =
+  if Array.length alloc <> Problem.n_jobs p then invalid_arg "Schedule: allocation size mismatch";
+  Array.iter (fun r -> if r < 0 then invalid_arg "Schedule: negative allocation") alloc
+
+let durations_at (p : Problem.t) alloc =
+  check_alloc p alloc;
+  Array.mapi (fun v r -> Duration.eval p.durations.(v) r) alloc
+
+let finish_times (p : Problem.t) alloc =
+  let d = durations_at p alloc in
+  Longest_path.finish_times p.dag ~weight:(fun v -> d.(v))
+
+let makespan p alloc = Array.fold_left max 0 (finish_times p alloc)
+
+let critical_path (p : Problem.t) alloc =
+  let d = durations_at p alloc in
+  Longest_path.critical_path p.dag ~weight:(fun v -> d.(v))
+
+(* Split graph: vertex v becomes arc (2v, 2v+1) with lower bound
+   [alloc v]; an original edge (u, v) becomes (2u+1, 2v). *)
+let split_specs (p : Problem.t) alloc =
+  let vertex_arcs =
+    List.map
+      (fun v -> { Minflow.src = 2 * v; dst = (2 * v) + 1; lower = alloc.(v); upper = Maxflow.infinity })
+      (Dag.vertices p.dag)
+  in
+  let edge_arcs =
+    List.map
+      (fun (u, v) -> { Minflow.src = (2 * u) + 1; dst = 2 * v; lower = 0; upper = Maxflow.infinity })
+      (Dag.edges p.dag)
+  in
+  Array.of_list (vertex_arcs @ edge_arcs)
+
+let solve_minflow (p : Problem.t) alloc =
+  check_alloc p alloc;
+  let n = 2 * Problem.n_jobs p in
+  let specs = split_specs p alloc in
+  match Minflow.solve ~n ~s:(2 * p.source) ~t:((2 * p.sink) + 1) specs with
+  | Some r -> (specs, r)
+  | None ->
+      (* with infinite upper bounds a feasible flow always exists *)
+      assert false
+
+let min_budget p alloc =
+  let _, r = solve_minflow p alloc in
+  r.Minflow.value
+
+let min_budget_with_routing (p : Problem.t) alloc =
+  let specs, r = solve_minflow p alloc in
+  let n = 2 * Problem.n_jobs p in
+  let edges = Array.map (fun s -> (s.Minflow.src, s.Minflow.dst)) specs in
+  let paths =
+    Decompose.decompose ~n ~s:(2 * p.source) ~t:((2 * p.sink) + 1) ~edges ~flow:r.Minflow.edge_flow
+  in
+  let to_original path =
+    (* keep each original vertex once: v_in (2v) marks entry *)
+    List.filter_map (fun x -> if x mod 2 = 0 then Some (x / 2) else None) path
+  in
+  (r.Minflow.value, List.map (fun (path, units) -> (to_original path, units)) paths)
+
+let feasible p ~budget alloc = min_budget p alloc <= budget
+let zero_allocation p = Array.make (Problem.n_jobs p) 0

@@ -1,0 +1,40 @@
+(** Evaluating allocations: schedules, makespans, and resource
+    feasibility through min-flow.
+
+    An {e allocation} assigns each vertex an integral resource amount.
+    Under the paper's model an allocation is realizable with budget [B]
+    iff there is an s–t flow of value at most [B] routing at least
+    [alloc v] units through every vertex [v] — each resource unit
+    travels one source→sink path and serves every job on it. That
+    feasibility test is a min-flow with vertex lower bounds, solved on
+    the split graph (v_in → v_out arcs carry the lower bounds). *)
+
+open Rtt_dag
+
+type allocation = int array
+(** Resource units per vertex. *)
+
+val durations_at : Problem.t -> allocation -> int array
+(** Per-vertex completion time under the allocation. *)
+
+val finish_times : Problem.t -> allocation -> int array
+(** Earliest finish time of every vertex. *)
+
+val makespan : Problem.t -> allocation -> int
+
+val critical_path : Problem.t -> allocation -> int * Dag.vertex list
+
+val min_budget : Problem.t -> allocation -> int
+(** The minimum number of resource units that must enter at the source
+    for the allocation to be realizable (min-flow with vertex lower
+    bounds). *)
+
+val min_budget_with_routing : Problem.t -> allocation -> int * (Dag.vertex list * int) list
+(** Additionally decomposes the optimal flow into weighted source→sink
+    paths over the original vertices — the explicit "each unit follows a
+    path" routing of Question 1.3. *)
+
+val feasible : Problem.t -> budget:int -> allocation -> bool
+(** [min_budget p alloc <= budget]. *)
+
+val zero_allocation : Problem.t -> allocation

@@ -1,0 +1,70 @@
+open Rtt_dag
+open Rtt_duration
+
+(* cap additions so that "unreachable" sentinels never overflow *)
+let big = max_int / 4
+let ( +! ) a b = min big (a + b)
+
+let rec table tree ~budget =
+  match tree with
+  | Sp.Leaf d -> Array.init (budget + 1) (fun l -> Duration.eval d l)
+  | Sp.Series (a, b) ->
+      let ta = table a ~budget and tb = table b ~budget in
+      Array.init (budget + 1) (fun l -> ta.(l) +! tb.(l))
+  | Sp.Parallel (a, b) ->
+      let ta = table a ~budget and tb = table b ~budget in
+      Array.init (budget + 1) (fun l ->
+          let best = ref big in
+          for i = 0 to l do
+            let v = max ta.(i) tb.(l - i) in
+            if v < !best then best := v
+          done;
+          !best)
+
+let makespan_table tree ~budget =
+  if budget < 0 then invalid_arg "Sp_exact: negative budget";
+  table tree ~budget
+
+let min_makespan tree ~budget =
+  if budget < 0 then invalid_arg "Sp_exact: negative budget";
+  (* recompute tables with allocation backtracking *)
+  let rec solve tree =
+    match tree with
+    | Sp.Leaf d ->
+        let t = Array.init (budget + 1) (fun l -> Duration.eval d l) in
+        (t, fun l ->
+          (* smallest resource achieving t.(l) *)
+          let rec shrink r = if r > 0 && t.(r - 1) = t.(l) then shrink (r - 1) else r in
+          Sp.Leaf (shrink l))
+    | Sp.Series (a, b) ->
+        let ta, alloc_a = solve a and tb, alloc_b = solve b in
+        let t = Array.init (budget + 1) (fun l -> ta.(l) +! tb.(l)) in
+        (t, fun l -> Sp.Series (alloc_a l, alloc_b l))
+    | Sp.Parallel (a, b) ->
+        let ta, alloc_a = solve a and tb, alloc_b = solve b in
+        let split = Array.make (budget + 1) 0 in
+        let t =
+          Array.init (budget + 1) (fun l ->
+              let best = ref big and arg = ref 0 in
+              for i = 0 to l do
+                let v = max ta.(i) tb.(l - i) in
+                if v < !best then begin
+                  best := v;
+                  arg := i
+                end
+              done;
+              split.(l) <- !arg;
+              !best)
+        in
+        (t, fun l -> Sp.Parallel (alloc_a split.(l), alloc_b (l - split.(l))))
+  in
+  let t, alloc = solve tree in
+  (t.(budget), alloc budget)
+
+let min_resource tree ~target =
+  (* the makespan cannot improve past every leaf's best time, reached at
+     the sum of max useful resources *)
+  let cap = List.fold_left (fun acc d -> acc + Duration.max_useful_resource d) 0 (Sp.leaves tree) in
+  let t = table tree ~budget:cap in
+  let rec find l = if l > cap then None else if t.(l) <= target then Some l else find (l + 1) in
+  find 0

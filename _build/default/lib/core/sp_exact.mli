@@ -1,0 +1,26 @@
+(** Exact pseudo-polynomial dynamic program for series-parallel DAGs
+    (Section 3.4).
+
+    On the decomposition tree [T_G] the optimal makespan with budget [λ]
+    satisfies: a leaf job costs [t_j(λ)]; a series node costs
+    [T(left, λ) + T(right, λ)] (the same λ units flow through both
+    sides); a parallel node costs
+    [min over i of max (T(left, i), T(right, λ - i))]. The table for all
+    budgets [0..B] is computed bottom-up in [O (m B²)] time. *)
+
+open Rtt_dag
+open Rtt_duration
+
+val makespan_table : Duration.t Sp.t -> budget:int -> int array
+(** [makespan_table tree ~budget] returns [T(root, λ)] for
+    [λ = 0 .. budget].
+    @raise Invalid_argument on negative budget. *)
+
+val min_makespan : Duration.t Sp.t -> budget:int -> int * int Sp.t
+(** Optimal makespan with the given budget, together with an allocation
+    tree of the same shape assigning each leaf its resource (the
+    smallest resource achieving the chosen duration). *)
+
+val min_resource : Duration.t Sp.t -> target:int -> int option
+(** Smallest budget whose optimal makespan is at most [target]; [None]
+    if unreachable with any budget. *)

@@ -1,0 +1,120 @@
+open Rtt_dag
+open Rtt_duration
+open Rtt_num
+
+type edge_kind =
+  | Chain of { vertex : Dag.vertex; idx : int }
+  | Chain_tail of { vertex : Dag.vertex; idx : int }
+  | Link of { src : Dag.vertex; dst : Dag.vertex }
+  | Simple of { vertex : Dag.vertex }
+
+type edge = { src : Dag.vertex; dst : Dag.vertex; t0 : int; upgrade : int option; kind : edge_kind }
+
+type t = {
+  graph : Dag.t;
+  edges : edge array;
+  source : Dag.vertex;
+  sink : Dag.vertex;
+  problem : Problem.t;
+  entry : Dag.vertex array;
+  exits : Dag.vertex array;
+  chains : int list array;
+}
+
+let of_problem (p : Problem.t) =
+  let n = Problem.n_jobs p in
+  let g = Dag.create ~capacity:(4 * n) () in
+  let entry = Array.init n (fun v -> ignore v; Dag.add_vertex g) in
+  let exits = Array.init n (fun v -> ignore v; Dag.add_vertex g) in
+  Array.iteri (fun v a -> Dag.set_label g a (Printf.sprintf "a%d" v)) entry;
+  Array.iteri (fun v b -> Dag.set_label g b (Printf.sprintf "b%d" v)) exits;
+  let edges = ref [] in
+  let n_edges = ref 0 in
+  let chains = Array.make n [] in
+  let push e =
+    Dag.add_edge g e.src e.dst;
+    edges := e :: !edges;
+    incr n_edges;
+    !n_edges - 1
+  in
+  for v = 0 to n - 1 do
+    let tuples = Duration.tuples p.durations.(v) in
+    match tuples with
+    | [ (0, t0) ] ->
+        let idx = push { src = entry.(v); dst = exits.(v); t0; upgrade = None; kind = Simple { vertex = v } } in
+        chains.(v) <- [ idx ]
+    | _ ->
+        let l = List.length tuples in
+        let resources = Array.of_list (List.map fst tuples) in
+        let times = Array.of_list (List.map snd tuples) in
+        let idxs = ref [] in
+        for i = 0 to l - 1 do
+          let u = Dag.add_vertex ~label:(Printf.sprintf "u%d_%d" v i) g in
+          let upgrade = if i < l - 1 then Some (resources.(i + 1) - resources.(i)) else None in
+          let idx = push { src = entry.(v); dst = u; t0 = times.(i); upgrade; kind = Chain { vertex = v; idx = i } } in
+          ignore (push { src = u; dst = exits.(v); t0 = 0; upgrade = None; kind = Chain_tail { vertex = v; idx = i } });
+          idxs := idx :: !idxs
+        done;
+        chains.(v) <- List.rev !idxs
+  done;
+  List.iter
+    (fun (u, v) ->
+      ignore (push { src = exits.(u); dst = entry.(v); t0 = 0; upgrade = None; kind = Link { src = u; dst = v } }))
+    (Dag.edges p.dag);
+  {
+    graph = g;
+    edges = Array.of_list (List.rev !edges);
+    source = entry.(p.source);
+    sink = exits.(p.sink);
+    problem = p;
+    entry;
+    exits;
+    chains;
+  }
+
+(* Edge-indexed longest path: event time of each graph vertex. *)
+let event_times_fold t ~zero ~add ~max_ ~edge_time =
+  let order = Dag.topo_sort t.graph in
+  let time = Array.make (Dag.n_vertices t.graph) zero in
+  let inbound = Array.make (Dag.n_vertices t.graph) [] in
+  Array.iteri (fun i e -> inbound.(e.dst) <- i :: inbound.(e.dst)) t.edges;
+  List.iter
+    (fun v ->
+      let best =
+        List.fold_left
+          (fun acc i ->
+            let e = t.edges.(i) in
+            max_ acc (add time.(e.src) (edge_time i)))
+          zero inbound.(v)
+      in
+      time.(v) <- best)
+    order;
+  time
+
+let makespan_with t ~edge_time =
+  let times = event_times_fold t ~zero:0 ~add:( + ) ~max_:max ~edge_time in
+  Array.fold_left max 0 times
+
+let event_times_with t ~edge_time =
+  event_times_fold t ~zero:Rat.zero ~add:Rat.add ~max_:Rat.max ~edge_time
+
+let allocation_of_upgrades t ~upgraded =
+  let p = t.problem in
+  Array.init (Problem.n_jobs p) (fun v ->
+      let tuples = Array.of_list (Duration.tuples p.durations.(v)) in
+      if Array.length tuples = 1 then 0
+      else begin
+        (* first chain edge not upgraded determines the realized tuple *)
+        let rec first_idx = function
+          | [] -> Array.length tuples - 1
+          | i :: rest -> (
+              match t.edges.(i).kind with
+              | Chain { idx; _ } -> if (not (upgraded i)) || t.edges.(i).upgrade = None then idx else first_idx rest
+              | _ -> first_idx rest)
+        in
+        let j = first_idx t.chains.(v) in
+        fst tuples.(j)
+      end)
+
+let vertex_lp_resource t ~flow v =
+  List.fold_left (fun acc i -> Rat.add acc (flow i)) Rat.zero t.chains.(v)

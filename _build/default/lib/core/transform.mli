@@ -1,0 +1,65 @@
+(** The two-step DAG transformation of Section 3.1 (Figures 6 and 7).
+
+    Step 1 (activity on arc): every job vertex [v] of the instance
+    becomes an arc [a_v -> b_v]; every precedence edge [(u, v)] becomes a
+    zero-duration link arc [b_u -> a_v].
+
+    Step 2 (at most two tuples per arc): a job arc whose duration
+    function has tuples [(0,t_1), (r_2,t_2), ..., (r_l,t_l)] is replaced
+    by [l] parallel two-edge chains [a_v -> u_i -> b_v]. Chain edge [i]
+    is a job with tuples [{(0, t_i), (r_{i+1} - r_i, 0)}] for [i < l] and
+    the single tuple [{(0, t_l)}] for [i = l]; the tail edges
+    [u_i -> b_v] have duration 0. Driving chain edges [1..i-1] to zero
+    upgrades the job to tuple [i] — the canonical bijection of
+    Lemma 3.1. The recursive-binary expansion of Figure 7 is this same
+    construction applied to Equation 3's tuples.
+
+    Jobs with a single (constant) tuple become one direct arc. *)
+
+open Rtt_dag
+open Rtt_num
+
+type edge_kind =
+  | Chain of { vertex : Dag.vertex; idx : int }
+      (** [idx]-th (0-based) chain edge of job [vertex] *)
+  | Chain_tail of { vertex : Dag.vertex; idx : int }
+  | Link of { src : Dag.vertex; dst : Dag.vertex }  (** precedence dummy *)
+  | Simple of { vertex : Dag.vertex }  (** constant-duration job *)
+
+type edge = {
+  src : Dag.vertex;  (** in the transformed graph *)
+  dst : Dag.vertex;
+  t0 : int;  (** duration with no resource *)
+  upgrade : int option;  (** [Some r]: [r] units drive the duration to 0 *)
+  kind : edge_kind;
+}
+
+type t = {
+  graph : Dag.t;
+  edges : edge array;
+  source : Dag.vertex;
+  sink : Dag.vertex;
+  problem : Problem.t;
+  entry : Dag.vertex array;  (** [a_v] per original vertex *)
+  exits : Dag.vertex array;  (** [b_v] per original vertex *)
+  chains : int list array;  (** chain-edge indices per original vertex, in tuple order (also the [Simple] edge for constant jobs) *)
+}
+
+val of_problem : Problem.t -> t
+
+val makespan_with : t -> edge_time:(int -> int) -> int
+(** Longest path of the transformed graph where edge [e] takes
+    [edge_time e] time (indexed into {!edges}). *)
+
+val event_times_with : t -> edge_time:(int -> Rat.t) -> Rat.t array
+(** Exact-rational event times per transformed-graph vertex. *)
+
+val allocation_of_upgrades : t -> upgraded:(int -> bool) -> int array
+(** Pulls a set of upgraded chain edges back to a per-vertex allocation:
+    job [v] realizes the tuple of its first non-upgraded chain edge and
+    is allocated that tuple's resource (Lemma 3.1's canonical mapping —
+    non-prefix upgrade sets waste resource but remain sound). *)
+
+val vertex_lp_resource : t -> flow:(int -> Rat.t) -> Dag.vertex -> Rat.t
+(** Sum of the (possibly fractional) resources a flow routes through the
+    chain edges of a job — the [r*_j] of Section 3.2. *)

@@ -1,0 +1,1 @@
+lib/dag/longest_path.ml: Array Dag List

@@ -1,0 +1,1 @@
+lib/dag/longest_path.mli: Dag

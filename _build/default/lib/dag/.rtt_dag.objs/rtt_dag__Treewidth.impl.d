@@ -1,0 +1,1 @@
+lib/dag/treewidth.ml: Array Dag Fun List

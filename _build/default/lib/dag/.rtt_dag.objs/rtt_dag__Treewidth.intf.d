@@ -1,0 +1,1 @@
+lib/dag/treewidth.mli: Dag

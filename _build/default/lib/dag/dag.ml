@@ -1,0 +1,174 @@
+type vertex = int
+
+type t = {
+  mutable n : int;
+  mutable succ : vertex list array;
+  mutable pred : vertex list array;
+  mutable labels : string option array;
+  mutable n_edges : int;
+}
+
+exception Cycle
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { n = 0; succ = Array.make capacity []; pred = Array.make capacity []; labels = Array.make capacity None; n_edges = 0 }
+
+let grow g =
+  let cap = Array.length g.succ in
+  if g.n >= cap then begin
+    let cap' = (2 * cap) + 1 in
+    let succ' = Array.make cap' [] and pred' = Array.make cap' [] and labels' = Array.make cap' None in
+    Array.blit g.succ 0 succ' 0 g.n;
+    Array.blit g.pred 0 pred' 0 g.n;
+    Array.blit g.labels 0 labels' 0 g.n;
+    g.succ <- succ';
+    g.pred <- pred';
+    g.labels <- labels'
+  end
+
+let add_vertex ?label g =
+  grow g;
+  let v = g.n in
+  g.n <- g.n + 1;
+  g.labels.(v) <- label;
+  v
+
+let check_vertex g v name = if v < 0 || v >= g.n then invalid_arg ("Dag." ^ name ^ ": bad vertex")
+
+let add_edge g u v =
+  check_vertex g u "add_edge";
+  check_vertex g v "add_edge";
+  if u = v then invalid_arg "Dag.add_edge: self-loop";
+  g.succ.(u) <- v :: g.succ.(u);
+  g.pred.(v) <- u :: g.pred.(v);
+  g.n_edges <- g.n_edges + 1
+
+let copy g =
+  {
+    n = g.n;
+    succ = Array.map (fun l -> l) (Array.sub g.succ 0 (Array.length g.succ));
+    pred = Array.map (fun l -> l) (Array.sub g.pred 0 (Array.length g.pred));
+    labels = Array.copy g.labels;
+    n_edges = g.n_edges;
+  }
+
+let of_edges ~n es =
+  let g = create ~capacity:n () in
+  for _ = 1 to n do
+    ignore (add_vertex g)
+  done;
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let n_vertices g = g.n
+let n_edges g = g.n_edges
+let vertices g = List.init g.n (fun i -> i)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter (fun v -> acc := (u, v) :: !acc) g.succ.(u)
+  done;
+  !acc
+
+let succ g v =
+  check_vertex g v "succ";
+  g.succ.(v)
+
+let pred g v =
+  check_vertex g v "pred";
+  g.pred.(v)
+
+let out_degree g v = List.length (succ g v)
+let in_degree g v = List.length (pred g v)
+
+let label g v =
+  check_vertex g v "label";
+  g.labels.(v)
+
+let set_label g v s =
+  check_vertex g v "set_label";
+  g.labels.(v) <- Some s
+
+let mem_edge g u v =
+  check_vertex g u "mem_edge";
+  List.mem v g.succ.(u)
+
+let sources g = List.filter (fun v -> g.pred.(v) = []) (vertices g)
+let sinks g = List.filter (fun v -> g.succ.(v) = []) (vertices g)
+
+let topo_sort g =
+  (* Kahn's algorithm; raises Cycle when some vertex is never released. *)
+  let indeg = Array.init g.n (fun v -> List.length g.pred.(v)) in
+  let queue = Queue.create () in
+  for v = 0 to g.n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] and count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr count;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      g.succ.(v)
+  done;
+  if !count <> g.n then raise Cycle;
+  List.rev !order
+
+let is_dag g = match topo_sort g with _ -> true | exception Cycle -> false
+
+let transpose g =
+  {
+    n = g.n;
+    succ = Array.init (Array.length g.pred) (fun i -> g.pred.(i));
+    pred = Array.init (Array.length g.succ) (fun i -> g.succ.(i));
+    labels = Array.copy g.labels;
+    n_edges = g.n_edges;
+  }
+
+let reachable g v =
+  check_vertex g v "reachable";
+  let seen = Array.make g.n false in
+  let rec go u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter go g.succ.(u)
+    end
+  in
+  go v;
+  seen
+
+let ensure_single_source_sink g =
+  if g.n = 0 then invalid_arg "Dag.ensure_single_source_sink: empty graph";
+  let s =
+    match sources g with
+    | [ s ] -> s
+    | srcs ->
+        let s = add_vertex ~label:"S" g in
+        List.iter (fun v -> if v <> s then add_edge g s v) srcs;
+        s
+  in
+  let t =
+    match List.filter (fun v -> v <> s || g.n = 1) (sinks g) with
+    | [ t ] -> t
+    | snks ->
+        let t = add_vertex ~label:"T" g in
+        List.iter (fun v -> if v <> t && v <> s then add_edge g v t) snks;
+        t
+  in
+  (s, t)
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>dag with %d vertices, %d edges@," g.n g.n_edges;
+  List.iter
+    (fun u ->
+      match g.succ.(u) with
+      | [] -> ()
+      | vs ->
+          Format.fprintf fmt "%d -> %s@," u (String.concat ", " (List.map string_of_int vs)))
+    (vertices g);
+  Format.fprintf fmt "@]"

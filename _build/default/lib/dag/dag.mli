@@ -1,0 +1,76 @@
+(** Mutable directed graphs intended to be acyclic.
+
+    Vertices are dense integer identifiers allocated by {!add_vertex};
+    edges are ordered pairs and parallel edges are permitted (several of
+    the paper's constructions are naturally multigraphs). Acyclicity is
+    not enforced on every [add_edge] — it is checked by {!topo_sort} /
+    {!is_dag}, which every algorithm in this repository calls before
+    trusting a graph. *)
+
+type vertex = int
+
+type t
+
+exception Cycle
+(** Raised by {!topo_sort} when the graph contains a directed cycle. *)
+
+(** {1 Construction} *)
+
+val create : ?capacity:int -> unit -> t
+
+val add_vertex : ?label:string -> t -> vertex
+(** Allocates a fresh vertex. The optional [label] is kept for
+    diagnostics and DOT output. *)
+
+val add_edge : t -> vertex -> vertex -> unit
+(** Adds a directed edge. Parallel edges accumulate.
+    @raise Invalid_argument if either endpoint is not a vertex, or on a
+    self-loop. *)
+
+val copy : t -> t
+
+val of_edges : n:int -> (vertex * vertex) list -> t
+(** A graph with vertices [0..n-1] and the given edges. *)
+
+(** {1 Observation} *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+val vertices : t -> vertex list
+val edges : t -> (vertex * vertex) list
+val succ : t -> vertex -> vertex list
+val pred : t -> vertex -> vertex list
+val out_degree : t -> vertex -> int
+val in_degree : t -> vertex -> int
+val label : t -> vertex -> string option
+val set_label : t -> vertex -> string -> unit
+val mem_edge : t -> vertex -> vertex -> bool
+
+val sources : t -> vertex list
+(** Vertices with in-degree zero, ascending. *)
+
+val sinks : t -> vertex list
+(** Vertices with out-degree zero, ascending. *)
+
+(** {1 Structure} *)
+
+val topo_sort : t -> vertex list
+(** A topological order of all vertices.
+    @raise Cycle if the graph has a directed cycle. *)
+
+val is_dag : t -> bool
+
+val transpose : t -> t
+
+val reachable : t -> vertex -> bool array
+(** [reachable g v] marks every vertex reachable from [v] (including [v]). *)
+
+val ensure_single_source_sink : t -> vertex * vertex
+(** Returns [(s, t)] such that [s] is the unique source and [t] the unique
+    sink, adding a super-source and/or super-sink (labelled ["S"] / ["T"])
+    when the graph has several. The graph is modified in place.
+    @raise Invalid_argument on an empty graph. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

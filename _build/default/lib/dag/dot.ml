@@ -1,0 +1,22 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot ?(name = "g") ?(vertex_attr = fun _ -> None) ?(edge_attr = fun _ _ -> None) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
+  List.iter
+    (fun v ->
+      let label = match Dag.label g v with Some l -> escape l | None -> string_of_int v in
+      let extra = match vertex_attr v with Some a -> ", " ^ a | None -> "" in
+      Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"%s];\n" v label extra))
+    (Dag.vertices g);
+  List.iter
+    (fun (u, v) ->
+      let extra = match edge_attr u v with Some a -> " [" ^ a ^ "]" | None -> "" in
+      Buffer.add_string buf (Printf.sprintf "  %d -> %d%s;\n" u v extra))
+    (Dag.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

@@ -1,0 +1,14 @@
+(** Graphviz (DOT) export for DAGs, used by the CLI and the examples. *)
+
+val to_dot :
+  ?name:string ->
+  ?vertex_attr:(Dag.vertex -> string option) ->
+  ?edge_attr:(Dag.vertex -> Dag.vertex -> string option) ->
+  Dag.t ->
+  string
+(** [to_dot g] renders [g] as a [digraph]. Vertex labels from
+    {!Dag.label} are used when present; [vertex_attr]/[edge_attr] may
+    supply extra attribute strings (e.g. ["color=red"]). *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — tiny helper so callers need no Unix. *)

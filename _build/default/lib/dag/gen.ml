@@ -1,0 +1,61 @@
+let layered rng ~layers ~width ~edge_prob =
+  if layers < 1 || width < 1 then invalid_arg "Gen.layered";
+  let g = Dag.create () in
+  let ranks =
+    Array.init layers (fun _ ->
+        let w = 1 + Random.State.int rng width in
+        Array.init w (fun _ -> Dag.add_vertex g))
+  in
+  for l = 0 to layers - 2 do
+    let cur = ranks.(l) and next = ranks.(l + 1) in
+    (* guarantee connectivity: every vertex gets a successor, every next-rank
+       vertex a predecessor *)
+    Array.iter
+      (fun u ->
+        let v = next.(Random.State.int rng (Array.length next)) in
+        Dag.add_edge g u v)
+      cur;
+    Array.iter
+      (fun v -> if Dag.in_degree g v = 0 then Dag.add_edge g cur.(Random.State.int rng (Array.length cur)) v)
+      next;
+    Array.iter
+      (fun u ->
+        Array.iter
+          (fun v -> if Random.State.float rng 1.0 < edge_prob && not (Dag.mem_edge g u v) then Dag.add_edge g u v)
+          next)
+      cur
+  done;
+  ignore (Dag.ensure_single_source_sink g);
+  g
+
+let erdos_renyi rng ~n ~edge_prob =
+  if n < 1 then invalid_arg "Gen.erdos_renyi";
+  let g = Dag.create ~capacity:n () in
+  for _ = 1 to n do
+    ignore (Dag.add_vertex g)
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float rng 1.0 < edge_prob then Dag.add_edge g i j
+    done
+  done;
+  ignore (Dag.ensure_single_source_sink g);
+  g
+
+let random_sp rng ~leaves ~series_bias =
+  if leaves < 1 then invalid_arg "Gen.random_sp";
+  let next = ref 0 in
+  let fresh () =
+    let v = !next in
+    incr next;
+    Sp.leaf v
+  in
+  let rec build k =
+    if k = 1 then fresh ()
+    else begin
+      let left_size = 1 + Random.State.int rng (k - 1) in
+      let left = build left_size and right = build (k - left_size) in
+      if Random.State.float rng 1.0 < series_bias then Sp.series left right else Sp.parallel left right
+    end
+  in
+  build leaves

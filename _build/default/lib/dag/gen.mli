@@ -1,0 +1,20 @@
+(** Random DAG generators for tests and benchmarks.
+
+    All generators are deterministic given the [Random.State.t] they are
+    handed, so every experiment in the bench harness is reproducible. *)
+
+val layered :
+  Random.State.t -> layers:int -> width:int -> edge_prob:float -> Dag.t
+(** A connected layered DAG: [layers] ranks of up to [width] vertices;
+    each vertex is wired to at least one vertex of the next rank, plus
+    extra forward edges with probability [edge_prob]. A unique source and
+    sink are guaranteed (added if necessary). *)
+
+val erdos_renyi : Random.State.t -> n:int -> edge_prob:float -> Dag.t
+(** Random DAG on [n] vertices: each pair [(i, j)] with [i < j] is an
+    edge with probability [edge_prob]; then a unique source/sink is
+    ensured. *)
+
+val random_sp : Random.State.t -> leaves:int -> series_bias:float -> int Sp.t
+(** Random series-parallel decomposition tree over jobs [0..leaves-1];
+    each internal node is series with probability [series_bias]. *)

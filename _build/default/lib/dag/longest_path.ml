@@ -1,0 +1,44 @@
+let finish_times g ~weight =
+  let order = Dag.topo_sort g in
+  let finish = Array.make (Dag.n_vertices g) 0 in
+  List.iter
+    (fun v ->
+      let ready = List.fold_left (fun acc u -> max acc finish.(u)) 0 (Dag.pred g v) in
+      finish.(v) <- ready + weight v)
+    order;
+  finish
+
+let makespan g ~weight = Array.fold_left max 0 (finish_times g ~weight)
+
+let critical_path g ~weight =
+  let finish = finish_times g ~weight in
+  let n = Dag.n_vertices g in
+  if n = 0 then (0, [])
+  else begin
+    let best = ref 0 in
+    for v = 1 to n - 1 do
+      if finish.(v) > finish.(!best) then best := v
+    done;
+    (* walk backwards through a predecessor explaining each finish time;
+       terminates at a source (no predecessors) *)
+    let rec walk v acc =
+      let acc = v :: acc in
+      let target = finish.(v) - weight v in
+      match List.find_opt (fun u -> finish.(u) = target) (Dag.pred g v) with
+      | Some u -> walk u acc
+      | None -> acc
+    in
+    (finish.(!best), walk !best [])
+  end
+
+let edge_finish_times g ~weight =
+  let order = Dag.topo_sort g in
+  let time = Array.make (Dag.n_vertices g) 0 in
+  List.iter
+    (fun v ->
+      let t = List.fold_left (fun acc u -> max acc (time.(u) + weight u v)) 0 (Dag.pred g v) in
+      time.(v) <- t)
+    order;
+  time
+
+let edge_makespan g ~weight = Array.fold_left max 0 (edge_finish_times g ~weight)

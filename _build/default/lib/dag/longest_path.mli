@@ -1,0 +1,28 @@
+(** Longest (critical) paths in DAGs with integer weights.
+
+    The paper's makespan model (Section 1): each node [v] carries a work
+    value [w v]; a node finishes [w v] time units after all its
+    predecessors have finished; the makespan is the largest finish time.
+    Equivalently, the makespan is the maximum over source→sink paths of
+    the sum of node works — e.g. the DAG of Figure 4 has makespan 11. *)
+
+val finish_times : Dag.t -> weight:(Dag.vertex -> int) -> int array
+(** [finish_times g ~weight] gives each vertex's earliest finish time:
+    [finish v = weight v + max (0, max over predecessors of finish)].
+    @raise Dag.Cycle if [g] is not acyclic. *)
+
+val makespan : Dag.t -> weight:(Dag.vertex -> int) -> int
+(** Largest finish time over all vertices; [0] for the empty graph. *)
+
+val critical_path : Dag.t -> weight:(Dag.vertex -> int) -> int * Dag.vertex list
+(** The makespan together with one path achieving it (in source→sink
+    order). The path is empty only for the empty graph. *)
+
+val edge_finish_times : Dag.t -> weight:(Dag.vertex -> Dag.vertex -> int) -> int array
+(** Event-time variant used for activity-on-arc networks: each vertex is
+    an event occurring when all inbound activities complete;
+    [time v = max over edges (u,v) of time u + weight u v], [0] at
+    sources. With parallel edges the weight function is consulted once
+    per parallel copy (same value each time). *)
+
+val edge_makespan : Dag.t -> weight:(Dag.vertex -> Dag.vertex -> int) -> int

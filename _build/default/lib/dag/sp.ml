@@ -1,0 +1,152 @@
+type 'a t = Leaf of 'a | Series of 'a t * 'a t | Parallel of 'a t * 'a t
+
+let leaf x = Leaf x
+let series a b = Series (a, b)
+let parallel a b = Parallel (a, b)
+
+let rec size = function Leaf _ -> 1 | Series (a, b) | Parallel (a, b) -> size a + size b
+
+let leaves t =
+  let rec go t acc = match t with Leaf x -> x :: acc | Series (a, b) | Parallel (a, b) -> go a (go b acc) in
+  go t []
+
+let rec map f = function
+  | Leaf x -> Leaf (f x)
+  | Series (a, b) -> Series (map f a, map f b)
+  | Parallel (a, b) -> Parallel (map f a, map f b)
+
+let combine_of_list op = function
+  | [] -> invalid_arg "Sp: empty list"
+  | x :: rest -> List.fold_left op x rest
+
+let series_of_list l = combine_of_list series l
+let parallel_of_list l = combine_of_list parallel l
+
+let rec pp pp_leaf fmt = function
+  | Leaf x -> pp_leaf fmt x
+  | Series (a, b) -> Format.fprintf fmt "(%a ; %a)" (pp pp_leaf) a (pp pp_leaf) b
+  | Parallel (a, b) -> Format.fprintf fmt "(%a | %a)" (pp pp_leaf) a (pp pp_leaf) b
+
+let to_dag t =
+  let g = Dag.create () in
+  let jobs = ref [] in
+  (* returns (sources, sinks) of the constructed sub-DAG *)
+  let rec build = function
+    | Leaf x ->
+        let v = Dag.add_vertex g in
+        jobs := (v, x) :: !jobs;
+        ([ v ], [ v ])
+    | Series (a, b) ->
+        let src_a, snk_a = build a in
+        let src_b, snk_b = build b in
+        List.iter (fun u -> List.iter (fun v -> Dag.add_edge g u v) src_b) snk_a;
+        (src_a, snk_b)
+    | Parallel (a, b) ->
+        let src_a, snk_a = build a in
+        let src_b, snk_b = build b in
+        (src_a @ src_b, snk_a @ snk_b)
+  in
+  ignore (build t);
+  let arr = Array.make (Dag.n_vertices g) (snd (List.hd !jobs)) in
+  List.iter (fun (v, x) -> arr.(v) <- x) !jobs;
+  (g, arr)
+
+(* Series-parallel reduction that carries a decomposition tree on every
+   surviving edge. Edges are kept in a list of (src, dst, tree). *)
+let decompose_ttsp g ~s ~t =
+  if not (Dag.is_dag g) then None
+  else begin
+    let edges = ref (List.map (fun (u, v) -> (u, v, Leaf (u, v))) (Dag.edges g)) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* parallel reduction: merge edges with equal endpoints *)
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (u, v, tr) ->
+          match Hashtbl.find_opt tbl (u, v) with
+          | Some tr' ->
+              Hashtbl.replace tbl (u, v) (Parallel (tr', tr));
+              changed := true
+          | None -> Hashtbl.add tbl (u, v) tr)
+        !edges;
+      edges := Hashtbl.fold (fun (u, v) tr acc -> (u, v, tr) :: acc) tbl [];
+      (* series reduction: contract an internal vertex with in=out=1 *)
+      let indeg = Hashtbl.create 16 and outdeg = Hashtbl.create 16 in
+      let bump h k = Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)) in
+      List.iter
+        (fun (u, v, _) ->
+          bump outdeg u;
+          bump indeg v)
+        !edges;
+      let contractible v =
+        v <> s && v <> t
+        && Hashtbl.find_opt indeg v = Some 1
+        && Hashtbl.find_opt outdeg v = Some 1
+      in
+      let candidate =
+        List.find_opt (fun (_, v, _) -> contractible v) !edges
+      in
+      match candidate with
+      | Some (_, mid, _) ->
+          let into, rest = List.partition (fun (_, v, _) -> v = mid) !edges in
+          let out, rest = List.partition (fun (u, _, _) -> u = mid) rest in
+          (match (into, out) with
+          | [ (a, _, tr1) ], [ (_, b, tr2) ] ->
+              edges := (a, b, Series (tr1, tr2)) :: rest;
+              changed := true
+          | _ -> ())
+      | None -> ()
+    done;
+    match !edges with
+    | [ (u, v, tr) ] when u = s && v = t -> Some tr
+    | _ -> None
+  end
+
+let recognize_ttsp g ~s ~t =
+  if not (Dag.is_dag g) then false
+  else begin
+    (* Work on a mutable multiset of edges with degree counts. *)
+    let n = Dag.n_vertices g in
+    let succ = Array.make n [] in
+    List.iter (fun (u, v) -> succ.(u) <- v :: succ.(u)) (Dag.edges g);
+    let indeg = Array.make n 0 and outdeg = Array.make n 0 in
+    let recount () =
+      Array.fill indeg 0 n 0;
+      Array.fill outdeg 0 n 0;
+      Array.iteri (fun u vs -> List.iter (fun v -> indeg.(v) <- indeg.(v) + 1; outdeg.(u) <- outdeg.(u) + 1) vs) succ
+    in
+    recount ();
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* parallel reduction: collapse duplicate edges *)
+      for u = 0 to n - 1 do
+        let dedup = List.sort_uniq compare succ.(u) in
+        if List.length dedup <> List.length succ.(u) then begin
+          succ.(u) <- dedup;
+          changed := true
+        end
+      done;
+      recount ();
+      (* series reduction: contract internal v with indeg = outdeg = 1 *)
+      for v = 0 to n - 1 do
+        if v <> s && v <> t && indeg.(v) = 1 && outdeg.(v) = 1 then begin
+          let w = List.hd succ.(v) in
+          (* find the unique predecessor *)
+          let u = ref (-1) in
+          for cand = 0 to n - 1 do
+            if List.mem v succ.(cand) then u := cand
+          done;
+          if !u >= 0 && !u <> w then begin
+            succ.(!u) <- w :: List.filter (fun x -> x <> v) succ.(!u);
+            succ.(v) <- [];
+            changed := true;
+            recount ()
+          end
+        end
+      done
+    done;
+    let remaining = Array.fold_left (fun acc vs -> acc + List.length vs) 0 succ in
+    remaining = 1 && succ.(s) = [ t ]
+  end

@@ -1,0 +1,49 @@
+(** Series-parallel structure (Section 3.4 of the paper).
+
+    The exact dynamic program of Section 3.4 consumes a rooted binary
+    decomposition tree whose leaves are the jobs (vertices of the
+    series-parallel DAG) and whose internal nodes are labelled series or
+    parallel. This module defines that tree, converts it to/from DAGs,
+    and recognizes two-terminal series-parallel DAGs by the classical
+    series/parallel reduction algorithm. *)
+
+type 'a t =
+  | Leaf of 'a
+  | Series of 'a t * 'a t  (** left finishes before right starts *)
+  | Parallel of 'a t * 'a t  (** independent *)
+
+val leaf : 'a -> 'a t
+val series : 'a t -> 'a t -> 'a t
+val parallel : 'a t -> 'a t -> 'a t
+
+val size : 'a t -> int
+(** Number of leaves. *)
+
+val leaves : 'a t -> 'a list
+(** Left-to-right leaf order. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val series_of_list : 'a t list -> 'a t
+val parallel_of_list : 'a t list -> 'a t
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+
+val to_dag : 'a t -> Dag.t * 'a array
+(** Builds the (vertex-)series-parallel DAG induced by the tree: a leaf
+    is a single vertex; [Series (a, b)] links every sink of [a] to every
+    source of [b]; [Parallel (a, b)] is the disjoint union. The returned
+    array maps each DAG vertex to its job. *)
+
+val recognize_ttsp : Dag.t -> s:Dag.vertex -> t:Dag.vertex -> bool
+(** Whether the DAG is two-terminal series-parallel between [s] and [t]:
+    repeatedly merging parallel edges and contracting internal vertices
+    with in-degree = out-degree = 1 reduces it to the single edge
+    [(s, t)]. *)
+
+val decompose_ttsp : Dag.t -> s:Dag.vertex -> t:Dag.vertex -> (Dag.vertex * Dag.vertex) t option
+(** The decomposition tree of a two-terminal series-parallel DAG whose
+    {e edges} are the jobs: leaves are the original edges (as endpoint
+    pairs; parallel edges repeat), [Series] stacks a path, [Parallel]
+    merges parallel branches. [None] when the DAG is not TTSP. Together
+    with {!Rtt_core.Sp_exact} (whose recurrences are oblivious to
+    whether jobs sit on vertices or edges) this solves activity-on-arc
+    instances with series-parallel structure exactly. *)

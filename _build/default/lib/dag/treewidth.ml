@@ -1,0 +1,127 @@
+type t = { bags : Dag.vertex list array; tree_edges : (int * int) list }
+
+let make ~bags ~tree_edges = { bags; tree_edges }
+
+let width d = Array.fold_left (fun acc bag -> max acc (List.length (List.sort_uniq compare bag) - 1)) (-1) d.bags
+
+let adjacency d =
+  let n = Array.length d.bags in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    d.tree_edges;
+  adj
+
+let is_tree d =
+  let n = Array.length d.bags in
+  if n = 0 then true
+  else if List.length d.tree_edges <> n - 1 then false
+  else begin
+    let adj = adjacency d in
+    let seen = Array.make n false in
+    let rec dfs v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter dfs adj.(v)
+      end
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let is_valid g d =
+  let nv = Dag.n_vertices g in
+  let n = Array.length d.bags in
+  is_tree d
+  && begin
+       (* (1) coverage of vertices *)
+       let covered = Array.make nv false in
+       Array.iter (List.iter (fun v -> if v >= 0 && v < nv then covered.(v) <- true)) d.bags;
+       Array.for_all Fun.id covered
+     end
+  && begin
+       (* (2) every (undirected) edge inside some bag *)
+       let bag_sets = Array.map (fun b -> List.sort_uniq compare b) d.bags in
+       List.for_all
+         (fun (u, v) -> Array.exists (fun bag -> List.mem u bag && List.mem v bag) bag_sets)
+         (Dag.edges g)
+     end
+  && begin
+       (* (3) occurrences of each vertex form a subtree *)
+       let adj = adjacency d in
+       let ok = ref true in
+       for v = 0 to nv - 1 do
+         let holds = Array.to_list (Array.mapi (fun i bag -> (i, List.mem v bag)) d.bags) in
+         let members = List.filter_map (fun (i, m) -> if m then Some i else None) holds in
+         match members with
+         | [] -> ok := false
+         | start :: _ ->
+             let member = Array.make n false in
+             List.iter (fun i -> member.(i) <- true) members;
+             let seen = Array.make n false in
+             let rec dfs i =
+               if member.(i) && not seen.(i) then begin
+                 seen.(i) <- true;
+                 List.iter dfs adj.(i)
+               end
+             in
+             dfs start;
+             if not (List.for_all (fun i -> seen.(i)) members) then ok := false
+       done;
+       !ok
+     end
+
+let min_degree_heuristic g =
+  let n = Dag.n_vertices g in
+  if n = 0 then { bags = [||]; tree_edges = [] }
+  else begin
+    (* undirected adjacency sets *)
+    let adj = Array.make n [] in
+    let add_undirected u v =
+      if not (List.mem v adj.(u)) then adj.(u) <- v :: adj.(u);
+      if not (List.mem u adj.(v)) then adj.(v) <- u :: adj.(v)
+    in
+    List.iter (fun (u, v) -> add_undirected u v) (Dag.edges g);
+    let eliminated = Array.make n false in
+    let position = Array.make n 0 in
+    let bags = Array.make n [] in
+    for step = 0 to n - 1 do
+      (* min-degree vertex among the survivors *)
+      let best = ref (-1) and best_deg = ref max_int in
+      for v = 0 to n - 1 do
+        if not eliminated.(v) then begin
+          let deg = List.length (List.filter (fun w -> not eliminated.(w)) adj.(v)) in
+          if deg < !best_deg then begin
+            best := v;
+            best_deg := deg
+          end
+        end
+      done;
+      let v = !best in
+      let nbrs = List.filter (fun w -> not eliminated.(w)) adj.(v) in
+      bags.(step) <- v :: nbrs;
+      position.(v) <- step;
+      (* fill: the neighbourhood becomes a clique *)
+      List.iter (fun a -> List.iter (fun b -> if a <> b then add_undirected a b) nbrs) nbrs;
+      eliminated.(v) <- true
+    done;
+    (* connect each bag to the bag of its earliest-eliminated surviving
+       neighbour; singletons chain to the next bag *)
+    let tree_edges = ref [] in
+    for step = 0 to n - 2 do
+      match bags.(step) with
+      | _ :: (_ :: _ as nbrs) ->
+          let target =
+            List.fold_left (fun acc w -> min acc position.(w)) max_int nbrs
+          in
+          tree_edges := (step, target) :: !tree_edges
+      | _ -> tree_edges := (step, step + 1) :: !tree_edges
+    done;
+    { bags; tree_edges = !tree_edges }
+  end
+
+let path_decomposition bags =
+  let n = Array.length bags in
+  { bags; tree_edges = List.init (max 0 (n - 1)) (fun i -> (i, i + 1)) }

@@ -1,0 +1,37 @@
+(** Tree decompositions (Section 4.3 of the paper).
+
+    The weak NP-hardness construction of Theorem 4.6 exhibits a tree
+    decomposition of width 15 for the Partition reduction graph. This
+    module represents decompositions and machine-checks the three
+    validity conditions, treating the input DAG as undirected. *)
+
+type t = {
+  bags : Dag.vertex list array;  (** bag contents, one per tree node *)
+  tree_edges : (int * int) list;  (** undirected edges between tree nodes *)
+}
+
+val make : bags:Dag.vertex list array -> tree_edges:(int * int) list -> t
+
+val width : t -> int
+(** [max bag size - 1]; [-1] for an empty decomposition. *)
+
+val is_tree : t -> bool
+(** The tree-node graph is connected and acyclic. *)
+
+val is_valid : Dag.t -> t -> bool
+(** All three conditions: (1) bags cover every vertex; (2) every edge of
+    the graph (as undirected) is contained in some bag; (3) for every
+    vertex, the tree nodes whose bags contain it induce a connected
+    subtree. *)
+
+val path_decomposition : Dag.vertex list array -> t
+(** Convenience: a decomposition whose tree is the path
+    [0 - 1 - ... - n-1] (the shape used in Figure 16). *)
+
+val min_degree_heuristic : Dag.t -> t
+(** A valid tree decomposition computed by the classical min-degree
+    elimination heuristic on the underlying undirected graph: repeatedly
+    eliminate a minimum-degree vertex, turning its neighbourhood into a
+    clique; each elimination step becomes a bag. The width is an upper
+    bound on the true treewidth (tight on chordal graphs). Always
+    passes {!is_valid}. *)

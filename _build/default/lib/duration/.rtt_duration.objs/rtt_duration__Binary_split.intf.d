@@ -1,0 +1,1 @@
+lib/duration/binary_split.mli: Duration

@@ -1,0 +1,1 @@
+lib/duration/duration.ml: Format List Printf String

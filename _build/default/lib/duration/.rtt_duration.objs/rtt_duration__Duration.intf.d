@@ -1,0 +1,1 @@
+lib/duration/duration.mli: Format

@@ -1,0 +1,1 @@
+lib/duration/kway.ml: Duration List

@@ -1,0 +1,1 @@
+lib/duration/kway.mli: Duration

@@ -1,0 +1,56 @@
+let ceil_div a b = (a + b - 1) / b
+
+(* floor (log2 n) for n >= 1 *)
+let ilog2 n =
+  if n < 1 then invalid_arg "Binary_split.ilog2";
+  let r = ref 0 and v = ref n in
+  while !v > 1 do
+    incr r;
+    v := !v lsr 1
+  done;
+  !r
+
+(* k = floor (log2 d - log2 log2 e) = floor (log2 (d * ln 2)).
+   Computed exactly over integers: log2 (d * ln 2) >= i  <=>  d * ln 2 >= 2^i
+   <=> d >= 2^i / ln 2. We compare d * 2^20 against 2^i * (2^20 / ln 2)
+   using integer arithmetic with a precomputed scaled constant. *)
+let max_height ~work =
+  if work < 1 then 0
+  else begin
+    (* 2^20 / ln 2 = 1512775.39... ; ties cannot occur because
+       2^i / ln 2 is irrational *)
+    let inv_ln2_scaled = 1512776 in
+    (* find the largest i with work * 2^20 >= 2^i * inv_ln2_scaled *)
+    let lhs = work * 1048576 in
+    let i = ref 0 in
+    while !i < 40 && lhs >= (1 lsl (!i + 1)) * inv_ln2_scaled do
+      incr i
+    done;
+    if lhs >= inv_ln2_scaled then !i else 0
+  end
+
+let time ~work r =
+  if work < 0 || r < 0 then invalid_arg "Binary_split.time";
+  if r <= 1 || work = 0 then work
+  else begin
+    let k = max_height ~work in
+    let i = min (ilog2 r) k in
+    if i < 1 then work else min work (ceil_div work (1 lsl i) + i + 1)
+  end
+
+let levels ~work =
+  let k = max_height ~work in
+  0 :: List.init (max 0 k) (fun i -> 1 lsl (i + 1))
+
+let to_duration ~work =
+  (* running min guards against ceil-induced non-monotonic wiggles near
+     the cutoff height *)
+  let _, tuples =
+    List.fold_left
+      (fun (best, acc) r ->
+        let t = min (time ~work r) best in
+        (t, (r, t) :: acc))
+      (max_int, [])
+      (levels ~work)
+  in
+  Duration.make (List.rev tuples)

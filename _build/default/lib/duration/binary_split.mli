@@ -1,0 +1,28 @@
+(** The recursive binary splitting duration function (Equation 3 and
+    Section 3.3 of the paper).
+
+    A recursive binary reducer of height [i] (using [2^i] units of extra
+    space) lets a node with [d] incoming writes finish in
+    [ceil (d / 2^i) + i + 1] time. The height stops paying off at
+    [k = floor (log2 d - log2 log2 e)]. Resource levels are 0, 1 and the
+    powers of two up to [2^k]; one unit alone buys nothing
+    ([t(1) = t(0) = d], the paper's tuple list in Section 3.3). *)
+
+val time : work:int -> int -> int
+(** [time ~work:d r] evaluates the step function at [r] units:
+    [d] for [r <= 1]; [ceil (d / 2^i) + i + 1] with [i = floor (log2 r)]
+    capped at [max_height ~work:d] for [r >= 2]. The value is clamped to
+    never exceed [d] (a reducer is not used when it would slow the node
+    down, which Equation 3 leaves implicit for tiny [d]).
+    @raise Invalid_argument on negative arguments. *)
+
+val max_height : work:int -> int
+(** [floor (log2 work - log2 log2 e)] (at least 0), the height beyond
+    which growing the reducer no longer reduces the duration. *)
+
+val levels : work:int -> int list
+(** The meaningful resource levels [0; 2; 4; ...; 2^k] (level 1 is
+    omitted as it never improves on 0). *)
+
+val to_duration : work:int -> Duration.t
+(** The full canonical step function. *)

@@ -1,0 +1,76 @@
+type t = (int * int) list
+(* invariant: non-empty; first tuple has resource 0; resources strictly
+   increasing; times strictly decreasing *)
+
+let make tuples =
+  if tuples = [] then invalid_arg "Duration.make: empty";
+  List.iter
+    (fun (r, t) -> if r < 0 || t < 0 then invalid_arg "Duration.make: negative resource or time")
+    tuples;
+  let sorted = List.sort_uniq compare tuples in
+  (match sorted with
+  | (0, _) :: _ -> ()
+  | _ -> invalid_arg "Duration.make: no tuple at resource 0");
+  (* conflicting times at the same resource level *)
+  let rec check_dups = function
+    | (r1, t1) :: ((r2, t2) :: _ as rest) ->
+        if r1 = r2 && t1 <> t2 then invalid_arg "Duration.make: conflicting times at one resource level";
+        check_dups rest
+    | _ -> ()
+  in
+  check_dups sorted;
+  (* non-increasing overall *)
+  let rec check_mono = function
+    | (_, t1) :: (((_, t2) :: _) as rest) ->
+        if t2 > t1 then invalid_arg "Duration.make: duration function must be non-increasing";
+        check_mono rest
+    | _ -> ()
+  in
+  check_mono sorted;
+  (* canonicalize: keep only strictly improving steps *)
+  let rec dedup last = function
+    | [] -> []
+    | (r, t) :: rest -> if t < last then (r, t) :: dedup t rest else dedup last rest
+  in
+  match sorted with
+  | (0, t0) :: rest -> (0, t0) :: dedup t0 rest
+  | _ -> assert false
+
+let constant t =
+  if t < 0 then invalid_arg "Duration.constant: negative time";
+  [ (0, t) ]
+
+let two_point ~t0 ~r ~t1 =
+  if t1 >= t0 || r <= 0 then invalid_arg "Duration.two_point";
+  make [ (0, t0); (r, t1) ]
+
+let eval d r =
+  if r < 0 then invalid_arg "Duration.eval: negative resource";
+  let rec go best = function
+    | (ri, ti) :: rest when ri <= r -> go ti rest
+    | _ -> best
+  in
+  match d with
+  | (0, t0) :: rest -> go t0 rest
+  | _ -> assert false
+
+let tuples d = d
+let n_tuples d = List.length d
+let base_time d = match d with (0, t0) :: _ -> t0 | _ -> assert false
+
+let best_time d =
+  match List.rev d with
+  | (_, t) :: _ -> t
+  | [] -> assert false
+
+let max_useful_resource d =
+  match List.rev d with
+  | (r, _) :: _ -> r
+  | [] -> assert false
+
+let is_constant d = match d with [ _ ] -> true | _ -> false
+let equal (a : t) (b : t) = a = b
+
+let pp fmt d =
+  Format.fprintf fmt "{%s}"
+    (String.concat "; " (List.map (fun (r, t) -> Printf.sprintf "<%d,%d>" r t) d))

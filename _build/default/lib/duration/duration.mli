@@ -1,0 +1,48 @@
+(** Non-increasing duration step functions (Equation 1 of the paper).
+
+    A duration function maps a resource amount [r >= 0] to the time
+    needed to complete a job when [r] units of resource are available.
+    It is represented by its resource-time tuples
+    [(r_1, t_1), ..., (r_l, t_l)] with [r_1 = 0], strictly increasing
+    resources and non-increasing times; [t (r) = t_i] for the largest
+    [r_i <= r]. *)
+
+type t
+
+val make : (int * int) list -> t
+(** [make tuples] validates and normalizes the tuple list: tuples are
+    sorted, duplicates and steps that do not strictly decrease the time
+    are dropped (they would waste resources), and a leading [(0, t)]
+    tuple is required.
+    @raise Invalid_argument if the list is empty, has no [r = 0] tuple,
+    repeats a resource level with conflicting times, has a negative
+    resource or time, or is increasing anywhere. *)
+
+val constant : int -> t
+(** A job that always takes the given time.
+    @raise Invalid_argument on negative time. *)
+
+val two_point : t0:int -> r:int -> t1:int -> t
+(** The two-tuple form [{(0, t0), (r, t1)}] used throughout Section 3.
+    @raise Invalid_argument unless [t1 < t0] and [r > 0]. *)
+
+val eval : t -> int -> int
+(** [eval d r] is the completion time with [r] units ([r >= 0]).
+    @raise Invalid_argument on negative [r]. *)
+
+val tuples : t -> (int * int) list
+(** The canonical tuples, ascending resource, strictly decreasing time. *)
+
+val n_tuples : t -> int
+val base_time : t -> int
+(** [eval d 0]. *)
+
+val best_time : t -> int
+(** Time at unbounded resources (the last tuple's time). *)
+
+val max_useful_resource : t -> int
+(** Smallest [r] achieving {!best_time}. *)
+
+val is_constant : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+let isqrt n =
+  if n < 0 then invalid_arg "Kway.isqrt";
+  let r = ref 0 in
+  while (!r + 1) * (!r + 1) <= n do
+    incr r
+  done;
+  !r
+
+let ceil_div a b = (a + b - 1) / b
+
+let max_split ~work = isqrt work
+
+let time ~work k =
+  if work < 0 || k < 0 then invalid_arg "Kway.time";
+  if k <= 1 then work
+  else begin
+    let kmax = isqrt work in
+    if kmax < 2 then work
+    else begin
+      let k = min k kmax in
+      ceil_div work k + k
+    end
+  end
+
+let to_duration ~work =
+  let kmax = isqrt work in
+  let _, steps =
+    List.fold_left
+      (fun (best, acc) k ->
+        let t = min (time ~work k) best in
+        (t, (k, t) :: acc))
+      (work, [])
+      (List.init (max 0 (kmax - 1)) (fun i -> i + 2))
+  in
+  Duration.make ((0, work) :: List.rev steps)

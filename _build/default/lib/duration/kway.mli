@@ -1,0 +1,20 @@
+(** The k-way splitting duration function (Equation 2 of the paper).
+
+    A k-way split reducer puts [k] extra cells in front of a node with
+    [d] incoming writes: the writes are spread across the cells
+    ([ceil (d / k)] serialized writes each, in parallel) and the [k]
+    cells then write their partial results into the node ([k] more
+    serialized writes). Useful only while [k <= sqrt d]. *)
+
+val time : work:int -> int -> int
+(** [time ~work:d k] is Equation 2:
+    [d] for [k <= 1]; [ceil (d/k) + k] for [2 <= k <= floor (sqrt d)];
+    constant at [time ~work (floor (sqrt d))] beyond.
+    @raise Invalid_argument on negative arguments. *)
+
+val max_split : work:int -> int
+(** [floor (sqrt work)], the largest useful [k]. *)
+
+val to_duration : work:int -> Duration.t
+(** The full step function, canonicalized (steps that do not strictly
+    improve the duration are dropped). *)

@@ -1,0 +1,1 @@
+lib/flow/decompose.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/flow/minflow.mli:

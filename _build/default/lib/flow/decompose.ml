@@ -1,0 +1,69 @@
+type path = int list
+
+let decompose ~n ~s ~t ~edges ~flow =
+  if Array.length edges <> Array.length flow then invalid_arg "Decompose.decompose: length mismatch";
+  Array.iter (fun f -> if f < 0 then invalid_arg "Decompose.decompose: negative flow") flow;
+  (* conservation check *)
+  let net = Array.make n 0 in
+  Array.iteri
+    (fun i (u, v) ->
+      net.(u) <- net.(u) - flow.(i);
+      net.(v) <- net.(v) + flow.(i))
+    edges;
+  for v = 0 to n - 1 do
+    if v <> s && v <> t && net.(v) <> 0 then invalid_arg "Decompose.decompose: flow not conserved"
+  done;
+  (* adjacency of edges with remaining flow *)
+  let remaining = Array.copy flow in
+  let out = Array.make n [] in
+  Array.iteri (fun i (u, _) -> out.(u) <- i :: out.(u)) edges;
+  let result = ref [] in
+  let rec walk v acc_edges =
+    if v = t then List.rev acc_edges
+    else begin
+      match List.find_opt (fun i -> remaining.(i) > 0) out.(v) with
+      | None -> invalid_arg "Decompose.decompose: stuck (flow not acyclic s-t?)"
+      | Some i -> walk (snd edges.(i)) (i :: acc_edges)
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    if List.exists (fun i -> remaining.(i) > 0) out.(s) then begin
+      let path_edges = walk s [] in
+      let units = List.fold_left (fun acc i -> min acc remaining.(i)) max_int path_edges in
+      List.iter (fun i -> remaining.(i) <- remaining.(i) - units) path_edges;
+      let path = s :: List.map (fun i -> snd edges.(i)) path_edges in
+      result := (path, units) :: !result
+    end
+    else continue := false
+  done;
+  if Array.exists (fun f -> f > 0) remaining then
+    invalid_arg "Decompose.decompose: leftover flow not reachable from s";
+  List.rev !result
+
+let total paths = List.fold_left (fun acc (_, u) -> acc + u) 0 paths
+
+let check ~edges ~flow paths =
+  (* With parallel edges the per-copy split is not unique, so compare
+     per-(u,v) totals rather than per-copy values. *)
+  let add h key v =
+    let cur = try Hashtbl.find h key with Not_found -> 0 in
+    Hashtbl.replace h key (cur + v)
+  in
+  let expected = Hashtbl.create 16 in
+  Array.iteri (fun i e -> add expected e flow.(i)) edges;
+  let got = Hashtbl.create 16 in
+  List.iter
+    (fun (path, units) ->
+      let rec go = function
+        | u :: (v :: _ as rest) ->
+            add got (u, v) units;
+            go rest
+        | _ -> ()
+      in
+      go path)
+    paths;
+  Hashtbl.fold
+    (fun e v ok -> ok && v = (try Hashtbl.find got e with Not_found -> 0))
+    expected true
+  && Hashtbl.fold (fun e _ ok -> ok && Hashtbl.mem expected e) got true

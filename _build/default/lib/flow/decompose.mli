@@ -1,0 +1,26 @@
+(** Decomposition of an integral acyclic s–t flow into weighted paths.
+
+    The paper's model routes every unit of resource along a single
+    source→sink path (Question 1.3); a min-flow solution only gives
+    per-edge totals. This module recovers an explicit routing: a list of
+    (path, units) pairs whose per-edge sums equal the input flow. The
+    flow must live on a DAG (flow on DAGs is always acyclic, so no cycle
+    cancelling is needed). *)
+
+type path = int list
+(** Vertices in source→sink order. *)
+
+val decompose :
+  n:int -> s:int -> t:int -> edges:(int * int) array -> flow:int array -> (path * int) list
+(** [decompose ~n ~s ~t ~edges ~flow] splits the flow into at most
+    [Array.length edges] weighted s–t paths. The [flow] array is indexed
+    like [edges] and must satisfy conservation at every vertex other than
+    [s] and [t].
+    @raise Invalid_argument if the flow is negative somewhere or not
+    conserved. *)
+
+val total : (path * int) list -> int
+(** Sum of path weights, i.e. the flow value. *)
+
+val check : edges:(int * int) array -> flow:int array -> (path * int) list -> bool
+(** Verifies that the decomposition re-sums exactly to the given flow. *)

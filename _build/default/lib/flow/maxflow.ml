@@ -1,0 +1,128 @@
+(* Dinic's algorithm. Edges are stored in a flat array where edge [2k] and
+   its reverse [2k+1] are paired; residual capacity lives in [cap]. *)
+
+type t = {
+  n : int;
+  mutable dst : int array;
+  mutable cap : int array;  (* residual capacities *)
+  mutable orig : int array;  (* original capacities (forward edges) *)
+  mutable m : int;  (* number of residual arcs *)
+  adj : int list array;  (* outgoing residual arc ids per vertex *)
+}
+
+type edge = int
+
+let infinity = max_int / 4
+
+let create ~n =
+  if n < 1 then invalid_arg "Maxflow.create";
+  { n; dst = Array.make 16 0; cap = Array.make 16 0; orig = Array.make 16 0; m = 0; adj = Array.make n [] }
+
+let n_vertices g = g.n
+
+let grow g =
+  if g.m + 2 > Array.length g.dst then begin
+    let cap' = max 16 (2 * Array.length g.dst) in
+    let resize a = let r = Array.make cap' 0 in Array.blit a 0 r 0 g.m; r in
+    g.dst <- resize g.dst;
+    g.cap <- resize g.cap;
+    g.orig <- resize g.orig
+  end
+
+let add_edge g ~src ~dst ~cap =
+  if src < 0 || src >= g.n || dst < 0 || dst >= g.n then invalid_arg "Maxflow.add_edge: bad vertex";
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  grow g;
+  let e = g.m in
+  g.dst.(e) <- dst;
+  g.cap.(e) <- cap;
+  g.orig.(e) <- cap;
+  g.dst.(e + 1) <- src;
+  g.cap.(e + 1) <- 0;
+  g.orig.(e + 1) <- 0;
+  g.adj.(src) <- e :: g.adj.(src);
+  g.adj.(dst) <- (e + 1) :: g.adj.(dst);
+  g.m <- g.m + 2;
+  e
+
+let bfs g s t level =
+  Array.fill level 0 g.n (-1);
+  level.(s) <- 0;
+  let q = Queue.create () in
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun e ->
+        let v = g.dst.(e) in
+        if g.cap.(e) > 0 && level.(v) < 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.add v q
+        end)
+      g.adj.(u)
+  done;
+  level.(t) >= 0
+
+let max_flow g ~s ~t =
+  if s = t then invalid_arg "Maxflow.max_flow: s = t";
+  let level = Array.make g.n (-1) in
+  let iter = Array.make g.n [] in
+  let total = ref 0 in
+  while bfs g s t level do
+    for v = 0 to g.n - 1 do
+      iter.(v) <- g.adj.(v)
+    done;
+    let rec dfs u pushed =
+      if u = t then pushed
+      else begin
+        let rec try_edges () =
+          match iter.(u) with
+          | [] -> 0
+          | e :: rest ->
+              let v = g.dst.(e) in
+              if g.cap.(e) > 0 && level.(v) = level.(u) + 1 then begin
+                let d = dfs v (min pushed g.cap.(e)) in
+                if d > 0 then begin
+                  g.cap.(e) <- g.cap.(e) - d;
+                  g.cap.(e lxor 1) <- g.cap.(e lxor 1) + d;
+                  d
+                end
+                else begin
+                  iter.(u) <- rest;
+                  try_edges ()
+                end
+              end
+              else begin
+                iter.(u) <- rest;
+                try_edges ()
+              end
+        in
+        try_edges ()
+      end
+    in
+    let rec pump () =
+      let d = dfs s infinity in
+      if d > 0 then begin
+        total := !total + d;
+        pump ()
+      end
+    in
+    pump ()
+  done;
+  !total
+
+let freeze_edge g e = g.cap.(e) <- 0
+
+let flow g e = g.orig.(e) - g.cap.(e)
+let cap g e = g.orig.(e)
+
+let min_cut g ~s =
+  let seen = Array.make g.n false in
+  let rec go u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter (fun e -> if g.cap.(e) > 0 then go g.dst.(e)) g.adj.(u)
+    end
+  in
+  go s;
+  seen

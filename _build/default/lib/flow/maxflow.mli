@@ -1,0 +1,46 @@
+(** Maximum s–t flow (Dinic's algorithm) on integer capacities.
+
+    Substrate for the min-flow computation of Section 3.1: after
+    α-rounding the LP solution, the integral resource requirement at each
+    edge becomes a lower bound and the paper computes a minimum flow
+    meeting all lower bounds; that reduces to two max-flow computations
+    ({!Minflow}). Capacities up to [Maxflow.infinity] are supported. *)
+
+type t
+
+type edge = int
+(** Handle returned by {!add_edge}; use it to query {!flow}. *)
+
+val infinity : int
+(** A capacity treated as unbounded ([max_int / 4]). *)
+
+val create : n:int -> t
+(** A flow network on vertices [0 .. n-1]. *)
+
+val n_vertices : t -> int
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> edge
+(** Adds a directed edge of capacity [cap >= 0].
+    @raise Invalid_argument on bad endpoints or negative capacity. *)
+
+val max_flow : t -> s:int -> t:int -> int
+(** Runs Dinic from scratch on the current residual state: repeated calls
+    push additional flow, so [max_flow g ~s ~t] after an earlier run on a
+    different terminal pair operates on the residual network — exactly
+    what the min-flow reduction needs.
+    @raise Invalid_argument if [s = t]. *)
+
+val freeze_edge : t -> edge -> unit
+(** Zeroes the remaining forward residual capacity of the edge so that
+    later [max_flow] runs cannot push more through it (its current flow
+    may still be cancelled via the reverse arc). Used by {!Minflow}. *)
+
+val flow : t -> edge -> int
+(** Net flow currently routed through the edge. *)
+
+val cap : t -> edge -> int
+(** Original capacity of the edge. *)
+
+val min_cut : t -> s:int -> bool array
+(** After a [max_flow] run: vertices reachable from [s] in the residual
+    network (the source side of a minimum cut). *)

@@ -1,0 +1,72 @@
+type edge_spec = { src : int; dst : int; lower : int; upper : int }
+type result = { value : int; edge_flow : int array }
+
+let validate ~n ~s ~t edges =
+  if s = t then invalid_arg "Minflow.solve: s = t";
+  if s < 0 || s >= n || t < 0 || t >= n then invalid_arg "Minflow.solve: bad terminal";
+  Array.iter
+    (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then invalid_arg "Minflow.solve: bad endpoint";
+      if e.lower < 0 || e.lower > e.upper then invalid_arg "Minflow.solve: bad bounds")
+    edges
+
+let solve ~n ~s ~t edges =
+  validate ~n ~s ~t edges;
+  (* vertices 0..n-1, super source n, super sink n+1 *)
+  let g = Maxflow.create ~n:(n + 2) in
+  let ss = n and tt = n + 1 in
+  let excess = Array.make n 0 in
+  let handles =
+    Array.map
+      (fun e ->
+        excess.(e.dst) <- excess.(e.dst) + e.lower;
+        excess.(e.src) <- excess.(e.src) - e.lower;
+        Maxflow.add_edge g ~src:e.src ~dst:e.dst ~cap:(e.upper - e.lower))
+      edges
+  in
+  (* close the circulation with t -> s *)
+  let ts = Maxflow.add_edge g ~src:t ~dst:s ~cap:Maxflow.infinity in
+  let demand = ref 0 in
+  Array.iteri
+    (fun v d ->
+      if d > 0 then begin
+        ignore (Maxflow.add_edge g ~src:ss ~dst:v ~cap:d);
+        demand := !demand + d
+      end
+      else if d < 0 then ignore (Maxflow.add_edge g ~src:v ~dst:tt ~cap:(-d)))
+    excess;
+  let pushed = Maxflow.max_flow g ~s:ss ~t:tt in
+  if pushed <> !demand then None
+  else begin
+    (* Feasible. The s-t value so far is the flow on the closing arc.
+       Freeze its forward direction and cancel as much value as possible
+       by pushing from t to s through the residual network. *)
+    let v0 = Maxflow.flow g ts in
+    Maxflow.freeze_edge g ts;
+    let cancelled = Maxflow.max_flow g ~s:t ~t:s in
+    let edge_flow = Array.map (fun h -> Maxflow.flow g h) handles in
+    Array.iteri (fun i f -> edge_flow.(i) <- edges.(i).lower + f) edge_flow;
+    Some { value = v0 - cancelled; edge_flow }
+  end
+
+let is_feasible ~n ~s ~t edges flow_values =
+  Array.length edges = Array.length flow_values
+  && begin
+       let net = Array.make n 0 in
+       let ok = ref true in
+       Array.iteri
+         (fun i e ->
+           let f = flow_values.(i) in
+           if f < e.lower || f > e.upper then ok := false;
+           net.(e.src) <- net.(e.src) - f;
+           net.(e.dst) <- net.(e.dst) + f)
+         edges;
+       !ok
+       && begin
+            let balanced = ref true in
+            for v = 0 to n - 1 do
+              if v <> s && v <> t && net.(v) <> 0 then balanced := false
+            done;
+            !balanced && net.(s) <= 0 && net.(s) = -net.(t)
+          end
+     end

@@ -1,0 +1,33 @@
+(** Minimum s–t flow with per-edge lower bounds (LP 11–13 of the paper).
+
+    The rounding step of Section 3.1 produces an integral resource
+    requirement [f'_e] per edge and then asks for the cheapest flow that
+    routes at least [f'_e] units through every edge [e]. Because the
+    constraint matrix is a network matrix, the optimum is integral
+    (the paper's Lemma 3.3); we obtain it combinatorially with two
+    max-flow phases: first find any feasible circulation meeting the
+    lower bounds (super-source/super-sink construction), then cancel as
+    much s–t value as possible by running max-flow from t to s in the
+    residual network. *)
+
+type edge_spec = {
+  src : int;
+  dst : int;
+  lower : int;  (** minimum units that must traverse this edge *)
+  upper : int;  (** capacity; use [Maxflow.infinity] for unbounded *)
+}
+
+type result = {
+  value : int;  (** total s–t flow value *)
+  edge_flow : int array;  (** flow per input edge, same order as input *)
+}
+
+val solve : n:int -> s:int -> t:int -> edge_spec array -> result option
+(** [solve ~n ~s ~t edges] is the minimum-value s–t flow meeting every
+    bound, or [None] when the bounds are infeasible.
+    @raise Invalid_argument on malformed specs ([lower < 0],
+    [lower > upper], bad endpoints, or [s = t]). *)
+
+val is_feasible : n:int -> s:int -> t:int -> edge_spec array -> int array -> bool
+(** Checks conservation and bounds of a candidate flow assignment
+    (used by tests and by the brute-force exact solver). *)

@@ -1,0 +1,1 @@
+lib/lp/linexpr.mli: Format Rat Rtt_num

@@ -1,0 +1,1 @@
+lib/lp/lp.ml: Array Format Linexpr List Rat Rtt_num Simplex

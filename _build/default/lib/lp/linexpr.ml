@@ -1,0 +1,46 @@
+open Rtt_num
+
+module IMap = Map.Make (Int)
+
+type t = { coeffs : Rat.t IMap.t; const : Rat.t }
+
+let zero = { coeffs = IMap.empty; const = Rat.zero }
+
+let norm m = IMap.filter (fun _ c -> not (Rat.is_zero c)) m
+
+let term c v = { coeffs = norm (IMap.singleton v c); const = Rat.zero }
+let var v = term Rat.one v
+let const c = { coeffs = IMap.empty; const = c }
+
+let add a b =
+  {
+    coeffs = norm (IMap.union (fun _ x y -> Some (Rat.add x y)) a.coeffs b.coeffs);
+    const = Rat.add a.const b.const;
+  }
+
+let scale k e =
+  if Rat.is_zero k then zero
+  else { coeffs = IMap.map (fun c -> Rat.mul k c) e.coeffs; const = Rat.mul k e.const }
+
+let sub a b = add a (scale Rat.minus_one b)
+
+let of_terms ?(const = Rat.zero) ts =
+  List.fold_left (fun acc (c, v) -> add acc (term c v)) { zero with const } ts
+
+let coeff e v = try IMap.find v e.coeffs with Not_found -> Rat.zero
+let constant e = e.const
+let terms e = IMap.bindings e.coeffs
+let eval e f = IMap.fold (fun v c acc -> Rat.add acc (Rat.mul c (f v))) e.coeffs e.const
+let max_var e = IMap.fold (fun v _ acc -> max v acc) e.coeffs (-1)
+
+let pp fmt e =
+  let ts = terms e in
+  if ts = [] && Rat.is_zero e.const then Format.pp_print_string fmt "0"
+  else begin
+    List.iteri
+      (fun i (v, c) ->
+        if i > 0 then Format.pp_print_string fmt " + ";
+        Format.fprintf fmt "%a*x%d" Rat.pp c v)
+      ts;
+    if not (Rat.is_zero e.const) then Format.fprintf fmt " + %a" Rat.pp e.const
+  end

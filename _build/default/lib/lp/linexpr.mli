@@ -1,0 +1,29 @@
+(** Sparse linear expressions over integer-indexed variables, with exact
+    rational coefficients. Building block for {!Lp} models. *)
+
+open Rtt_num
+
+type t
+
+val zero : t
+val term : Rat.t -> int -> t
+(** [term c v] is the expression [c * x_v]. *)
+
+val var : int -> t
+(** [var v] is [x_v]. *)
+
+val const : Rat.t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Rat.t -> t -> t
+val of_terms : ?const:Rat.t -> (Rat.t * int) list -> t
+val coeff : t -> int -> Rat.t
+val constant : t -> Rat.t
+val terms : t -> (int * Rat.t) list
+(** Nonzero terms, ascending variable index. *)
+
+val eval : t -> (int -> Rat.t) -> Rat.t
+val max_var : t -> int
+(** Largest variable index mentioned; [-1] if none. *)
+
+val pp : Format.formatter -> t -> unit

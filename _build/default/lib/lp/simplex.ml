@@ -1,0 +1,195 @@
+open Rtt_num
+
+type relation = Le | Ge | Eq
+type constr = { coeffs : Rat.t array; relation : relation; rhs : Rat.t }
+
+type outcome =
+  | Optimal of { objective : Rat.t; solution : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+(* The tableau holds m rows of length [width]; column [width - 1] is the
+   right-hand side. [z] is the objective row maintained alongside, with
+   z.(width - 1) = -(current objective value). Basic columns always read
+   as a unit column, and b >= 0 is an invariant of every pivot. *)
+
+let pivot tableau z basis ~row ~col ~width =
+  let m = Array.length tableau in
+  let prow = tableau.(row) in
+  let p = prow.(col) in
+  for j = 0 to width - 1 do
+    if not (Rat.is_zero prow.(j)) then prow.(j) <- Rat.div prow.(j) p
+  done;
+  for i = 0 to m - 1 do
+    if i <> row then begin
+      let f = tableau.(i).(col) in
+      if not (Rat.is_zero f) then
+        for j = 0 to width - 1 do
+          tableau.(i).(j) <- Rat.sub tableau.(i).(j) (Rat.mul f prow.(j))
+        done
+    end
+  done;
+  let f = z.(col) in
+  if not (Rat.is_zero f) then
+    for j = 0 to width - 1 do
+      z.(j) <- Rat.sub z.(j) (Rat.mul f prow.(j))
+    done;
+  basis.(row) <- col
+
+(* Bland's rule: entering = lowest-index column with negative reduced
+   cost; leaving = lowest basis index among ratio-test ties. Returns
+   [`Optimal], or [`Unbounded] with the offending column. *)
+let run_phase tableau z basis ~width ~allowed =
+  let m = Array.length tableau in
+  let rhs = width - 1 in
+  let rec loop () =
+    (* entering column *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to width - 2 do
+         if allowed j && Rat.(z.(j) < Rat.zero) then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let best_row = ref (-1) in
+      let best_ratio = ref Rat.zero in
+      for i = 0 to m - 1 do
+        let a = tableau.(i).(col) in
+        if Rat.(a > Rat.zero) then begin
+          let ratio = Rat.div tableau.(i).(rhs) a in
+          if !best_row < 0
+             || Rat.(ratio < !best_ratio)
+             || (Rat.equal ratio !best_ratio && basis.(i) < basis.(!best_row))
+          then begin
+            best_row := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot tableau z basis ~row:!best_row ~col ~width;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let minimize ~n_vars constraints ~objective =
+  if Array.length objective <> n_vars then invalid_arg "Simplex.minimize: objective size";
+  List.iter
+    (fun c -> if Array.length c.coeffs <> n_vars then invalid_arg "Simplex.minimize: constraint size")
+    constraints;
+  let constraints = Array.of_list constraints in
+  let m = Array.length constraints in
+  (* columns: n_vars originals, then one slack/surplus per inequality,
+     then m artificials, then rhs *)
+  let n_slack = Array.fold_left (fun acc c -> match c.relation with Eq -> acc | Le | Ge -> acc + 1) 0 constraints in
+  let n_total = n_vars + n_slack + m in
+  let width = n_total + 1 in
+  let rhs = n_total in
+  let tableau = Array.make_matrix m width Rat.zero in
+  let basis = Array.make m 0 in
+  let slack_idx = ref n_vars in
+  Array.iteri
+    (fun i c ->
+      let row = tableau.(i) in
+      (* normalize to rhs >= 0 *)
+      let flip = Rat.(c.rhs < Rat.zero) in
+      let sgn x = if flip then Rat.neg x else x in
+      Array.iteri (fun j v -> row.(j) <- sgn v) c.coeffs;
+      row.(rhs) <- sgn c.rhs;
+      (match c.relation with
+      | Eq -> ()
+      | Le ->
+          row.(!slack_idx) <- sgn Rat.one;
+          incr slack_idx
+      | Ge ->
+          row.(!slack_idx) <- sgn Rat.minus_one;
+          incr slack_idx);
+      (* artificial variable for this row *)
+      let art = n_vars + n_slack + i in
+      row.(art) <- Rat.one;
+      basis.(i) <- art)
+    constraints;
+  let is_artificial j = j >= n_vars + n_slack && j < n_total in
+  (* Phase 1 objective row: minimize sum of artificials. Reduced costs:
+     c_j - sum of rows (c over artificials = 1, basis = artificials). *)
+  let z = Array.make width Rat.zero in
+  for j = 0 to width - 1 do
+    let colsum = Array.fold_left (fun acc row -> Rat.add acc row.(j)) Rat.zero tableau in
+    let cj = if is_artificial j then Rat.one else Rat.zero in
+    z.(j) <- Rat.sub (if j = rhs then Rat.zero else cj) colsum
+  done;
+  (match run_phase tableau z basis ~width ~allowed:(fun _ -> true) with
+  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+  | `Optimal -> ());
+  let phase1_value = Rat.neg z.(rhs) in
+  if Rat.(phase1_value > Rat.zero) then Infeasible
+  else begin
+    (* Drive remaining artificials out of the basis where possible. *)
+    for i = 0 to m - 1 do
+      if is_artificial basis.(i) then begin
+        let found = ref (-1) in
+        (try
+           for j = 0 to n_vars + n_slack - 1 do
+             if not (Rat.is_zero tableau.(i).(j)) then begin
+               found := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 then pivot tableau z basis ~row:i ~col:!found ~width
+        (* else: the row is all zeros over real columns — redundant; the
+           artificial stays basic at value 0, harmless if never entering *)
+      end
+    done;
+    (* Compact for phase 2: rows whose basic variable is still artificial
+       are redundant (all-zero over real columns after the drive-out
+       loop) and can be dropped; the artificial columns themselves are
+       dead weight in every subsequent pivot. *)
+    let keep_rows =
+      List.filter (fun i -> not (is_artificial basis.(i))) (List.init m (fun i -> i))
+    in
+    let n_real = n_vars + n_slack in
+    let width2 = n_real + 1 in
+    let rhs2 = n_real in
+    let tableau2 =
+      Array.of_list
+        (List.map
+           (fun i ->
+             Array.init width2 (fun j -> if j = rhs2 then tableau.(i).(rhs) else tableau.(i).(j)))
+           keep_rows)
+    in
+    let basis2 = Array.of_list (List.map (fun i -> basis.(i)) keep_rows) in
+    (* Phase 2 objective row. *)
+    let z2 = Array.make width2 Rat.zero in
+    for j = 0 to n_vars - 1 do
+      z2.(j) <- objective.(j)
+    done;
+    (* subtract multiples of rows to zero the reduced costs of basics *)
+    Array.iteri
+      (fun i b ->
+        let cb = if b < n_vars then objective.(b) else Rat.zero in
+        if not (Rat.is_zero cb) then
+          for j = 0 to width2 - 1 do
+            z2.(j) <- Rat.sub z2.(j) (Rat.mul cb tableau2.(i).(j))
+          done)
+      basis2;
+    match run_phase tableau2 z2 basis2 ~width:width2 ~allowed:(fun _ -> true) with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let solution = Array.make n_vars Rat.zero in
+        Array.iteri (fun i b -> if b < n_vars then solution.(b) <- tableau2.(i).(rhs2)) basis2;
+        Optimal { objective = Rat.neg z2.(rhs2); solution }
+  end
+
+let maximize ~n_vars constraints ~objective =
+  match minimize ~n_vars constraints ~objective:(Array.map Rat.neg objective) with
+  | Optimal { objective; solution } -> Optimal { objective = Rat.neg objective; solution }
+  | (Infeasible | Unbounded) as o -> o

@@ -1,0 +1,28 @@
+(** Exact two-phase primal simplex over rationals.
+
+    Solves [minimize c·x subject to A x {<=,=,>=} b, x >= 0] with Bland's
+    anti-cycling rule, so termination is guaranteed and results are exact
+    — no tolerances. This is the engine behind the LP relaxation of
+    Section 3.1 ({!Rtt_core.Lp_relax}). Dense tableau; intended for the
+    small/medium instances the paper's constructions produce. *)
+
+open Rtt_num
+
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : Rat.t array; relation : relation; rhs : Rat.t }
+(** One row: [coeffs · x relation rhs]. [coeffs] must have length equal
+    to the number of variables. *)
+
+type outcome =
+  | Optimal of { objective : Rat.t; solution : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+val minimize : n_vars:int -> constr list -> objective:Rat.t array -> outcome
+(** All variables implicitly satisfy [x >= 0].
+    @raise Invalid_argument on dimension mismatches. *)
+
+val maximize : n_vars:int -> constr list -> objective:Rat.t array -> outcome
+(** [maximize] negates the objective and delegates to {!minimize}; the
+    reported [objective] is the maximum. *)

@@ -1,0 +1,442 @@
+(* Sign-magnitude arbitrary-precision integers over 30-bit limbs.
+
+   The magnitude is a little-endian [int array] with no trailing zero limb;
+   the invariant is [sign = 0 <=> mag = [||]]. All limb products fit in a
+   native int: (2^30-1)^2 + 2*(2^30-1) < 2^61. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude helpers.                                                  *)
+
+let mag_is_zero m = Array.length m = 0
+
+let normalize_mag m =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length m then m else Array.sub m 0 !n
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = Stdlib.max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  normalize_mag r
+
+(* requires a >= b *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize_mag r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let s = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    normalize_mag r
+  end
+
+let mul_mag_small a k =
+  (* k in [0, base) *)
+  if k = 0 || mag_is_zero a then [||]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) * k) + !carry in
+      r.(i) <- s land mask;
+      carry := s lsr base_bits
+    done;
+    r.(la) <- !carry;
+    normalize_mag r
+  end
+
+let add_mag_small a k =
+  if k = 0 then a
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    Array.blit a 0 r 0 la;
+    let carry = ref k in
+    let i = ref 0 in
+    while !carry <> 0 do
+      let s = r.(!i) + !carry in
+      r.(!i) <- s land mask;
+      carry := s lsr base_bits;
+      incr i
+    done;
+    normalize_mag r
+  end
+
+(* divmod of a magnitude by a small positive int; returns (quot, rem). *)
+let divmod_mag_small a k =
+  assert (k > 0 && k < base);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / k;
+    r := cur mod k
+  done;
+  (normalize_mag q, !r)
+
+let bitlen_mag a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let b = ref 0 and v = ref top in
+    while !v > 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    ((la - 1) * base_bits) + !b
+  end
+
+let shift_left_mag a k =
+  if mag_is_zero a || k = 0 then Array.copy a
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land mask);
+      if bits > 0 then r.(i + limbs + 1) <- r.(i + limbs + 1) lor (v lsr base_bits)
+    done;
+    normalize_mag r
+  end
+
+(* in-place logical shift right by one bit over the first [len] limbs *)
+let shr1_inplace a len =
+  for i = 0 to len - 1 do
+    let lo = a.(i) lsr 1 in
+    let hi = if i + 1 < len then (a.(i + 1) land 1) lsl (base_bits - 1) else 0 in
+    a.(i) <- lo lor hi
+  done
+
+(* Binary long division of magnitudes: returns (quot, rem). *)
+let divmod_mag a b =
+  assert (not (mag_is_zero b));
+  if cmp_mag a b < 0 then ([||], Array.copy a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_mag_small a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    let shift = bitlen_mag a - bitlen_mag b in
+    (* d = b lsl shift, kept in a scratch buffer wide enough for shr1 *)
+    let d0 = shift_left_mag b shift in
+    let width = Stdlib.max (Array.length a) (Array.length d0) + 1 in
+    let d = Array.make width 0 in
+    Array.blit d0 0 d 0 (Array.length d0);
+    let rem = Array.make width 0 in
+    Array.blit a 0 rem 0 (Array.length a);
+    let q = Array.make (shift / base_bits + 1) 0 in
+    let cmp_buf x y =
+      (* compare two equal-width buffers as magnitudes *)
+      let rec go i = if i < 0 then 0 else if x.(i) <> y.(i) then compare x.(i) y.(i) else go (i - 1) in
+      go (width - 1)
+    in
+    let sub_buf x y =
+      let borrow = ref 0 in
+      for i = 0 to width - 1 do
+        let v = x.(i) - y.(i) - !borrow in
+        if v < 0 then begin
+          x.(i) <- v + base;
+          borrow := 1
+        end else begin
+          x.(i) <- v;
+          borrow := 0
+        end
+      done;
+      assert (!borrow = 0)
+    in
+    for i = shift downto 0 do
+      if cmp_buf rem d >= 0 then begin
+        sub_buf rem d;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end;
+      shr1_inplace d width
+    done;
+    (normalize_mag q, normalize_mag rem)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer.                                                       *)
+
+let mk sign mag = if mag_is_zero mag then zero else { sign; mag }
+
+let one = { sign = 1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+let rec of_int n =
+  if n = 0 then zero
+  else if n = Stdlib.min_int then
+    (* abs would overflow; min_int = 2*(min_int/2) exactly *)
+    let half = of_int (n / 2) in
+    mk (-1) (add_mag half.mag half.mag)
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    let rec limbs n acc = if n = 0 then List.rev acc else limbs (n lsr base_bits) ((n land mask) :: acc) in
+    mk sign (Array.of_list (limbs (Stdlib.abs n) []))
+  end
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let neg x = mk (-x.sign) x.mag
+let abs x = mk (Stdlib.abs x.sign) x.mag
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then mk a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then mk a.sign (sub_mag a.mag b.mag)
+    else mk b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let mul a b = if a.sign = 0 || b.sign = 0 then zero else mk (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let mul_int a k =
+  if k = 0 || a.sign = 0 then zero
+  else begin
+    let s = if k > 0 then a.sign else -a.sign in
+    let m = Stdlib.abs k in
+    (* m < 0 only for min_int, which the slow path handles *)
+    if m >= 0 && m < base then mk s (mul_mag_small a.mag m) else mul a (of_int k)
+  end
+
+let add_int a k =
+  if k >= 0 && k < base && a.sign >= 0 then mk 1 (add_mag_small a.mag k) else add a (of_int k)
+
+(* Euclidean divmod: remainder in [0, |b|). *)
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let q_mag, r_mag = divmod_mag a.mag b.mag in
+    let q0 = mk (a.sign * b.sign) q_mag and r0 = mk a.sign r_mag in
+    if r0.sign >= 0 then (q0, r0)
+    else if b.sign > 0 then (sub q0 one, add r0 b)
+    else (add q0 one, sub r0 b)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow x n =
+  if Stdlib.( < ) n 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else begin
+      let acc = if n land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (n lsr 1)
+    end
+  in
+  go one x n
+
+(* binary (Stein) gcd on magnitudes: far faster than Euclid here because
+   divmod is bit-by-bit while shifts and subtraction are limb-wise *)
+let count_trailing_zero_bits m =
+  let i = ref 0 in
+  while !i < Array.length m && m.(!i) = 0 do
+    incr i
+  done;
+  if !i = Array.length m then 0
+  else begin
+    let limb = m.(!i) in
+    let b = ref 0 in
+    while limb land (1 lsl !b) = 0 do
+      incr b
+    done;
+    (!i * base_bits) + !b
+  end
+
+let shift_right_mag m k =
+  if mag_is_zero m || k = 0 then Array.copy m
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let lm = Array.length m in
+    if limbs >= lm then [||]
+    else begin
+      let r = Array.make (lm - limbs) 0 in
+      for i = 0 to lm - limbs - 1 do
+        let lo = m.(i + limbs) lsr bits in
+        let hi = if bits > 0 && i + limbs + 1 < lm then (m.(i + limbs + 1) lsl (base_bits - bits)) land mask else 0 in
+        r.(i) <- lo lor hi
+      done;
+      normalize_mag r
+    end
+  end
+
+let gcd a b =
+  let a = (abs a).mag and b = (abs b).mag in
+  if mag_is_zero a then mk 1 b
+  else if mag_is_zero b then mk 1 a
+  else begin
+    let za = count_trailing_zero_bits a and zb = count_trailing_zero_bits b in
+    let shift = Stdlib.min za zb in
+    let u = ref (shift_right_mag a za) and v = ref (shift_right_mag b zb) in
+    (* both odd now *)
+    while not (mag_is_zero !v) do
+      let c = cmp_mag !u !v in
+      if Stdlib.( > ) c 0 then begin
+        let t = !u in
+        u := !v;
+        v := t
+      end;
+      (* v >= u, both odd: v - u is even *)
+      let d = sub_mag !v !u in
+      v := (if mag_is_zero d then d else shift_right_mag d (count_trailing_zero_bits d))
+    done;
+    mk 1 (shift_left_mag !u shift)
+  end
+
+let lcm a b = if is_zero a || is_zero b then zero else abs (div (mul a b) (gcd a b))
+
+let to_int_opt x =
+  (* accumulate negatively so that min_int round-trips *)
+  let rec value i acc =
+    (* invariant: acc <= 0 *)
+    if Stdlib.( < ) i 0 then Some acc
+    else if Stdlib.( < ) acc (Stdlib.min_int asr base_bits) then None
+    else begin
+      let shifted = acc lsl base_bits in
+      let acc' = shifted - x.mag.(i) in
+      if Stdlib.( > ) acc' shifted then None (* wrapped *) else value (i - 1) acc'
+    end
+  in
+  match value (Array.length x.mag - 1) 0 with
+  | None -> None
+  | Some v ->
+      if Stdlib.( < ) x.sign 0 then Some v
+      else if Stdlib.( = ) v Stdlib.min_int then None
+      else Some (-v)
+
+let to_int x = match to_int_opt x with Some v -> v | None -> failwith "Bigint.to_int: overflow"
+
+let to_float x =
+  let f = ref 0.0 in
+  for i = Array.length x.mag - 1 downto 0 do
+    f := (!f *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  if Stdlib.( < ) x.sign 0 then -. !f else !f
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let chunks = ref [] in
+    let m = ref x.mag in
+    while not (mag_is_zero !m) do
+      let q, r = divmod_mag_small !m 1_000_000_000 in
+      chunks := r :: !chunks;
+      m := q
+    done;
+    if Stdlib.( < ) x.sign 0 then Buffer.add_char buf '-';
+    (match !chunks with
+    | [] -> assert false
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty";
+  let neg, start =
+    match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let i = ref start in
+  while !i < n do
+    let j = Stdlib.min n (!i + 9) in
+    let len = j - !i in
+    let chunk = String.sub s !i len in
+    String.iter (fun c -> if Stdlib.( < ) c '0' || Stdlib.( > ) c '9' then invalid_arg "Bigint.of_string: bad digit") chunk;
+    let v = int_of_string chunk in
+    let scale = int_of_float (10.0 ** float_of_int len) in
+    acc := add_int (mul_int !acc scale) v;
+    i := j
+  done;
+  if neg then mk (- !acc.sign) !acc.mag else !acc
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( = ) = equal
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0

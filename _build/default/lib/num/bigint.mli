@@ -1,0 +1,95 @@
+(** Arbitrary-precision signed integers.
+
+    This module provides exact integer arithmetic of unbounded magnitude.
+    It exists because the LP relaxation of Section 3.1 of the paper is
+    solved with an exact rational simplex ({!Rat}, {!Rtt_lp.Simplex}), whose
+    pivots can blow past the range of native 63-bit integers even on small
+    instances. The representation is sign + magnitude, with the magnitude a
+    little-endian array of 30-bit limbs.
+
+    All operations are purely functional; values are immutable. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** [to_int x] is [x] as a native [int].
+    @raise Failure if [x] does not fit. *)
+
+val to_int_opt : t -> int option
+
+val of_string : string -> t
+(** Parses an optionally-signed decimal numeral.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val to_float : t -> float
+(** Nearest-double approximation; may overflow to infinity. *)
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division: [divmod a b = (q, r)] with [a = q*b + r] and
+    [0 <= r < |b|].
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+(** Euclidean quotient. *)
+
+val rem : t -> t -> t
+(** Euclidean remainder, always non-negative. *)
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0].
+    @raise Invalid_argument if [n < 0]. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor, always non-negative. [gcd 0 0 = 0]. *)
+
+val lcm : t -> t -> t
+
+(** {1 Infix operators} *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+type t = { n : Bigint.t; d : Bigint.t }
+(* invariant: d > 0, gcd (n, d) = 1 *)
+
+let mk_norm n d =
+  if Bigint.is_zero d then raise Division_by_zero;
+  let n, d = if Stdlib.( < ) (Bigint.sign d) 0 then (Bigint.neg n, Bigint.neg d) else (n, d) in
+  if Bigint.is_zero n then { n = Bigint.zero; d = Bigint.one }
+  else begin
+    let g = Bigint.gcd n d in
+    { n = Bigint.div n g; d = Bigint.div d g }
+  end
+
+let zero = { n = Bigint.zero; d = Bigint.one }
+let one = { n = Bigint.one; d = Bigint.one }
+let two = { n = Bigint.two; d = Bigint.one }
+let half = { n = Bigint.one; d = Bigint.two }
+let minus_one = { n = Bigint.minus_one; d = Bigint.one }
+let of_bigint n = { n; d = Bigint.one }
+let of_int i = of_bigint (Bigint.of_int i)
+let make = mk_norm
+let of_ints a b = mk_norm (Bigint.of_int a) (Bigint.of_int b)
+let num x = x.n
+let den x = x.d
+let sign x = Bigint.sign x.n
+let is_zero x = Bigint.is_zero x.n
+let is_integer x = Bigint.equal x.d Bigint.one
+let to_float x = Bigint.to_float x.n /. Bigint.to_float x.d
+
+let to_bigint_floor x =
+  (* Bigint.divmod is Euclidean (remainder >= 0), which is exactly floor
+     division for positive denominators *)
+  Bigint.div x.n x.d
+
+let to_bigint_ceil x = Bigint.neg (Bigint.div (Bigint.neg x.n) x.d)
+let to_int_floor x = Bigint.to_int (to_bigint_floor x)
+let to_int_ceil x = Bigint.to_int (to_bigint_ceil x)
+
+let to_string x =
+  if is_integer x then Bigint.to_string x.n
+  else Bigint.to_string x.n ^ "/" ^ Bigint.to_string x.d
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+      let a = Bigint.of_string (String.sub s 0 i) in
+      let b = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      mk_norm a b
+
+let compare a b = Bigint.compare (Bigint.mul a.n b.d) (Bigint.mul b.n a.d)
+let equal a b = Stdlib.( = ) (compare a b) 0
+let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
+let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
+let neg x = { x with n = Bigint.neg x.n }
+let abs x = { x with n = Bigint.abs x.n }
+
+let add a b =
+  mk_norm (Bigint.add (Bigint.mul a.n b.d) (Bigint.mul b.n a.d)) (Bigint.mul a.d b.d)
+
+let sub a b =
+  mk_norm (Bigint.sub (Bigint.mul a.n b.d) (Bigint.mul b.n a.d)) (Bigint.mul a.d b.d)
+
+let mul a b = mk_norm (Bigint.mul a.n b.n) (Bigint.mul a.d b.d)
+let div a b = if is_zero b then raise Division_by_zero else mk_norm (Bigint.mul a.n b.d) (Bigint.mul a.d b.n)
+let inv x = div one x
+let mul_int x k = mk_norm (Bigint.mul_int x.n k) x.d
+let floor x = of_bigint (to_bigint_floor x)
+let ceil x = of_bigint (to_bigint_ceil x)
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( = ) = equal
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0

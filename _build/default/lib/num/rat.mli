@@ -1,0 +1,93 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalized: the denominator is strictly positive and
+    coprime with the numerator; zero is [0/1]. Used throughout the LP
+    relaxation pipeline (Section 3.1 of the paper) so that rounding
+    decisions and ratio checks are exact. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val half : t
+val minus_one : t
+
+(** {1 Construction} *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_ints : int -> int -> t
+(** [of_ints a b = a/b].
+    @raise Division_by_zero if [b = 0]. *)
+
+val of_string : string -> t
+(** Parses ["a"], ["a/b"] or ["-a/b"] decimal forms. *)
+
+(** {1 Observation} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val to_float : t -> float
+
+val to_bigint_floor : t -> Bigint.t
+val to_bigint_ceil : t -> Bigint.t
+
+val to_int_floor : t -> int
+(** @raise Failure on native-int overflow. *)
+
+val to_int_ceil : t -> int
+(** @raise Failure on native-int overflow. *)
+
+val to_string : t -> string
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val mul_int : t -> int -> t
+val floor : t -> t
+val ceil : t -> t
+
+(** {1 Infix operators} *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/parsim/interp.ml: Array Hashtbl List Prog

@@ -1,0 +1,1 @@
+lib/parsim/interp.mli: Prog

@@ -1,0 +1,1 @@
+lib/parsim/matmul.ml: List Reducer_sim

@@ -1,0 +1,1 @@
+lib/parsim/prog.ml: List Random

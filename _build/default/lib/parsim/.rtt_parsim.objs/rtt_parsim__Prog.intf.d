@@ -1,0 +1,1 @@
+lib/parsim/prog.mli: Random

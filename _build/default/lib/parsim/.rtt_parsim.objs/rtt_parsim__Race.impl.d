@@ -1,0 +1,1 @@
+lib/parsim/race.ml: Array Format List Prog

@@ -1,0 +1,1 @@
+lib/parsim/race.mli: Format Prog

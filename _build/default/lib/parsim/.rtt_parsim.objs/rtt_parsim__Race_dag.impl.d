@@ -1,0 +1,1 @@
+lib/parsim/race_dag.ml: Array Dag Hashtbl List Printf Prog Rtt_dag

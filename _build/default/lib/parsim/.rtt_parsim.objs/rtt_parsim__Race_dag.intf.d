@@ -1,0 +1,1 @@
+lib/parsim/race_dag.mli: Dag Hashtbl Prog Rtt_dag

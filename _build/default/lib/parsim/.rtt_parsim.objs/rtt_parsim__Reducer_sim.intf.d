@@ -1,0 +1,1 @@
+lib/parsim/reducer_sim.mli:

@@ -1,0 +1,1 @@
+lib/parsim/sim.ml: Array Dag List Reducer_sim Rtt_dag

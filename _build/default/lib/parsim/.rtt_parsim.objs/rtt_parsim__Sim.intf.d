@@ -1,0 +1,1 @@
+lib/parsim/sim.mli: Dag Reducer_sim Rtt_dag

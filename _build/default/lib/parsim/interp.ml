@@ -1,0 +1,142 @@
+type combine = dst:int -> srcs:int list -> int
+
+(* Event model: update k expands to read event 2k and write event 2k+1.
+   Constraints:
+   - 2k before 2k+1 (an update reads before it writes);
+   - if updates j and k are ordered by the program (not logically
+     parallel, j first), then 2j+1 before 2k (the whole of j precedes
+     the whole of k). *)
+
+let store_of_prog init p =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace tbl c (init c)) (Prog.cells p);
+  tbl
+
+let read tbl c = Hashtbl.find tbl c
+
+let final tbl =
+  List.sort compare (Hashtbl.fold (fun c v acc -> (c, v) :: acc) tbl [])
+
+let run_sequential ?(init = fun _ -> 0) f p =
+  let tbl = store_of_prog init p in
+  List.iter
+    (fun (dst, srcs) ->
+      let v = f ~dst:(read tbl dst) ~srcs:(List.map (read tbl) srcs) in
+      Hashtbl.replace tbl dst v)
+    (Prog.updates p);
+  final tbl
+
+(* order matrix: ordered.(j).(k) = true when update j must fully precede
+   update k *)
+let order_matrix p =
+  (* reuse Race's notion of logical parallelism by recomputing paths *)
+  let rec label path acc = function
+    | Prog.Update _ -> List.rev path :: acc
+    | Prog.Seq l ->
+        snd
+          (List.fold_left (fun (i, acc) child -> (i + 1, label ((i, `S) :: path) acc child)) (0, acc) l)
+    | Prog.Par l ->
+        snd
+          (List.fold_left (fun (i, acc) child -> (i + 1, label ((i, `P) :: path) acc child)) (0, acc) l)
+  in
+  let paths = Array.of_list (List.rev (label [] [] p)) in
+  let n = Array.length paths in
+  let parallel a b =
+    let rec go pa pb =
+      match (pa, pb) with
+      | (ia, ka) :: ra, (ib, _) :: rb -> if ia = ib then go ra rb else ka = `P
+      | _ -> false
+    in
+    go paths.(a) paths.(b)
+  in
+  Array.init n (fun j -> Array.init n (fun k -> j <> k && j < k && not (parallel j k)))
+
+let validate_schedule p schedule =
+  let updates = Array.of_list (Prog.updates p) in
+  let n = Array.length updates in
+  if List.length schedule <> 2 * n then invalid_arg "Interp.run_schedule: wrong length";
+  let seen = Array.make (2 * n) false in
+  List.iter
+    (fun e ->
+      if e < 0 || e >= 2 * n || seen.(e) then invalid_arg "Interp.run_schedule: not a permutation";
+      seen.(e) <- true)
+    schedule;
+  let pos = Array.make (2 * n) 0 in
+  List.iteri (fun i e -> pos.(e) <- i) schedule;
+  let ordered = order_matrix p in
+  for k = 0 to n - 1 do
+    if pos.(2 * k) > pos.((2 * k) + 1) then invalid_arg "Interp.run_schedule: write before read"
+  done;
+  for j = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      if ordered.(j).(k) && pos.((2 * j) + 1) > pos.(2 * k) then
+        invalid_arg "Interp.run_schedule: violates program order"
+    done
+  done
+
+let exec_schedule init f p schedule =
+  let updates = Array.of_list (Prog.updates p) in
+  let tbl = store_of_prog init p in
+  let pending = Hashtbl.create 8 in
+  (* pending: update index -> value to write *)
+  List.iter
+    (fun e ->
+      let k = e / 2 in
+      let dst, srcs = updates.(k) in
+      if e mod 2 = 0 then
+        Hashtbl.replace pending k (f ~dst:(read tbl dst) ~srcs:(List.map (read tbl) srcs))
+      else Hashtbl.replace tbl dst (Hashtbl.find pending k))
+    schedule;
+  final tbl
+
+let run_schedule ?(init = fun _ -> 0) f p ~schedule =
+  validate_schedule p schedule;
+  exec_schedule init f p schedule
+
+let possible_outcomes ?(init = fun _ -> 0) ?(limit = 14) f p cell =
+  let updates = Array.of_list (Prog.updates p) in
+  let n = Array.length updates in
+  if 2 * n > limit then invalid_arg "Interp.possible_outcomes: too many events";
+  let ordered = order_matrix p in
+  let outcomes = Hashtbl.create 8 in
+  let schedule = Array.make (2 * n) 0 in
+  let used = Array.make (2 * n) false in
+  (* enumerate all linearizations by DFS *)
+  let rec go depth =
+    if depth = 2 * n then begin
+      let result = exec_schedule init f p (Array.to_list schedule) in
+      match List.assoc_opt cell result with
+      | Some v -> Hashtbl.replace outcomes v ()
+      | None -> ()
+    end
+    else
+      for e = 0 to (2 * n) - 1 do
+        if not used.(e) then begin
+          let k = e / 2 in
+          let enabled =
+            if e mod 2 = 1 then used.(2 * k) (* write needs its read done *)
+            else begin
+              (* read needs all program-order predecessors fully done *)
+              let ok = ref true in
+              for j = 0 to n - 1 do
+                if ordered.(j).(k) && not used.((2 * j) + 1) then ok := false
+              done;
+              !ok
+            end
+          in
+          if enabled then begin
+            used.(e) <- true;
+            schedule.(depth) <- e;
+            go (depth + 1);
+            used.(e) <- false
+          end
+        end
+      done
+  in
+  go 0;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) outcomes [])
+
+let is_deterministic ?(init = fun _ -> 0) ?(limit = 14) f p =
+  List.for_all
+    (fun c -> List.length (possible_outcomes ~init ~limit f p c) <= 1)
+    (Prog.cells p)

@@ -1,0 +1,46 @@
+(** Executing fork-join programs, sequentially and under adversarial
+    interleavings — Figure 1 of the paper, made runnable.
+
+    An update [dst <- f (dst, srcs)] is not atomic: it reads its inputs,
+    computes, and writes back. Two logically parallel updates of the
+    same cell can therefore interleave as read-read-write-write and lose
+    one contribution — the lost-update anomaly behind the paper's
+    motivating example ("the print statement will print an incorrect
+    result (either 1 or 2)").
+
+    The interpreter splits every update into a read event and a write
+    event and explores schedules of these events that respect program
+    order (within [Seq]) and the read-before-write order of each update;
+    logically parallel events may interleave freely.
+
+    The combining function is supplied by the caller:
+    [f ~dst ~srcs] receives the value read from the destination cell and
+    the values read from the source cells. The canonical increment is
+    [fun ~dst ~srcs:_ -> dst + 1]. *)
+
+type combine = dst:int -> srcs:int list -> int
+
+val run_sequential : ?init:(Prog.cell -> int) -> combine -> Prog.t -> (Prog.cell * int) list
+(** Executes updates in program order (the race-free semantics);
+    returns the final store restricted to the cells the program touches,
+    ascending. [init] defaults to [fun _ -> 0]. *)
+
+val run_schedule :
+  ?init:(Prog.cell -> int) -> combine -> Prog.t -> schedule:int list -> (Prog.cell * int) list
+(** Executes under an explicit schedule: a permutation of event indices
+    ([2k] is the read of update [k] in {!Prog.updates} order, [2k+1] its
+    write).
+    @raise Invalid_argument if the schedule is not a valid linearization
+    (wrong length, duplicates, or violating program/read-write order). *)
+
+val possible_outcomes : ?init:(Prog.cell -> int) -> ?limit:int -> combine -> Prog.t -> Prog.cell -> int list
+(** All values the cell can hold after the program, over every valid
+    interleaving (ascending, deduplicated). Exhaustive; the number of
+    linearizations explodes, so programs beyond [limit] events
+    (default 14, i.e. 7 updates) are rejected.
+    @raise Invalid_argument when over the limit. *)
+
+val is_deterministic : ?init:(Prog.cell -> int) -> ?limit:int -> combine -> Prog.t -> bool
+(** Whether every touched cell has a unique outcome — agrees with
+    {!Race.has_race} being [false] for programs whose updates actually
+    conflict semantically. *)

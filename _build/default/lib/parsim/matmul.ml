@@ -1,0 +1,12 @@
+let span ~n ~height =
+  if n < 1 || height < 0 then invalid_arg "Matmul.span";
+  (* X and Y are ready at time 0, so all n updates of every Z[i][j]
+     arrive simultaneously; cells are independent, so the span is one
+     cell's reducer time *)
+  let arrivals = List.init n (fun _ -> 0) in
+  let reducer = if height = 0 then Reducer_sim.Serial else Reducer_sim.Binary { height } in
+  Reducer_sim.finish_time ~arrivals reducer
+
+let serial_span ~n = span ~n ~height:0
+let extra_space ~n ~height = if height = 0 then 0 else n * n * (1 lsl height)
+let speedup ~n ~height = float_of_int (serial_span ~n) /. float_of_int (span ~n ~height)

@@ -1,0 +1,23 @@
+(** Parallel-MM (Figure 3) and its space–time tradeoff (Section 1).
+
+    With every [Z[i][j]] behind a lock the fully parallel code needs
+    [Θ(n)] time; a recursive binary reducer of height [h] on each
+    [Z[i][j]] brings the update phase down to [ceil (n / 2^h) + h + 1]
+    at a cost of [n² · 2^h] extra space — almost halving the running
+    time at [h = 1] and reaching [Θ(log n)] at [h = floor (log2 n)]. *)
+
+val span : n:int -> height:int -> int
+(** Simulated time to fully compute all [Z[i][j]] with reducers of the
+    given height ([height = 0] means plain locks): all [n] updates of a
+    cell arrive simultaneously once the inputs are ready.
+    @raise Invalid_argument on [n < 1] or negative height. *)
+
+val serial_span : n:int -> int
+(** [span ~n ~height:0 = n] plus the final write bookkeeping — the
+    lock/atomic baseline of Section 1. *)
+
+val extra_space : n:int -> height:int -> int
+(** [n² · 2^h] for [h >= 1], 0 for [h = 0]. *)
+
+val speedup : n:int -> height:int -> float
+(** [serial_span /. span]. *)

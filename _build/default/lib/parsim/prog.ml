@@ -1,0 +1,65 @@
+type cell = int
+
+type t = Update of { dst : cell; srcs : cell list } | Seq of t list | Par of t list
+
+let update dst srcs = Update { dst; srcs }
+let seq l = Seq l
+let par l = Par l
+
+let updates p =
+  let rec go acc = function
+    | Update { dst; srcs } -> (dst, srcs) :: acc
+    | Seq l | Par l -> List.fold_left go acc l
+  in
+  List.rev (go [] p)
+
+let n_updates p = List.length (updates p)
+
+let cells p =
+  let all = List.concat_map (fun (d, ss) -> d :: ss) (updates p) in
+  List.sort_uniq compare all
+
+let counter_race =
+  (* x is cell 0; each thread reads x and writes x+1 back *)
+  Par [ Update { dst = 0; srcs = [ 0 ] }; Update { dst = 0; srcs = [ 0 ] } ]
+
+let z_cell ~n i j = (i * n) + j
+let x_cell ~n i j = (n * n) + (i * n) + j
+let y_cell ~n i j = (2 * n * n) + (i * n) + j
+
+let parallel_mm ~n =
+  Par
+    (List.concat
+       (List.init n (fun i ->
+            List.init n (fun j ->
+                Seq
+                  (List.init n (fun k ->
+                       Update { dst = z_cell ~n i j; srcs = [ x_cell ~n i k; y_cell ~n k j ] }))))))
+
+let random rng ~updates ~cells =
+  if updates < 1 || cells < 1 then invalid_arg "Prog.random";
+  let op () =
+    let dst = Random.State.int rng cells in
+    let srcs =
+      List.init (1 + Random.State.int rng 2) (fun _ -> Random.State.int rng cells)
+    in
+    Update { dst; srcs }
+  in
+  let rec build k =
+    if k = 1 then op ()
+    else begin
+      let left = 1 + Random.State.int rng (k - 1) in
+      let l = build left and r = build (k - left) in
+      if Random.State.bool rng then Seq [ l; r ] else Par [ l; r ]
+    end
+  in
+  build updates
+
+let parallel_mm_racy ~n =
+  Par
+    (List.concat
+       (List.init n (fun i ->
+            List.init n (fun j ->
+                Par
+                  (List.init n (fun k ->
+                       Update { dst = z_cell ~n i j; srcs = [ x_cell ~n i k; y_cell ~n k j ] }))))))

@@ -1,0 +1,49 @@
+(** A tiny fork-join parallel-program representation (Section 1 of the
+    paper).
+
+    Programs are trees of sequential and parallel composition whose
+    leaves are update operations: [update dst srcs] reads the cells
+    [srcs] and combines them into [dst] with an associative-commutative
+    operator (one unit of work, the paper's cost model). This is enough
+    to express the paper's motivating examples — the racy double
+    increment of Figure 1 and Parallel-MM of Figure 3 — and to derive
+    the race DAG [D(P)]. *)
+
+type cell = int
+
+type t =
+  | Update of { dst : cell; srcs : cell list }
+  | Seq of t list
+  | Par of t list
+
+val update : cell -> cell list -> t
+val seq : t list -> t
+val par : t list -> t
+
+val updates : t -> (cell * cell list) list
+(** All update operations, in left-to-right program order. *)
+
+val n_updates : t -> int
+
+val cells : t -> cell list
+(** Every cell mentioned, ascending, without duplicates. *)
+
+val counter_race : t
+(** Figure 1: two parallel threads each incrementing the shared cell 0
+    — the canonical data race. *)
+
+val parallel_mm : n:int -> t
+(** Figure 3, Parallel-MM on n×n matrices: cells [0 .. n²-1] are [Z],
+    [n² .. 2n²-1] are [X], [2n² .. 3n²-1] are [Y]; all (i, j) iterations
+    are parallel and the inner k-loop sequentially updates [Z[i][j]] —
+    racy if the k-loop were parallelized. *)
+
+val parallel_mm_racy : n:int -> t
+(** Parallel-MM with the inner k-loop also parallel — every [Z[i][j]]
+    then carries [n] pairwise races. *)
+
+val random : Random.State.t -> updates:int -> cells:int -> t
+(** A random fork-join program: a random Seq/Par tree over [updates]
+    update operations touching cells [0 .. cells-1] (each update reads
+    one or two cells and writes one). For race/interpreter property
+    tests. *)

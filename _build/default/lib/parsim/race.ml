@@ -1,0 +1,60 @@
+type race = { cell : Prog.cell; op1 : int; op2 : int; write_write : bool }
+
+(* Label every update with its path from the root (list of (child index,
+   node kind)); the LCA kind decides logical parallelism. *)
+type access = { idx : int; path : (int * [ `S | `P ]) list; dst : Prog.cell; srcs : Prog.cell list }
+
+let accesses p =
+  let acc = ref [] and counter = ref 0 in
+  let rec go path = function
+    | Prog.Update { dst; srcs } ->
+        acc := { idx = !counter; path = List.rev path; dst; srcs } :: !acc;
+        incr counter
+    | Prog.Seq l -> List.iteri (fun i child -> go ((i, `S) :: path) child) l
+    | Prog.Par l -> List.iteri (fun i child -> go ((i, `P) :: path) child) l
+  in
+  go [] p;
+  List.rev !acc
+
+let logically_parallel a b =
+  let rec go pa pb =
+    match (pa, pb) with
+    | (ia, ka) :: ra, (ib, _) :: rb ->
+        if ia = ib then go ra rb else ka = `P
+    | _ -> false (* one is an ancestor of the other: ordered *)
+  in
+  go a.path b.path
+
+let find p =
+  let ops = Array.of_list (accesses p) in
+  let n = Array.length ops in
+  let races = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = ops.(i) and b = ops.(j) in
+      if logically_parallel a b then begin
+        (* conflicting cells: write-write on dst, or write-read *)
+        let mentions op c = op.dst = c || List.mem c op.srcs in
+        let writes op c = op.dst = c in
+        let cells = List.sort_uniq compare ((a.dst :: a.srcs) @ (b.dst :: b.srcs)) in
+        List.iter
+          (fun c ->
+            if mentions a c && mentions b c && (writes a c || writes b c) then
+              races :=
+                { cell = c; op1 = a.idx; op2 = b.idx; write_write = writes a c && writes b c }
+                :: !races)
+          cells
+      end
+    done
+  done;
+  List.sort compare !races
+
+let has_race p = find p <> []
+
+let race_free_cells p =
+  let racy = List.sort_uniq compare (List.map (fun r -> r.cell) (find p)) in
+  List.filter (fun c -> not (List.mem c racy)) (Prog.cells p)
+
+let pp_race fmt r =
+  Format.fprintf fmt "race on cell %d between ops %d and %d (%s)" r.cell r.op1 r.op2
+    (if r.write_write then "write/write" else "read/write")

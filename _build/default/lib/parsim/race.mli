@@ -1,0 +1,25 @@
+(** Determinacy-race detection on fork-join programs.
+
+    Two update operations are {e logically parallel} when their lowest
+    common ancestor in the program tree is a [Par] node. A determinacy
+    race exists when two logically parallel operations touch the same
+    cell and at least one writes it (Feng–Leiserson's definition, cited
+    as [12, 24] in the paper). Detection here is the simple quadratic
+    pairwise check — ample for the motivating examples. *)
+
+type race = {
+  cell : Prog.cell;
+  op1 : int;  (** index into [Prog.updates] order *)
+  op2 : int;
+  write_write : bool;  (** both operations write the cell *)
+}
+
+val find : Prog.t -> race list
+(** All races, lexicographic by (op1, op2, cell). *)
+
+val has_race : Prog.t -> bool
+
+val race_free_cells : Prog.t -> Prog.cell list
+(** Cells accessed by the program that are involved in no race. *)
+
+val pp_race : Format.formatter -> race -> unit

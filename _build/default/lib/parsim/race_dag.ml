@@ -1,0 +1,32 @@
+open Rtt_dag
+
+type t = {
+  dag : Dag.t;
+  cell_of_vertex : Prog.cell array;
+  vertex_of_cell : (Prog.cell, Dag.vertex) Hashtbl.t;
+}
+
+exception Cyclic_dependencies
+
+let build p =
+  let cells = Prog.cells p in
+  let dag = Dag.create ~capacity:(List.length cells) () in
+  let vertex_of_cell = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let v = Dag.add_vertex ~label:(Printf.sprintf "cell%d" c) dag in
+      Hashtbl.add vertex_of_cell c v)
+    cells;
+  List.iter
+    (fun (dst, srcs) ->
+      let dv = Hashtbl.find vertex_of_cell dst in
+      List.iter
+        (fun s -> if s <> dst then Dag.add_edge dag (Hashtbl.find vertex_of_cell s) dv)
+        srcs)
+    (Prog.updates p);
+  if not (Dag.is_dag dag) then raise Cyclic_dependencies;
+  let cell_of_vertex = Array.make (Dag.n_vertices dag) 0 in
+  Hashtbl.iter (fun c v -> cell_of_vertex.(v) <- c) vertex_of_cell;
+  { dag; cell_of_vertex; vertex_of_cell }
+
+let works t = Array.init (Dag.n_vertices t.dag) (fun v -> Dag.in_degree t.dag v)

@@ -1,0 +1,26 @@
+(** Building the race DAG [D(P)] of Section 1.
+
+    Nodes are memory cells; a directed arc [x -> y] records that [y] is
+    updated using the value stored at [x]. The in-degree of a node is
+    (by the paper's convention) the number of updates it receives, which
+    is also its work value. Programs with cyclic read-write dependencies
+    between cells are rejected — the paper's model requires a DAG. *)
+
+open Rtt_dag
+
+type t = {
+  dag : Dag.t;
+  cell_of_vertex : Prog.cell array;
+  vertex_of_cell : (Prog.cell, Dag.vertex) Hashtbl.t;
+}
+
+exception Cyclic_dependencies
+
+val build : Prog.t -> t
+(** One arc per (source, update) pair; a self-read (e.g. [x <- x + 1])
+    does not create a self-loop — the paper treats successive updates to
+    the same cell as the work accumulating at its node.
+    @raise Cyclic_dependencies when the cell dependencies are cyclic. *)
+
+val works : t -> int array
+(** Per-vertex work = in-degree (number of incoming update arcs). *)

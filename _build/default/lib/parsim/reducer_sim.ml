@@ -1,0 +1,65 @@
+type reducer = Serial | Binary of { height : int } | Kway of { ways : int }
+
+(* one lock + queue: serialized unit-cost writes *)
+let serialize arrivals =
+  let sorted = List.sort compare arrivals in
+  List.fold_left (fun clock a -> max clock a + 1) 0 sorted
+
+let deal ~ways arrivals =
+  let queues = Array.make ways [] in
+  List.iteri (fun i a -> queues.(i mod ways) <- a :: queues.(i mod ways)) arrivals;
+  queues
+
+let finish_time ~arrivals reducer =
+  List.iter (fun a -> if a < 0 then invalid_arg "Reducer_sim: negative arrival") arrivals;
+  if arrivals = [] then 0
+  else
+    match reducer with
+    | Serial -> serialize arrivals
+    | Kway { ways } ->
+        if ways < 1 then invalid_arg "Reducer_sim: ways < 1";
+        if ways = 1 then serialize arrivals
+        else begin
+          let queues = deal ~ways arrivals in
+          (* each non-empty split cell finishes its share, then writes
+             into the node serially, arriving as soon as it is done *)
+          let cell_done =
+            List.filter_map
+              (fun q -> if q = [] then None else Some (serialize q))
+              (Array.to_list queues)
+          in
+          serialize cell_done
+        end
+    | Binary { height } ->
+        if height < 0 then invalid_arg "Reducer_sim: negative height";
+        if height = 0 then serialize arrivals
+        else begin
+          let leaves = 1 lsl height in
+          let queues = deal ~ways:leaves arrivals in
+          let level = ref (Array.to_list (Array.map serialize queues)) in
+          (* combining: siblings merge one write after both are done
+             (the earlier sibling becomes the parent) *)
+          while List.length !level > 1 do
+            let rec pair = function
+              | a :: b :: rest -> (max a b + 1) :: pair rest
+              | [ a ] -> [ a ]
+              | [] -> []
+            in
+            level := pair !level
+          done;
+          (* final write of the root's value into the shared variable *)
+          (match !level with [ t ] -> t + 1 | _ -> assert false)
+        end
+
+let space = function Serial -> 0 | Binary { height } -> 1 lsl height | Kway { ways } -> ways
+
+let reducer_of_allocation r =
+  if r <= 1 then Serial
+  else begin
+    let h = ref 0 and v = ref r in
+    while !v > 1 do
+      incr h;
+      v := !v lsr 1
+    done;
+    Binary { height = !h }
+  end

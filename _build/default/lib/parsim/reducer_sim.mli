@@ -1,0 +1,37 @@
+(** Discrete-event simulation of reducers (Figure 2 and Section 1).
+
+    A node with a lock and a waiting queue serializes the unit-cost
+    updates it receives; a reducer interposes extra cells so updates
+    proceed in parallel. The simulation works from the arrival times of
+    the incoming updates:
+
+    - {e no reducer}: one queue; sorted arrivals [a_1 <= ... <= a_d]
+      complete at [c_i = max (a_i, c_(i-1)) + 1];
+    - {e binary reducer of height h} ([2^h] units of extra space, using
+      the "sibling becomes its own parent" optimization so each of the
+      [h] combining levels costs one write): updates are dealt
+      round-robin to [2^h] leaf queues; each level's pair completes one
+      write after both children finish; a final write applies the root's
+      value to the shared variable. For [d] simultaneous arrivals this
+      reproduces the paper's [ceil (d / 2^h) + h + 1];
+    - {e k-way splitter} ([k] cells): round-robin to [k] queues, then
+      [k] serialized writes into the node — [ceil (d / k) + k] for
+      simultaneous arrivals (Equation 2).
+
+    Simulated times agree with {!Rtt_duration} on simultaneous arrivals;
+    with staggered arrivals the simulation is exact where the closed
+    forms are only bounds. *)
+
+type reducer = Serial | Binary of { height : int } | Kway of { ways : int }
+
+val finish_time : arrivals:int list -> reducer -> int
+(** Completion time of the last write into the node; [0] when there are
+    no arrivals (source cells).
+    @raise Invalid_argument on negative arrivals, height, or [ways < 1]. *)
+
+val space : reducer -> int
+(** Extra space consumed: 0, [2^h], or [k]. *)
+
+val reducer_of_allocation : int -> reducer
+(** The best reducer buildable from [r] units under the binary
+    discipline: [Serial] for [r <= 1], else height [floor (log2 r)]. *)

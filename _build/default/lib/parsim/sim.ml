@@ -1,0 +1,17 @@
+open Rtt_dag
+
+let finish_times g ~reducer =
+  let order = Dag.topo_sort g in
+  let finish = Array.make (Dag.n_vertices g) 0 in
+  List.iter
+    (fun v ->
+      let arrivals = List.map (fun u -> finish.(u)) (Dag.pred g v) in
+      finish.(v) <- Reducer_sim.finish_time ~arrivals (reducer v))
+    order;
+  finish
+
+let makespan g ~reducer = Array.fold_left max 0 (finish_times g ~reducer)
+let serial_makespan g = makespan g ~reducer:(fun _ -> Reducer_sim.Serial)
+
+let space_used g ~reducer =
+  List.fold_left (fun acc v -> acc + Reducer_sim.space (reducer v)) 0 (Dag.vertices g)

@@ -1,0 +1,27 @@
+(** Event-driven schedule of a race DAG with per-node reducers.
+
+    Finishing times follow the paper's fine-grained model: updates along
+    the outgoing arcs of [x] trigger the moment [x] is fully updated;
+    each node serializes the incoming writes through its lock (or its
+    reducer, when allocated) with unit-cost updates and unbounded
+    processors. This is sharper than the coarse
+    [finish = ready + work] bound used by the makespan model
+    ({!Rtt_dag.Longest_path}); Observation 1.1 says the coarse model is
+    an upper bound, and {!finish_times} lets tests check exactly that.
+    The Section 4.2 hardness gadgets (Tables 3) are computed with this
+    scheduler. *)
+
+open Rtt_dag
+
+val finish_times : Dag.t -> reducer:(Dag.vertex -> Reducer_sim.reducer) -> int array
+(** Earliest finish time of every node: source nodes finish at 0; any
+    other node finishes when its reducer has absorbed one update per
+    incoming arc, each arriving at its tail's finish time. *)
+
+val makespan : Dag.t -> reducer:(Dag.vertex -> Reducer_sim.reducer) -> int
+
+val serial_makespan : Dag.t -> int
+(** All nodes lock-serialized, no reducers. *)
+
+val space_used : Dag.t -> reducer:(Dag.vertex -> Reducer_sim.reducer) -> int
+(** Total extra space of all reducers (no reuse accounted). *)

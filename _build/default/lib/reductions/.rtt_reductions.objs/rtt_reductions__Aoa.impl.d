@@ -1,0 +1,1 @@
+lib/reductions/aoa.ml: Array Dag Duration Hashtbl List Problem Rtt_core Rtt_dag Rtt_duration Schedule

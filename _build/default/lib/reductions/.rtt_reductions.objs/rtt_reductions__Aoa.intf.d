@@ -1,0 +1,1 @@
+lib/reductions/aoa.mli: Dag Duration Problem Rtt_core Rtt_dag Rtt_duration Schedule

@@ -1,0 +1,1 @@
+lib/reductions/gadget_general.ml: Aoa Array Duration List Printf Rtt_core Rtt_duration Sat Schedule

@@ -1,0 +1,1 @@
+lib/reductions/gadget_general.mli: Aoa Rtt_core Sat Schedule

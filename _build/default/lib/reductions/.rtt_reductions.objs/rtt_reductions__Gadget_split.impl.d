@@ -1,0 +1,1 @@
+lib/reductions/gadget_split.ml: Array Dag Hashtbl List Printf Problem Reducer_sim Rtt_core Rtt_dag Rtt_parsim Sat Schedule Sim

@@ -1,0 +1,1 @@
+lib/reductions/gadget_split.mli: Dag Problem Rtt_core Rtt_dag Rtt_parsim Sat Schedule

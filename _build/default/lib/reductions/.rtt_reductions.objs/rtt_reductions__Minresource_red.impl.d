@@ -1,0 +1,1 @@
+lib/reductions/minresource_red.ml: Aoa Array Duration List Printf Rtt_core Rtt_duration Sat Schedule

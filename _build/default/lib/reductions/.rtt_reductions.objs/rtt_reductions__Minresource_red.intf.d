@@ -1,0 +1,1 @@
+lib/reductions/minresource_red.mli: Aoa Rtt_core Sat Schedule

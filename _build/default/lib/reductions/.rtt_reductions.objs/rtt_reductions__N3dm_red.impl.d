@@ -1,0 +1,1 @@
+lib/reductions/n3dm_red.ml: Aoa Array Duration Fun List Printf Rtt_core Rtt_duration Schedule

@@ -1,0 +1,1 @@
+lib/reductions/n3dm_red.mli: Aoa Rtt_core Schedule

@@ -1,0 +1,1 @@
+lib/reductions/partition_red.ml: Array Dag Duration Hashtbl Printf Problem Rtt_core Rtt_dag Rtt_duration Schedule Treewidth

@@ -1,0 +1,1 @@
+lib/reductions/partition_red.mli: Dag Problem Rtt_core Rtt_dag Schedule Treewidth

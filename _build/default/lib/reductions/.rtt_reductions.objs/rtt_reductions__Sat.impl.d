@@ -1,0 +1,1 @@
+lib/reductions/sat.ml: Array Format List Random

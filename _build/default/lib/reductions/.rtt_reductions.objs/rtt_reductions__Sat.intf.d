@@ -1,0 +1,1 @@
+lib/reductions/sat.mli: Format Random

@@ -1,0 +1,69 @@
+open Rtt_dag
+open Rtt_duration
+open Rtt_core
+
+type node = int
+type arc = int
+
+type arc_spec = { src : node; dst : node; duration : Duration.t; label : string option }
+
+type t = { mutable n_nodes : int; mutable arcs : arc_spec list; mutable node_labels : (int * string) list }
+
+let create () = { n_nodes = 0; arcs = []; node_labels = [] }
+
+let node ?label t =
+  let v = t.n_nodes in
+  t.n_nodes <- t.n_nodes + 1;
+  (match label with Some l -> t.node_labels <- (v, l) :: t.node_labels | None -> ());
+  v
+
+let arc ?label t src dst duration =
+  if src < 0 || src >= t.n_nodes || dst < 0 || dst >= t.n_nodes then invalid_arg "Aoa.arc: bad node";
+  t.arcs <- { src; dst; duration; label } :: t.arcs;
+  List.length t.arcs - 1
+
+let zero_arc ?label t src dst = arc ?label t src dst (Duration.constant 0)
+
+let n_nodes t = t.n_nodes
+let n_arcs t = List.length t.arcs
+
+type instance = {
+  problem : Problem.t;
+  node_vertex : Dag.vertex array;
+  arc_vertex : Dag.vertex array;
+}
+
+let instance t =
+  let arcs = Array.of_list (List.rev t.arcs) in
+  let g = Dag.create ~capacity:(t.n_nodes + Array.length arcs) () in
+  let node_vertex = Array.init t.n_nodes (fun _ -> Dag.add_vertex g) in
+  List.iter (fun (n, l) -> Dag.set_label g node_vertex.(n) l) t.node_labels;
+  let durations = Hashtbl.create 16 in
+  let arc_vertex =
+    Array.map
+      (fun spec ->
+        let j = Dag.add_vertex ?label:spec.label g in
+        Dag.add_edge g node_vertex.(spec.src) j;
+        Dag.add_edge g j node_vertex.(spec.dst);
+        Hashtbl.add durations j spec.duration;
+        j)
+      arcs
+  in
+  let problem =
+    Problem.make g ~durations:(fun v ->
+        match Hashtbl.find_opt durations v with Some d -> d | None -> Duration.constant 0)
+  in
+  { problem; node_vertex; arc_vertex }
+
+let arc_allocation inst assignments =
+  let alloc = Schedule.zero_allocation inst.problem in
+  List.iter
+    (fun (a, r) ->
+      if a < 0 || a >= Array.length inst.arc_vertex then invalid_arg "Aoa.arc_allocation: bad arc";
+      alloc.(inst.arc_vertex.(a)) <- alloc.(inst.arc_vertex.(a)) + r)
+    assignments;
+  alloc
+
+let node_finish_times inst alloc =
+  let ft = Schedule.finish_times inst.problem alloc in
+  Array.map (fun v -> ft.(v)) inst.node_vertex

@@ -1,0 +1,48 @@
+(** Activity-on-arc instance builder.
+
+    The hardness constructions of Section 4 (and Appendix A) put
+    resource-time tuples on {e arcs}. This helper assembles such a
+    network and converts it to the activity-on-vertex {!Rtt_core.Problem}
+    form by subdividing every arc through a job vertex (the inverse of
+    the Section 2 transformation); the AOA nodes become zero-duration
+    vertices, so AOA event times coincide with the finish times of the
+    corresponding vertices. *)
+
+open Rtt_dag
+open Rtt_duration
+open Rtt_core
+
+type node = int
+type arc = int
+
+type t
+
+val create : unit -> t
+
+val node : ?label:string -> t -> node
+
+val arc : ?label:string -> t -> node -> node -> Duration.t -> arc
+(** A job arc with the given duration function. *)
+
+val zero_arc : ?label:string -> t -> node -> node -> arc
+(** Constant duration 0 (pure precedence / free resource conduit). *)
+
+val n_nodes : t -> int
+val n_arcs : t -> int
+
+type instance = {
+  problem : Problem.t;
+  node_vertex : Dag.vertex array;  (** AOA node -> problem vertex *)
+  arc_vertex : Dag.vertex array;  (** AOA arc -> its job vertex *)
+}
+
+val instance : t -> instance
+(** Builds the problem (normalizing to a single source/sink if the AOA
+    network has several). *)
+
+val arc_allocation : instance -> (arc * int) list -> Schedule.allocation
+(** Turns per-arc resource assignments into a per-vertex allocation of
+    the subdivided problem. *)
+
+val node_finish_times : instance -> Schedule.allocation -> int array
+(** Event time of every AOA node under the allocation. *)

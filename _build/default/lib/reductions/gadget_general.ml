@@ -1,0 +1,142 @@
+open Rtt_duration
+open Rtt_core
+
+type t = {
+  sat : Sat.t;
+  instance : Aoa.instance;
+  budget : int;
+  target : int;
+  var_true_arc : Aoa.arc array;
+  var_false_arc : Aoa.arc array;
+  var_force_arcs : (Aoa.arc * Aoa.arc) array;
+  clause_diamond : (Aoa.arc * Aoa.arc * Aoa.arc * Aoa.arc) array;
+  clause_line_arcs : (Aoa.arc * Aoa.arc * Aoa.arc) array;
+  clause_line_nodes : (Aoa.node * Aoa.node * Aoa.node) array;
+}
+
+let speedable = Duration.two_point ~t0:1 ~r:1 ~t1:0
+let forcing = Duration.two_point ~t0:2 ~r:1 ~t1:0
+
+let reduce (sat : Sat.t) =
+  let b = Aoa.create () in
+  let s = Aoa.node ~label:"S" b and t = Aoa.node ~label:"T" b in
+  let n = sat.Sat.n_vars in
+  let v_nodes = Array.init n (fun i -> Array.init 6 (fun j -> Aoa.node ~label:(Printf.sprintf "V%d_%d" i (j + 1)) b)) in
+  let var_true_arc = Array.make n 0 and var_false_arc = Array.make n 0 in
+  let var_force_arcs = Array.make n (0, 0) in
+  for i = 0 to n - 1 do
+    let v j = v_nodes.(i).(j - 1) in
+    ignore (Aoa.zero_arc b s (v 1));
+    var_true_arc.(i) <- Aoa.arc ~label:(Printf.sprintf "x%d=T" i) b (v 1) (v 2) speedable;
+    var_false_arc.(i) <- Aoa.arc ~label:(Printf.sprintf "x%d=F" i) b (v 1) (v 3) speedable;
+    ignore (Aoa.zero_arc b (v 2) (v 4));
+    ignore (Aoa.zero_arc b (v 3) (v 4));
+    let f1 = Aoa.arc b (v 4) (v 5) forcing in
+    let f2 = Aoa.arc b (v 5) (v 6) forcing in
+    var_force_arcs.(i) <- (f1, f2);
+    ignore (Aoa.zero_arc b (v 6) t)
+  done;
+  (* node that is at time 0 iff the literal is true / false *)
+  let satisfy_node (l : Sat.literal) = v_nodes.(l.Sat.var).(if l.Sat.positive then 1 else 2) in
+  let falsify_node (l : Sat.literal) = v_nodes.(l.Sat.var).(if l.Sat.positive then 2 else 1) in
+  let m = List.length sat.Sat.clauses in
+  let clause_diamond = Array.make m (0, 0, 0, 0) in
+  let clause_line_arcs = Array.make m (0, 0, 0) in
+  let clause_line_nodes = Array.make m (0, 0, 0) in
+  List.iteri
+    (fun ci (l1, l2, l3) ->
+      let c j = Aoa.node ~label:(Printf.sprintf "C%d_%d" ci j) b in
+      let c1 = c 1 and c2 = c 2 and c3 = c 3 and c4 = c 4 in
+      let c5 = c 5 and c6 = c 6 and c7 = c 7 in
+      let c8 = c 8 and c9 = c 9 and c10 = c 10 in
+      ignore (Aoa.zero_arc b s c1);
+      let d1 = Aoa.arc b c1 c2 speedable in
+      let d2 = Aoa.arc b c2 c4 speedable in
+      let d3 = Aoa.arc b c1 c3 speedable in
+      let d4 = Aoa.arc b c3 c4 speedable in
+      clause_diamond.(ci) <- (d1, d2, d3, d4);
+      List.iter (fun x -> ignore (Aoa.zero_arc b x c5)) [ c4; falsify_node l1; falsify_node l2; satisfy_node l3 ];
+      List.iter (fun x -> ignore (Aoa.zero_arc b x c6)) [ c4; falsify_node l1; satisfy_node l2; falsify_node l3 ];
+      List.iter (fun x -> ignore (Aoa.zero_arc b x c7)) [ c4; satisfy_node l1; falsify_node l2; falsify_node l3 ];
+      let e5 = Aoa.arc b c5 c8 speedable in
+      let e6 = Aoa.arc b c6 c9 speedable in
+      let e7 = Aoa.arc b c7 c10 speedable in
+      clause_line_arcs.(ci) <- (e5, e6, e7);
+      clause_line_nodes.(ci) <- (c5, c6, c7);
+      List.iter (fun x -> ignore (Aoa.zero_arc b x t)) [ c8; c9; c10 ])
+    sat.Sat.clauses;
+  {
+    sat;
+    instance = Aoa.instance b;
+    budget = n + (2 * m);
+    target = 1;
+    var_true_arc;
+    var_false_arc;
+    var_force_arcs;
+    clause_diamond;
+    clause_line_arcs;
+    clause_line_nodes;
+  }
+
+let allocation_of_assignment t assignment =
+  if Array.length assignment <> t.sat.Sat.n_vars then invalid_arg "Gadget_general: assignment size";
+  let assignments = ref [] in
+  let give a = assignments := (a, 1) :: !assignments in
+  Array.iteri
+    (fun i truth ->
+      give (if truth then t.var_true_arc.(i) else t.var_false_arc.(i));
+      let f1, f2 = t.var_force_arcs.(i) in
+      give f1;
+      give f2)
+    assignment;
+  List.iteri
+    (fun ci (l1, l2, l3) ->
+      let d1, d2, d3, d4 = t.clause_diamond.(ci) in
+      List.iter give [ d1; d2; d3; d4 ];
+      (* expedite the two pattern lines that do NOT match the truth
+         assignment (all three when none matches, but only two units are
+         available, so pick the two later lines deterministically) *)
+      let matches pattern =
+        List.for_all2
+          (fun l want -> Sat.literal_value l assignment = want)
+          [ l1; l2; l3 ] pattern
+      in
+      let e5, e6, e7 = t.clause_line_arcs.(ci) in
+      let lines =
+        [ (e5, matches [ false; false; true ]); (e6, matches [ false; true; false ]); (e7, matches [ true; false; false ]) ]
+      in
+      let unmatched = List.filter (fun (_, m) -> not m) lines in
+      let chosen = List.filteri (fun i _ -> i < 2) unmatched in
+      List.iter (fun (a, _) -> give a) chosen)
+    t.sat.Sat.clauses;
+  Aoa.arc_allocation t.instance !assignments
+
+let makespan_of_assignment t assignment =
+  Schedule.makespan t.instance.Aoa.problem (allocation_of_assignment t assignment)
+
+let assignment_feasible t assignment =
+  Schedule.min_budget t.instance.Aoa.problem (allocation_of_assignment t assignment) <= t.budget
+
+let decide_by_assignments t =
+  let n = t.sat.Sat.n_vars in
+  let a = Array.make n false in
+  let rec go i =
+    if i = n then
+      if makespan_of_assignment t a <= t.target && assignment_feasible t a then Some (Array.copy a) else None
+    else begin
+      a.(i) <- false;
+      match go (i + 1) with
+      | Some r -> Some r
+      | None ->
+          a.(i) <- true;
+          go (i + 1)
+    end
+  in
+  go 0
+
+let assignment_of_allocation t alloc =
+  Array.mapi
+    (fun i arc ->
+      ignore i;
+      alloc.(t.instance.Aoa.arc_vertex.(arc)) > 0)
+    t.var_true_arc

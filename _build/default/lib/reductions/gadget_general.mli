@@ -1,0 +1,73 @@
+(** The 1-in-3SAT reduction with general non-increasing duration
+    functions (Section 4.1: Theorem 4.1, Lemma 4.2, Figures 8–9; also
+    the inapproximability Theorems 4.3).
+
+    The figures are images in the paper; the gadgets here are
+    reconstructed from the prose so that every stated invariant holds
+    and is machine-checked by the tests:
+
+    {b Variable gadget} (nodes [V1..V6]): arcs [(V1,V2)] and [(V1,V3)]
+    with tuples [{(0,1),(1,0)}] — routing the gadget's single resource
+    unit through [V2] means TRUE, through [V3] FALSE, making the chosen
+    side's event time 0 and the other side's 1; zero-duration arcs
+    [(V2,V4)], [(V3,V4)] rejoin, and the forcing chain
+    [(V4,V5)], [(V5,V6)] with tuples [{(0,2),(1,0)}] pins the unit
+    inside the gadget (leaking it into a clause leaves the chain at
+    duration 2 > 1, the target makespan).
+
+    {b Clause gadget} (nodes [C1..C10]): the diamond
+    [(C1,C2),(C2,C4),(C1,C3),(C3,C4)], all tuples [{(0,1),(1,0)}],
+    forces exactly two units; tap arcs of duration 0 connect variable
+    nodes to the three pattern lines [C5, C6, C7] — line [C5] reads the
+    nodes that are at time 0 iff (lit1 false, lit2 false, lit3 true),
+    [C6] iff (F, T, F), [C7] iff (T, F, F) — and each line exits through
+    an arc [{(0,1),(1,0)}] to [C8/C9/C10] and on to the sink. With
+    exactly one true literal, one line starts at 0 (needs no resource)
+    and the two units from [C4] expedite the other two; otherwise all
+    three lines start at 1 and two units cannot save the makespan.
+
+    Lemma 4.2: the instance has makespan 1 under budget [n + 2m] iff
+    the formula is 1-in-3 satisfiable; otherwise the optimum is 2, which
+    is the gap behind Theorem 4.3's factor-2 inapproximability. *)
+
+open Rtt_core
+
+type t = {
+  sat : Sat.t;
+  instance : Aoa.instance;
+  budget : int;  (** n + 2m *)
+  target : int;  (** 1 *)
+  var_true_arc : Aoa.arc array;  (** (V1,V2) per variable *)
+  var_false_arc : Aoa.arc array;  (** (V1,V3) *)
+  var_force_arcs : (Aoa.arc * Aoa.arc) array;  (** (V4,V5), (V5,V6) *)
+  clause_diamond : (Aoa.arc * Aoa.arc * Aoa.arc * Aoa.arc) array;
+  clause_line_arcs : (Aoa.arc * Aoa.arc * Aoa.arc) array;  (** (C5,C8), (C6,C9), (C7,C10) *)
+  clause_line_nodes : (Aoa.node * Aoa.node * Aoa.node) array;
+}
+
+val reduce : Sat.t -> t
+
+val allocation_of_assignment : t -> bool array -> Schedule.allocation
+(** The canonical allocation induced by a truth assignment: one unit per
+    variable along its truth side and forcing chain; per clause, two
+    units through the diamond and onward to the two latest-starting
+    pattern lines. *)
+
+val makespan_of_assignment : t -> bool array -> int
+(** Makespan under {!allocation_of_assignment} — 1 iff the assignment
+    1-in-3 satisfies every clause (when the allocation fits the
+    budget). *)
+
+val assignment_feasible : t -> bool array -> bool
+(** The canonical allocation fits the budget (always true — checked by
+    min-flow — and exposed for tests). *)
+
+val decide_by_assignments : t -> bool array option
+(** Searches all [2^n] assignments for one whose canonical allocation
+    meets the target — equivalent to solving the 1-in-3SAT instance
+    (Lemma 4.2), but exercised through the reduction. *)
+
+val assignment_of_allocation : t -> Schedule.allocation -> bool array
+(** Reads a truth assignment back out of any allocation: variable [i]
+    is TRUE iff its [(V1,V2)] arc received a unit (backward direction of
+    Lemma 4.2). *)

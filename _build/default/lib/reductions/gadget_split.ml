@@ -1,0 +1,283 @@
+open Rtt_dag
+open Rtt_core
+open Rtt_parsim
+
+type t = {
+  sat : Sat.t;
+  dag : Dag.t;
+  problem : Problem.t;
+  x : int;
+  y : int;
+  budget : int;
+  target : int;
+  paper_target : int;
+  var_true_tail : Dag.vertex array;
+  var_false_tail : Dag.vertex array;
+  var_v4_tail : Dag.vertex array;
+  var_v5 : Dag.vertex array;
+  var_v6 : Dag.vertex array;
+  var_v7 : Dag.vertex array;
+  clause_c2_tail : Dag.vertex array;
+  clause_c3_tail : Dag.vertex array;
+  clause_lines : (Dag.vertex * Dag.vertex * Dag.vertex) array;
+  clause_comp_tails : (Dag.vertex * Dag.vertex * Dag.vertex) array;
+  clause_c11 : (Dag.vertex * Dag.vertex * Dag.vertex) array;
+}
+
+(* A composite node of the given order (Figure 12): head cell (one write
+   per feeder), [order] middle cells, and a final cell taking [order]
+   writes. Returns (head, final). *)
+let composite g ~order ~feeders ~label =
+  let head = Dag.add_vertex ~label:(label ^ ".v1") g in
+  List.iter (fun f -> Dag.add_edge g f head) feeders;
+  let final = Dag.add_vertex ~label:(label ^ ".final") g in
+  for i = 1 to order do
+    let mid = Dag.add_vertex ~label:(Printf.sprintf "%s.m%d" label i) g in
+    Dag.add_edge g head mid;
+    Dag.add_edge g mid final
+  done;
+  (head, final)
+
+(* A chain of [len] cells starting from [from]; returns the last cell
+   ([from] itself when [len = 0]). *)
+let chain g ~from ~len ~label =
+  let cur = ref from in
+  for i = 1 to len do
+    let v = Dag.add_vertex ~label:(Printf.sprintf "%s.%d" label i) g in
+    Dag.add_edge g !cur v;
+    cur := v
+  done;
+  !cur
+
+(* Completion time of the structural combining tree when all [count]
+   outputs arrive simultaneously at [arrival]; mirrors build_tree's
+   pairing and the per-cell write serialization. The paper idealizes
+   this as exactly 2y; staggered arrivals in an uneven tree can shave a
+   unit, so the reduction's target is this exact value. *)
+let tree_finish ~count ~arrival =
+  let serialize arrivals =
+    List.fold_left (fun clock a -> max clock a + 1) 0 (List.sort compare arrivals)
+  in
+  let rec go cells =
+    match cells with
+    | [ single ] -> single
+    | _ ->
+        let rec pair = function
+          | a :: b :: rest -> serialize [ a; b ] :: pair rest
+          | [ a ] -> serialize [ a ] :: []
+          | [] -> []
+        in
+        go (pair cells)
+  in
+  go (List.init count (fun _ -> arrival))
+
+let ilog2_ceil n =
+  let y = ref 0 in
+  while 1 lsl !y < n do
+    incr y
+  done;
+  !y
+
+let reduce (sat : Sat.t) =
+  let n = sat.Sat.n_vars in
+  let m = List.length sat.Sat.clauses in
+  if n = 0 || m = 0 then invalid_arg "Gadget_split.reduce: need variables and clauses";
+  let y = ilog2_ceil (n + (3 * m)) in
+  let x = max ((2 * y) + 13) 8 in
+  let g = Dag.create () in
+  let s = Dag.add_vertex ~label:"S" g in
+  let var_true_tail = Array.make n 0
+  and var_false_tail = Array.make n 0
+  and var_v4_tail = Array.make n 0
+  and var_v5 = Array.make n 0
+  and var_v6 = Array.make n 0
+  and var_v7 = Array.make n 0 in
+  for q = 0 to n - 1 do
+    let lbl suffix = Printf.sprintf "V%d.%s" q suffix in
+    let v1 = Dag.add_vertex ~label:(lbl "v1") g in
+    Dag.add_edge g s v1;
+    let _, t_final = composite g ~order:(2 * x) ~feeders:[ v1 ] ~label:(lbl "compT") in
+    let _, f_final = composite g ~order:(2 * x) ~feeders:[ v1 ] ~label:(lbl "compF") in
+    var_true_tail.(q) <- t_final;
+    var_false_tail.(q) <- f_final;
+    var_v5.(q) <- chain g ~from:t_final ~len:(4 * x) ~label:(lbl "chainT");
+    var_v6.(q) <- chain g ~from:f_final ~len:(4 * x) ~label:(lbl "chainF");
+    let _, v4_final = composite g ~order:(8 * x) ~feeders:[ t_final; f_final ] ~label:(lbl "comp4") in
+    var_v4_tail.(q) <- v4_final;
+    (* pad so V7 finishes at 7x+12 under a proper allocation: V4's final
+       lands at 6x+7, so x+5 more unit-work cells are needed *)
+    var_v7.(q) <- chain g ~from:v4_final ~len:(x + 5) ~label:(lbl "pad")
+  done;
+  (* tap cell that is early (5x+5) iff the literal is true / false *)
+  let satisfy_cell (l : Sat.literal) = if l.Sat.positive then var_v5.(l.Sat.var) else var_v6.(l.Sat.var) in
+  let falsify_cell (l : Sat.literal) = if l.Sat.positive then var_v6.(l.Sat.var) else var_v5.(l.Sat.var) in
+  let clause_c2_tail = Array.make m 0
+  and clause_c3_tail = Array.make m 0
+  and clause_lines = Array.make m (0, 0, 0)
+  and clause_comp_tails = Array.make m (0, 0, 0)
+  and clause_c11 = Array.make m (0, 0, 0) in
+  List.iteri
+    (fun ci (l1, l2, l3) ->
+      let lbl suffix = Printf.sprintf "C%d.%s" ci suffix in
+      let c1 = Dag.add_vertex ~label:(lbl "c1") g in
+      Dag.add_edge g s c1;
+      let _, c2_final = composite g ~order:(8 * x) ~feeders:[ c1 ] ~label:(lbl "comp2") in
+      let _, c3_final = composite g ~order:(8 * x) ~feeders:[ c1 ] ~label:(lbl "comp3") in
+      clause_c2_tail.(ci) <- c2_final;
+      clause_c3_tail.(ci) <- c3_final;
+      let c4 = Dag.add_vertex ~label:(lbl "c4") g in
+      Dag.add_edge g c2_final c4;
+      Dag.add_edge g c3_final c4;
+      let line taps idx =
+        let cell = Dag.add_vertex ~label:(lbl (Printf.sprintf "c%d" idx)) g in
+        List.iter (fun tap -> Dag.add_edge g tap cell) taps;
+        cell
+      in
+      let c5 = line [ falsify_cell l1; falsify_cell l2; satisfy_cell l3 ] 5 in
+      let c6 = line [ falsify_cell l1; satisfy_cell l2; falsify_cell l3 ] 6 in
+      let c7 = line [ satisfy_cell l1; falsify_cell l2; falsify_cell l3 ] 7 in
+      clause_lines.(ci) <- (c5, c6, c7);
+      let comp_line feeder tag =
+        let head, final = composite g ~order:(2 * x) ~feeders:[ feeder ] ~label:(lbl tag) in
+        (* C4's write (and resource) also enters this composite's head *)
+        Dag.add_edge g c4 head;
+        final
+      in
+      let c8 = comp_line c5 "comp8" in
+      let c9 = comp_line c6 "comp9" in
+      let c10 = comp_line c7 "comp10" in
+      clause_comp_tails.(ci) <- (c8, c9, c10);
+      let paced feeder tag =
+        let pace = chain g ~from:s ~len:((7 * x) + 11) ~label:(lbl tag) in
+        let cell = Dag.add_vertex ~label:(lbl (tag ^ ".out")) g in
+        Dag.add_edge g pace cell;
+        Dag.add_edge g feeder cell;
+        cell
+      in
+      clause_c11.(ci) <- (paced c8 "pace11", paced c9 "pace12", paced c10 "pace13"))
+    sat.Sat.clauses;
+  (* structural binary combining tree of height y over all outputs *)
+  let outputs =
+    Array.to_list var_v7
+    @ List.concat_map (fun (a, b, c) -> [ a; b; c ]) (Array.to_list clause_c11)
+  in
+  let rec build_tree level cells =
+    match cells with
+    | [ _ ] when level >= y -> List.hd cells
+    | _ ->
+        let rec pair i = function
+          | a :: b :: rest ->
+              let p = Dag.add_vertex ~label:(Printf.sprintf "tree%d_%d" level i) g in
+              Dag.add_edge g a p;
+              Dag.add_edge g b p;
+              p :: pair (i + 1) rest
+          | [ a ] ->
+              let p = Dag.add_vertex ~label:(Printf.sprintf "tree%d_%d" level i) g in
+              Dag.add_edge g a p;
+              p :: []
+          | [] -> []
+        in
+        build_tree (level + 1) (pair 0 cells)
+  in
+  let root = build_tree 0 outputs in
+  Dag.set_label g root "t";
+  let problem = Problem.of_race_dag (Dag.copy g) Problem.Binary in
+  {
+    sat;
+    dag = g;
+    problem;
+    x;
+    y;
+    budget = (2 * n) + (4 * m);
+    target = tree_finish ~count:(n + (3 * m)) ~arrival:((7 * x) + 12);
+    paper_target = (7 * x) + (2 * y) + 12;
+    var_true_tail;
+    var_false_tail;
+    var_v4_tail;
+    var_v5;
+    var_v6;
+    var_v7;
+    clause_c2_tail;
+    clause_c3_tail;
+    clause_lines;
+    clause_comp_tails;
+    clause_c11;
+  }
+
+(* The two latest-starting lines of a clause under an assignment: with
+   exactly one true literal, the matching line starts at 5x+8 and the
+   other two at 6x+5; otherwise all three tie and we take the first two. *)
+let late_lines t assignment ci (l1, l2, l3) =
+  ignore (t, ci);
+  let v l = Sat.literal_value l assignment in
+  let matches =
+    [ v l1 && (not (v l2)) && not (v l3);
+      (not (v l1)) && v l2 && not (v l3);
+      (not (v l1)) && (not (v l2)) && v l3 ]
+  in
+  (* line r corresponds to pattern "literal r+1 alone true" in order
+     C7 (T,F,F), C6 (F,T,F), C5 (F,F,T): map to (c5, c6, c7) order *)
+  let line_matches = [ List.nth matches 2; List.nth matches 1; List.nth matches 0 ] in
+  let non_matching = List.filteri (fun i _ -> not (List.nth line_matches i)) [ 0; 1; 2 ] in
+  (match non_matching with a :: b :: _ -> [ a; b ] | l -> l)
+
+let reducer_cells t assignment =
+  if Array.length assignment <> t.sat.Sat.n_vars then invalid_arg "Gadget_split: assignment size";
+  let cells = Hashtbl.create 64 in
+  Array.iteri
+    (fun q truth ->
+      Hashtbl.replace cells (if truth then t.var_true_tail.(q) else t.var_false_tail.(q)) ();
+      Hashtbl.replace cells t.var_v4_tail.(q) ())
+    assignment;
+  List.iteri
+    (fun ci clause ->
+      Hashtbl.replace cells t.clause_c2_tail.(ci) ();
+      Hashtbl.replace cells t.clause_c3_tail.(ci) ();
+      let c8, c9, c10 = t.clause_comp_tails.(ci) in
+      let tails = [| c8; c9; c10 |] in
+      List.iter (fun i -> Hashtbl.replace cells tails.(i) ()) (late_lines t assignment ci clause))
+    t.sat.Sat.clauses;
+  cells
+
+let reducers_of_assignment ?(kind = `Binary) t assignment =
+  let cells = reducer_cells t assignment in
+  let two_units =
+    match kind with `Binary -> Reducer_sim.Binary { height = 1 } | `Kway -> Reducer_sim.Kway { ways = 2 }
+  in
+  fun v -> if Hashtbl.mem cells v then two_units else Reducer_sim.Serial
+
+let allocation_of_assignment t assignment =
+  let cells = reducer_cells t assignment in
+  let alloc = Array.make (Problem.n_jobs t.problem) 0 in
+  Hashtbl.iter (fun v () -> alloc.(v) <- 2) cells;
+  alloc
+
+let makespan_of_assignment t assignment =
+  Sim.makespan t.dag ~reducer:(reducers_of_assignment t assignment)
+
+let budget_of_assignment t assignment =
+  Schedule.min_budget t.problem (allocation_of_assignment t assignment)
+
+let decide_by_assignments t =
+  let n = t.sat.Sat.n_vars in
+  let a = Array.make n false in
+  let rec go i =
+    if i = n then
+      if makespan_of_assignment t a <= t.target && budget_of_assignment t a <= t.budget then
+        Some (Array.copy a)
+      else None
+    else begin
+      a.(i) <- false;
+      match go (i + 1) with
+      | Some r -> Some r
+      | None ->
+          a.(i) <- true;
+          go (i + 1)
+    end
+  in
+  go 0
+
+let line_finish_times t ~clause assignment =
+  let finish = Sim.finish_times t.dag ~reducer:(reducers_of_assignment t assignment) in
+  let c5, c6, c7 = t.clause_lines.(clause) in
+  (finish.(c5), finish.(c6), finish.(c7))

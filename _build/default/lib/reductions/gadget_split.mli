@@ -1,0 +1,82 @@
+(** The 1-in-3SAT reduction for recursive-binary / k-way splitting
+    duration functions (Section 4.2: Lemma 4.5, Figures 12–14,
+    Table 3).
+
+    Unlike Section 4.1, the duration functions here must arise from
+    reducers, so the construction works on a {e race DAG of memory
+    cells}: composite nodes (Figure 12) are expanded into their
+    [order + 2] plain cells, and placing "2 units of resource" on a
+    composite means building a height-1 binary reducer over its final
+    cell. Makespans are computed with the event-driven scheduler
+    {!Rtt_parsim.Sim}, which serializes same-time writers exactly as the
+    paper's "earliest finish time" analysis does — Table 3's
+    [a = 6x + 4], [b = 5x + 6] entries fall out of the simulation.
+
+    Construction summary (x = max (2y + 13, 8), y = log2 of the
+    smallest power of two ≥ n + 3m):
+    - variable gadget: V1 → two order-2x composites (TRUE/FALSE branch)
+      → 4x-cell chains ending at the tap cells V5/V6; both branches
+      feed the order-8x composite V4 whose 8x+2 serial time forces the
+      gadget's 2 units to stay inside; a pad chain ends at V7, finishing
+      at 7x+12 under a proper allocation;
+    - clause gadget: C1 → two order-8x composites (the diamond, forcing
+      4 units) → C4; tap cells C5/C6/C7 receive 3 writes each from the
+      V5/V6 cells of their literals (the Table 3 patterns); each line
+      continues into an order-2x composite C8/C9/C10 whose v1 also
+      receives C4's write (and C4's resource units); chains of 7x+11
+      cells from the source pace C11/C12/C13 to finish at 7x+12;
+    - all V7 and C11..C13 cells meet a structural binary combining tree
+      of height y, adding exactly 2y: the target makespan is
+      [7x + 2y + 12] with budget [2n + 4m], achievable iff the formula
+      is 1-in-3 satisfiable (Lemma 4.5). *)
+
+open Rtt_dag
+open Rtt_core
+
+type t = {
+  sat : Sat.t;
+  dag : Dag.t;  (** the expanded cell DAG *)
+  problem : Problem.t;  (** same DAG with binary-split durations (for min-flow feasibility) *)
+  x : int;
+  y : int;
+  budget : int;  (** 2n + 4m *)
+  target : int;
+      (** exact simulated makespan of a proper allocation (the paper's
+          idealized [7x + 2y + 12] up to a unit of combining-tree
+          staggering; see {!paper_target}) *)
+  paper_target : int;  (** 7x + 2y + 12 *)
+  var_true_tail : Dag.vertex array;  (** final cell of the TRUE-branch composite *)
+  var_false_tail : Dag.vertex array;
+  var_v4_tail : Dag.vertex array;
+  var_v5 : Dag.vertex array;  (** tap cell: early iff TRUE *)
+  var_v6 : Dag.vertex array;  (** tap cell: early iff FALSE *)
+  var_v7 : Dag.vertex array;
+  clause_c2_tail : Dag.vertex array;
+  clause_c3_tail : Dag.vertex array;
+  clause_lines : (Dag.vertex * Dag.vertex * Dag.vertex) array;  (** C5, C6, C7 *)
+  clause_comp_tails : (Dag.vertex * Dag.vertex * Dag.vertex) array;  (** C8, C9, C10 finals *)
+  clause_c11 : (Dag.vertex * Dag.vertex * Dag.vertex) array;
+}
+
+val reduce : Sat.t -> t
+
+val reducers_of_assignment :
+  ?kind:[ `Binary | `Kway ] -> t -> bool array -> Dag.vertex -> Rtt_parsim.Reducer_sim.reducer
+(** The canonical reducer placement for a truth assignment: two-unit
+    reducers (height-1 binary by default, or 2-way splitters — the
+    paper proves the gadget works identically for both, since
+    [2 + k/2 + 2 = k/2 + 4] either way) on the chosen branch composite
+    and V4 of every variable, on both diamond composites of every
+    clause, and on the two latest-starting line composites of every
+    clause. *)
+
+val allocation_of_assignment : t -> bool array -> Schedule.allocation
+(** The same placement as resource amounts (2 per reducer). *)
+
+val makespan_of_assignment : t -> bool array -> int
+val budget_of_assignment : t -> bool array -> int
+val decide_by_assignments : t -> bool array option
+
+val line_finish_times : t -> clause:int -> bool array -> int * int * int
+(** Finish times of C5, C6, C7 under the assignment — the quantities
+    tabulated in Table 3 (entries built from a = 6x+4, b = 5x+6). *)

@@ -1,0 +1,145 @@
+open Rtt_duration
+open Rtt_core
+
+type t = {
+  sat : Sat.t;
+  instance : Aoa.instance;
+  target : int;
+  sat_budget : int;
+  unsat_budget : int;
+  walk_true : Aoa.arc array;  (* (e_q, T_q) *)
+  walk_false : Aoa.arc array;
+  direct : Aoa.arc;  (* (s, t0) *)
+  line_exits : (Aoa.arc * Aoa.arc * Aoa.arc) array;  (* (P_r, X_c) per clause *)
+}
+
+let speedable = Duration.two_point ~t0:1 ~r:1 ~t1:0
+
+let reduce (sat : Sat.t) =
+  let n = sat.Sat.n_vars in
+  let m = List.length sat.Sat.clauses in
+  if m = 0 then invalid_arg "Minresource_red.reduce: need at least one clause";
+  let target = n + m in
+  let big = target + 2 in
+  let b = Aoa.create () in
+  let node fmt = Printf.ksprintf (fun l -> Aoa.node ~label:l b) fmt in
+  let s = node "s" in
+  let e = Array.init (n + 1) (fun q -> node "e%d" (q + 1)) in
+  let t_side = Array.init n (fun q -> node "T%d" (q + 1)) in
+  let f_side = Array.init n (fun q -> node "F%d" (q + 1)) in
+  ignore (Aoa.zero_arc b s e.(0));
+  let walk_true = Array.make n 0 and walk_false = Array.make n 0 in
+  for q = 0 to n - 1 do
+    walk_true.(q) <- Aoa.arc ~label:(Printf.sprintf "x%d=T" q) b e.(q) t_side.(q) speedable;
+    ignore (Aoa.zero_arc b t_side.(q) e.(q + 1));
+    walk_false.(q) <- Aoa.arc ~label:(Printf.sprintf "x%d=F" q) b e.(q) f_side.(q) speedable;
+    ignore (Aoa.zero_arc b f_side.(q) e.(q + 1))
+  done;
+  let t0 = node "t0" in
+  ignore (Aoa.zero_arc b e.(n) t0);
+  let direct = Aoa.arc ~label:"direct" b s t0 (Duration.make [ (0, big); (1, n) ]) in
+  (* tap node early (at q-1) iff assigning [want] to the literal's truth
+     value holds, i.e. the variable equals [want = positive] *)
+  let tap_node (l : Sat.literal) want = if want = l.Sat.positive then t_side.(l.Sat.var) else f_side.(l.Sat.var) in
+  let line_exits = Array.make m (0, 0, 0) in
+  let prev_exit = ref t0 in
+  List.iteri
+    (fun c (l1, l2, l3) ->
+      let bc = n + c in
+      let entry = node "E%d" c in
+      ignore (Aoa.zero_arc b !prev_exit entry);
+      let exit_node = node "X%d" c in
+      let line pattern r =
+        let p = node "P%d_%d" c r in
+        ignore (Aoa.zero_arc b entry p);
+        List.iter2
+          (fun l want ->
+            let tap = tap_node l want in
+            let q = (match l with { Sat.var; _ } -> var) + 1 in
+            let dur = bc + 1 - q in
+            ignore (Aoa.arc b tap p (Duration.constant dur)))
+          [ l1; l2; l3 ] pattern;
+        Aoa.arc b p exit_node speedable
+      in
+      let x1 = line [ true; false; false ] 1 in
+      let x2 = line [ false; true; false ] 2 in
+      let x3 = line [ false; false; true ] 3 in
+      line_exits.(c) <- (x1, x2, x3);
+      prev_exit := exit_node)
+    sat.Sat.clauses;
+  let instance = Aoa.instance b in
+  { sat; instance; target; sat_budget = 2; unsat_budget = 3; walk_true; walk_false; direct; line_exits }
+
+let line_lateness t assignment c (l1, l2, l3) =
+  (* which of the three exactly-one-true patterns matches *)
+  ignore (t, c);
+  let v l = Sat.literal_value l assignment in
+  [ (v l1 && not (v l2) && not (v l3));
+    ((not (v l1)) && v l2 && not (v l3));
+    ((not (v l1)) && not (v l2) && v l3) ]
+
+let allocation_of_assignment t assignment =
+  if Array.length assignment <> t.sat.Sat.n_vars then invalid_arg "Minresource_red: assignment size";
+  let give = ref [] in
+  Array.iteri
+    (fun q truth -> give := ((if truth then t.walk_true.(q) else t.walk_false.(q)), 1) :: !give)
+    assignment;
+  give := (t.direct, 1) :: !give;
+  List.iteri
+    (fun c clause ->
+      let matches = line_lateness t assignment c clause in
+      let x1, x2, x3 = t.line_exits.(c) in
+      let exits = [ x1; x2; x3 ] in
+      (* expedite the two lines whose pattern does not match (first two
+         when none matches) *)
+      let late = List.filteri (fun r _ -> not (List.nth matches r)) exits in
+      let chosen = List.filteri (fun i _ -> i < 2) late in
+      List.iter (fun a -> give := (a, 1) :: !give) chosen)
+    t.sat.Sat.clauses;
+  Aoa.arc_allocation t.instance !give
+
+let makespan_of_assignment t assignment =
+  Schedule.makespan t.instance.Aoa.problem (allocation_of_assignment t assignment)
+
+let budget_of_assignment t assignment =
+  Schedule.min_budget t.instance.Aoa.problem (allocation_of_assignment t assignment)
+
+let three_unit_allocation t assignment =
+  let give = ref [] in
+  Array.iteri
+    (fun q truth -> give := ((if truth then t.walk_true.(q) else t.walk_false.(q)), 1) :: !give)
+    assignment;
+  give := (t.direct, 2) :: !give;
+  Array.iter
+    (fun (x1, x2, x3) -> List.iter (fun a -> give := (a, 1) :: !give) [ x1; x2; x3 ])
+    t.line_exits;
+  Aoa.arc_allocation t.instance !give
+
+let decide_by_assignments t =
+  let n = t.sat.Sat.n_vars in
+  let a = Array.make n false in
+  let rec go i =
+    if i = n then
+      if makespan_of_assignment t a <= t.target && budget_of_assignment t a <= t.sat_budget then
+        Some (Array.copy a)
+      else None
+    else begin
+      a.(i) <- false;
+      match go (i + 1) with
+      | Some r -> Some r
+      | None ->
+          a.(i) <- true;
+          go (i + 1)
+    end
+  in
+  go 0
+
+let min_units t =
+  match decide_by_assignments t with
+  | Some _ -> 2
+  | None ->
+      (* three units always suffice; validate on the all-false assignment *)
+      let alloc = three_unit_allocation t (Array.make t.sat.Sat.n_vars false) in
+      assert (Schedule.makespan t.instance.Aoa.problem alloc <= t.target);
+      assert (Schedule.min_budget t.instance.Aoa.problem alloc <= t.unsat_budget);
+      3

@@ -1,0 +1,64 @@
+(** The minimum-resource inapproximability construction (Section 4.1,
+    Theorem 4.4, Figures 10–11).
+
+    The paper only sketches this reduction ("the buffers are selected
+    carefully"); this module realizes the sketch's invariants with a
+    concrete instantiation (documented in DESIGN.md):
+
+    - the [n] variable gadgets are chained: one resource unit walks
+      [e_1 -> ... -> e_(n+1)], choosing the true or false side of each
+      gadget ([{(0,1),(1,0)}] side arcs); the entry of gadget [q] is
+      reached at exactly time [q - 1] and its exit at time [q];
+    - a direct arc [(s, t0)] with tuples [{(0, M), (1, n)}] delivers a
+      second unit to the clause chain at time [n], in step with the
+      first;
+    - clause gadgets are chained behind [t0]; clause [c]'s entry is
+      reached at time [n + c]. Its three pattern lines (as in the
+      Theorem 4.1 gadget) are timed by taps of constant duration
+      [(n + c + 1) - position], so a line sits at [n + c] iff its
+      exactly-one-true pattern matches the walk's assignment, at
+      [n + c + 1] otherwise; the two units expedite the two non-matching
+      lines' exits and both emerge at [n + c + 1].
+
+    Under makespan target [A = n + m], two units suffice iff the formula
+    is 1-in-3 satisfiable; otherwise some clause has three late lines
+    and a third unit becomes necessary (and sufficient). Distinguishing
+    2 from 3 is therefore NP-hard, giving the 3/2 approximation
+    barrier. *)
+
+open Rtt_core
+
+type t = {
+  sat : Sat.t;
+  instance : Aoa.instance;
+  target : int;  (** n + m *)
+  sat_budget : int;  (** 2 *)
+  unsat_budget : int;  (** 3 *)
+  walk_true : Aoa.arc array;  (** the true-side arc of each variable gadget *)
+  walk_false : Aoa.arc array;
+  direct : Aoa.arc;  (** the (s, t0) arc carrying the second unit *)
+  line_exits : (Aoa.arc * Aoa.arc * Aoa.arc) array;  (** pattern-line exit arcs per clause *)
+}
+
+val reduce : Sat.t -> t
+
+val allocation_of_assignment : t -> bool array -> Schedule.allocation
+(** The two-unit allocation induced by a truth assignment (walk + direct
+    unit, expediting per-clause the two latest lines). *)
+
+val makespan_of_assignment : t -> bool array -> int
+
+val budget_of_assignment : t -> bool array -> int
+(** Min-flow value of the canonical allocation (2 when it exists). *)
+
+val three_unit_allocation : t -> bool array -> Schedule.allocation
+(** Expedites all three lines of every clause — meets the target for any
+    assignment, using three units. *)
+
+val decide_by_assignments : t -> bool array option
+(** An assignment whose two-unit allocation meets the target, if any. *)
+
+val min_units : t -> int
+(** 2 if the formula is 1-in-3 satisfiable (via
+    {!decide_by_assignments}), else 3 (validated against
+    {!three_unit_allocation}). *)

@@ -1,0 +1,193 @@
+open Rtt_duration
+open Rtt_core
+
+(* ---------------------------------------------------------------- *)
+(* Brute-force oracle.                                               *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let n3dm_exists ~a ~b ~c =
+  let n = Array.length a in
+  if Array.length b <> n || Array.length c <> n then invalid_arg "N3dm_red.n3dm_exists";
+  let total = Array.fold_left ( + ) 0 a + Array.fold_left ( + ) 0 b + Array.fold_left ( + ) 0 c in
+  if total mod n <> 0 then None
+  else begin
+    let target = total / n in
+    let perms = List.map Array.of_list (permutations (List.init n Fun.id)) in
+    let check p q =
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if a.(i) + b.(p.(i)) + c.(q.(p.(i))) <> target then ok := false
+      done;
+      !ok
+    in
+    let rec find = function
+      | [] -> None
+      | p :: rest -> (
+          match List.find_opt (fun q -> check p q) perms with
+          | Some q -> Some (p, q)
+          | None -> find rest)
+    in
+    find perms
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Construction.                                                     *)
+
+type matcher = {
+  outputs : Aoa.node array;
+  spread : Aoa.arc array array;  (* (x_i, y^j_i) as [i].(j) *)
+  to_collector : Aoa.arc array array;  (* (y^j_i, y_i) *)
+  to_zprime : Aoa.arc array array;  (* (y^j_i, z'_j) *)
+  collector_out : Aoa.arc array;  (* (y_i, z_i) *)
+  gather : Aoa.arc array;  (* (z'_j, z_j) *)
+}
+
+type t = {
+  a : int array;
+  b : int array;
+  c : int array;
+  instance : Aoa.instance;
+  budget : int;
+  target : int;
+  big : int;
+  triple_sum : int;
+  a_arcs : Aoa.arc array;
+  b_arcs : Aoa.arc array;
+  c_arcs : Aoa.arc array;
+  m1 : matcher;
+  m2 : matcher;
+}
+
+let a t = t.a
+let b t = t.b
+let c t = t.c
+let instance t = t.instance
+let budget t = t.budget
+let target t = t.target
+let big t = t.big
+let triple_sum t = t.triple_sum
+
+let build_matcher builder ~inputs ~inf ~m_big ~tag =
+  let n = Array.length inputs in
+  let node fmt = Printf.ksprintf (fun l -> Aoa.node ~label:l builder) fmt in
+  let y_split = Array.init n (fun i -> Array.init n (fun j -> node "%s_y%d_%d" tag (j + 1) (i + 1))) in
+  let y_coll = Array.init n (fun i -> node "%s_y%d" tag (i + 1)) in
+  let z_prime = Array.init n (fun j -> node "%s_z'%d" tag (j + 1)) in
+  let outputs = Array.init n (fun j -> node "%s_z%d" tag (j + 1)) in
+  let one_unit = Duration.two_point ~t0:inf ~r:1 ~t1:0 in
+  let spread =
+    Array.init n (fun i -> Array.init n (fun j -> Aoa.arc builder inputs.(i) y_split.(i).(j) one_unit))
+  in
+  let to_collector =
+    Array.init n (fun i -> Array.init n (fun j -> Aoa.zero_arc builder y_split.(i).(j) y_coll.(i)))
+  in
+  let to_zprime =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            Aoa.arc builder y_split.(i).(j) z_prime.(j) (Duration.two_point ~t0:m_big ~r:1 ~t1:0)))
+  in
+  let collector_out = Array.init n (fun i -> Aoa.arc builder y_coll.(i) outputs.(i) one_unit) in
+  let gather =
+    Array.init n (fun j ->
+        if n = 1 then Aoa.zero_arc builder z_prime.(j) outputs.(j)
+        else Aoa.arc builder z_prime.(j) outputs.(j) (Duration.two_point ~t0:inf ~r:(n - 1) ~t1:0))
+  in
+  { outputs; spread; to_collector; to_zprime; collector_out; gather }
+
+let matcher_allocation m ~p =
+  let n = Array.length m.outputs in
+  let give = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      give := (m.spread.(i).(j), 1) :: !give;
+      if j = p.(i) then give := (m.to_collector.(i).(j), 1) :: !give
+      else give := (m.to_zprime.(i).(j), 1) :: !give
+    done;
+    give := (m.collector_out.(i), 1) :: !give;
+    if n > 1 then give := (m.gather.(i), n - 1) :: !give
+  done;
+  !give
+
+let reduce ~a ~b ~c =
+  let n = Array.length a in
+  if n = 0 || Array.length b <> n || Array.length c <> n then invalid_arg "N3dm_red.reduce: ragged input";
+  Array.iter
+    (fun v -> if v <= 0 then invalid_arg "N3dm_red.reduce: values must be positive")
+    (Array.concat [ a; b; c ]);
+  let total = Array.fold_left ( + ) 0 a + Array.fold_left ( + ) 0 b + Array.fold_left ( + ) 0 c in
+  if total mod n <> 0 then invalid_arg "N3dm_red.reduce: target sum not integral";
+  let triple_sum = total / n in
+  let maxv arr = Array.fold_left max 0 arr in
+  let m_big = maxv a + maxv b + maxv c + 1 in
+  let target = (2 * m_big) + triple_sum in
+  let inf = target + m_big in
+  let builder = Aoa.create () in
+  let s = Aoa.node ~label:"s" builder and t = Aoa.node ~label:"t" builder in
+  let node fmt = Printf.ksprintf (fun l -> Aoa.node ~label:l builder) fmt in
+  let a_nodes = Array.init n (fun i -> node "a%d" (i + 1)) in
+  let a_arcs =
+    Array.init n (fun i -> Aoa.arc builder s a_nodes.(i) (Duration.two_point ~t0:inf ~r:n ~t1:a.(i)))
+  in
+  let m1 = build_matcher builder ~inputs:a_nodes ~inf ~m_big ~tag:"m1" in
+  let b_nodes = Array.init n (fun j -> node "b'%d" (j + 1)) in
+  let b_arcs =
+    Array.init n (fun j ->
+        Aoa.arc builder m1.outputs.(j) b_nodes.(j) (Duration.two_point ~t0:inf ~r:n ~t1:b.(j)))
+  in
+  let m2 = build_matcher builder ~inputs:b_nodes ~inf ~m_big ~tag:"m2" in
+  let c_arcs =
+    Array.init n (fun k ->
+        Aoa.arc builder m2.outputs.(k) t (Duration.two_point ~t0:inf ~r:n ~t1:c.(k)))
+  in
+  let instance = Aoa.instance builder in
+  { a; b; c; instance; budget = n * n; target; big = m_big; triple_sum; a_arcs; b_arcs; c_arcs; m1; m2 }
+
+let allocation_of_matching t ~p ~q =
+  let n = Array.length t.a in
+  let check_perm p =
+    Array.length p = n
+    &&
+    let seen = Array.make n false in
+    Array.for_all
+      (fun j -> j >= 0 && j < n && not seen.(j) && (seen.(j) <- true; true))
+      p
+  in
+  if not (check_perm p && check_perm q) then invalid_arg "N3dm_red: p and q must be permutations";
+  let give =
+    List.concat
+      [
+        List.init n (fun i -> (t.a_arcs.(i), n));
+        List.init n (fun j -> (t.b_arcs.(j), n));
+        List.init n (fun k -> (t.c_arcs.(k), n));
+        matcher_allocation t.m1 ~p;
+        matcher_allocation t.m2 ~p:q;
+      ]
+  in
+  Aoa.arc_allocation t.instance give
+
+let makespan_of_matching t ~p ~q =
+  Schedule.makespan t.instance.Aoa.problem (allocation_of_matching t ~p ~q)
+
+let decide_by_matchings t =
+  let n = Array.length t.a in
+  let perms = List.map Array.of_list (permutations (List.init n Fun.id)) in
+  let ok p q =
+    makespan_of_matching t ~p ~q <= t.target
+    && Schedule.min_budget t.instance.Aoa.problem (allocation_of_matching t ~p ~q) <= t.budget
+  in
+  let rec find = function
+    | [] -> None
+    | p :: rest -> (
+        match List.find_opt (fun q -> ok p q) perms with
+        | Some q -> Some (p, q)
+        | None -> find rest)
+  in
+  find perms

@@ -1,0 +1,60 @@
+(** The Numerical 3-Dimensional Matching reduction (Appendix A,
+    Lemma A.1, Figures 17–18).
+
+    Given [A, B, C] of [n] positive integers each with
+    [T = (ΣA + ΣB + ΣC) / n], the reduced DAG routes [n²] resource units
+    from [s] through an [A]-stage, a {e bipartite matcher}, a [B]-stage,
+    a second matcher, and a [C]-stage to [t]:
+
+    - stage arcs [(s, a_i)], [(b_j, b'_j)], [(c_k, t)] have tuples
+      [{(0, INF), (n, value)}] — they demand [n] units and then take
+      exactly their element's value;
+    - the matcher (Figure 17) maps its [n] inputs one-to-one onto its
+      [n] outputs: input [x_i] spreads one unit to each [y^j_i]; exactly
+      one of them diverts its unit to the collector [y_i], leaving its
+      arc [(y^j_i, z'_j)] at duration [M] — which is how input [i]'s
+      completion time (and only its) reaches output [z_j]; the collector
+      arcs [(y_i, z_i)] and the gathering arcs [(z'_j, z_j)] (demanding
+      [n-1] units) force the diversion pattern to be a bijection.
+
+    Makespan [2M + T] is achievable with budget [n²] iff the instance
+    has a perfect numerical 3-D matching. *)
+
+open Rtt_core
+
+type t
+
+val a : t -> int array
+val b : t -> int array
+val c : t -> int array
+val instance : t -> Aoa.instance
+val budget : t -> int
+(** [n²]. *)
+
+val target : t -> int
+(** [2M + T]. *)
+
+val big : t -> int
+(** The [M] of the construction. *)
+
+val triple_sum : t -> int
+(** [T]. *)
+
+val n3dm_exists : a:int array -> b:int array -> c:int array -> (int array * int array) option
+(** Brute-force oracle: permutations [(p, q)] with
+    [a.(i) + b.(p.(i)) + c.(q.(p.(i))) = T] for all [i]; [None]
+    otherwise. Factorial-time; for [n <= 6]. *)
+
+val reduce : a:int array -> b:int array -> c:int array -> t
+(** @raise Invalid_argument on ragged arrays, non-positive values, or a
+    non-integral [T]. *)
+
+val allocation_of_matching : t -> p:int array -> q:int array -> Schedule.allocation
+(** Canonical allocation for matcher-1 mapping [i -> p.(i)] and
+    matcher-2 mapping [j -> q.(j)] (both permutations). *)
+
+val makespan_of_matching : t -> p:int array -> q:int array -> int
+
+val decide_by_matchings : t -> (int array * int array) option
+(** Searches all permutation pairs for one meeting the target within the
+    budget (the executable content of Lemma A.1). *)

@@ -1,0 +1,137 @@
+open Rtt_dag
+open Rtt_duration
+open Rtt_core
+
+type t = {
+  items : int array;
+  instance : Problem.t;
+  budget : int;
+  target : int;
+  big : int;
+  supply : Dag.vertex array;
+  top : Dag.vertex array;
+  bottom : Dag.vertex array;
+  funnel : Dag.vertex array;
+  conduit : (Dag.vertex * Dag.vertex * Dag.vertex) array;
+}
+
+let reduce items =
+  if Array.length items = 0 then invalid_arg "Partition_red.reduce: empty set";
+  Array.iter (fun s -> if s <= 0 then invalid_arg "Partition_red.reduce: items must be positive") items;
+  let total = Array.fold_left ( + ) 0 items in
+  let target = total / 2 in
+  let big = target + 1 in
+  let n = Array.length items in
+  let g = Dag.create () in
+  let src = Dag.add_vertex ~label:"s" g in
+  let v0 = Dag.add_vertex ~label:"v0" g in
+  let supply = Array.init n (fun i -> Dag.add_vertex ~label:(Printf.sprintf "v1_%d" i) g) in
+  let top = Array.init n (fun i -> Dag.add_vertex ~label:(Printf.sprintf "v2_%d" i) g) in
+  let bottom = Array.init n (fun i -> Dag.add_vertex ~label:(Printf.sprintf "v3_%d" i) g) in
+  let funnel = Array.init n (fun i -> Dag.add_vertex ~label:(Printf.sprintf "v4_%d" i) g) in
+  let conduit =
+    Array.init n (fun i ->
+        ( Dag.add_vertex ~label:(Printf.sprintf "v5_%d" i) g,
+          Dag.add_vertex ~label:(Printf.sprintf "v6_%d" i) g,
+          Dag.add_vertex ~label:(Printf.sprintf "v7_%d" i) g ))
+  in
+  for i = 0 to n - 1 do
+    Dag.add_edge g src supply.(i);
+    Dag.add_edge g supply.(i) top.(i);
+    Dag.add_edge g supply.(i) bottom.(i);
+    if i > 0 then begin
+      Dag.add_edge g top.(i - 1) top.(i);
+      Dag.add_edge g bottom.(i - 1) bottom.(i)
+    end;
+    Dag.add_edge g top.(i) funnel.(i);
+    Dag.add_edge g bottom.(i) funnel.(i);
+    let c5, c6, c7 = conduit.(i) in
+    Dag.add_edge g funnel.(i) c5;
+    Dag.add_edge g c5 c6;
+    Dag.add_edge g c6 c7;
+    Dag.add_edge g c7 v0
+  done;
+  (* the final top/bottom vertices also reach the sink so their path
+     totals count toward the makespan *)
+  Dag.add_edge g top.(n - 1) v0;
+  Dag.add_edge g bottom.(n - 1) v0;
+  let durations = Hashtbl.create 16 in
+  Array.iteri
+    (fun i s ->
+      Hashtbl.add durations supply.(i) (Duration.two_point ~t0:big ~r:s ~t1:0);
+      Hashtbl.add durations top.(i) (Duration.two_point ~t0:s ~r:s ~t1:0);
+      Hashtbl.add durations bottom.(i) (Duration.two_point ~t0:s ~r:s ~t1:0);
+      Hashtbl.add durations funnel.(i) (Duration.two_point ~t0:big ~r:s ~t1:0))
+    items;
+  let instance =
+    Problem.make g ~durations:(fun v ->
+        match Hashtbl.find_opt durations v with Some d -> d | None -> Duration.constant 0)
+  in
+  { items; instance; budget = total; target; big; supply; top; bottom; funnel; conduit }
+
+let partition_exists items =
+  let total = Array.fold_left ( + ) 0 items in
+  if total mod 2 <> 0 then false
+  else begin
+    let half = total / 2 in
+    (* subset-sum bitset DP *)
+    let reachable = Array.make (half + 1) false in
+    reachable.(0) <- true;
+    Array.iter
+      (fun s ->
+        for v = half downto s do
+          if reachable.(v - s) then reachable.(v) <- true
+        done)
+      items;
+    reachable.(half)
+  end
+
+let allocation_of_subset t subset =
+  if Array.length subset <> Array.length t.items then invalid_arg "Partition_red: subset size";
+  let alloc = Schedule.zero_allocation t.instance in
+  Array.iteri
+    (fun i s ->
+      alloc.(t.supply.(i)) <- s;
+      alloc.(t.funnel.(i)) <- s;
+      if subset.(i) then alloc.(t.top.(i)) <- s else alloc.(t.bottom.(i)) <- s)
+    t.items;
+  alloc
+
+let makespan_of_subset t subset = Schedule.makespan t.instance (allocation_of_subset t subset)
+
+let decide_by_subsets t =
+  let n = Array.length t.items in
+  let subset = Array.make n false in
+  let rec go i =
+    if i = n then
+      if
+        makespan_of_subset t subset <= t.target
+        && Schedule.min_budget t.instance (allocation_of_subset t subset) <= t.budget
+      then Some (Array.copy subset)
+      else None
+    else begin
+      subset.(i) <- false;
+      match go (i + 1) with
+      | Some r -> Some r
+      | None ->
+          subset.(i) <- true;
+          go (i + 1)
+    end
+  in
+  go 0
+
+let tree_decomposition t =
+  let n = Array.length t.items in
+  let gadget i =
+    let c5, c6, c7 = t.conduit.(i) in
+    [ t.supply.(i); t.top.(i); t.bottom.(i); t.funnel.(i); c5; c6; c7 ]
+  in
+  (* the problem's source (added by normalization) is our src vertex 0;
+     the sink v0 is vertex 1 *)
+  let src = 0 and v0 = 1 in
+  let bags =
+    Array.init n (fun i ->
+        if i = 0 then (src :: v0 :: gadget 0)
+        else src :: v0 :: (gadget (i - 1) @ gadget i))
+  in
+  Treewidth.path_decomposition bags

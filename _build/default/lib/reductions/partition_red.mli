@@ -1,0 +1,56 @@
+(** The Partition reduction on bounded-treewidth graphs (Section 4.3,
+    Theorem 4.6, Figures 15–16).
+
+    Each item [s_i] contributes a 7-vertex gadget
+    [{v1..v7}] (jobs on vertices, matching the paper's [V_i] bags):
+    - [v1] (supply): duration [{(0, M), (s_i, 0)}] with an edge from the
+      source — forces [s_i] resource units through the gadget; the total
+      budget is [B = Σ s_i], so the forcing is tight;
+    - [v2] (top) and [v3] (bottom): duration [{(0, s_i), (s_i, 0)}], fed
+      from [v1]; the top vertices are chained [v2_1 -> v2_2 -> ...] and
+      likewise the bottom ones, so whichever side does {e not} receive
+      the item's units adds [s_i] to its path;
+    - [v4] (funnel): duration [{(0, M), (s_i, 0)}], fed from both sides
+      — it demands the same [s_i] units, pinning them inside the gadget
+      so they cannot drift right and serve another item;
+    - [v5, v6, v7]: zero-duration conduit to the sink [v0].
+
+    Makespan [B/2] is achievable within budget [B] iff the items
+    partition into two halves of equal sum. The accompanying path
+    decomposition ([{src, v0} ∪ V_(i-1) ∪ V_i] per bag, Figure 16) has
+    width 15, certifying bounded treewidth. *)
+
+open Rtt_dag
+open Rtt_core
+
+type t = {
+  items : int array;
+  instance : Problem.t;
+  budget : int;  (** Σ items *)
+  target : int;  (** Σ items / 2 (floor) *)
+  big : int;  (** the M of the construction *)
+  supply : Dag.vertex array;
+  top : Dag.vertex array;
+  bottom : Dag.vertex array;
+  funnel : Dag.vertex array;
+  conduit : (Dag.vertex * Dag.vertex * Dag.vertex) array;
+}
+
+val reduce : int array -> t
+(** @raise Invalid_argument on an empty set or non-positive items. *)
+
+val partition_exists : int array -> bool
+(** Brute-force Partition oracle (for ≤ ~24 items). *)
+
+val allocation_of_subset : t -> bool array -> Schedule.allocation
+(** [subset.(i) = true] sends item [i]'s units through the top vertex
+    (so its time lands on the bottom path). *)
+
+val makespan_of_subset : t -> bool array -> int
+
+val decide_by_subsets : t -> bool array option
+(** First subset whose canonical allocation meets the target within the
+    budget; equivalent to Partition (Theorem 4.6). *)
+
+val tree_decomposition : t -> Treewidth.t
+(** The Figure 16 path decomposition; always valid, width ≤ 15. *)

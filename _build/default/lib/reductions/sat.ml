@@ -1,0 +1,97 @@
+type literal = { var : int; positive : bool }
+type clause = literal * literal * literal
+type t = { n_vars : int; clauses : clause list }
+
+let lit var positive = { var; positive }
+
+let make ~n_vars clauses =
+  let conv = function
+    | [ (a, pa); (b, pb); (c, pc) ] ->
+        List.iter
+          (fun v -> if v < 0 || v >= n_vars then invalid_arg "Sat.make: variable out of range")
+          [ a; b; c ];
+        (lit a pa, lit b pb, lit c pc)
+    | _ -> invalid_arg "Sat.make: clauses must have exactly three literals"
+  in
+  { n_vars; clauses = List.map conv clauses }
+
+let literal_value l assignment = if l.positive then assignment.(l.var) else not assignment.(l.var)
+
+let clause_count_true (a, b, c) assignment =
+  List.length (List.filter (fun l -> literal_value l assignment) [ a; b; c ])
+
+let satisfies t assignment =
+  Array.length assignment = t.n_vars
+  && List.for_all (fun c -> clause_count_true c assignment = 1) t.clauses
+
+let assignments_fold t f init =
+  let n = t.n_vars in
+  let acc = ref init in
+  let a = Array.make n false in
+  let rec go i =
+    if i = n then acc := f !acc a
+    else begin
+      a.(i) <- false;
+      go (i + 1);
+      a.(i) <- true;
+      go (i + 1)
+    end
+  in
+  go 0;
+  !acc
+
+exception Found of bool array
+
+let solve t =
+  try
+    assignments_fold t (fun () a -> if satisfies t a then raise (Found (Array.copy a))) ();
+    None
+  with Found a -> Some a
+
+let count_solutions t = assignments_fold t (fun n a -> if satisfies t a then n + 1 else n) 0
+
+let random rng ~n_vars ~n_clauses =
+  if n_vars < 3 then invalid_arg "Sat.random: need at least 3 variables";
+  let clause () =
+    (* three distinct variables, random polarities *)
+    let rec pick chosen =
+      if List.length chosen = 3 then chosen
+      else begin
+        let v = Random.State.int rng n_vars in
+        if List.mem v chosen then pick chosen else pick (v :: chosen)
+      end
+    in
+    List.map (fun v -> (v, Random.State.bool rng)) (pick [])
+  in
+  make ~n_vars (List.init n_clauses (fun _ -> clause ()))
+
+let random_satisfiable rng ~n_vars ~n_clauses =
+  if n_vars < 3 then invalid_arg "Sat.random_satisfiable: need at least 3 variables";
+  let planted = Array.init n_vars (fun _ -> Random.State.bool rng) in
+  let clause () =
+    let rec pick chosen =
+      if List.length chosen = 3 then chosen
+      else begin
+        let v = Random.State.int rng n_vars in
+        if List.mem v chosen then pick chosen else pick (v :: chosen)
+      end
+    in
+    let vars = pick [] in
+    (* make exactly one literal true under the planted assignment *)
+    let true_idx = Random.State.int rng 3 in
+    List.mapi (fun i v -> (v, if i = true_idx then planted.(v) else not planted.(v))) vars
+  in
+  (make ~n_vars (List.init n_clauses (fun _ -> clause ())), planted)
+
+let example_paper =
+  make ~n_vars:3 [ [ (0, true); (1, false); (2, true) ]; [ (0, false); (1, true); (2, true) ] ]
+
+let pp fmt t =
+  let pp_lit fmt l = Format.fprintf fmt "%sV%d" (if l.positive then "" else "¬") l.var in
+  Format.fprintf fmt "@[<h>";
+  List.iteri
+    (fun i (a, b, c) ->
+      if i > 0 then Format.fprintf fmt " ∧ ";
+      Format.fprintf fmt "(%a ∨ %a ∨ %a)" pp_lit a pp_lit b pp_lit c)
+    t.clauses;
+  Format.fprintf fmt "@]"

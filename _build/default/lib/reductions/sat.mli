@@ -1,0 +1,46 @@
+(** 1-in-3SAT instances (the source problem of Sections 4.1–4.2).
+
+    An instance asks for a truth assignment under which {e exactly one}
+    literal of every three-literal clause is true (Schaefer's variant,
+    strongly NP-hard). The brute-force solver here is the ground truth
+    against which the hardness reductions are machine-checked. *)
+
+type literal = { var : int; positive : bool }
+
+type clause = literal * literal * literal
+
+type t = { n_vars : int; clauses : clause list }
+
+val make : n_vars:int -> (int * bool) list list -> t
+(** Clauses as [(var, positive)] triples.
+    @raise Invalid_argument if a clause does not have exactly three
+    literals or mentions a variable outside [0 .. n_vars-1]. *)
+
+val lit : int -> bool -> literal
+
+val literal_value : literal -> bool array -> bool
+
+val clause_count_true : clause -> bool array -> int
+
+val satisfies : t -> bool array -> bool
+(** Exactly one true literal in every clause. *)
+
+val solve : t -> bool array option
+(** Brute force over all [2^n_vars] assignments (first in lexicographic
+    order); [None] when unsatisfiable. Intended for [n_vars <= 20]. *)
+
+val count_solutions : t -> int
+
+val random : Random.State.t -> n_vars:int -> n_clauses:int -> t
+(** Uniformly random clauses over distinct variables (requires
+    [n_vars >= 3]). *)
+
+val random_satisfiable : Random.State.t -> n_vars:int -> n_clauses:int -> t * bool array
+(** Plants an assignment and emits only clauses with exactly one true
+    literal under it. *)
+
+val example_paper : t
+(** The formula [(V1 ∨ ¬V2 ∨ V3) ∧ (¬V1 ∨ V2 ∨ V3)] of Figure 9
+    (0-indexed variables). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Dag Gen List Longest_path QCheck QCheck_alcotest Random Rtt_dag Sp Treewidth

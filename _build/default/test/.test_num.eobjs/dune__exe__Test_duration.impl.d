@@ -1,0 +1,1 @@
+test/test_duration.ml: Alcotest Binary_split Duration Kway List Printf QCheck QCheck_alcotest Rtt_duration

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Decompose List Maxflow Minflow QCheck QCheck_alcotest Random Rtt_flow

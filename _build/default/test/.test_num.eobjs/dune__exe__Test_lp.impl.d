@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Linexpr List Lp Printf QCheck QCheck_alcotest Random Rat Rtt_lp Rtt_num

@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Bigint Float List Printf QCheck QCheck_alcotest Rat Rtt_num String

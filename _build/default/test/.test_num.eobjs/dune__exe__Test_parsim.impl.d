@@ -1,0 +1,1 @@
+test/test_parsim.ml: Alcotest Array Dag Gen Hashtbl Interp List Longest_path Matmul Printf Prog QCheck QCheck_alcotest Race Race_dag Random Reducer_sim Rtt_dag Rtt_duration Rtt_parsim Sim

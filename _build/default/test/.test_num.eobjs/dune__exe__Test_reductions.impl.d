@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Aoa Array Gadget_general Gadget_split List Minresource_red N3dm_red Partition_red Printf Problem Random Rtt_core Rtt_dag Rtt_parsim Rtt_reductions Sat Schedule

@@ -1,0 +1,144 @@
+(* Tests for the three duration-function classes of Section 2:
+   general non-increasing step functions (Equation 1), k-way splitting
+   (Equation 2) and recursive binary splitting (Equation 3). *)
+
+open Rtt_duration
+
+let duration_units =
+  [
+    Alcotest.test_case "make validates and canonicalizes" `Quick (fun () ->
+        let d = Duration.make [ (0, 10); (2, 7); (4, 7); (6, 3) ] in
+        (* the (4,7) step buys nothing and is dropped *)
+        Alcotest.(check (list (pair int int))) "tuples" [ (0, 10); (2, 7); (6, 3) ] (Duration.tuples d));
+    Alcotest.test_case "make rejects bad input" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Duration.make: empty") (fun () ->
+            ignore (Duration.make []));
+        Alcotest.check_raises "no zero" (Invalid_argument "Duration.make: no tuple at resource 0")
+          (fun () -> ignore (Duration.make [ (1, 5) ]));
+        Alcotest.check_raises "increasing"
+          (Invalid_argument "Duration.make: duration function must be non-increasing") (fun () ->
+            ignore (Duration.make [ (0, 3); (2, 5) ]));
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Duration.make: negative resource or time") (fun () ->
+            ignore (Duration.make [ (0, -1) ]));
+        Alcotest.check_raises "conflict"
+          (Invalid_argument "Duration.make: conflicting times at one resource level") (fun () ->
+            ignore (Duration.make [ (0, 5); (0, 4) ])));
+    Alcotest.test_case "eval steps correctly" `Quick (fun () ->
+        let d = Duration.make [ (0, 10); (2, 7); (6, 3) ] in
+        List.iter
+          (fun (r, want) -> Alcotest.(check int) (Printf.sprintf "t(%d)" r) want (Duration.eval d r))
+          [ (0, 10); (1, 10); (2, 7); (5, 7); (6, 3); (100, 3) ]);
+    Alcotest.test_case "eval rejects negative resources" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Duration.eval: negative resource") (fun () ->
+            ignore (Duration.eval (Duration.constant 3) (-1))));
+    Alcotest.test_case "constant" `Quick (fun () ->
+        let d = Duration.constant 4 in
+        Alcotest.(check bool) "is_constant" true (Duration.is_constant d);
+        Alcotest.(check int) "eval" 4 (Duration.eval d 100);
+        Alcotest.(check int) "max_useful" 0 (Duration.max_useful_resource d));
+    Alcotest.test_case "two_point" `Quick (fun () ->
+        let d = Duration.two_point ~t0:5 ~r:3 ~t1:0 in
+        Alcotest.(check int) "t(0)" 5 (Duration.eval d 0);
+        Alcotest.(check int) "t(3)" 0 (Duration.eval d 3);
+        Alcotest.(check int) "base" 5 (Duration.base_time d);
+        Alcotest.(check int) "best" 0 (Duration.best_time d);
+        Alcotest.check_raises "no gain" (Invalid_argument "Duration.two_point") (fun () ->
+            ignore (Duration.two_point ~t0:5 ~r:3 ~t1:5)));
+  ]
+
+let kway_units =
+  [
+    Alcotest.test_case "equation 2 values" `Quick (fun () ->
+        (* d = 16: sqrt = 4 *)
+        List.iter
+          (fun (k, want) -> Alcotest.(check int) (Printf.sprintf "t(16,%d)" k) want (Kway.time ~work:16 k))
+          [ (0, 16); (1, 16); (2, 10); (3, 9); (4, 8); (5, 8); (100, 8) ]);
+    Alcotest.test_case "max_split" `Quick (fun () ->
+        Alcotest.(check int) "sqrt 16" 4 (Kway.max_split ~work:16);
+        Alcotest.(check int) "sqrt 17" 4 (Kway.max_split ~work:17);
+        Alcotest.(check int) "sqrt 1" 1 (Kway.max_split ~work:1);
+        Alcotest.(check int) "sqrt 0" 0 (Kway.max_split ~work:0));
+    Alcotest.test_case "tiny works degenerate" `Quick (fun () ->
+        Alcotest.(check int) "d=1" 1 (Kway.time ~work:1 5);
+        Alcotest.(check int) "d=3 k=2" 3 (Kway.time ~work:3 2));
+    Alcotest.test_case "to_duration consistent with time" `Quick (fun () ->
+        let work = 30 in
+        let d = Kway.to_duration ~work in
+        for r = 0 to 12 do
+          Alcotest.(check bool)
+            (Printf.sprintf "t(%d)" r)
+            true
+            (Duration.eval d r <= Kway.time ~work r)
+        done);
+  ]
+
+let binary_units =
+  [
+    Alcotest.test_case "equation 3 values" `Quick (fun () ->
+        (* d = 64: k = floor (log2 (64 ln 2)) = floor(log2 44.36) = 5 *)
+        Alcotest.(check int) "k" 5 (Binary_split.max_height ~work:64);
+        List.iter
+          (fun (r, want) ->
+            Alcotest.(check int) (Printf.sprintf "t(64,%d)" r) want (Binary_split.time ~work:64 r))
+          [ (0, 64); (1, 64); (2, 34); (4, 19); (8, 12); (16, 9); (32, 8); (64, 8); (1000, 8) ]);
+    Alcotest.test_case "max_height small values" `Quick (fun () ->
+        List.iter
+          (fun (d, want) ->
+            Alcotest.(check int) (Printf.sprintf "k(%d)" d) want (Binary_split.max_height ~work:d))
+          [ (1, 0); (2, 0); (3, 1); (4, 1); (6, 2); (12, 3); (24, 4) ]);
+    Alcotest.test_case "levels" `Quick (fun () ->
+        Alcotest.(check (list int)) "levels 64" [ 0; 2; 4; 8; 16; 32 ] (Binary_split.levels ~work:64));
+    Alcotest.test_case "time clamps at work" `Quick (fun () ->
+        (* small d where the formula would exceed d *)
+        Alcotest.(check int) "d=3 r=2" 3 (Binary_split.time ~work:3 2));
+    Alcotest.test_case "composite-node constants of Section 4.2" `Quick (fun () ->
+        (* a composite of order k with 2 units finishes its final cell's
+           writes in ceil(k/2) + 2 = k/2 + 2 for even k *)
+        let k = 42 in
+        Alcotest.(check int) "binary t(2)" ((k / 2) + 2) (Binary_split.time ~work:k 2);
+        Alcotest.(check int) "kway t(2)" ((k / 2) + 2) (Kway.time ~work:k 2));
+    Alcotest.test_case "to_duration non-increasing and canonical" `Quick (fun () ->
+        for work = 1 to 100 do
+          let d = Binary_split.to_duration ~work in
+          let tuples = Duration.tuples d in
+          let rec mono = function
+            | (_, t1) :: (((_, t2) :: _) as rest) -> t2 < t1 && mono rest
+            | _ -> true
+          in
+          Alcotest.(check bool) (Printf.sprintf "mono %d" work) true (mono tuples)
+        done);
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let props =
+  [
+    prop "kway non-increasing in k" 100 QCheck.(pair (int_range 1 200) (int_range 0 30)) (fun (w, k) ->
+        Kway.time ~work:w (k + 1) <= Kway.time ~work:w k);
+    prop "kway never worse than serial" 100 QCheck.(pair (int_range 1 200) (int_range 0 30)) (fun (w, k) ->
+        Kway.time ~work:w k <= w);
+    prop "binary non-increasing in r" 100 QCheck.(pair (int_range 1 300) (int_range 0 64)) (fun (w, r) ->
+        Binary_split.time ~work:w (r + 1) <= Binary_split.time ~work:w r);
+    prop "binary halving at most doubles (Theorem 3.10's engine)" 100
+      QCheck.(pair (int_range 4 500) (int_range 1 8))
+      (fun (w, i) ->
+        let r = 1 lsl i in
+        Binary_split.time ~work:w (r / 2) <= 2 * Binary_split.time ~work:w r);
+    prop "binary t(2^k) matches formula when formula helps" 100 QCheck.(int_range 8 1000) (fun w ->
+        let k = Binary_split.max_height ~work:w in
+        k < 1
+        || Binary_split.time ~work:w (1 lsl k) = min w (((w + (1 lsl k) - 1) / (1 lsl k)) + k + 1));
+    prop "eval at tuple points returns tuple times" 100 QCheck.(int_range 1 500) (fun w ->
+        let d = Binary_split.to_duration ~work:w in
+        List.for_all (fun (r, t) -> Duration.eval d r = t) (Duration.tuples d));
+    prop "duration eval is non-increasing" 100
+      QCheck.(pair (int_range 1 300) (int_range 0 50))
+      (fun (w, r) ->
+        let d = Kway.to_duration ~work:w in
+        Duration.eval d (r + 1) <= Duration.eval d r);
+  ]
+
+let () =
+  Alcotest.run "rtt_duration"
+    [ ("step-functions", duration_units); ("kway", kway_units); ("binary", binary_units); ("properties", props) ]

@@ -1,0 +1,399 @@
+(* Second-wave coverage: edge cases and cross-module behaviours that the
+   per-library suites do not reach — residual-network semantics of
+   repeated max-flow runs, min-cut saturation, DOT escaping, planted
+   large-formula forward checks of the reductions, and algebraic
+   identities on the number tower. *)
+
+open Rtt_num
+open Rtt_dag
+open Rtt_flow
+open Rtt_duration
+open Rtt_core
+open Rtt_reductions
+
+let rng_of seed = Random.State.make [| seed |]
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let num_extra =
+  [
+    Alcotest.test_case "mul_int boundary values" `Quick (fun () ->
+        let big = Bigint.of_string "123456789123456789" in
+        List.iter
+          (fun k ->
+            Alcotest.(check string)
+              (Printf.sprintf "k=%d" k)
+              (Bigint.to_string (Bigint.mul big (Bigint.of_int k)))
+              (Bigint.to_string (Bigint.mul_int big k)))
+          [ 0; 1; -1; 1073741823; 1073741824; -1073741825; max_int; min_int ]);
+    Alcotest.test_case "add_int boundary values" `Quick (fun () ->
+        let big = Bigint.of_string "999999999999999999999" in
+        List.iter
+          (fun k ->
+            Alcotest.(check string)
+              (Printf.sprintf "k=%d" k)
+              (Bigint.to_string (Bigint.add big (Bigint.of_int k)))
+              (Bigint.to_string (Bigint.add_int big k)))
+          [ 0; 1; -1; 1 lsl 29; (1 lsl 30) + 1; min_int ]);
+    prop "pow adds exponents" 50 QCheck.(pair (int_range 0 20) (int_range 0 20)) (fun (a, b) ->
+        let x = Bigint.of_int 3 in
+        Bigint.equal (Bigint.pow x (a + b)) (Bigint.mul (Bigint.pow x a) (Bigint.pow x b)));
+    prop "gcd is associative" 50 QCheck.(triple small_nat small_nat small_nat) (fun (a, b, c) ->
+        let f = Bigint.of_int in
+        Bigint.equal
+          (Bigint.gcd (f a) (Bigint.gcd (f b) (f c)))
+          (Bigint.gcd (Bigint.gcd (f a) (f b)) (f c)));
+    prop "stein gcd agrees with euclid on naturals" 200 QCheck.(pair (int_range 0 1000000) (int_range 0 1000000)) (fun (a, b) ->
+        let rec euclid a b = if b = 0 then a else euclid b (a mod b) in
+        Bigint.to_int (Bigint.gcd (Bigint.of_int a) (Bigint.of_int b)) = euclid (max a b) (min a b));
+    Alcotest.test_case "rat mul_int and min/max" `Quick (fun () ->
+        Alcotest.(check string) "mul_int" "9/2" (Rat.to_string (Rat.mul_int (Rat.of_ints 3 2) 3));
+        Alcotest.(check string) "min" "1/3" (Rat.to_string (Rat.min (Rat.of_ints 1 3) (Rat.of_ints 1 2)));
+        Alcotest.(check string) "max" "1/2" (Rat.to_string (Rat.max (Rat.of_ints 1 3) (Rat.of_ints 1 2))));
+    prop "rat compare is transitive" 100 QCheck.(triple (int_range (-50) 50) (int_range (-50) 50) (int_range (-50) 50))
+      (fun (a, b, c) ->
+        let q x = Rat.of_ints x 7 in
+        if Rat.(q a <= q b) && Rat.(q b <= q c) then Rat.(q a <= q c) else true);
+  ]
+
+let flow_extra =
+  [
+    Alcotest.test_case "second max_flow run finds nothing more" `Quick (fun () ->
+        let g = Maxflow.create ~n:4 in
+        ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:3);
+        ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:2);
+        ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:5);
+        Alcotest.(check int) "first" 2 (Maxflow.max_flow g ~s:0 ~t:3);
+        Alcotest.(check int) "residual is drained" 0 (Maxflow.max_flow g ~s:0 ~t:3));
+    Alcotest.test_case "freeze_edge blocks further flow" `Quick (fun () ->
+        let g = Maxflow.create ~n:2 in
+        let e = Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5 in
+        Maxflow.freeze_edge g e;
+        Alcotest.(check int) "frozen" 0 (Maxflow.max_flow g ~s:0 ~t:1));
+    prop "min-cut edges are saturated" 50 QCheck.(int_range 3 10) (fun n ->
+        let rng = rng_of (n + 600) in
+        let g = Maxflow.create ~n in
+        let edges = ref [] in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if i <> j && Random.State.float rng 1.0 < 0.4 then begin
+              let c = Random.State.int rng 9 in
+              edges := (i, j, c, Maxflow.add_edge g ~src:i ~dst:j ~cap:c) :: !edges
+            end
+          done
+        done;
+        ignore (Maxflow.max_flow g ~s:0 ~t:(n - 1));
+        let cut = Maxflow.min_cut g ~s:0 in
+        cut.(n - 1)
+        || List.for_all
+             (fun (i, j, c, e) -> (not (cut.(i) && not cut.(j))) || Maxflow.flow g e = c)
+             !edges);
+    Alcotest.test_case "minflow respects binding upper bounds" `Quick (fun () ->
+        (* lower bound 4 must route around a capacity-2 shortcut *)
+        let specs =
+          [|
+            { Minflow.src = 0; dst = 1; lower = 4; upper = 99 };
+            { Minflow.src = 1; dst = 3; lower = 0; upper = 2 };
+            { Minflow.src = 1; dst = 2; lower = 0; upper = 99 };
+            { Minflow.src = 2; dst = 3; lower = 0; upper = 99 };
+          |]
+        in
+        match Minflow.solve ~n:4 ~s:0 ~t:3 specs with
+        | Some r ->
+            Alcotest.(check int) "value" 4 r.Minflow.value;
+            Alcotest.(check bool) "cap respected" true (r.Minflow.edge_flow.(1) <= 2)
+        | None -> Alcotest.fail "feasible");
+    Alcotest.test_case "decompose with parallel edges" `Quick (fun () ->
+        let edges = [| (0, 1); (0, 1); (1, 2) |] in
+        let flow = [| 1; 2; 3 |] in
+        let paths = Decompose.decompose ~n:3 ~s:0 ~t:2 ~edges ~flow in
+        Alcotest.(check int) "total" 3 (Decompose.total paths);
+        Alcotest.(check bool) "check" true (Decompose.check ~edges ~flow paths));
+  ]
+
+let dag_extra =
+  [
+    Alcotest.test_case "DOT output mentions every vertex and edge" `Quick (fun () ->
+        let g = Dag.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+        Dag.set_label g 0 "say \"hi\"";
+        let dot = Dot.to_dot g in
+        Alcotest.(check bool) "digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+        List.iter
+          (fun needle ->
+            let contains s sub =
+              let n = String.length s and m = String.length sub in
+              let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+              go 0
+            in
+            Alcotest.(check bool) needle true (contains dot needle))
+          [ "0 -> 1"; "1 -> 2"; "say \\\"hi\\\"" ]);
+    Alcotest.test_case "generator argument validation" `Quick (fun () ->
+        let rng = rng_of 1 in
+        Alcotest.check_raises "layers" (Invalid_argument "Gen.layered") (fun () ->
+            ignore (Gen.layered rng ~layers:0 ~width:2 ~edge_prob:0.5));
+        Alcotest.check_raises "n" (Invalid_argument "Gen.erdos_renyi") (fun () ->
+            ignore (Gen.erdos_renyi rng ~n:0 ~edge_prob:0.5));
+        Alcotest.check_raises "leaves" (Invalid_argument "Gen.random_sp") (fun () ->
+            ignore (Gen.random_sp rng ~leaves:0 ~series_bias:0.5)));
+    Alcotest.test_case "edge event times with parallel edges" `Quick (fun () ->
+        let g = Dag.of_edges ~n:2 [ (0, 1); (0, 1) ] in
+        Alcotest.(check int) "max of copies" 7 (Longest_path.edge_makespan g ~weight:(fun _ _ -> 7)));
+    Alcotest.test_case "isolated vertex gets wired by normalization" `Quick (fun () ->
+        let g = Dag.of_edges ~n:3 [ (0, 1) ] in
+        (* vertex 2 is isolated: both a source and a sink *)
+        let s, t = Dag.ensure_single_source_sink g in
+        Alcotest.(check (list int)) "one source" [ s ] (Dag.sources g);
+        Alcotest.(check (list int)) "one sink" [ t ] (Dag.sinks g);
+        Alcotest.(check bool) "still a dag" true (Dag.is_dag g));
+  ]
+
+let treewidth_extra =
+  [
+    Alcotest.test_case "min-degree heuristic on a path has width 1" `Quick (fun () ->
+        let g = Dag.of_edges ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+        let td = Treewidth.min_degree_heuristic g in
+        Alcotest.(check bool) "valid" true (Treewidth.is_valid g td);
+        Alcotest.(check int) "width" 1 (Treewidth.width td));
+    Alcotest.test_case "heuristic is valid on random dags" `Quick (fun () ->
+        let rng = rng_of 81 in
+        for _ = 1 to 25 do
+          let g = Gen.erdos_renyi rng ~n:(3 + Random.State.int rng 12) ~edge_prob:0.3 in
+          let td = Treewidth.min_degree_heuristic g in
+          Alcotest.(check bool) "valid" true (Treewidth.is_valid g td)
+        done);
+    Alcotest.test_case "heuristic confirms the Partition graph is skinny (Thm 4.6)" `Quick
+      (fun () ->
+        let red = Partition_red.reduce [| 3; 1; 1; 2; 2; 1 |] in
+        let g = red.Partition_red.instance.Problem.dag in
+        let td = Treewidth.min_degree_heuristic g in
+        Alcotest.(check bool) "valid" true (Treewidth.is_valid g td);
+        (* the hand decomposition has width 15; the heuristic should do
+           at least as well on this near-path-like structure *)
+        Alcotest.(check bool) "width <= 15" true (Treewidth.width td <= 15));
+    Alcotest.test_case "heuristic on a clique uses one fat bag" `Quick (fun () ->
+        let g = Dag.of_edges ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+        let td = Treewidth.min_degree_heuristic g in
+        Alcotest.(check bool) "valid" true (Treewidth.is_valid g td);
+        Alcotest.(check int) "width" 3 (Treewidth.width td));
+  ]
+
+let interp_random =
+  [
+    prop "race-free random programs are deterministic" 40 QCheck.(int_range 0 10_000) (fun seed ->
+        let rng = rng_of seed in
+        let p = Rtt_parsim.Prog.random rng ~updates:(1 + Random.State.int rng 4) ~cells:3 in
+        let combine : Rtt_parsim.Interp.combine =
+          fun ~dst ~srcs -> dst + List.fold_left ( + ) 1 srcs
+        in
+        if Rtt_parsim.Race.has_race p then true
+        else Rtt_parsim.Interp.is_deterministic combine p);
+    prop "nondeterministic random programs are racy" 40 QCheck.(int_range 0 10_000) (fun seed ->
+        let rng = rng_of (seed + 77777) in
+        let p = Rtt_parsim.Prog.random rng ~updates:(1 + Random.State.int rng 4) ~cells:2 in
+        let combine : Rtt_parsim.Interp.combine =
+          fun ~dst ~srcs -> dst + List.fold_left ( + ) 1 srcs
+        in
+        if Rtt_parsim.Interp.is_deterministic combine p then true
+        else Rtt_parsim.Race.has_race p);
+  ]
+
+let reductions_extra =
+  [
+    Alcotest.test_case "planted formulas: forward direction at scale (Lemma 4.2)" `Quick (fun () ->
+        let rng = rng_of 71 in
+        for _ = 1 to 10 do
+          let f, planted = Sat.random_satisfiable rng ~n_vars:7 ~n_clauses:6 in
+          let red = Gadget_general.reduce f in
+          Alcotest.(check int) "makespan 1" 1 (Gadget_general.makespan_of_assignment red planted);
+          Alcotest.(check bool) "within budget" true (Gadget_general.assignment_feasible red planted)
+        done);
+    Alcotest.test_case "planted formulas: minresource forward at scale (Thm 4.4)" `Quick (fun () ->
+        let rng = rng_of 72 in
+        for _ = 1 to 10 do
+          let f, planted = Sat.random_satisfiable rng ~n_vars:6 ~n_clauses:5 in
+          let red = Minresource_red.reduce f in
+          Alcotest.(check int) "target met" red.Minresource_red.target
+            (Minresource_red.makespan_of_assignment red planted);
+          Alcotest.(check int) "two units" 2 (Minresource_red.budget_of_assignment red planted)
+        done);
+    Alcotest.test_case "planted formulas: splitting gadget forward at scale (Lemma 4.5)" `Quick
+      (fun () ->
+        let rng = rng_of 73 in
+        let f, planted = Sat.random_satisfiable rng ~n_vars:4 ~n_clauses:3 in
+        let red = Gadget_split.reduce f in
+        Alcotest.(check int) "target met" red.Gadget_split.target
+          (Gadget_split.makespan_of_assignment red planted);
+        Alcotest.(check bool) "budget" true
+          (Gadget_split.budget_of_assignment red planted <= red.Gadget_split.budget));
+    Alcotest.test_case "doubled multisets always partition" `Quick (fun () ->
+        let rng = rng_of 74 in
+        for _ = 1 to 10 do
+          let base = Array.init (2 + Random.State.int rng 4) (fun _ -> 1 + Random.State.int rng 9) in
+          let items = Array.append base base in
+          let red = Partition_red.reduce items in
+          (* each copy on one side *)
+          let n = Array.length base in
+          let subset = Array.init (2 * n) (fun i -> i < n) in
+          Alcotest.(check int) "halves" red.Partition_red.target
+            (Partition_red.makespan_of_subset red subset)
+        done);
+    Alcotest.test_case "n3dm: identical columns always match" `Quick (fun () ->
+        let a = [| 2; 2; 2 |] and b = [| 3; 3; 3 |] and c = [| 4; 4; 4 |] in
+        let red = N3dm_red.reduce ~a ~b ~c in
+        let id = [| 0; 1; 2 |] in
+        Alcotest.(check int) "target met" (N3dm_red.target red)
+          (N3dm_red.makespan_of_matching red ~p:id ~q:id));
+    Alcotest.test_case "n3dm rejects malformed permutations" `Quick (fun () ->
+        let red = N3dm_red.reduce ~a:[| 1; 2 |] ~b:[| 2; 3 |] ~c:[| 4; 2 |] in
+        Alcotest.check_raises "dup" (Invalid_argument "N3dm_red: p and q must be permutations")
+          (fun () -> ignore (N3dm_red.allocation_of_matching red ~p:[| 0; 0 |] ~q:[| 0; 1 |])));
+    Alcotest.test_case "gadget budgets are tight (no slack in min-flow)" `Quick (fun () ->
+        (* the canonical allocation's min-flow equals the stated budget
+           exactly: every unit is accounted for *)
+        let f = Sat.example_paper in
+        let red = Gadget_general.reduce f in
+        let a = [| false; false; false |] in
+        Alcotest.(check int) "general tight" red.Gadget_general.budget
+          (Schedule.min_budget red.Gadget_general.instance.Aoa.problem
+             (Gadget_general.allocation_of_assignment red a));
+        let red2 = Gadget_split.reduce f in
+        Alcotest.(check int) "split tight" red2.Gadget_split.budget
+          (Gadget_split.budget_of_assignment red2 a));
+  ]
+
+(* The strongest reduction checks: the brute-force solver explores
+   ARBITRARY allocations, so these tests confirm the gadgets admit no
+   cheating solution outside the intended assignment-shaped ones. *)
+let adversarial_exactness =
+  [
+    Alcotest.test_case "general gadget: exact OPT = 1 iff satisfiable (n=1, m=1)" `Quick (fun () ->
+        (* (x ∨ ¬x ∨ x) is 1-in-3 satisfiable with x = F *)
+        let sat_f = Sat.make ~n_vars:1 [ [ (0, true); (0, false); (0, true) ] ] in
+        let red = Gadget_general.reduce sat_f in
+        let opt = Exact.min_makespan red.Gadget_general.instance.Aoa.problem ~budget:red.Gadget_general.budget in
+        Alcotest.(check int) "sat opt" 1 opt.Exact.makespan;
+        (* (x ∨ x ∨ x) is unsatisfiable *)
+        let unsat_f = Sat.make ~n_vars:1 [ [ (0, true); (0, true); (0, true) ] ] in
+        let red2 = Gadget_general.reduce unsat_f in
+        let opt2 = Exact.min_makespan red2.Gadget_general.instance.Aoa.problem ~budget:red2.Gadget_general.budget in
+        Alcotest.(check bool) "unsat opt >= 2 (Theorem 4.3 gap against ALL allocations)" true
+          (opt2.Exact.makespan >= 2));
+    Alcotest.test_case "minresource gadget: exact min budget = 2 vs 3 (n=1, m=1)" `Quick (fun () ->
+        let sat_f = Sat.make ~n_vars:1 [ [ (0, true); (0, false); (0, true) ] ] in
+        let red = Minresource_red.reduce sat_f in
+        (match Exact.min_resource red.Minresource_red.instance.Aoa.problem ~target:red.Minresource_red.target with
+        | Some r -> Alcotest.(check int) "sat needs 2" 2 r.Exact.budget_used
+        | None -> Alcotest.fail "target reachable");
+        let unsat_f = Sat.make ~n_vars:1 [ [ (0, true); (0, true); (0, true) ] ] in
+        let red2 = Minresource_red.reduce unsat_f in
+        match Exact.min_resource red2.Minresource_red.instance.Aoa.problem ~target:red2.Minresource_red.target with
+        | Some r -> Alcotest.(check int) "unsat needs 3" 3 r.Exact.budget_used
+        | None -> Alcotest.fail "target reachable with 3");
+    Alcotest.test_case "partition gadget: exact OPT matches the oracle (tiny sets)" `Quick (fun () ->
+        List.iter
+          (fun items ->
+            let red = Partition_red.reduce items in
+            let opt = Exact.min_makespan red.Partition_red.instance ~budget:red.Partition_red.budget in
+            let expected = Partition_red.partition_exists items in
+            Alcotest.(check bool)
+              (Printf.sprintf "items [%s]"
+                 (String.concat ";" (Array.to_list (Array.map string_of_int items))))
+              expected
+              (opt.Exact.makespan <= red.Partition_red.target))
+          [ [| 1; 1 |]; [| 2; 1; 1 |]; [| 2; 1 |]; [| 3; 2; 1 |] ]);
+    Alcotest.test_case "general gadget: exact min-resource for makespan 1 equals n+2m" `Quick
+      (fun () ->
+        let sat_f = Sat.make ~n_vars:1 [ [ (0, true); (0, false); (0, true) ] ] in
+        let red = Gadget_general.reduce sat_f in
+        match Exact.min_resource red.Gadget_general.instance.Aoa.problem ~target:1 with
+        | Some r -> Alcotest.(check int) "budget tight" red.Gadget_general.budget r.Exact.budget_used
+        | None -> Alcotest.fail "makespan 1 reachable");
+  ]
+
+let core_extra =
+  [
+    prop "exact makespan is monotone in budget" 15 QCheck.(int_range 4 7) (fun n ->
+        let rng = rng_of (n + 7200) in
+        let g = Gen.erdos_renyi rng ~n ~edge_prob:0.4 in
+        let p = Problem.of_race_dag g Problem.Binary in
+        let prev = ref max_int in
+        List.for_all
+          (fun b ->
+            let ms = (Exact.min_makespan p ~budget:b).Exact.makespan in
+            let ok = ms <= !prev in
+            prev := ms;
+            ok)
+          [ 0; 1; 2; 3; 4 ]);
+    prop "lp makespan is monotone in budget" 10 QCheck.(int_range 4 7) (fun n ->
+        let rng = rng_of (n + 7300) in
+        let g = Gen.erdos_renyi rng ~n ~edge_prob:0.4 in
+        let p = Problem.of_race_dag g Problem.Binary in
+        let tr = Transform.of_problem p in
+        let prev = ref None in
+        List.for_all
+          (fun b ->
+            let ms = (Lp_relax.min_makespan tr ~budget:b).Lp_relax.makespan in
+            let ok = match !prev with None -> true | Some q -> Rat.(ms <= q) in
+            prev := Some ms;
+            ok)
+          [ 0; 2; 4 ]);
+    Alcotest.test_case "transform handles the all-constant instance" `Quick (fun () ->
+        let g = Dag.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+        let p = Problem.make g ~durations:(fun v -> Duration.constant (v + 1)) in
+        let tr = Transform.of_problem p in
+        let lp = Lp_relax.min_makespan tr ~budget:10 in
+        Alcotest.(check string) "lp = base" "6" (Rat.to_string lp.Lp_relax.makespan);
+        let bi = Bicriteria.min_makespan p ~budget:10 ~alpha:Rat.half in
+        Alcotest.(check int) "rounded = base" 6 bi.Bicriteria.rounded.Rounding.makespan;
+        Alcotest.(check int) "no resources" 0 bi.Bicriteria.rounded.Rounding.budget_used);
+    Alcotest.test_case "single-vertex instance" `Quick (fun () ->
+        let g = Dag.of_edges ~n:1 [] in
+        let p = Problem.make g ~durations:(fun _ -> Duration.make [ (0, 5); (2, 1) ]) in
+        Alcotest.(check int) "B=0" 5 (Exact.min_makespan p ~budget:0).Exact.makespan;
+        Alcotest.(check int) "B=2" 1 (Exact.min_makespan p ~budget:2).Exact.makespan;
+        let bi = Bicriteria.min_makespan p ~budget:2 ~alpha:Rat.half in
+        Alcotest.(check bool) "guarantees" true (Bicriteria.satisfies_guarantees bi));
+    Alcotest.test_case "io file round-trip" `Quick (fun () ->
+        let g = Dag.of_edges ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+        let p = Problem.make g ~durations:(fun v -> if v = 1 then Duration.make [ (0, 9); (2, 3) ] else Duration.constant 1) in
+        let path = Filename.temp_file "rtt_test" ".rtt" in
+        Io.write_file path p;
+        let p' = Io.read_file path in
+        Sys.remove path;
+        Alcotest.(check int) "same optimum" (Exact.min_makespan p ~budget:2).Exact.makespan
+          (Exact.min_makespan p' ~budget:2).Exact.makespan);
+    Alcotest.test_case "greedy on an instance where it must chain upgrades" `Quick (fun () ->
+        (* two serial hubs: greedy should learn that one unit pays twice *)
+        let g = Dag.create () in
+        let s = Dag.add_vertex g in
+        let mk prev =
+          let hub = Dag.add_vertex g in
+          List.iter
+            (fun f ->
+              Dag.add_edge g prev f;
+              Dag.add_edge g f hub)
+            (List.init 9 (fun _ -> Dag.add_vertex g));
+          hub
+        in
+        let h1 = mk s in
+        let h2 = mk h1 in
+        let t = Dag.add_vertex g in
+        Dag.add_edge g h2 t;
+        let p = Problem.of_race_dag g Problem.Binary in
+        let r = Greedy.min_makespan p ~budget:2 in
+        (* both hubs get the same 2 units via reuse *)
+        Alcotest.(check int) "budget" 2 r.Greedy.budget_used;
+        Alcotest.(check bool) "both hubs upgraded" true (r.Greedy.steps >= 2));
+  ]
+
+let () =
+  Alcotest.run "extra"
+    [
+      ("num-extra", num_extra);
+      ("flow-extra", flow_extra);
+      ("dag-extra", dag_extra);
+      ("treewidth-extra", treewidth_extra);
+      ("interp-random", interp_random);
+      ("reductions-extra", reductions_extra);
+      ("adversarial-exactness", adversarial_exactness);
+      ("core-extra", core_extra);
+    ]

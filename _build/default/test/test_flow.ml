@@ -1,0 +1,268 @@
+(* Tests for max-flow, min-flow with lower bounds, and flow
+   decomposition — the combinatorial engine behind the rounding step of
+   Section 3.1. *)
+
+open Rtt_flow
+
+let rng_of seed = Random.State.make [| seed |]
+
+let clrs_network () =
+  (* the classic CLRS example, max flow 23 *)
+  let g = Maxflow.create ~n:6 in
+  let add (a, b) c = ignore (Maxflow.add_edge g ~src:a ~dst:b ~cap:c) in
+  add (0, 1) 16;
+  add (0, 2) 13;
+  add (1, 2) 10;
+  add (2, 1) 4;
+  add (1, 3) 12;
+  add (3, 2) 9;
+  add (2, 4) 14;
+  add (4, 3) 7;
+  add (3, 5) 20;
+  add (4, 5) 4;
+  g
+
+let maxflow_units =
+  [
+    Alcotest.test_case "clrs example" `Quick (fun () ->
+        Alcotest.(check int) "value" 23 (Maxflow.max_flow (clrs_network ()) ~s:0 ~t:5));
+    Alcotest.test_case "single edge" `Quick (fun () ->
+        let g = Maxflow.create ~n:2 in
+        let e = Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5 in
+        Alcotest.(check int) "value" 5 (Maxflow.max_flow g ~s:0 ~t:1);
+        Alcotest.(check int) "edge flow" 5 (Maxflow.flow g e);
+        Alcotest.(check int) "cap" 5 (Maxflow.cap g e));
+    Alcotest.test_case "disconnected" `Quick (fun () ->
+        let g = Maxflow.create ~n:3 in
+        ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5);
+        Alcotest.(check int) "value" 0 (Maxflow.max_flow g ~s:0 ~t:2));
+    Alcotest.test_case "zero capacity" `Quick (fun () ->
+        let g = Maxflow.create ~n:2 in
+        ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:0);
+        Alcotest.(check int) "value" 0 (Maxflow.max_flow g ~s:0 ~t:1));
+    Alcotest.test_case "rejects s = t" `Quick (fun () ->
+        let g = Maxflow.create ~n:2 in
+        Alcotest.check_raises "st" (Invalid_argument "Maxflow.max_flow: s = t") (fun () ->
+            ignore (Maxflow.max_flow g ~s:0 ~t:0)));
+    Alcotest.test_case "rejects negative capacity" `Quick (fun () ->
+        let g = Maxflow.create ~n:2 in
+        Alcotest.check_raises "neg" (Invalid_argument "Maxflow.add_edge: negative capacity")
+          (fun () -> ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:(-1))));
+    Alcotest.test_case "min cut separates s from t" `Quick (fun () ->
+        let g = clrs_network () in
+        ignore (Maxflow.max_flow g ~s:0 ~t:5);
+        let cut = Maxflow.min_cut g ~s:0 in
+        Alcotest.(check bool) "s in" true cut.(0);
+        Alcotest.(check bool) "t out" false cut.(5));
+    Alcotest.test_case "parallel edges add up" `Quick (fun () ->
+        let g = Maxflow.create ~n:2 in
+        ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:3);
+        ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:4);
+        Alcotest.(check int) "value" 7 (Maxflow.max_flow g ~s:0 ~t:1));
+  ]
+
+(* random network for property testing *)
+let random_network rng n p cap =
+  let g = Maxflow.create ~n in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Random.State.float rng 1.0 < p then begin
+        let c = Random.State.int rng cap in
+        edges := (i, j, c, Maxflow.add_edge g ~src:i ~dst:j ~cap:c) :: !edges
+      end
+    done
+  done;
+  (g, !edges)
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let maxflow_props =
+  [
+    prop "flow = capacity of min cut" 50 QCheck.(int_range 3 12) (fun n ->
+        let rng = rng_of n in
+        let g, edges = random_network rng n 0.35 10 in
+        let v = Maxflow.max_flow g ~s:0 ~t:(n - 1) in
+        let cut = Maxflow.min_cut g ~s:0 in
+        if cut.(n - 1) then v = 0 (* t reachable means flow 0 and no cut... impossible *)
+        else begin
+          let cut_cap =
+            List.fold_left
+              (fun acc (i, j, c, _) -> if cut.(i) && not cut.(j) then acc + c else acc)
+              0 edges
+          in
+          v = cut_cap
+        end);
+    prop "flow conservation" 50 QCheck.(int_range 3 12) (fun n ->
+        let rng = rng_of (n + 77) in
+        let g, edges = random_network rng n 0.35 10 in
+        let v = Maxflow.max_flow g ~s:0 ~t:(n - 1) in
+        let net = Array.make n 0 in
+        List.iter
+          (fun (i, j, _, e) ->
+            let f = Maxflow.flow g e in
+            net.(i) <- net.(i) - f;
+            net.(j) <- net.(j) + f)
+          edges;
+        net.(0) = -v
+        && net.(n - 1) = v
+        && Array.for_all (( = ) 0) (Array.sub net 1 (max 0 (n - 2))));
+    prop "edge flows within capacity" 50 QCheck.(int_range 3 12) (fun n ->
+        let rng = rng_of (n + 154) in
+        let g, edges = random_network rng n 0.4 10 in
+        ignore (Maxflow.max_flow g ~s:0 ~t:(n - 1));
+        List.for_all (fun (_, _, c, e) -> Maxflow.flow g e >= 0 && Maxflow.flow g e <= c) edges);
+  ]
+
+let minflow_units =
+  [
+    Alcotest.test_case "path with one lower bound" `Quick (fun () ->
+        let specs =
+          [|
+            { Minflow.src = 0; dst = 1; lower = 0; upper = Maxflow.infinity };
+            { Minflow.src = 1; dst = 2; lower = 3; upper = Maxflow.infinity };
+            { Minflow.src = 2; dst = 3; lower = 0; upper = Maxflow.infinity };
+          |]
+        in
+        match Minflow.solve ~n:4 ~s:0 ~t:3 specs with
+        | Some r ->
+            Alcotest.(check int) "value" 3 r.Minflow.value;
+            Alcotest.(check (list int)) "flows" [ 3; 3; 3 ] (Array.to_list r.Minflow.edge_flow)
+        | None -> Alcotest.fail "expected feasible");
+    Alcotest.test_case "parallel lower bounds add" `Quick (fun () ->
+        let specs =
+          [|
+            { Minflow.src = 0; dst = 1; lower = 2; upper = 99 };
+            { Minflow.src = 0; dst = 2; lower = 1; upper = 99 };
+            { Minflow.src = 1; dst = 3; lower = 0; upper = 99 };
+            { Minflow.src = 2; dst = 3; lower = 0; upper = 99 };
+          |]
+        in
+        match Minflow.solve ~n:4 ~s:0 ~t:3 specs with
+        | Some r -> Alcotest.(check int) "value" 3 r.Minflow.value
+        | None -> Alcotest.fail "expected feasible");
+    Alcotest.test_case "series lower bounds reuse" `Quick (fun () ->
+        (* one unit can satisfy many bounds along a path: 0->1->2->3 each lower 5 *)
+        let specs =
+          [|
+            { Minflow.src = 0; dst = 1; lower = 5; upper = 99 };
+            { Minflow.src = 1; dst = 2; lower = 5; upper = 99 };
+            { Minflow.src = 2; dst = 3; lower = 5; upper = 99 };
+          |]
+        in
+        match Minflow.solve ~n:4 ~s:0 ~t:3 specs with
+        | Some r -> Alcotest.(check int) "value" 5 r.Minflow.value
+        | None -> Alcotest.fail "expected feasible");
+    Alcotest.test_case "upper bounds can make it infeasible" `Quick (fun () ->
+        let specs =
+          [|
+            { Minflow.src = 0; dst = 1; lower = 5; upper = 99 };
+            { Minflow.src = 1; dst = 2; lower = 0; upper = 3 };
+            { Minflow.src = 2; dst = 3; lower = 0; upper = 99 };
+          |]
+        in
+        Alcotest.(check bool) "infeasible" true (Minflow.solve ~n:4 ~s:0 ~t:3 specs = None));
+    Alcotest.test_case "zero lower bounds give zero flow" `Quick (fun () ->
+        let specs = [| { Minflow.src = 0; dst = 1; lower = 0; upper = 99 } |] in
+        match Minflow.solve ~n:2 ~s:0 ~t:1 specs with
+        | Some r -> Alcotest.(check int) "value" 0 r.Minflow.value
+        | None -> Alcotest.fail "expected feasible");
+    Alcotest.test_case "bypass reduces the minimum" `Quick (fun () ->
+        (* lower bound sits off the mainline; flow must still pass it *)
+        let specs =
+          [|
+            { Minflow.src = 0; dst = 1; lower = 0; upper = 99 };
+            { Minflow.src = 1; dst = 3; lower = 0; upper = 99 };
+            { Minflow.src = 0; dst = 2; lower = 4; upper = 99 };
+            { Minflow.src = 2; dst = 3; lower = 0; upper = 99 };
+          |]
+        in
+        match Minflow.solve ~n:4 ~s:0 ~t:3 specs with
+        | Some r -> Alcotest.(check int) "value" 4 r.Minflow.value
+        | None -> Alcotest.fail "expected feasible");
+    Alcotest.test_case "validates input" `Quick (fun () ->
+        Alcotest.check_raises "bad bounds" (Invalid_argument "Minflow.solve: bad bounds") (fun () ->
+            ignore
+              (Minflow.solve ~n:2 ~s:0 ~t:1 [| { Minflow.src = 0; dst = 1; lower = 5; upper = 2 } |])));
+  ]
+
+(* random DAG-shaped min-flow instances, validated against feasibility
+   and minimality via brute-force search over smaller flows *)
+let minflow_props =
+  [
+    prop "solution is feasible" 50 QCheck.(int_range 3 10) (fun n ->
+        let rng = rng_of (n + 31) in
+        let specs = ref [] in
+        for i = 0 to n - 2 do
+          specs := { Minflow.src = i; dst = i + 1; lower = Random.State.int rng 4; upper = Maxflow.infinity } :: !specs;
+          if i + 2 < n then
+            specs := { Minflow.src = i; dst = i + 2; lower = Random.State.int rng 3; upper = Maxflow.infinity } :: !specs
+        done;
+        let specs = Array.of_list !specs in
+        match Minflow.solve ~n ~s:0 ~t:(n - 1) specs with
+        | None -> false
+        | Some r -> Minflow.is_feasible ~n ~s:0 ~t:(n - 1) specs r.Minflow.edge_flow);
+    prop "value is at least the max lower bound" 50 QCheck.(int_range 3 10) (fun n ->
+        let rng = rng_of (n + 87) in
+        let specs =
+          Array.init (n - 1) (fun i ->
+              { Minflow.src = i; dst = i + 1; lower = Random.State.int rng 6; upper = Maxflow.infinity })
+        in
+        let maxlb = Array.fold_left (fun acc s -> max acc s.Minflow.lower) 0 specs in
+        match Minflow.solve ~n ~s:0 ~t:(n - 1) specs with
+        | None -> false
+        | Some r -> r.Minflow.value = maxlb (* on a path the min flow equals the max bound *));
+  ]
+
+let decompose_units =
+  [
+    Alcotest.test_case "diamond decomposition" `Quick (fun () ->
+        let edges = [| (0, 1); (0, 2); (1, 3); (2, 3) |] in
+        let flow = [| 2; 1; 2; 1 |] in
+        let paths = Decompose.decompose ~n:4 ~s:0 ~t:3 ~edges ~flow in
+        Alcotest.(check int) "total" 3 (Decompose.total paths);
+        Alcotest.(check bool) "re-sums" true (Decompose.check ~edges ~flow paths));
+    Alcotest.test_case "zero flow gives no paths" `Quick (fun () ->
+        let edges = [| (0, 1) |] in
+        let paths = Decompose.decompose ~n:2 ~s:0 ~t:1 ~edges ~flow:[| 0 |] in
+        Alcotest.(check int) "total" 0 (Decompose.total paths));
+    Alcotest.test_case "rejects unconserved flow" `Quick (fun () ->
+        let edges = [| (0, 1); (1, 2) |] in
+        Alcotest.check_raises "conservation"
+          (Invalid_argument "Decompose.decompose: flow not conserved") (fun () ->
+            ignore (Decompose.decompose ~n:3 ~s:0 ~t:2 ~edges ~flow:[| 2; 1 |])));
+    Alcotest.test_case "rejects negative flow" `Quick (fun () ->
+        let edges = [| (0, 1) |] in
+        Alcotest.check_raises "negative" (Invalid_argument "Decompose.decompose: negative flow")
+          (fun () -> ignore (Decompose.decompose ~n:2 ~s:0 ~t:1 ~edges ~flow:[| -1 |])));
+  ]
+
+let decompose_props =
+  [
+    prop "min-flow solutions decompose exactly" 50 QCheck.(int_range 3 10) (fun n ->
+        let rng = rng_of (n + 913) in
+        let specs = ref [] in
+        for i = 0 to n - 2 do
+          specs := { Minflow.src = i; dst = i + 1; lower = Random.State.int rng 4; upper = Maxflow.infinity } :: !specs;
+          if i + 2 < n then
+            specs := { Minflow.src = i; dst = i + 2; lower = Random.State.int rng 3; upper = Maxflow.infinity } :: !specs
+        done;
+        let specs = Array.of_list !specs in
+        match Minflow.solve ~n ~s:0 ~t:(n - 1) specs with
+        | None -> false
+        | Some r ->
+            let edges = Array.map (fun s -> (s.Minflow.src, s.Minflow.dst)) specs in
+            let paths = Decompose.decompose ~n ~s:0 ~t:(n - 1) ~edges ~flow:r.Minflow.edge_flow in
+            Decompose.total paths = r.Minflow.value && Decompose.check ~edges ~flow:r.Minflow.edge_flow paths);
+  ]
+
+let () =
+  Alcotest.run "rtt_flow"
+    [
+      ("maxflow", maxflow_units);
+      ("maxflow-properties", maxflow_props);
+      ("minflow", minflow_units);
+      ("minflow-properties", minflow_props);
+      ("decompose", decompose_units);
+      ("decompose-properties", decompose_props);
+    ]

@@ -1,0 +1,304 @@
+(* End-to-end integration tests: full pipelines crossing every library
+   boundary — program -> race DAG -> instance -> transform -> LP ->
+   rounding -> min-flow -> routing -> schedule, validated against the
+   exact solver and the event-driven simulation. *)
+
+open Rtt_dag
+open Rtt_num
+open Rtt_duration
+open Rtt_core
+open Rtt_parsim
+
+let rng_of seed = Random.State.make [| seed |]
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* program -> race DAG -> reducer-aware instance -> optimize *)
+let program_pipeline =
+  [
+    Alcotest.test_case "racy Parallel-MM end to end" `Quick (fun () ->
+        let prog = Prog.parallel_mm_racy ~n:4 in
+        Alcotest.(check bool) "has races" true (Race.has_race prog);
+        let rd = Race_dag.build prog in
+        let p = Problem.of_race_dag (Dag.copy rd.Race_dag.dag) Problem.Binary in
+        let base = Schedule.makespan p (Schedule.zero_allocation p) in
+        (* every Z cell takes 2n = 8 serialized writes in the coarse model *)
+        Alcotest.(check int) "base" 8 base;
+        (* give every Z cell a height-1 reducer: 2 units each, but they
+           cannot be shared across parallel Z cells *)
+        let alloc = Schedule.zero_allocation p in
+        for v = 0 to Problem.n_jobs p - 1 do
+          if Duration.max_useful_resource (Problem.duration p v) > 0 then alloc.(v) <- 2
+        done;
+        let ms = Schedule.makespan p alloc in
+        Alcotest.(check bool) "faster" true (ms < base);
+        Alcotest.(check int) "independent cells need separate units" (2 * 16)
+          (Schedule.min_budget p alloc));
+    Alcotest.test_case "race-DAG optimization improves the simulated program" `Quick (fun () ->
+        let g = Dag.create () in
+        let s = Dag.add_vertex g in
+        let hot = Dag.add_vertex g in
+        let feeders = List.init 12 (fun _ -> Dag.add_vertex g) in
+        List.iter
+          (fun f ->
+            Dag.add_edge g s f;
+            Dag.add_edge g f hot)
+          feeders;
+        let sink = Dag.add_vertex g in
+        Dag.add_edge g hot sink;
+        let sim_dag = Dag.copy g in
+        let p = Problem.of_race_dag g Problem.Binary in
+        let r = Exact.min_makespan p ~budget:4 in
+        (* replay the chosen allocation in the fine-grained simulator *)
+        let fine =
+          Sim.makespan sim_dag ~reducer:(fun v ->
+              if v < Array.length r.Exact.allocation then
+                Reducer_sim.reducer_of_allocation r.Exact.allocation.(v)
+              else Reducer_sim.Serial)
+        in
+        Alcotest.(check bool) "sim at most model (Observation 1.1)" true (fine <= r.Exact.makespan);
+        Alcotest.(check bool) "sim beats serial" true (fine < Sim.serial_makespan sim_dag));
+  ]
+
+let lp_roundtrip =
+  [
+    prop "full Theorem 3.4 pipeline invariant chain" 15 QCheck.(int_range 4 8) (fun n ->
+        let rng = rng_of (n + 60_000) in
+        let g = Gen.layered rng ~layers:3 ~width:3 ~edge_prob:0.3 in
+        let p = Problem.of_race_dag g Problem.Binary in
+        let budget = 1 + Random.State.int rng 6 in
+        let alpha = Rat.half in
+        let bi = Bicriteria.min_makespan p ~budget ~alpha in
+        let lp = bi.Bicriteria.lp in
+        let rounded = bi.Bicriteria.rounded in
+        (* chain: LP budget within input, rounded requirement implies
+           min-flow >= requirement on each edge, rounded durations only
+           0 or t0 *)
+        Rat.(lp.Lp_relax.budget_used <= Rat.of_int budget)
+        && Array.for_all2
+             (fun f req -> f >= req)
+             rounded.Rounding.flow rounded.Rounding.requirement
+        && Array.for_all
+             (fun i ->
+               let t = Rounding.rounded_edge_time bi.Bicriteria.transform rounded i in
+               t = 0 || t = bi.Bicriteria.transform.Transform.edges.(i).Transform.t0)
+             (Array.init (Array.length rounded.Rounding.upgraded) Fun.id));
+    prop "routing decomposition covers the rounded allocation" 15 QCheck.(int_range 4 8) (fun n ->
+        let rng = rng_of (n + 70_000) in
+        let g = Gen.erdos_renyi rng ~n ~edge_prob:0.4 in
+        let p = Problem.of_race_dag g Problem.Binary in
+        let budget = 1 + Random.State.int rng 5 in
+        let bi = Bicriteria.min_makespan p ~budget ~alpha:Rat.half in
+        let alloc = bi.Bicriteria.rounded.Rounding.allocation in
+        let value, paths = Schedule.min_budget_with_routing p alloc in
+        (* each vertex's allocation is covered by the paths through it *)
+        let through = Array.make (Problem.n_jobs p) 0 in
+        List.iter
+          (fun (path, units) -> List.iter (fun v -> through.(v) <- through.(v) + units) path)
+          paths;
+        value <= bi.Bicriteria.rounded.Rounding.budget_used
+        && Array.for_all2 (fun t a -> t >= a) through alloc);
+    prop "exact optimum sandwiched between LP and rounded makespan" 12 QCheck.(int_range 4 7)
+      (fun n ->
+        let rng = rng_of (n + 80_000) in
+        let g = Gen.erdos_renyi rng ~n ~edge_prob:0.4 in
+        let p = Problem.of_race_dag g Problem.Binary in
+        let budget = 1 + Random.State.int rng 4 in
+        let bi = Bicriteria.min_makespan p ~budget ~alpha:Rat.half in
+        let opt = Exact.min_makespan p ~budget in
+        Rat.(bi.Bicriteria.lp.Lp_relax.makespan <= Rat.of_int opt.Exact.makespan)
+        &&
+        (* rounded uses up to 2x budget, so it may beat OPT(budget); it
+           must however beat OPT only by using more resources *)
+        (bi.Bicriteria.rounded.Rounding.makespan >= opt.Exact.makespan
+        || bi.Bicriteria.rounded.Rounding.budget_used > budget
+        || Schedule.makespan p bi.Bicriteria.rounded.Rounding.allocation >= opt.Exact.makespan));
+  ]
+
+let duration_model_consistency =
+  [
+    prop "race-DAG durations agree with reducer simulation at every level" 20
+      QCheck.(int_range 2 60)
+      (fun work ->
+        let d = Binary_split.to_duration ~work in
+        List.for_all
+          (fun (r, t) ->
+            r = 0 || r = 1
+            ||
+            let arrivals = List.init work (fun _ -> 0) in
+            Reducer_sim.finish_time ~arrivals (Reducer_sim.reducer_of_allocation r) <= t)
+          (Duration.tuples d));
+    prop "sp dp equals exact on sp problems built through Problem.make" 15 QCheck.(int_range 2 5)
+      (fun leaves ->
+        let rng = rng_of (leaves + 90_000) in
+        let tree =
+          Sp.map
+            (fun _ -> Kway.to_duration ~work:(3 + Random.State.int rng 12))
+            (Gen.random_sp rng ~leaves ~series_bias:0.5)
+        in
+        let budget = Random.State.int rng 6 in
+        let ms, _ = Sp_exact.min_makespan tree ~budget in
+        let g, jobs = Sp.to_dag tree in
+        let p = Problem.make g ~durations:(fun v -> jobs.(v)) in
+        ms = (Exact.min_makespan p ~budget).Exact.makespan);
+  ]
+
+(* the combinatorial min-flow must agree with LP 11-13 solved by our
+   own simplex - two independent substrates validating each other *)
+let minflow_vs_lp =
+  [
+    prop "min-flow value equals the LP 11-13 optimum" 25 QCheck.(int_range 3 9) (fun n ->
+        let rng = rng_of (n + 50_000) in
+        let specs = ref [] in
+        for i = 0 to n - 2 do
+          specs :=
+            { Rtt_flow.Minflow.src = i; dst = i + 1; lower = Random.State.int rng 4; upper = Rtt_flow.Maxflow.infinity }
+            :: !specs;
+          if i + 2 < n then
+            specs :=
+              { Rtt_flow.Minflow.src = i; dst = i + 2; lower = Random.State.int rng 3; upper = Rtt_flow.Maxflow.infinity }
+              :: !specs
+        done;
+        let specs = Array.of_list !specs in
+        match Rtt_flow.Minflow.solve ~n ~s:0 ~t:(n - 1) specs with
+        | None -> false
+        | Some r ->
+            (* LP: variables f_e >= lower_e, conservation, min sum out of s *)
+            let open Rtt_lp in
+            let lp = Lp.create () in
+            let fv = Array.map (fun _ -> Lp.var lp "f") specs in
+            Array.iteri
+              (fun i spec ->
+                Lp.add_ge lp
+                  (Linexpr.var (Lp.var_index fv.(i)))
+                  (Linexpr.const (Rtt_num.Rat.of_int spec.Rtt_flow.Minflow.lower)))
+              specs;
+            for v = 1 to n - 2 do
+              let sum sel =
+                Array.to_list specs
+                |> List.mapi (fun i spec -> (i, spec))
+                |> List.filter (fun (_, spec) -> sel spec)
+                |> List.fold_left
+                     (fun acc (i, _) -> Linexpr.add acc (Linexpr.var (Lp.var_index fv.(i))))
+                     Linexpr.zero
+              in
+              Lp.add_eq lp
+                (sum (fun spec -> spec.Rtt_flow.Minflow.dst = v))
+                (sum (fun spec -> spec.Rtt_flow.Minflow.src = v))
+            done;
+            let objective =
+              Array.to_list specs
+              |> List.mapi (fun i spec -> (i, spec))
+              |> List.filter (fun (_, spec) -> spec.Rtt_flow.Minflow.src = 0)
+              |> List.fold_left
+                   (fun acc (i, _) -> Linexpr.add acc (Linexpr.var (Lp.var_index fv.(i))))
+                   Linexpr.zero
+            in
+            (match Lp.minimize lp objective with
+            | Lp.Optimal s -> Rtt_num.Rat.(equal s.Lp.objective (of_int r.Rtt_flow.Minflow.value))
+            | _ -> false));
+  ]
+
+(* edge-TTSP instances: decompose the DAG, solve with the SP DP, and
+   check against the generic exact solver on the subdivided problem *)
+let ttsp_pipeline =
+  [
+    prop "decompose_ttsp + Sp_exact = Exact on random TTSP networks" 20 QCheck.(int_range 2 6)
+      (fun leaves ->
+        let rng = rng_of (leaves + 120_000) in
+        (* build a random edge-SP network by interpreting a random SP tree
+           as a two-terminal network with jobs on edges *)
+        let shape = Gen.random_sp rng ~leaves ~series_bias:0.5 in
+        let durs =
+          Array.init leaves (fun _ -> Binary_split.to_duration ~work:(2 + Random.State.int rng 12))
+        in
+        (* realize as a DAG via Rtt_reductions.Aoa: each SP leaf becomes
+           an arc between fresh terminals composed per the tree *)
+        let b = Rtt_reductions.Aoa.create () in
+        let next_job = ref 0 in
+        let rec realize tree =
+          match tree with
+          | Sp.Leaf _ ->
+              let u = Rtt_reductions.Aoa.node b and v = Rtt_reductions.Aoa.node b in
+              let j = !next_job in
+              incr next_job;
+              ignore (Rtt_reductions.Aoa.arc b u v durs.(j));
+              (u, v)
+          | Sp.Series (l, r) ->
+              let ul, vl = realize l and ur, vr = realize r in
+              ignore (Rtt_reductions.Aoa.zero_arc b vl ur);
+              (ul, vr)
+          | Sp.Parallel (l, r) ->
+              let ul, vl = realize l and ur, vr = realize r in
+              let u = Rtt_reductions.Aoa.node b and v = Rtt_reductions.Aoa.node b in
+              ignore (Rtt_reductions.Aoa.zero_arc b u ul);
+              ignore (Rtt_reductions.Aoa.zero_arc b u ur);
+              ignore (Rtt_reductions.Aoa.zero_arc b vl v);
+              ignore (Rtt_reductions.Aoa.zero_arc b vr v);
+              (u, v)
+        in
+        ignore (realize shape);
+        let inst = Rtt_reductions.Aoa.instance b in
+        let p = inst.Rtt_reductions.Aoa.problem in
+        (* the subdivided problem's DAG is still TTSP between its terminals *)
+        let tree_opt = Sp.decompose_ttsp p.Problem.dag ~s:p.Problem.source ~t:p.Problem.sink in
+        match tree_opt with
+        | None -> false
+        | Some edge_tree ->
+            (* duration of each decomposition leaf = duration of the job
+               vertex it passes through (edges into/out of job vertices) *)
+            let dur_of_edge (u, v) =
+              (* an edge (u, v): if v is a job vertex, its duration counts
+                 on the entering edge; job vertices have exactly one in
+                 and one out edge in the subdivision *)
+              ignore u;
+              p.Problem.durations.(v)
+            in
+            (* Each job vertex j appears as entering edge (u, j) and
+               leaving edge (j, w). Attribute the duration to the
+               entering edge and 0 to the leaving one. *)
+            let tree_durs =
+              Sp.map
+                (fun (u, v) ->
+                  if Dag.out_degree p.Problem.dag v = 1 && Dag.in_degree p.Problem.dag v = 1 then
+                    dur_of_edge (u, v)
+                  else Duration.constant 0)
+                edge_tree
+            in
+            let budget = Random.State.int rng 6 in
+            let dp, _ = Sp_exact.min_makespan tree_durs ~budget in
+            let brute = (Exact.min_makespan p ~budget).Exact.makespan in
+            dp = brute);
+  ]
+
+let cross_reduction =
+  [
+    Alcotest.test_case "same formula through both SAT reductions" `Quick (fun () ->
+        let f = Rtt_reductions.Sat.example_paper in
+        let general = Rtt_reductions.Gadget_general.reduce f in
+        let split = Rtt_reductions.Gadget_split.reduce f in
+        let ans_general = Rtt_reductions.Gadget_general.decide_by_assignments general <> None in
+        let ans_split = Rtt_reductions.Gadget_split.decide_by_assignments split <> None in
+        Alcotest.(check bool) "agree" ans_general ans_split;
+        Alcotest.(check bool) "both yes" true ans_general);
+    Alcotest.test_case "minresource and makespan reductions agree" `Quick (fun () ->
+        let rng = rng_of 3 in
+        for _ = 1 to 8 do
+          let f = Rtt_reductions.Sat.random rng ~n_vars:3 ~n_clauses:2 in
+          let mr = Rtt_reductions.Minresource_red.reduce f in
+          let gg = Rtt_reductions.Gadget_general.reduce f in
+          let from_mr = Rtt_reductions.Minresource_red.min_units mr = 2 in
+          let from_gg = Rtt_reductions.Gadget_general.decide_by_assignments gg <> None in
+          Alcotest.(check bool) "agree" from_gg from_mr
+        done);
+  ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("program-pipeline", program_pipeline);
+      ("lp-roundtrip", lp_roundtrip);
+      ("model-consistency", duration_model_consistency);
+      ("minflow-vs-lp", minflow_vs_lp);
+      ("ttsp-pipeline", ttsp_pipeline);
+      ("cross-reduction", cross_reduction);
+    ]

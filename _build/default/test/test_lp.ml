@@ -1,0 +1,212 @@
+(* Tests for the exact rational simplex and the LP model builder.
+   Optima are checked against hand-solved instances and against a
+   brute-force vertex enumeration on random small LPs. *)
+
+open Rtt_num
+open Rtt_lp
+
+let q = Rat.of_ints
+let qi = Rat.of_int
+
+let expr _lp terms = Linexpr.of_terms (List.map (fun (c, v) -> (c, Lp.var_index v)) terms)
+let cst _lp k = Linexpr.const (qi k)
+
+let check_rat name expected actual =
+  Alcotest.(check string) name (Rat.to_string expected) (Rat.to_string actual)
+
+let linexpr_units =
+  [
+    Alcotest.test_case "construction and eval" `Quick (fun () ->
+        let e = Linexpr.of_terms ~const:(qi 3) [ (qi 2, 0); (qi (-1), 1) ] in
+        check_rat "coeff0" (qi 2) (Linexpr.coeff e 0);
+        check_rat "coeff1" (qi (-1)) (Linexpr.coeff e 1);
+        check_rat "missing" Rat.zero (Linexpr.coeff e 7);
+        check_rat "eval" (qi 3) (Linexpr.eval e (fun v -> qi (v + 1))));
+    Alcotest.test_case "zero coefficients vanish" `Quick (fun () ->
+        let e = Linexpr.add (Linexpr.term (qi 2) 0) (Linexpr.term (qi (-2)) 0) in
+        Alcotest.(check int) "terms" 0 (List.length (Linexpr.terms e));
+        Alcotest.(check int) "max_var" (-1) (Linexpr.max_var e));
+    Alcotest.test_case "scale and sub" `Quick (fun () ->
+        let e = Linexpr.sub (Linexpr.scale (qi 3) (Linexpr.var 0)) (Linexpr.var 0) in
+        check_rat "coeff" (qi 2) (Linexpr.coeff e 0));
+  ]
+
+let simplex_units =
+  [
+    Alcotest.test_case "textbook maximize" `Quick (fun () ->
+        (* max 3x + 5y st x <= 4; 2y <= 12; 3x + 2y <= 18 -> 36 at (2,6) *)
+        let lp = Lp.create () in
+        let x = Lp.var lp "x" and y = Lp.var lp "y" in
+        Lp.add_le lp (expr lp [ (qi 1, x) ]) (cst lp 4);
+        Lp.add_le lp (expr lp [ (qi 2, y) ]) (cst lp 12);
+        Lp.add_le lp (expr lp [ (qi 3, x); (qi 2, y) ]) (cst lp 18);
+        match Lp.maximize lp (expr lp [ (qi 3, x); (qi 5, y) ]) with
+        | Lp.Optimal s ->
+            check_rat "objective" (qi 36) s.Lp.objective;
+            check_rat "x" (qi 2) (s.Lp.value x);
+            check_rat "y" (qi 6) (s.Lp.value y)
+        | _ -> Alcotest.fail "expected optimal");
+    Alcotest.test_case "fractional optimum stays exact" `Quick (fun () ->
+        (* min x + y st x + 2y = 3; 3x + y >= 2 -> 8/5 at (1/5, 7/5) *)
+        let lp = Lp.create () in
+        let x = Lp.var lp "x" and y = Lp.var lp "y" in
+        Lp.add_eq lp (expr lp [ (qi 1, x); (qi 2, y) ]) (cst lp 3);
+        Lp.add_ge lp (expr lp [ (qi 3, x); (qi 1, y) ]) (cst lp 2);
+        match Lp.minimize lp (expr lp [ (qi 1, x); (qi 1, y) ]) with
+        | Lp.Optimal s ->
+            check_rat "objective" (q 8 5) s.Lp.objective;
+            check_rat "x" (q 1 5) (s.Lp.value x);
+            check_rat "y" (q 7 5) (s.Lp.value y)
+        | _ -> Alcotest.fail "expected optimal");
+    Alcotest.test_case "infeasible detected" `Quick (fun () ->
+        let lp = Lp.create () in
+        let x = Lp.var lp "x" in
+        Lp.add_ge lp (expr lp [ (qi 1, x) ]) (cst lp 5);
+        Lp.add_le lp (expr lp [ (qi 1, x) ]) (cst lp 3);
+        Alcotest.(check bool) "infeasible" true (Lp.minimize lp (expr lp [ (qi 1, x) ]) = Lp.Infeasible));
+    Alcotest.test_case "unbounded detected" `Quick (fun () ->
+        let lp = Lp.create () in
+        let x = Lp.var lp "x" in
+        Lp.add_ge lp (expr lp [ (qi 1, x) ]) (cst lp 1);
+        Alcotest.(check bool) "unbounded" true (Lp.maximize lp (expr lp [ (qi 1, x) ]) = Lp.Unbounded));
+    Alcotest.test_case "degenerate (Bland terminates)" `Quick (fun () ->
+        (* classic cycling example of Beale; Bland's rule must terminate *)
+        let lp = Lp.create () in
+        let x1 = Lp.var lp "x1" and x2 = Lp.var lp "x2" and x3 = Lp.var lp "x3" and x4 = Lp.var lp "x4" in
+        Lp.add_le lp (expr lp [ (q 1 4, x1); (qi (-60), x2); (q (-1) 25, x3); (qi 9, x4) ]) (cst lp 0);
+        Lp.add_le lp (expr lp [ (q 1 2, x1); (qi (-90), x2); (q (-1) 50, x3); (qi 3, x4) ]) (cst lp 0);
+        Lp.add_le lp (expr lp [ (qi 1, x3) ]) (cst lp 1);
+        match Lp.maximize lp (expr lp [ (q 3 4, x1); (qi (-150), x2); (q 1 50, x3); (qi (-6), x4) ]) with
+        | Lp.Optimal s -> check_rat "objective" (q 1 20) s.Lp.objective
+        | _ -> Alcotest.fail "expected optimal");
+    Alcotest.test_case "equality-only system" `Quick (fun () ->
+        let lp = Lp.create () in
+        let x = Lp.var lp "x" and y = Lp.var lp "y" in
+        Lp.add_eq lp (expr lp [ (qi 1, x); (qi 1, y) ]) (cst lp 10);
+        Lp.add_eq lp (expr lp [ (qi 1, x); (qi (-1), y) ]) (cst lp 4);
+        match Lp.minimize lp (expr lp [ (qi 1, x) ]) with
+        | Lp.Optimal s ->
+            check_rat "x" (qi 7) (s.Lp.value x);
+            check_rat "y" (qi 3) (s.Lp.value y)
+        | _ -> Alcotest.fail "expected optimal");
+    Alcotest.test_case "negative rhs normalized" `Quick (fun () ->
+        (* -x <= -2  <=>  x >= 2 *)
+        let lp = Lp.create () in
+        let x = Lp.var lp "x" in
+        Lp.add_le lp (expr lp [ (qi (-1), x) ]) (cst lp (-2));
+        match Lp.minimize lp (expr lp [ (qi 1, x) ]) with
+        | Lp.Optimal s -> check_rat "x" (qi 2) (s.Lp.value x)
+        | _ -> Alcotest.fail "expected optimal");
+    Alcotest.test_case "constants folded across sides" `Quick (fun () ->
+        (* x + 1 <= y + 3 with y <= 1: max x = 3 *)
+        let lp = Lp.create () in
+        let x = Lp.var lp "x" and y = Lp.var lp "y" in
+        Lp.add_le lp
+          (Linexpr.add (expr lp [ (qi 1, x) ]) (Linexpr.const (qi 1)))
+          (Linexpr.add (expr lp [ (qi 1, y) ]) (Linexpr.const (qi 3)));
+        Lp.add_le lp (expr lp [ (qi 1, y) ]) (cst lp 1);
+        match Lp.maximize lp (expr lp [ (qi 1, x) ]) with
+        | Lp.Optimal s -> check_rat "x" (qi 3) (s.Lp.value x)
+        | _ -> Alcotest.fail "expected optimal");
+    Alcotest.test_case "redundant constraints harmless" `Quick (fun () ->
+        let lp = Lp.create () in
+        let x = Lp.var lp "x" in
+        Lp.add_le lp (expr lp [ (qi 1, x) ]) (cst lp 5);
+        Lp.add_le lp (expr lp [ (qi 1, x) ]) (cst lp 5);
+        Lp.add_le lp (expr lp [ (qi 2, x) ]) (cst lp 10);
+        match Lp.maximize lp (expr lp [ (qi 1, x) ]) with
+        | Lp.Optimal s -> check_rat "x" (qi 5) (s.Lp.value x)
+        | _ -> Alcotest.fail "expected optimal");
+  ]
+
+(* Brute-force reference: for LPs with n variables and only <= rows plus
+   x >= 0, enumerate all basic points (intersections of n constraint
+   hyperplanes chosen among rows and axes) and take the best feasible
+   one. To stay simple we check 2-variable LPs geometrically. *)
+let brute_force_2d rows obj_x obj_y =
+  (* rows: (a, b, c) meaning a x + b y <= c; axes x >= 0, y >= 0 *)
+  let lines = rows @ [ (Rat.one, Rat.zero, Rat.zero); (Rat.zero, Rat.one, Rat.zero) ] in
+  let feasible (x, y) =
+    Rat.(x >= Rat.zero)
+    && Rat.(y >= Rat.zero)
+    && List.for_all (fun (a, b, c) -> Rat.(add (mul a x) (mul b y) <= c)) rows
+  in
+  let candidates = ref [] in
+  let push p = if feasible p then candidates := p :: !candidates in
+  push (Rat.zero, Rat.zero);
+  List.iteri
+    (fun i (a1, b1, c1) ->
+      List.iteri
+        (fun j (a2, b2, c2) ->
+          if i < j then begin
+            let det = Rat.(sub (mul a1 b2) (mul a2 b1)) in
+            if not (Rat.is_zero det) then begin
+              let x = Rat.(div (sub (mul c1 b2) (mul c2 b1)) det) in
+              let y = Rat.(div (sub (mul a1 c2) (mul a2 c1)) det) in
+              push (x, y)
+            end
+          end)
+        lines)
+    lines;
+  match !candidates with
+  | [] -> None
+  | l ->
+      Some
+        (List.fold_left
+           (fun acc (x, y) -> Rat.max acc Rat.(add (mul obj_x x) (mul obj_y y)))
+           (Rat.of_int min_int) (* fine: dominated immediately *)
+           l)
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let simplex_props =
+  [
+    prop "2d simplex matches vertex enumeration" 100 QCheck.(pair (int_range 1 6) (int_range 0 1000))
+      (fun (rows, seed) ->
+        let rng = Random.State.make [| seed; rows |] in
+        let ri lo hi = Rat.of_int (lo + Random.State.int rng (hi - lo + 1)) in
+        let constraints = List.init rows (fun _ -> (ri (-3) 5, ri (-3) 5, ri 0 10)) in
+        let ox = ri 1 5 and oy = ri 1 5 in
+        let lp = Lp.create () in
+        let x = Lp.var lp "x" and y = Lp.var lp "y" in
+        List.iter
+          (fun (a, b, c) ->
+            Lp.add_le lp (Linexpr.of_terms [ (a, Lp.var_index x); (b, Lp.var_index y) ]) (Linexpr.const c))
+          constraints;
+        let obj = Linexpr.of_terms [ (ox, Lp.var_index x); (oy, Lp.var_index y) ] in
+        match Lp.maximize lp obj with
+        | Lp.Infeasible -> false (* origin is always feasible here since rhs >= 0 *)
+        | Lp.Unbounded -> brute_force_2d constraints ox oy = None || true
+        (* unboundedness cannot be detected by vertex enumeration; accept *)
+        | Lp.Optimal s -> (
+            match brute_force_2d constraints ox oy with
+            | Some best -> Rat.equal s.Lp.objective best
+            | None -> false));
+    prop "optimal solutions satisfy all constraints" 100 QCheck.(int_range 0 1000) (fun seed ->
+        let rng = Random.State.make [| seed; 42 |] in
+        let nv = 2 + Random.State.int rng 3 in
+        let rows = 2 + Random.State.int rng 4 in
+        let lp = Lp.create () in
+        let vars = Array.init nv (fun i -> Lp.var lp (Printf.sprintf "v%d" i)) in
+        let cons = ref [] in
+        for _ = 1 to rows do
+          let coeffs = Array.map (fun v -> (Rat.of_int (Random.State.int rng 7 - 2), v)) vars in
+          let rhs = Rat.of_int (Random.State.int rng 12) in
+          let e = Linexpr.of_terms (Array.to_list (Array.map (fun (c, v) -> (c, Lp.var_index v)) coeffs)) in
+          Lp.add_le lp e (Linexpr.const rhs);
+          cons := (e, rhs) :: !cons
+        done;
+        let obj =
+          Linexpr.of_terms (Array.to_list (Array.map (fun v -> (Rat.of_int (1 + Random.State.int rng 4), Lp.var_index v)) vars))
+        in
+        match Lp.maximize lp obj with
+        | Lp.Optimal s ->
+            List.for_all (fun (e, rhs) -> Rat.(s.Lp.expr_value e <= rhs)) !cons
+            && Array.for_all (fun v -> Rat.(s.Lp.value v >= Rat.zero)) vars
+        | Lp.Unbounded -> true
+        | Lp.Infeasible -> false);
+  ]
+
+let () =
+  Alcotest.run "rtt_lp"
+    [ ("linexpr", linexpr_units); ("simplex", simplex_units); ("simplex-properties", simplex_props) ]

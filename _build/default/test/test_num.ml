@@ -1,0 +1,166 @@
+(* Unit and property tests for the exact-arithmetic substrate
+   (Bigint, Rat). The LP pipeline trusts this module blindly, so the
+   algebraic laws are checked on operands far beyond native range. *)
+
+open Rtt_num
+
+let bi = Bigint.of_string
+let check_s name expected actual = Alcotest.(check string) name expected actual
+
+(* random decimal numeral up to [digits] digits, possibly negative *)
+let gen_bigint digits =
+  QCheck.Gen.(
+    let* neg = bool in
+    let* len = int_range 1 digits in
+    let* first = int_range 1 9 in
+    let* rest = list_size (return (len - 1)) (int_range 0 9) in
+    let s = String.concat "" (List.map string_of_int (first :: rest)) in
+    return (Bigint.of_string (if neg then "-" ^ s else s)))
+
+let arb_bigint = QCheck.make ~print:Bigint.to_string (gen_bigint 40)
+let arb_small = QCheck.make ~print:Bigint.to_string (gen_bigint 12)
+
+let arb_rat =
+  let gen =
+    QCheck.Gen.(
+      let* n = gen_bigint 25 in
+      let* d = gen_bigint 12 in
+      let d = if Bigint.is_zero d then Bigint.one else d in
+      return (Rat.make n d))
+  in
+  QCheck.make ~print:Rat.to_string gen
+
+(* ------------------------------------------------------------------ *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "zero and one" `Quick (fun () ->
+        check_s "zero" "0" (Bigint.to_string Bigint.zero);
+        check_s "one" "1" (Bigint.to_string Bigint.one);
+        Alcotest.(check bool) "0 = -0" true Bigint.(equal zero (neg zero)));
+    Alcotest.test_case "string round-trips" `Quick (fun () ->
+        List.iter
+          (fun s -> check_s s s (Bigint.to_string (bi s)))
+          [ "0"; "1"; "-1"; "1073741824"; "-1073741823"; "123456789123456789123456789";
+            "1000000000000000000000000000000"; "-999999999999999999999999999999" ]);
+    Alcotest.test_case "of_string normalizes" `Quick (fun () ->
+        check_s "leading zeros" "-123" (Bigint.to_string (bi "-000123"));
+        check_s "plus sign" "42" (Bigint.to_string (bi "+42")));
+    Alcotest.test_case "of_string rejects garbage" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.check_raises s (Invalid_argument "Bigint.of_string: bad digit") (fun () ->
+                ignore (bi s)))
+          [ "12a3"; "1.5" ];
+        Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty") (fun () ->
+            ignore (bi "")));
+    Alcotest.test_case "add carries across limbs" `Quick (fun () ->
+        check_s "carry" "1152921504606846976"
+          (Bigint.to_string Bigint.(bi "1152921504606846975" + one)));
+    Alcotest.test_case "mul known value" `Quick (fun () ->
+        check_s "mul" "121932631356500531591068431594116748259548848024980947900"
+          (Bigint.to_string Bigint.(bi "123456789123456789123456789" * bi "987654321987654321987654321100")));
+    Alcotest.test_case "pow" `Quick (fun () ->
+        check_s "2^128" "340282366920938463463374607431768211456"
+          (Bigint.to_string (Bigint.pow Bigint.two 128));
+        check_s "x^0" "1" (Bigint.to_string (Bigint.pow (bi "999") 0)));
+    Alcotest.test_case "pow rejects negative exponent" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Bigint.pow: negative exponent") (fun () ->
+            ignore (Bigint.pow Bigint.two (-1))));
+    Alcotest.test_case "euclidean division signs" `Quick (fun () ->
+        let cases = [ (7, 3, 2, 1); (-7, 3, -3, 2); (7, -3, -2, 1); (-7, -3, 3, 2) ] in
+        List.iter
+          (fun (a, b, q, r) ->
+            let q', r' = Bigint.divmod (Bigint.of_int a) (Bigint.of_int b) in
+            Alcotest.(check int) (Printf.sprintf "%d/%d q" a b) q (Bigint.to_int q');
+            Alcotest.(check int) (Printf.sprintf "%d/%d r" a b) r (Bigint.to_int r'))
+          cases);
+    Alcotest.test_case "division by zero" `Quick (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () ->
+            ignore (Bigint.divmod Bigint.one Bigint.zero)));
+    Alcotest.test_case "gcd / lcm" `Quick (fun () ->
+        check_s "gcd" "12" (Bigint.to_string (Bigint.gcd (bi "48") (bi "-36")));
+        check_s "gcd00" "0" (Bigint.to_string (Bigint.gcd Bigint.zero Bigint.zero));
+        check_s "lcm" "144" (Bigint.to_string (Bigint.lcm (bi "48") (bi "36"))));
+    Alcotest.test_case "int bounds" `Quick (fun () ->
+        Alcotest.(check int) "max_int" max_int (Bigint.to_int (bi (string_of_int max_int)));
+        Alcotest.(check int) "min_int" min_int (Bigint.to_int (Bigint.of_int min_int));
+        Alcotest.(check (option int)) "overflow" None
+          (Bigint.to_int_opt (Bigint.add (bi (string_of_int max_int)) Bigint.one)));
+    Alcotest.test_case "to_float" `Quick (fun () ->
+        Alcotest.(check (float 1e6)) "big" 1e30 (Bigint.to_float (bi "1000000000000000000000000000000")));
+    Alcotest.test_case "rat normalization" `Quick (fun () ->
+        check_s "2/4" "1/2" (Rat.to_string (Rat.of_ints 2 4));
+        check_s "neg den" "-1/2" (Rat.to_string (Rat.of_ints 1 (-2)));
+        check_s "int form" "3" (Rat.to_string (Rat.of_ints 6 2)));
+    Alcotest.test_case "rat of_string" `Quick (fun () ->
+        Alcotest.(check bool) "22/7" true Rat.(equal (of_string "22/7") (of_ints 22 7));
+        Alcotest.(check bool) "-5" true Rat.(equal (of_string "-5") (of_int (-5))));
+    Alcotest.test_case "rat floor/ceil" `Quick (fun () ->
+        Alcotest.(check int) "floor 7/2" 3 (Rat.to_int_floor (Rat.of_ints 7 2));
+        Alcotest.(check int) "ceil 7/2" 4 (Rat.to_int_ceil (Rat.of_ints 7 2));
+        Alcotest.(check int) "floor -7/2" (-4) (Rat.to_int_floor (Rat.of_ints (-7) 2));
+        Alcotest.(check int) "ceil -7/2" (-3) (Rat.to_int_ceil (Rat.of_ints (-7) 2));
+        Alcotest.(check int) "floor int" 5 (Rat.to_int_floor (Rat.of_int 5)));
+    Alcotest.test_case "rat division by zero" `Quick (fun () ->
+        Alcotest.check_raises "div" Division_by_zero (fun () -> ignore (Rat.div Rat.one Rat.zero));
+        Alcotest.check_raises "inv" Division_by_zero (fun () -> ignore (Rat.inv Rat.zero));
+        Alcotest.check_raises "make" Division_by_zero (fun () ->
+            ignore (Rat.make Bigint.one Bigint.zero)));
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let property_tests =
+  [
+    prop "add commutative" 200 (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+        Bigint.(equal (add a b) (add b a)));
+    prop "add associative" 200 (QCheck.triple arb_bigint arb_bigint arb_bigint) (fun (a, b, c) ->
+        Bigint.(equal (add a (add b c)) (add (add a b) c)));
+    prop "mul commutative" 200 (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+        Bigint.(equal (mul a b) (mul b a)));
+    prop "mul associative" 100 (QCheck.triple arb_small arb_small arb_small) (fun (a, b, c) ->
+        Bigint.(equal (mul a (mul b c)) (mul (mul a b) c)));
+    prop "distributivity" 200 (QCheck.triple arb_bigint arb_bigint arb_bigint) (fun (a, b, c) ->
+        Bigint.(equal (mul a (add b c)) (add (mul a b) (mul a c))));
+    prop "sub inverse" 200 (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+        Bigint.(equal (add (sub a b) b) a));
+    prop "divmod identity" 200 (QCheck.pair arb_bigint arb_small) (fun (a, b) ->
+        QCheck.assume (not (Bigint.is_zero b));
+        let q, r = Bigint.divmod a b in
+        Bigint.(equal (add (mul q b) r) a)
+        && Bigint.(r >= zero)
+        && Bigint.(r < abs b));
+    prop "string round-trip" 300 arb_bigint (fun a ->
+        Bigint.equal a (Bigint.of_string (Bigint.to_string a)));
+    prop "compare antisymmetric" 200 (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+        compare (Bigint.compare a b) 0 = compare 0 (Bigint.compare b a));
+    prop "gcd divides both" 200 (QCheck.pair arb_small arb_small) (fun (a, b) ->
+        QCheck.assume (not (Bigint.is_zero a) || not (Bigint.is_zero b));
+        let g = Bigint.gcd a b in
+        Bigint.(is_zero (rem a g)) && Bigint.(is_zero (rem b g)));
+    prop "of_int consistent with of_string" 500 QCheck.int (fun n ->
+        Bigint.equal (Bigint.of_int n) (Bigint.of_string (string_of_int n)));
+    prop "mul_int consistent" 200 (QCheck.pair arb_bigint QCheck.small_signed_int) (fun (a, k) ->
+        Bigint.(equal (mul_int a k) (mul a (of_int k))));
+    prop "rat field: a + (-a) = 0" 200 arb_rat (fun a -> Rat.(is_zero (add a (neg a))));
+    prop "rat field: a * inv a = 1" 200 arb_rat (fun a ->
+        QCheck.assume (not (Rat.is_zero a));
+        Rat.(equal (mul a (inv a)) one));
+    prop "rat distributivity" 100 (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+        Rat.(equal (mul a (add b c)) (add (mul a b) (mul a c))));
+    prop "rat floor <= x < floor + 1" 200 arb_rat (fun a ->
+        let f = Rat.floor a in
+        Rat.(f <= a) && Rat.(a < add f one));
+    prop "rat ceil - floor in {0,1}" 200 arb_rat (fun a ->
+        let d = Rat.(sub (ceil a) (floor a)) in
+        Rat.(is_zero d) || Rat.(equal d one));
+    prop "rat string round-trip" 200 arb_rat (fun a -> Rat.(equal a (of_string (to_string a))));
+    prop "rat compare consistent with sub" 200 (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+        compare (Rat.compare a b) 0 = compare (Rat.sign (Rat.sub a b)) 0);
+    prop "rat to_float close" 100 arb_rat (fun a ->
+        let f = Rat.to_float a in
+        Float.is_finite f);
+  ]
+
+let () = Alcotest.run "rtt_num" [ ("bigint-rat units", unit_tests); ("properties", property_tests) ]

@@ -1,0 +1,290 @@
+(* Tests for the parallel-program substrate: the fork-join program
+   representation, determinacy-race detection (Figure 1), race DAGs,
+   reducer simulation (Figure 2), and Parallel-MM (Figure 3). *)
+
+open Rtt_parsim
+open Rtt_dag
+
+let prog_units =
+  [
+    Alcotest.test_case "counter_race shape" `Quick (fun () ->
+        Alcotest.(check int) "updates" 2 (Prog.n_updates Prog.counter_race);
+        Alcotest.(check (list int)) "cells" [ 0 ] (Prog.cells Prog.counter_race));
+    Alcotest.test_case "parallel_mm counts" `Quick (fun () ->
+        let p = Prog.parallel_mm ~n:3 in
+        Alcotest.(check int) "updates" 27 (Prog.n_updates p);
+        Alcotest.(check int) "cells" 27 (List.length (Prog.cells p)));
+    Alcotest.test_case "updates in program order" `Quick (fun () ->
+        let p = Prog.seq [ Prog.update 0 [ 1 ]; Prog.update 2 [ 0 ] ] in
+        Alcotest.(check (list (pair int (list int)))) "order" [ (0, [ 1 ]); (2, [ 0 ]) ]
+          (Prog.updates p));
+  ]
+
+let race_units =
+  [
+    Alcotest.test_case "figure 1: the double increment races" `Quick (fun () ->
+        let races = Race.find Prog.counter_race in
+        Alcotest.(check bool) "has race" true (races <> []);
+        match races with
+        | r :: _ ->
+            Alcotest.(check int) "on x" 0 r.Race.cell;
+            Alcotest.(check bool) "write/write" true r.Race.write_write
+        | [] -> assert false);
+    Alcotest.test_case "sequential increments are race-free" `Quick (fun () ->
+        let p = Prog.seq [ Prog.update 0 [ 0 ]; Prog.update 0 [ 0 ] ] in
+        Alcotest.(check bool) "no race" false (Race.has_race p));
+    Alcotest.test_case "read/write race detected" `Quick (fun () ->
+        let p = Prog.par [ Prog.update 0 [ 1 ]; Prog.update 1 [ 2 ] ] in
+        (* op1 reads 1 while op2 writes 1 *)
+        let races = Race.find p in
+        Alcotest.(check int) "one race" 1 (List.length races);
+        Alcotest.(check bool) "not ww" false (List.hd races).Race.write_write);
+    Alcotest.test_case "disjoint parallel writes are race-free" `Quick (fun () ->
+        let p = Prog.par [ Prog.update 0 [ 2 ]; Prog.update 1 [ 2 ] ] in
+        Alcotest.(check bool) "no race" false (Race.has_race p));
+    Alcotest.test_case "parallel_mm is race-free, racy variant races" `Quick (fun () ->
+        Alcotest.(check bool) "mm ok" false (Race.has_race (Prog.parallel_mm ~n:2));
+        Alcotest.(check bool) "racy mm" true (Race.has_race (Prog.parallel_mm_racy ~n:2)));
+    Alcotest.test_case "race_free_cells excludes racy ones" `Quick (fun () ->
+        let p = Prog.par [ Prog.update 0 [ 2 ]; Prog.update 0 [ 3 ] ] in
+        let free = Race.race_free_cells p in
+        Alcotest.(check bool) "0 is racy" false (List.mem 0 free);
+        Alcotest.(check bool) "2 is free" true (List.mem 2 free));
+    Alcotest.test_case "nesting: par inside seq is ordered with siblings" `Quick (fun () ->
+        let p =
+          Prog.seq [ Prog.par [ Prog.update 0 [ 1 ] ]; Prog.update 0 [ 1 ] ]
+        in
+        Alcotest.(check bool) "ordered" false (Race.has_race p));
+  ]
+
+let race_dag_units =
+  [
+    Alcotest.test_case "race dag of racy MM has in-degree n at Z cells" `Quick (fun () ->
+        let p = Prog.parallel_mm_racy ~n:3 in
+        let rd = Race_dag.build p in
+        let works = Race_dag.works rd in
+        (* Z cells are 0..8, each updated 3 times using 2 sources each *)
+        let z0 = Hashtbl.find rd.Race_dag.vertex_of_cell 0 in
+        Alcotest.(check int) "z work" 6 works.(z0));
+    Alcotest.test_case "cyclic dependencies rejected" `Quick (fun () ->
+        let p = Prog.seq [ Prog.update 0 [ 1 ]; Prog.update 1 [ 0 ] ] in
+        Alcotest.check_raises "cycle" Race_dag.Cyclic_dependencies (fun () ->
+            ignore (Race_dag.build p)));
+    Alcotest.test_case "self reads do not self-loop" `Quick (fun () ->
+        let p = Prog.update 0 [ 0; 1 ] in
+        let rd = Race_dag.build p in
+        Alcotest.(check bool) "dag" true (Dag.is_dag rd.Race_dag.dag));
+  ]
+
+let reducer_units =
+  [
+    Alcotest.test_case "serial queue serializes" `Quick (fun () ->
+        Alcotest.(check int) "simultaneous" 5
+          (Reducer_sim.finish_time ~arrivals:[ 0; 0; 0; 0; 0 ] Reducer_sim.Serial);
+        Alcotest.(check int) "staggered" 4
+          (Reducer_sim.finish_time ~arrivals:[ 0; 1; 2; 3 ] Reducer_sim.Serial);
+        Alcotest.(check int) "empty" 0 (Reducer_sim.finish_time ~arrivals:[] Reducer_sim.Serial));
+    Alcotest.test_case "figure 2: binary reducer formula" `Quick (fun () ->
+        (* n simultaneous updates with height h finish at ceil(n/2^h)+h+1 *)
+        List.iter
+          (fun (n, h) ->
+            let arrivals = List.init n (fun _ -> 0) in
+            let want = ((n + (1 lsl h) - 1) / (1 lsl h)) + h + 1 in
+            Alcotest.(check int)
+              (Printf.sprintf "n=%d h=%d" n h)
+              want
+              (Reducer_sim.finish_time ~arrivals (Reducer_sim.Binary { height = h })))
+          [ (8, 1); (8, 2); (8, 3); (64, 3); (100, 4); (5, 1); (17, 2) ]);
+    Alcotest.test_case "equation 2: k-way formula" `Quick (fun () ->
+        List.iter
+          (fun (n, k) ->
+            let arrivals = List.init n (fun _ -> 0) in
+            let want = ((n + k - 1) / k) + k in
+            Alcotest.(check int)
+              (Printf.sprintf "n=%d k=%d" n k)
+              want
+              (Reducer_sim.finish_time ~arrivals (Reducer_sim.Kway { ways = k })))
+          [ (16, 2); (16, 4); (30, 5); (9, 3) ]);
+    Alcotest.test_case "height 0 and 1-way degrade to serial" `Quick (fun () ->
+        let arrivals = [ 0; 2; 2; 5 ] in
+        let serial = Reducer_sim.finish_time ~arrivals Reducer_sim.Serial in
+        Alcotest.(check int) "h0" serial
+          (Reducer_sim.finish_time ~arrivals (Reducer_sim.Binary { height = 0 }));
+        Alcotest.(check int) "k1" serial
+          (Reducer_sim.finish_time ~arrivals (Reducer_sim.Kway { ways = 1 })));
+    Alcotest.test_case "space accounting" `Quick (fun () ->
+        Alcotest.(check int) "serial" 0 (Reducer_sim.space Reducer_sim.Serial);
+        Alcotest.(check int) "binary" 8 (Reducer_sim.space (Reducer_sim.Binary { height = 3 }));
+        Alcotest.(check int) "kway" 5 (Reducer_sim.space (Reducer_sim.Kway { ways = 5 })));
+    Alcotest.test_case "reducer_of_allocation" `Quick (fun () ->
+        Alcotest.(check bool) "0" true (Reducer_sim.reducer_of_allocation 0 = Reducer_sim.Serial);
+        Alcotest.(check bool) "1" true (Reducer_sim.reducer_of_allocation 1 = Reducer_sim.Serial);
+        Alcotest.(check bool) "2" true
+          (Reducer_sim.reducer_of_allocation 2 = Reducer_sim.Binary { height = 1 });
+        Alcotest.(check bool) "7" true
+          (Reducer_sim.reducer_of_allocation 7 = Reducer_sim.Binary { height = 2 }));
+    Alcotest.test_case "negative arrivals rejected" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Reducer_sim: negative arrival") (fun () ->
+            ignore (Reducer_sim.finish_time ~arrivals:[ -1 ] Reducer_sim.Serial)));
+  ]
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let reducer_props =
+  [
+    prop "reducers beat the lock once the fan-in amortizes the tree" 100
+      QCheck.(pair (int_range 1 400) (int_range 1 6))
+      (fun (n, h) ->
+        (* a tiny reducer can lose (n = 2, h = 1 costs 3 vs 2): the tree
+           pays h+1 overhead, amortized only when n >= 2^h (h+2) *)
+        QCheck.assume ((1 lsl h) * (h + 2) <= n);
+        let arrivals = List.init n (fun _ -> 0) in
+        Reducer_sim.finish_time ~arrivals (Reducer_sim.Binary { height = h })
+        <= Reducer_sim.finish_time ~arrivals Reducer_sim.Serial);
+    prop "binary simulation matches Equation 3 on simultaneous arrivals" 100
+      QCheck.(pair (int_range 4 300) (int_range 1 5))
+      (fun (n, h) ->
+        QCheck.assume (h <= Rtt_duration.Binary_split.max_height ~work:n);
+        let arrivals = List.init n (fun _ -> 0) in
+        Reducer_sim.finish_time ~arrivals (Reducer_sim.Binary { height = h })
+        = Rtt_duration.Binary_split.time ~work:n (1 lsl h));
+    prop "kway simulation within Equation 2 (equal when k divides n)" 100
+      QCheck.(pair (int_range 4 300) (int_range 2 8))
+      (fun (n, k) ->
+        QCheck.assume (k <= Rtt_duration.Kway.max_split ~work:n);
+        let arrivals = List.init n (fun _ -> 0) in
+        let sim = Reducer_sim.finish_time ~arrivals (Reducer_sim.Kway { ways = k }) in
+        let formula = Rtt_duration.Kway.time ~work:n k in
+        sim <= formula && (n mod k <> 0 || sim = formula));
+    prop "finish time weakly increases with arrivals" 50
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (int_range 0 30))
+      (fun arrivals ->
+        let f = Reducer_sim.finish_time ~arrivals Reducer_sim.Serial in
+        let shifted = List.map (fun a -> a + 1) arrivals in
+        Reducer_sim.finish_time ~arrivals:shifted Reducer_sim.Serial >= f);
+  ]
+
+let sim_units =
+  [
+    Alcotest.test_case "observation 1.1: event model bounded by makespan model" `Quick (fun () ->
+        let rng = Random.State.make [| 6 |] in
+        for _ = 1 to 20 do
+          let g = Gen.erdos_renyi rng ~n:10 ~edge_prob:0.35 in
+          let fine = Sim.serial_makespan g in
+          let coarse = Longest_path.makespan g ~weight:(fun v -> Dag.in_degree g v) in
+          Alcotest.(check bool) "fine <= coarse" true (fine <= coarse)
+        done);
+    Alcotest.test_case "reducers reduce the simulated makespan" `Quick (fun () ->
+        let g = Dag.create () in
+        let s = Dag.add_vertex g in
+        let hub = Dag.add_vertex g in
+        let feeders = List.init 16 (fun _ -> Dag.add_vertex g) in
+        List.iter
+          (fun f ->
+            Dag.add_edge g s f;
+            Dag.add_edge g f hub)
+          feeders;
+        let serial = Sim.serial_makespan g in
+        let reduced =
+          Sim.makespan g ~reducer:(fun v ->
+              if v = hub then Reducer_sim.Binary { height = 2 } else Reducer_sim.Serial)
+        in
+        Alcotest.(check int) "serial" 17 serial;
+        Alcotest.(check int) "reduced" 8 reduced;
+        Alcotest.(check int) "space" 4
+          (Sim.space_used g ~reducer:(fun v ->
+               if v = hub then Reducer_sim.Binary { height = 2 } else Reducer_sim.Serial)));
+  ]
+
+let matmul_units =
+  [
+    Alcotest.test_case "lock-only span is Theta(n)" `Quick (fun () ->
+        Alcotest.(check int) "n=64" 64 (Matmul.serial_span ~n:64));
+    Alcotest.test_case "height halves at h=1" `Quick (fun () ->
+        (* paper: running time almost halves using 2n^2 extra space *)
+        let n = 64 in
+        let s = Matmul.span ~n ~height:1 in
+        Alcotest.(check int) "halved" ((n / 2) + 2) s;
+        Alcotest.(check int) "space" (2 * n * n) (Matmul.extra_space ~n ~height:1));
+    Alcotest.test_case "full height reaches Theta(log n)" `Quick (fun () ->
+        let n = 64 in
+        let h = 6 in
+        let s = Matmul.span ~n ~height:h in
+        Alcotest.(check int) "log-ish" (1 + h + 1) s);
+    Alcotest.test_case "speedup grows with height" `Quick (fun () ->
+        let n = 64 in
+        let s1 = Matmul.speedup ~n ~height:1 and s4 = Matmul.speedup ~n ~height:4 in
+        Alcotest.(check bool) "monotone" true (s4 > s1));
+    Alcotest.test_case "rejects bad input" `Quick (fun () ->
+        Alcotest.check_raises "n" (Invalid_argument "Matmul.span") (fun () ->
+            ignore (Matmul.span ~n:0 ~height:0)));
+  ]
+
+let incr_combine : Interp.combine = fun ~dst ~srcs:_ -> dst + 1
+let sum_combine : Interp.combine = fun ~dst ~srcs -> dst + List.fold_left ( + ) 0 srcs
+
+let interp_units =
+  [
+    Alcotest.test_case "figure 1: the race can lose an increment" `Quick (fun () ->
+        (* two parallel x++ can print 1 (lost update) or 2 *)
+        let outcomes = Interp.possible_outcomes incr_combine Prog.counter_race 0 in
+        Alcotest.(check (list int)) "outcomes" [ 1; 2 ] outcomes);
+    Alcotest.test_case "sequential semantics is the intended one" `Quick (fun () ->
+        let result = Interp.run_sequential incr_combine Prog.counter_race in
+        Alcotest.(check (list (pair int int))) "x = 2" [ (0, 2) ] result);
+    Alcotest.test_case "sequenced increments are deterministic" `Quick (fun () ->
+        let p = Prog.seq [ Prog.update 0 [ 0 ]; Prog.update 0 [ 0 ] ] in
+        Alcotest.(check bool) "det" true (Interp.is_deterministic incr_combine p);
+        Alcotest.(check (list int)) "only 2" [ 2 ] (Interp.possible_outcomes incr_combine p 0));
+    Alcotest.test_case "three parallel increments: 1..3 possible" `Quick (fun () ->
+        let p = Prog.par [ Prog.update 0 [ 0 ]; Prog.update 0 [ 0 ]; Prog.update 0 [ 0 ] ] in
+        Alcotest.(check (list int)) "outcomes" [ 1; 2; 3 ] (Interp.possible_outcomes incr_combine p 0));
+    Alcotest.test_case "disjoint parallel updates stay deterministic" `Quick (fun () ->
+        let p = Prog.par [ Prog.update 0 [ 2 ]; Prog.update 1 [ 2 ] ] in
+        Alcotest.(check bool) "det" true
+          (Interp.is_deterministic ~init:(fun c -> if c = 2 then 5 else 0) sum_combine p));
+    Alcotest.test_case "race detector agrees with outcome nondeterminism" `Quick (fun () ->
+        (* on write-write conflicts the static and dynamic views agree *)
+        List.iter
+          (fun p ->
+            let racy = Race.find p <> [] in
+            let nondet = not (Interp.is_deterministic incr_combine p) in
+            if nondet then Alcotest.(check bool) "nondet => racy" true racy)
+          [
+            Prog.counter_race;
+            Prog.seq [ Prog.update 0 [ 0 ]; Prog.update 0 [ 0 ] ];
+            Prog.par [ Prog.update 0 [ 1 ]; Prog.update 1 [ 2 ] ];
+          ]);
+    Alcotest.test_case "explicit schedule replays the lost update" `Quick (fun () ->
+        (* events: 0 = read op0, 1 = write op0, 2 = read op1, 3 = write op1 *)
+        let lost = Interp.run_schedule incr_combine Prog.counter_race ~schedule:[ 0; 2; 1; 3 ] in
+        Alcotest.(check (list (pair int int))) "x = 1" [ (0, 1) ] lost;
+        let good = Interp.run_schedule incr_combine Prog.counter_race ~schedule:[ 0; 1; 2; 3 ] in
+        Alcotest.(check (list (pair int int))) "x = 2" [ (0, 2) ] good);
+    Alcotest.test_case "invalid schedules rejected" `Quick (fun () ->
+        Alcotest.check_raises "write first" (Invalid_argument "Interp.run_schedule: write before read")
+          (fun () -> ignore (Interp.run_schedule incr_combine Prog.counter_race ~schedule:[ 1; 0; 2; 3 ]));
+        Alcotest.check_raises "length" (Invalid_argument "Interp.run_schedule: wrong length")
+          (fun () -> ignore (Interp.run_schedule incr_combine Prog.counter_race ~schedule:[ 0; 1 ]));
+        let seq = Prog.seq [ Prog.update 0 [ 0 ]; Prog.update 0 [ 0 ] ] in
+        Alcotest.check_raises "program order"
+          (Invalid_argument "Interp.run_schedule: violates program order") (fun () ->
+            ignore (Interp.run_schedule incr_combine seq ~schedule:[ 2; 3; 0; 1 ])));
+    Alcotest.test_case "too many events rejected" `Quick (fun () ->
+        let p = Prog.par (List.init 10 (fun _ -> Prog.update 0 [ 0 ])) in
+        Alcotest.check_raises "limit" (Invalid_argument "Interp.possible_outcomes: too many events")
+          (fun () -> ignore (Interp.possible_outcomes incr_combine p 0)));
+  ]
+
+let () =
+  Alcotest.run "rtt_parsim"
+    [
+      ("prog", prog_units);
+      ("race-detection", race_units);
+      ("race-dag", race_dag_units);
+      ("reducer-sim", reducer_units);
+      ("reducer-properties", reducer_props);
+      ("dag-sim", sim_units);
+      ("parallel-mm", matmul_units);
+      ("interpreter", interp_units);
+    ]

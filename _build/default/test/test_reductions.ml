@@ -1,0 +1,302 @@
+(* Tests for the hardness constructions of Section 4 and Appendix A:
+   every reduction is machine-checked in both directions against a
+   brute-force oracle on small instances, and the paper's stated
+   constants (Table 2 / Table 3 behaviour, gadget timings, treewidth)
+   are verified. *)
+
+open Rtt_core
+open Rtt_reductions
+
+let rng_of seed = Random.State.make [| seed |]
+
+let sat_units =
+  [
+    Alcotest.test_case "paper example is satisfiable" `Quick (fun () ->
+        match Sat.solve Sat.example_paper with
+        | Some a -> Alcotest.(check bool) "valid" true (Sat.satisfies Sat.example_paper a)
+        | None -> Alcotest.fail "expected satisfiable");
+    Alcotest.test_case "exactly-one semantics" `Quick (fun () ->
+        let f = Sat.make ~n_vars:3 [ [ (0, true); (1, true); (2, true) ] ] in
+        Alcotest.(check bool) "TTT invalid" false (Sat.satisfies f [| true; true; true |]);
+        Alcotest.(check bool) "TFF valid" true (Sat.satisfies f [| true; false; false |]));
+    Alcotest.test_case "count_solutions" `Quick (fun () ->
+        let f = Sat.make ~n_vars:3 [ [ (0, true); (1, true); (2, true) ] ] in
+        Alcotest.(check int) "three" 3 (Sat.count_solutions f));
+    Alcotest.test_case "unsatisfiable instance" `Quick (fun () ->
+        (* x v x v x with itself negated: (x,x,x) needs exactly one of
+           three copies of x true: impossible; also (¬x,¬x,¬x) *)
+        let f = Sat.make ~n_vars:3 [ [ (0, true); (0, true); (0, true) ] ] in
+        Alcotest.(check (option (array bool))) "none" None (Sat.solve f));
+    Alcotest.test_case "make validates" `Quick (fun () ->
+        Alcotest.check_raises "arity" (Invalid_argument "Sat.make: clauses must have exactly three literals")
+          (fun () -> ignore (Sat.make ~n_vars:2 [ [ (0, true) ] ]));
+        Alcotest.check_raises "range" (Invalid_argument "Sat.make: variable out of range") (fun () ->
+            ignore (Sat.make ~n_vars:2 [ [ (0, true); (1, true); (5, true) ] ])));
+    Alcotest.test_case "random_satisfiable really is" `Quick (fun () ->
+        let rng = rng_of 13 in
+        for _ = 1 to 20 do
+          let f, planted = Sat.random_satisfiable rng ~n_vars:5 ~n_clauses:4 in
+          Alcotest.(check bool) "planted works" true (Sat.satisfies f planted)
+        done);
+  ]
+
+let gadget_general_units =
+  [
+    Alcotest.test_case "figure 9: the paper's formula reduces correctly" `Quick (fun () ->
+        let red = Gadget_general.reduce Sat.example_paper in
+        Alcotest.(check int) "budget n+2m" 7 red.Gadget_general.budget;
+        Alcotest.(check int) "target" 1 red.Gadget_general.target;
+        match Gadget_general.decide_by_assignments red with
+        | Some a -> Alcotest.(check bool) "assignment valid" true (Sat.satisfies Sat.example_paper a)
+        | None -> Alcotest.fail "expected yes-instance");
+    Alcotest.test_case "satisfying assignment gives makespan exactly 1" `Quick (fun () ->
+        let red = Gadget_general.reduce Sat.example_paper in
+        let a = [| true; true; false |] in
+        Alcotest.(check bool) "sat" true (Sat.satisfies Sat.example_paper a);
+        Alcotest.(check int) "makespan" 1 (Gadget_general.makespan_of_assignment red a);
+        Alcotest.(check bool) "within budget" true (Gadget_general.assignment_feasible red a));
+    Alcotest.test_case "non-satisfying assignment forces makespan >= 2 (Theorem 4.3 gap)" `Quick
+      (fun () ->
+        let red = Gadget_general.reduce Sat.example_paper in
+        let bad = [| true; true; true |] in
+        Alcotest.(check bool) "invalid" false (Sat.satisfies Sat.example_paper bad);
+        Alcotest.(check bool) "slow" true (Gadget_general.makespan_of_assignment red bad >= 2));
+    Alcotest.test_case "table 2: per-clause line behaviour over all 8 assignments" `Quick (fun () ->
+        (* one clause (V1 v V2 v V3): exactly-one-true rows have exactly
+           one line at time 0, other rows have none *)
+        let f = Sat.make ~n_vars:3 [ [ (0, true); (1, true); (2, true) ] ] in
+        let red = Gadget_general.reduce f in
+        let inst = red.Gadget_general.instance in
+        for mask = 0 to 7 do
+          let a = Array.init 3 (fun i -> mask land (1 lsl i) <> 0) in
+          let alloc = Gadget_general.allocation_of_assignment red a in
+          let finish = Schedule.finish_times inst.Aoa.problem alloc in
+          let c5, c6, c7 = red.Gadget_general.clause_line_nodes.(0) in
+          let node_time n = finish.(inst.Aoa.node_vertex.(n)) in
+          let zeros =
+            List.length (List.filter (fun n -> node_time n = 0) [ c5; c6; c7 ])
+          in
+          let want = if Sat.clause_count_true (List.hd f.Sat.clauses) a = 1 then 1 else 0 in
+          Alcotest.(check int) (Printf.sprintf "mask %d" mask) want zeros
+        done);
+    Alcotest.test_case "assignment read-back round-trips" `Quick (fun () ->
+        let red = Gadget_general.reduce Sat.example_paper in
+        let a = [| false; false; false |] in
+        let alloc = Gadget_general.allocation_of_assignment red a in
+        Alcotest.(check (array bool)) "roundtrip" a (Gadget_general.assignment_of_allocation red alloc));
+    Alcotest.test_case "reduction agrees with SAT oracle (Lemma 4.2)" `Slow (fun () ->
+        let rng = rng_of 42 in
+        for _ = 1 to 40 do
+          let n_vars = 3 + Random.State.int rng 2 in
+          let n_clauses = 1 + Random.State.int rng 3 in
+          let f = Sat.random rng ~n_vars ~n_clauses in
+          let red = Gadget_general.reduce f in
+          let want = Sat.solve f <> None in
+          let got = Gadget_general.decide_by_assignments red <> None in
+          Alcotest.(check bool) "equivalent" want got
+        done);
+  ]
+
+let partition_units =
+  [
+    Alcotest.test_case "oracle basics" `Quick (fun () ->
+        Alcotest.(check bool) "yes" true (Partition_red.partition_exists [| 3; 1; 1; 2; 2; 1 |]);
+        Alcotest.(check bool) "no" false (Partition_red.partition_exists [| 3; 1; 1 |]);
+        Alcotest.(check bool) "odd total" false (Partition_red.partition_exists [| 1; 2 |]));
+    Alcotest.test_case "reduction constants" `Quick (fun () ->
+        let red = Partition_red.reduce [| 3; 1; 2 |] in
+        Alcotest.(check int) "budget = sum" 6 red.Partition_red.budget;
+        Alcotest.(check int) "target = half" 3 red.Partition_red.target;
+        Alcotest.(check bool) "M > target" true (red.Partition_red.big > red.Partition_red.target));
+    Alcotest.test_case "canonical allocation achieves half on a yes-instance" `Quick (fun () ->
+        let items = [| 3; 1; 2 |] in
+        let red = Partition_red.reduce items in
+        (* subset {3} vs {1,2} *)
+        let subset = [| true; false; false |] in
+        Alcotest.(check int) "makespan" 3 (Partition_red.makespan_of_subset red subset);
+        Alcotest.(check bool) "budget" true
+          (Schedule.min_budget red.Partition_red.instance (Partition_red.allocation_of_subset red subset)
+          <= red.Partition_red.budget));
+    Alcotest.test_case "figure 16: decomposition is valid with width <= 15" `Quick (fun () ->
+        let red = Partition_red.reduce [| 3; 1; 1; 2; 2; 1 |] in
+        let td = Partition_red.tree_decomposition red in
+        Alcotest.(check bool) "valid" true
+          (Rtt_dag.Treewidth.is_valid red.Partition_red.instance.Problem.dag td);
+        Alcotest.(check bool) "width" true (Rtt_dag.Treewidth.width td <= 15));
+    Alcotest.test_case "reduction agrees with Partition oracle (Theorem 4.6)" `Slow (fun () ->
+        let rng = rng_of 7 in
+        for _ = 1 to 40 do
+          let n = 3 + Random.State.int rng 3 in
+          let items = Array.init n (fun _ -> 1 + Random.State.int rng 6) in
+          let red = Partition_red.reduce items in
+          let want = Partition_red.partition_exists items in
+          let got = Partition_red.decide_by_subsets red <> None in
+          Alcotest.(check bool) "equivalent" want got
+        done);
+  ]
+
+let n3dm_units =
+  [
+    Alcotest.test_case "oracle basics" `Quick (fun () ->
+        Alcotest.(check bool) "yes" true
+          (N3dm_red.n3dm_exists ~a:[| 1; 2 |] ~b:[| 2; 3 |] ~c:[| 4; 2 |] <> None);
+        Alcotest.(check bool) "no" false
+          (N3dm_red.n3dm_exists ~a:[| 1; 1 |] ~b:[| 1; 1 |] ~c:[| 1; 3 |] <> None));
+    Alcotest.test_case "lemma A.1 constants" `Quick (fun () ->
+        let red = N3dm_red.reduce ~a:[| 1; 2 |] ~b:[| 2; 3 |] ~c:[| 4; 2 |] in
+        Alcotest.(check int) "budget n^2" 4 (N3dm_red.budget red);
+        Alcotest.(check int) "T" 7 (N3dm_red.triple_sum red);
+        Alcotest.(check int) "target 2M+T" ((2 * N3dm_red.big red) + 7) (N3dm_red.target red));
+    Alcotest.test_case "matching allocation achieves 2M+T" `Quick (fun () ->
+        let red = N3dm_red.reduce ~a:[| 1; 2 |] ~b:[| 2; 3 |] ~c:[| 4; 2 |] in
+        match N3dm_red.decide_by_matchings red with
+        | Some (p, q) ->
+            Alcotest.(check int) "makespan" (N3dm_red.target red)
+              (N3dm_red.makespan_of_matching red ~p ~q)
+        | None -> Alcotest.fail "expected matching");
+    Alcotest.test_case "reduction agrees with N3DM oracle" `Slow (fun () ->
+        let rng = rng_of 23 in
+        let tried = ref 0 in
+        while !tried < 12 do
+          let n = 2 + Random.State.int rng 2 in
+          let gen () = Array.init n (fun _ -> 1 + Random.State.int rng 4) in
+          let a = gen () and b = gen () and c = gen () in
+          let total = Array.fold_left ( + ) 0 (Array.concat [ a; b; c ]) in
+          if total mod n = 0 then begin
+            incr tried;
+            let red = N3dm_red.reduce ~a ~b ~c in
+            let want = N3dm_red.n3dm_exists ~a ~b ~c <> None in
+            let got = N3dm_red.decide_by_matchings red <> None in
+            Alcotest.(check bool) "equivalent" want got
+          end
+        done);
+  ]
+
+let minresource_units =
+  [
+    Alcotest.test_case "satisfiable needs exactly 2 units" `Quick (fun () ->
+        let red = Minresource_red.reduce Sat.example_paper in
+        Alcotest.(check int) "min units" 2 (Minresource_red.min_units red);
+        match Minresource_red.decide_by_assignments red with
+        | Some a ->
+            Alcotest.(check int) "makespan" red.Minresource_red.target
+              (Minresource_red.makespan_of_assignment red a);
+            Alcotest.(check int) "budget" 2 (Minresource_red.budget_of_assignment red a)
+        | None -> Alcotest.fail "expected assignment");
+    Alcotest.test_case "unsatisfiable needs 3 units (Theorem 4.4 gap)" `Quick (fun () ->
+        let f = Sat.make ~n_vars:3 [ [ (0, true); (0, true); (0, true) ] ] in
+        let red = Minresource_red.reduce f in
+        Alcotest.(check int) "min units" 3 (Minresource_red.min_units red));
+    Alcotest.test_case "three units always meet the target" `Quick (fun () ->
+        let rng = rng_of 5 in
+        for _ = 1 to 10 do
+          let f = Sat.random rng ~n_vars:4 ~n_clauses:3 in
+          let red = Minresource_red.reduce f in
+          let a = Array.init 4 (fun _ -> Random.State.bool rng) in
+          let alloc = Minresource_red.three_unit_allocation red a in
+          Alcotest.(check bool) "makespan" true
+            (Schedule.makespan red.Minresource_red.instance.Aoa.problem alloc
+            <= red.Minresource_red.target);
+          Alcotest.(check bool) "budget" true
+            (Schedule.min_budget red.Minresource_red.instance.Aoa.problem alloc <= 3)
+        done);
+    Alcotest.test_case "reduction agrees with SAT oracle" `Slow (fun () ->
+        let rng = rng_of 77 in
+        for _ = 1 to 30 do
+          let f = Sat.random rng ~n_vars:(3 + Random.State.int rng 2) ~n_clauses:(1 + Random.State.int rng 3) in
+          let red = Minresource_red.reduce f in
+          let want = if Sat.solve f <> None then 2 else 3 in
+          Alcotest.(check int) "equivalent" want (Minresource_red.min_units red)
+        done);
+  ]
+
+let gadget_split_units =
+  [
+    Alcotest.test_case "gadget constants: V5/V6/V7 timings" `Quick (fun () ->
+        let red = Gadget_split.reduce Sat.example_paper in
+        let x = red.Gadget_split.x in
+        let a = [| false; false; false |] in
+        let finish =
+          Rtt_parsim.Sim.finish_times red.Gadget_split.dag
+            ~reducer:(Gadget_split.reducers_of_assignment red a)
+        in
+        (* variable 0 assigned FALSE: V6 early, V5 late *)
+        Alcotest.(check int) "V6 early" ((5 * x) + 5) finish.(red.Gadget_split.var_v6.(0));
+        Alcotest.(check int) "V5 late" ((6 * x) + 3) finish.(red.Gadget_split.var_v5.(0));
+        Alcotest.(check int) "V7" ((7 * x) + 12) finish.(red.Gadget_split.var_v7.(0)));
+    Alcotest.test_case "table 3: line finish times over all 8 assignments" `Quick (fun () ->
+        (* single clause (V1 v V2 v V3) over its own variables *)
+        let f = Sat.make ~n_vars:3 [ [ (0, true); (1, true); (2, true) ] ] in
+        let red = Gadget_split.reduce f in
+        let x = red.Gadget_split.x in
+        let a_const = (6 * x) + 4 and b_const = (5 * x) + 6 in
+        (* Table 3 final values per row (Vi,Vj,Vk) for (C5,C6,C7) *)
+        let expect = function
+          | true, true, true -> (a_const + 1, a_const + 1, a_const + 1)
+          | false, true, true -> (a_const, a_const, a_const + 2)
+          | true, false, true -> (a_const, a_const + 2, a_const)
+          | true, true, false -> (a_const + 2, a_const, a_const)
+          | false, false, true -> (b_const + 2, a_const + 1, a_const + 1)
+          | false, true, false -> (a_const + 1, b_const + 2, a_const + 1)
+          | true, false, false -> (a_const + 1, a_const + 1, b_const + 2)
+          | false, false, false -> (a_const, a_const, a_const)
+        in
+        for mask = 0 to 7 do
+          let assignment = Array.init 3 (fun i -> mask land (1 lsl i) <> 0) in
+          let got = Gadget_split.line_finish_times red ~clause:0 assignment in
+          let want = expect (assignment.(0), assignment.(1), assignment.(2)) in
+          Alcotest.(check (triple int int int)) (Printf.sprintf "mask %d" mask) want got
+        done);
+    Alcotest.test_case "lemma 4.5 forward: satisfiable meets target within budget" `Quick (fun () ->
+        let red = Gadget_split.reduce Sat.example_paper in
+        let a = [| false; false; false |] in
+        Alcotest.(check int) "makespan" red.Gadget_split.target
+          (Gadget_split.makespan_of_assignment red a);
+        Alcotest.(check bool) "budget" true
+          (Gadget_split.budget_of_assignment red a <= red.Gadget_split.budget));
+    Alcotest.test_case "lemma 4.5 backward: bad assignments overshoot" `Quick (fun () ->
+        let red = Gadget_split.reduce Sat.example_paper in
+        let bad = [| true; true; true |] in
+        Alcotest.(check bool) "overshoots" true
+          (Gadget_split.makespan_of_assignment red bad > red.Gadget_split.target));
+    Alcotest.test_case "binary and k-way reducers give identical gadget timings" `Quick (fun () ->
+        (* Section 4.2: "using 2 units ... composite node v takes (k/2+4)
+           units of time using either function" *)
+        let red = Gadget_split.reduce Sat.example_paper in
+        for mask = 0 to 7 do
+          let a = Array.init 3 (fun i -> mask land (1 lsl i) <> 0) in
+          let ms_binary =
+            Rtt_parsim.Sim.makespan red.Gadget_split.dag
+              ~reducer:(Gadget_split.reducers_of_assignment ~kind:`Binary red a)
+          in
+          let ms_kway =
+            Rtt_parsim.Sim.makespan red.Gadget_split.dag
+              ~reducer:(Gadget_split.reducers_of_assignment ~kind:`Kway red a)
+          in
+          Alcotest.(check int) (Printf.sprintf "mask %d" mask) ms_binary ms_kway
+        done);
+    Alcotest.test_case "paper target within a unit of the simulated target" `Quick (fun () ->
+        let red = Gadget_split.reduce Sat.example_paper in
+        Alcotest.(check bool) "close" true
+          (abs (red.Gadget_split.paper_target - red.Gadget_split.target) <= 1));
+    Alcotest.test_case "reduction agrees with SAT oracle (Lemma 4.5)" `Slow (fun () ->
+        let rng = rng_of 31 in
+        for _ = 1 to 8 do
+          let f = Sat.random rng ~n_vars:3 ~n_clauses:(1 + Random.State.int rng 2) in
+          let red = Gadget_split.reduce f in
+          let want = Sat.solve f <> None in
+          let got = Gadget_split.decide_by_assignments red <> None in
+          Alcotest.(check bool) "equivalent" want got
+        done);
+  ]
+
+let () =
+  Alcotest.run "rtt_reductions"
+    [
+      ("1in3sat", sat_units);
+      ("gadget-general (§4.1)", gadget_general_units);
+      ("partition (§4.3)", partition_units);
+      ("n3dm (appendix A)", n3dm_units);
+      ("minresource (thm 4.4)", minresource_units);
+      ("gadget-split (§4.2)", gadget_split_units);
+    ]
