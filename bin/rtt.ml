@@ -13,6 +13,7 @@ open Cmdliner
 open Rtt_dag
 open Rtt_num
 open Rtt_core
+open Rtt_engine
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                    *)
@@ -29,7 +30,44 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let load path = Io.read_file path
+(* Every error class owns a stable nonzero exit code (Error.exit_code);
+   the message goes to stderr so stdout stays machine-readable. *)
+let report_error e =
+  Format.eprintf "rtt: %s@." (Error.to_string e);
+  Error.exit_code e
+
+let with_instance path k =
+  match Engine.load path with Error e -> report_error e | Ok p -> k p
+
+let alpha_conv =
+  let parse s =
+    match Rat.of_string s with
+    | a when Rat.(a > Rat.zero) && Rat.(a < Rat.one) -> Ok a
+    | _ -> Error (`Msg (Printf.sprintf "alpha %s must lie strictly between 0 and 1" s))
+    | exception _ ->
+        Error (`Msg (Printf.sprintf "alpha %S is not a rational; write e.g. 1/2 or 2/3" s))
+  in
+  Arg.conv ~docv:"ALPHA" (parse, fun fmt a -> Format.pp_print_string fmt (Rat.to_string a))
+
+let alpha_arg =
+  let doc = "Rounding threshold alpha for the bicriteria rung, a rational strictly inside (0, 1)." in
+  Arg.(value & opt alpha_conv Rat.half & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+
+let fuel_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (`Msg (Printf.sprintf "fuel %S must be a non-negative integer" s))
+  in
+  Arg.conv ~docv:"FUEL" (parse, Format.pp_print_int)
+
+let fuel_arg =
+  let doc =
+    "Deterministic per-rung step budget (simplex pivots + flow augmentations + exact \
+     enumeration steps). A rung that exhausts it fails with fuel-exhausted and the next \
+     rung of the chain starts fresh. Unmetered when absent."
+  in
+  Arg.(value & opt (some fuel_conv) None & info [ "fuel" ] ~docv:"FUEL" ~doc)
 
 let pp_alloc p alloc =
   let parts = ref [] in
@@ -45,58 +83,86 @@ let pp_alloc p alloc =
 (* ------------------------------------------------------------------ *)
 (* solve                                                               *)
 
-let algo_enum =
-  Arg.enum
-    [
-      ("bicriteria", `Bicriteria);
-      ("binary", `Binary);
-      ("kway", `Kway);
-      ("binary-bicriteria", `Binary_bicriteria);
-    ]
+let algo_enum = Arg.enum (List.map (fun r -> (Policy.rung_name r, r)) Policy.all_rungs)
+
+let policy_conv =
+  let parse s = match Policy.of_string s with Ok p -> Ok p | Error m -> Error (`Msg m) in
+  Arg.conv ~docv:"CHAIN" (parse, fun fmt p -> Format.pp_print_string fmt (Policy.to_string p))
+
+let inject_conv =
+  (* SITE or SITE:AFTER, e.g. lp-infeasible or flow-abort:2 *)
+  let parse s =
+    let site_str, after =
+      match String.index_opt s ':' with
+      | None -> (s, Ok 0)
+      | Some i -> (
+          let tail = String.sub s (i + 1) (String.length s - i - 1) in
+          ( String.sub s 0 i,
+            match int_of_string_opt tail with
+            | Some n when n >= 0 -> Ok n
+            | _ -> Error (`Msg (Printf.sprintf "bad trigger count %S" tail)) ))
+    in
+    match (Faults.of_string site_str, after) with
+    | _, (Error _ as e) -> e
+    | Some site, Ok after -> Ok (site, after)
+    | None, _ ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown fault site %S (expected %s)" site_str
+                (String.concat "|" (List.map Faults.name Faults.all))))
+  in
+  let print fmt (site, after) = Format.fprintf fmt "%s:%d" (Faults.name site) after in
+  Arg.conv ~docv:"SITE[:AFTER]" (parse, print)
 
 let solve_cmd =
   let algo =
-    let doc = "Algorithm: bicriteria | binary | kway | binary-bicriteria." in
-    Arg.(value & opt algo_enum `Bicriteria & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+    let doc =
+      "Single algorithm to run (a one-rung chain): exact | bicriteria | binary-bicriteria | \
+       binary | kway | greedy | baseline. Ignored when $(b,--fallback) is given."
+    in
+    Arg.(value & opt algo_enum Policy.Bicriteria & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
   in
-  let alpha =
-    let doc = "Rounding threshold alpha (rational, e.g. 1/2) for bicriteria." in
-    Arg.(value & opt string "1/2" & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+  let fallback =
+    let doc =
+      "Degrade through a comma-separated fallback chain instead of a single algorithm, e.g. \
+       $(b,exact,bicriteria,greedy). Plain $(b,--fallback) uses the default chain \
+       exact,bicriteria,greedy,baseline. Each failed rung is reported, never silent."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some Policy.default) (some policy_conv) None
+      & info [ "fallback" ] ~docv:"CHAIN" ~doc)
   in
-  let run path algo budget alpha =
-    let p = load path in
-    (match algo with
-    | `Bicriteria ->
-        let bi = Bicriteria.min_makespan p ~budget ~alpha:(Rat.of_string alpha) in
-        Format.printf "LP lower bound:   %s@." (Rat.to_string bi.Bicriteria.lp.Lp_relax.makespan);
-        Format.printf "rounded makespan: %d (bound %s)@." bi.Bicriteria.rounded.Rounding.makespan
-          (Rat.to_string bi.Bicriteria.makespan_bound);
-        Format.printf "resources used:   %d (bound %s)@." bi.Bicriteria.rounded.Rounding.budget_used
-          (Rat.to_string bi.Bicriteria.budget_bound);
-        Format.printf "allocation:       %s@." (pp_alloc p bi.Bicriteria.rounded.Rounding.allocation)
-    | `Binary ->
-        let r = Binary_approx.min_makespan p ~budget in
-        Format.printf "makespan: %d (LP lower bound %s, guarantee 4x)@." r.Binary_approx.makespan
-          (Rat.to_string r.Binary_approx.lp_makespan);
-        Format.printf "budget:   %d of %d@." r.Binary_approx.budget_used budget;
-        Format.printf "allocation: %s@." (pp_alloc p r.Binary_approx.allocation)
-    | `Kway ->
-        let r = Kway_approx.min_makespan p ~budget in
-        Format.printf "makespan: %d (LP lower bound %s, guarantee 5x)@." r.Kway_approx.makespan
-          (Rat.to_string r.Kway_approx.lp_makespan);
-        Format.printf "budget:   %d of %d@." r.Kway_approx.budget_used budget;
-        Format.printf "allocation: %s@." (pp_alloc p r.Kway_approx.allocation)
-    | `Binary_bicriteria ->
-        let r = Binary_bicriteria.min_makespan p ~budget in
-        Format.printf "makespan: %d (bound %s)@." r.Binary_bicriteria.makespan
-          (Rat.to_string r.Binary_bicriteria.makespan_bound);
-        Format.printf "budget:   %d (bound %s)@." r.Binary_bicriteria.budget_used
-          (Rat.to_string r.Binary_bicriteria.resource_bound);
-        Format.printf "allocation: %s@." (pp_alloc p r.Binary_bicriteria.allocation));
-    0
+  let inject =
+    let doc =
+      "Arm a fault-injection site before solving (repeatable): lp-infeasible | flow-abort | \
+       fuel-zero, optionally with a trigger count as SITE:AFTER. For exercising the fallback \
+       chain and the certificate validator."
+    in
+    Arg.(value & opt_all inject_conv [] & info [ "inject" ] ~docv:"SITE[:AFTER]" ~doc)
   in
-  let info = Cmd.info "solve" ~doc:"Run an approximation algorithm on an instance file." in
-  Cmd.v info Term.(const run $ instance_arg $ algo $ budget_arg $ alpha)
+  let run path algo fallback fuel alpha inject budget =
+    with_instance path @@ fun p ->
+    let policy = match fallback with Some chain -> chain | None -> [ algo ] in
+    Faults.reset ();
+    List.iter (fun (site, after) -> Faults.arm ~after site) inject;
+    let result = Engine.solve ?fuel ~policy ~alpha p ~budget in
+    Faults.reset ();
+    match result with
+    | Error e -> report_error e
+    | Ok s ->
+        Format.printf "%a@." Engine.pp_success s;
+        Format.printf "allocation: %s@." (pp_alloc p s.Engine.allocation);
+        0
+  in
+  let info =
+    Cmd.info "solve"
+      ~doc:
+        "Solve an instance through the hardened engine: structured errors, optional fuel \
+         budget, fallback chains, certificate validation."
+  in
+  Cmd.v info
+    Term.(const run $ instance_arg $ algo $ fallback $ fuel_arg $ alpha_arg $ inject $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact                                                               *)
@@ -106,24 +172,32 @@ let exact_cmd =
     let doc = "Makespan target (switches to the minimum-resource objective)." in
     Arg.(value & opt (some int) None & info [ "t"; "target" ] ~docv:"T" ~doc)
   in
-  let run path budget target =
-    let p = load path in
-    (match target with
-    | None ->
-        let r = Exact.min_makespan p ~budget in
-        Format.printf "optimal makespan: %d (budget used %d of %d)@." r.Exact.makespan
-          r.Exact.budget_used budget;
-        Format.printf "allocation: %s@." (pp_alloc p r.Exact.allocation)
+  let run path budget target fuel =
+    with_instance path @@ fun p ->
+    match target with
+    | None -> (
+        match Engine.solve ?fuel ~policy:[ Policy.Exact ] p ~budget with
+        | Error e -> report_error e
+        | Ok s ->
+            Format.printf "optimal makespan: %d (budget used %d of %d)@." s.Engine.makespan
+              s.Engine.budget_used budget;
+            Format.printf "allocation: %s@." (pp_alloc p s.Engine.allocation);
+            0)
     | Some t -> (
-        match Exact.min_resource p ~target:t with
+        match Rtt_budget.Budget.with_fuel fuel (fun () -> Exact.min_resource p ~target:t) with
         | Some r ->
             Format.printf "minimum resources for makespan <= %d: %d@." t r.Exact.budget_used;
-            Format.printf "allocation: %s@." (pp_alloc p r.Exact.allocation)
-        | None -> Format.printf "target %d is unreachable at any budget@." t));
-    0
+            Format.printf "allocation: %s@." (pp_alloc p r.Exact.allocation);
+            0
+        | None ->
+            Format.printf "target %d is unreachable at any budget@." t;
+            0
+        | exception Exact.Too_large states -> report_error (Error.Too_large { states })
+        | exception Rtt_budget.Budget.Fuel_exhausted { stage; spent } ->
+            report_error (Error.Fuel_exhausted { stage; spent }))
   in
   let info = Cmd.info "exact" ~doc:"Brute-force optimum of a small instance." in
-  Cmd.v info Term.(const run $ instance_arg $ budget_arg $ target)
+  Cmd.v info Term.(const run $ instance_arg $ budget_arg $ target $ fuel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
@@ -273,7 +347,7 @@ let pareto_cmd =
     Arg.(value & opt int 8 & info [ "max-budget" ] ~docv:"B" ~doc:"Largest budget to sweep (default 8; exact sweeps are exponential).")
   in
   let run path approx max_budget =
-    let p = load path in
+    with_instance path @@ fun p ->
     let curve =
       if approx then Pareto.approximate ~max_budget p else Pareto.exact ~max_budget p
     in
@@ -294,7 +368,7 @@ let pareto_cmd =
 
 let dot_cmd =
   let run path =
-    let p = load path in
+    with_instance path @@ fun p ->
     print_string (Dot.to_dot ~name:"instance" p.Problem.dag);
     0
   in

@@ -1,0 +1,72 @@
+exception Fuel_exhausted of { stage : string; spent : int }
+exception Injected_fault of { site : string }
+exception Solver_failure of { stage : string; reason : string }
+
+(* remaining < 0 means "metered context absent"; we model that by not
+   installing a context at all. *)
+type fuel = { mutable remaining : int; mutable spent : int; unlimited : bool }
+
+let context : fuel option ref = ref None
+let enabled = ref true
+let faults : (string, int ref) Hashtbl.t = Hashtbl.create 7
+
+let fuel_zero = "fuel.zero"
+
+let arm ~site ~after =
+  if after < 0 then invalid_arg "Budget.arm: negative trigger count";
+  Hashtbl.replace faults site (ref after)
+
+let disarm ~site = Hashtbl.remove faults site
+let disarm_all () = Hashtbl.reset faults
+let armed ~site = Hashtbl.mem faults site
+
+let probe ~site =
+  if not !enabled then false
+  else
+    match Hashtbl.find_opt faults site with
+    | None -> false
+    | Some countdown ->
+        if !countdown = 0 then begin
+          Hashtbl.remove faults site;
+          true
+        end
+        else begin
+          decr countdown;
+          false
+        end
+
+let with_fuel limit f =
+  let ctx =
+    match limit with
+    | None -> { remaining = 0; spent = 0; unlimited = true }
+    | Some n ->
+        if n < 0 then invalid_arg "Budget.with_fuel: negative fuel";
+        { remaining = n; spent = 0; unlimited = false }
+  in
+  let saved = !context in
+  context := Some ctx;
+  Fun.protect ~finally:(fun () -> context := saved) f
+
+let spent () = match !context with None -> 0 | Some c -> c.spent
+
+let tick ~stage =
+  if !enabled then begin
+    if probe ~site:fuel_zero then begin
+      match !context with
+      | Some c when not c.unlimited -> c.remaining <- 0
+      | _ -> ()
+    end;
+    match !context with
+    | None -> ()
+    | Some c ->
+        c.spent <- c.spent + 1;
+        if not c.unlimited then begin
+          if c.remaining = 0 then raise (Fuel_exhausted { stage; spent = c.spent });
+          c.remaining <- c.remaining - 1
+        end
+  end
+
+let unmetered f =
+  let saved = !enabled in
+  enabled := false;
+  Fun.protect ~finally:(fun () -> enabled := saved) f

@@ -1,0 +1,70 @@
+(** Ambient solver instrumentation: deterministic fuel budgets and a
+    fault-injection registry.
+
+    The long-running kernels (simplex pivots, flow augmentations, exact
+    enumeration) call {!tick} once per elementary step and {!probe} at
+    designated fault sites. Both are no-ops unless a context is
+    installed, so the kernels stay dependency-free and pay one branch
+    per step in production.
+
+    Fuel is a plain step counter — no wall clock — so an exhausted run
+    is exactly reproducible. The registry is global and single-threaded,
+    matching the rest of the library; [Rtt_engine.Engine] installs a
+    fresh fuel context per fallback rung and disables the whole
+    instrumentation while it re-validates certificates. *)
+
+exception Fuel_exhausted of { stage : string; spent : int }
+(** Raised by {!tick} when the installed budget hits zero. [stage] names
+    the kernel that was running (["simplex"], ["flow"], ["exact"], …);
+    [spent] is the number of steps consumed in this context. *)
+
+exception Injected_fault of { site : string }
+(** Raised by kernels when an armed fault at [site] fires. *)
+
+exception Solver_failure of { stage : string; reason : string }
+(** A solver reported a structurally impossible outcome (e.g. the LP
+    relaxation coming back infeasible) — raised instead of a bare
+    [assert false] so callers can degrade gracefully. *)
+
+(** {1 Fuel} *)
+
+val with_fuel : int option -> (unit -> 'a) -> 'a
+(** [with_fuel (Some n) f] runs [f] with a budget of [n] steps; every
+    {!tick} consumes one and the [n+1]-th raises {!Fuel_exhausted}.
+    [with_fuel None f] runs [f] unmetered (probes still fire). The
+    previous context is restored on exit, normal or exceptional. *)
+
+val tick : stage:string -> unit
+(** Consume one unit of fuel (no-op without a context). Also gives the
+    {!val-fuel_zero} fault site a chance to zero the remaining budget. *)
+
+val spent : unit -> int
+(** Steps consumed in the innermost active fuel context (0 if none). *)
+
+val unmetered : (unit -> 'a) -> 'a
+(** Run with instrumentation disabled: ticks and probes are no-ops and
+    armed faults keep their trigger counts. Used by the certificate
+    validator so re-checking an answer can neither exhaust fuel nor
+    trip an injected fault. *)
+
+(** {1 Fault injection} *)
+
+val fuel_zero : string
+(** Site name ["fuel.zero"]: when it fires, the remaining fuel of the
+    current context is zeroed, so the very next {!tick} exhausts. *)
+
+val arm : site:string -> after:int -> unit
+(** Arm the fault at [site]: the first [after] probes pass, the next one
+    fires (and the fault disarms itself). [after = 0] fires on the first
+    probe. @raise Invalid_argument on negative [after]. *)
+
+val disarm : site:string -> unit
+val disarm_all : unit -> unit
+
+val armed : site:string -> bool
+(** Whether a fault at [site] is still waiting to fire. *)
+
+val probe : site:string -> bool
+(** [probe ~site] is [true] exactly when an armed fault at [site]
+    reaches its trigger count. Kernels decide the effect: return a
+    failure outcome, or raise {!Injected_fault}. *)

@@ -1,5 +1,6 @@
 open Rtt_dag
 open Rtt_duration
+open Rtt_budget
 
 type t = { makespan : int; budget_used : int; allocation : int array }
 
@@ -40,6 +41,7 @@ let min_makespan ?(max_states = 2_000_000) (p : Problem.t) ~budget =
   let best = ref { makespan = max_int; budget_used = 0; allocation = Array.make n 0 } in
   let alloc = Array.make n 0 and time = Array.make n 0 in
   let rec go v =
+    Budget.tick ~stage:"exact";
     if partial_lower_bound p time v >= !best.makespan then ()
     else if v = n then begin
       let ms = Longest_path.makespan p.dag ~weight:(fun u -> time.(u)) in
@@ -70,6 +72,7 @@ let min_resource ?(max_states = 2_000_000) (p : Problem.t) ~target =
   let best = ref None in
   let alloc = Array.make n 0 and time = Array.make n 0 in
   let rec go v =
+    Budget.tick ~stage:"exact";
     if partial_lower_bound p time v > target then ()
     else if v = n then begin
       let ms = Longest_path.makespan p.dag ~weight:(fun u -> time.(u)) in

@@ -1,6 +1,8 @@
 open Rtt_dag
 open Rtt_duration
 
+exception Parse_error of { line : int; msg : string }
+
 let to_string (p : Problem.t) =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "vertices %d\n" (Problem.n_jobs p));
@@ -15,22 +17,35 @@ let to_string (p : Problem.t) =
   List.iter (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v)) (Dag.edges p.Problem.dag);
   Buffer.contents buf
 
+(* Every syntactic or referential problem is reported as [Parse_error]
+   carrying the 1-based line number, so callers (the CLI, the engine)
+   can point the user at the offending line instead of dying on a bare
+   [Failure]/[Invalid_argument] from deep inside the number parser or
+   graph builder. *)
 let of_string s =
-  let lines = String.split_on_char '\n' s in
+  let fail line msg = raise (Parse_error { line; msg }) in
   let n = ref (-1) in
+  let n_line = ref 0 in
   let durations = Hashtbl.create 16 in
   let edges = ref [] in
-  let fail line msg = invalid_arg (Printf.sprintf "Io.of_string: %s in %S" msg line) in
+  let lineno = ref 0 in
   List.iter
-    (fun line ->
-      let line = String.trim line in
+    (fun raw ->
+      incr lineno;
+      let lnum = !lineno in
+      let line = String.trim raw in
       if line <> "" && line.[0] <> '#' then begin
         match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
         | [ "vertices"; k ] -> (
+            if !n >= 0 then fail lnum "duplicate vertices directive";
             match int_of_string_opt k with
-            | Some k when k > 0 -> n := k
-            | _ -> fail line "bad vertex count")
-        | "duration" :: v :: tuples -> (
+            | Some k when k > 0 ->
+                n := k;
+                n_line := lnum
+            | Some _ -> fail lnum "vertex count must be positive"
+            | None -> fail lnum (Printf.sprintf "bad vertex count %S" k))
+        | "vertices" :: _ -> fail lnum "vertices takes exactly one field"
+        | "duration" :: v :: ((_ :: _) as tuples) -> (
             match int_of_string_opt v with
             | Some v ->
                 let parse_tuple w =
@@ -38,22 +53,44 @@ let of_string s =
                   | [ r; t ] -> (
                       match (int_of_string_opt r, int_of_string_opt t) with
                       | Some r, Some t -> (r, t)
-                      | _ -> fail line "bad tuple")
-                  | _ -> fail line "bad tuple"
+                      | _ -> fail lnum (Printf.sprintf "bad resource:time tuple %S" w))
+                  | _ -> fail lnum (Printf.sprintf "bad resource:time tuple %S" w)
                 in
-                Hashtbl.replace durations v (Duration.make (List.map parse_tuple tuples))
-            | None -> fail line "bad vertex")
+                let tuples = List.map parse_tuple tuples in
+                if Hashtbl.mem durations v then
+                  fail lnum (Printf.sprintf "duplicate duration for vertex %d" v);
+                let d =
+                  try Duration.make tuples
+                  with Invalid_argument m -> fail lnum (Printf.sprintf "invalid duration (%s)" m)
+                in
+                Hashtbl.replace durations v (lnum, d)
+            | None -> fail lnum (Printf.sprintf "bad vertex %S" v))
+        | [ "duration" ] | [ "duration"; _ ] -> fail lnum "duration needs a vertex and at least one tuple"
         | [ "edge"; u; v ] -> (
             match (int_of_string_opt u, int_of_string_opt v) with
-            | Some u, Some v -> edges := (u, v) :: !edges
-            | _ -> fail line "bad edge")
-        | _ -> fail line "unknown directive"
+            | Some u, Some v -> edges := (lnum, u, v) :: !edges
+            | _ -> fail lnum "bad edge endpoints")
+        | "edge" :: _ -> fail lnum "edge takes exactly two fields"
+        | w :: _ -> fail lnum (Printf.sprintf "unknown directive %S" w)
+        | [] -> assert false
       end)
-    lines;
-  if !n < 0 then invalid_arg "Io.of_string: missing vertices directive";
-  let g = Dag.of_edges ~n:!n (List.rev !edges) in
+    (String.split_on_char '\n' s);
+  if !n < 0 then fail 0 "missing vertices directive";
+  let check_vertex lnum what v =
+    if v < 0 || v >= !n then
+      fail lnum (Printf.sprintf "%s %d out of range [0, %d)" what v !n)
+  in
+  Hashtbl.iter (fun v (lnum, _) -> check_vertex lnum "duration vertex" v) durations;
+  List.iter
+    (fun (lnum, u, v) ->
+      check_vertex lnum "edge endpoint" u;
+      check_vertex lnum "edge endpoint" v;
+      if u = v then fail lnum (Printf.sprintf "self-loop on vertex %d" u))
+    !edges;
+  let g = Dag.of_edges ~n:!n (List.rev_map (fun (_, u, v) -> (u, v)) !edges) in
+  if not (Dag.is_dag g) then fail !n_line "edges form a directed cycle";
   Problem.make g ~durations:(fun v ->
-      match Hashtbl.find_opt durations v with Some d -> d | None -> Duration.constant 0)
+      match Hashtbl.find_opt durations v with Some (_, d) -> d | None -> Duration.constant 0)
 
 let write_file path p =
   let oc = open_out path in

@@ -10,10 +10,21 @@
     normalizes the graph through {!Problem.make}, so the written and
     re-read instance may gain a super source/sink. *)
 
+exception Parse_error of { line : int; msg : string }
+(** Every malformed input — unknown directive, bad token, wrong field
+    count, out-of-range vertex id, duplicate directive, cyclic edge set,
+    truncated line — is reported through this exception with the 1-based
+    line number ([0] when the file as a whole is at fault, e.g. a
+    missing [vertices] directive). No raw [Failure] / [Invalid_argument]
+    escapes the parser. *)
+
 val to_string : Problem.t -> string
 
 val of_string : string -> Problem.t
-(** @raise Invalid_argument on malformed input. *)
+(** @raise Parse_error on malformed input. *)
 
 val write_file : string -> Problem.t -> unit
+
 val read_file : string -> Problem.t
+(** @raise Parse_error on malformed input.
+    @raise Sys_error if the file cannot be read. *)

@@ -1,6 +1,7 @@
 open Rtt_dag
 open Rtt_num
 open Rtt_lp
+open Rtt_budget
 
 type solution = { flow : Rat.t array; times : Rat.t array; makespan : Rat.t; budget_used : Rat.t }
 
@@ -69,10 +70,12 @@ let min_makespan (t : Transform.t) ~budget =
   Lp.add_le lp budget_expr (Linexpr.const (Rat.of_int budget));
   match Lp.minimize lp (tx t.sink) with
   | Lp.Optimal s -> extract t s fv tv budget_expr
-  | Lp.Infeasible | Lp.Unbounded ->
-      (* zero flow is always feasible and the makespan is bounded below
-         by 0, so neither case can occur *)
-      assert false
+  | Lp.Infeasible ->
+      (* zero flow is always feasible, so this only happens when the
+         simplex itself misbehaves (or a fault is injected there) *)
+      raise (Budget.Solver_failure { stage = "lp"; reason = "makespan LP reported infeasible" })
+  | Lp.Unbounded ->
+      raise (Budget.Solver_failure { stage = "lp"; reason = "makespan LP reported unbounded" })
 
 let min_resource (t : Transform.t) ~target =
   let lp, fv, tv, _fx, tx, budget_expr = build t in
@@ -80,4 +83,6 @@ let min_resource (t : Transform.t) ~target =
   match Lp.minimize lp budget_expr with
   | Lp.Optimal s -> Some (extract t s fv tv budget_expr)
   | Lp.Infeasible -> None
-  | Lp.Unbounded -> assert false
+  | Lp.Unbounded ->
+      (* the budget expression is bounded below by 0 *)
+      raise (Budget.Solver_failure { stage = "lp"; reason = "resource LP reported unbounded" })

@@ -39,7 +39,11 @@ let round (tr : Transform.t) ~alpha (sol : Lp_relax.solution) =
   let result =
     match Minflow.solve ~n:(Dag.n_vertices tr.graph) ~s:tr.source ~t:tr.sink specs with
     | Some r -> r
-    | None -> assert false (* infinite uppers: always feasible *)
+    | None ->
+        (* infinite uppers: always feasible unless the flow solver misbehaves *)
+        raise
+          (Rtt_budget.Budget.Solver_failure
+             { stage = "flow"; reason = "rounding min-flow reported infeasible" })
   in
   let r =
     {

@@ -1,6 +1,7 @@
 open Rtt_dag
 open Rtt_duration
 open Rtt_flow
+open Rtt_budget
 
 type allocation = int array
 
@@ -45,7 +46,7 @@ let solve_minflow (p : Problem.t) alloc =
   | Some r -> (specs, r)
   | None ->
       (* with infinite upper bounds a feasible flow always exists *)
-      assert false
+      raise (Budget.Solver_failure { stage = "flow"; reason = "split-graph min-flow reported infeasible" })
 
 let min_budget p alloc =
   let _, r = solve_minflow p alloc in

@@ -1,0 +1,175 @@
+open Rtt_core
+open Rtt_num
+open Rtt_budget
+
+type report = { rung : Policy.rung; error : Error.t }
+
+type success = {
+  rung : Policy.rung;
+  allocation : int array;
+  makespan : int;
+  budget_used : int;
+  lp_makespan : Rat.t option;
+  degraded : report list;
+  fuel_spent : int;
+}
+
+let degraded_to s = s.degraded <> []
+
+(* One raw rung invocation. Runs inside the caller's fuel context, so
+   any exception here is a structured failure of this rung only. *)
+let attempt p ~budget ~alpha ~max_states rung : Validate.claim =
+  let plain allocation makespan budget_used =
+    {
+      Validate.rung;
+      allocation;
+      makespan;
+      budget_used;
+      budget;
+      alpha = None;
+      lp_makespan = None;
+      lp_budget = None;
+    }
+  in
+  match rung with
+  | Policy.Exact ->
+      let r = Exact.min_makespan ~max_states p ~budget in
+      plain r.Exact.allocation r.Exact.makespan r.Exact.budget_used
+  | Policy.Bicriteria ->
+      let bi = Bicriteria.min_makespan p ~budget ~alpha in
+      {
+        Validate.rung;
+        allocation = bi.Bicriteria.rounded.Rounding.allocation;
+        makespan = bi.Bicriteria.rounded.Rounding.makespan;
+        budget_used = bi.Bicriteria.rounded.Rounding.budget_used;
+        budget;
+        alpha = Some alpha;
+        lp_makespan = Some bi.Bicriteria.lp.Lp_relax.makespan;
+        lp_budget = Some bi.Bicriteria.lp.Lp_relax.budget_used;
+      }
+  | Policy.Binary_bicriteria ->
+      let r = Binary_bicriteria.min_makespan p ~budget in
+      {
+        (plain r.Binary_bicriteria.allocation r.Binary_bicriteria.makespan
+           r.Binary_bicriteria.budget_used)
+        with
+        Validate.lp_makespan = Some r.Binary_bicriteria.lp.Lp_relax.makespan;
+        Validate.lp_budget = Some r.Binary_bicriteria.lp.Lp_relax.budget_used;
+      }
+  | Policy.Binary ->
+      let r = Binary_approx.min_makespan p ~budget in
+      {
+        (plain r.Binary_approx.allocation r.Binary_approx.makespan r.Binary_approx.budget_used) with
+        Validate.lp_makespan = Some r.Binary_approx.lp_makespan;
+      }
+  | Policy.Kway ->
+      let r = Kway_approx.min_makespan p ~budget in
+      {
+        (plain r.Kway_approx.allocation r.Kway_approx.makespan r.Kway_approx.budget_used) with
+        Validate.lp_makespan = Some r.Kway_approx.lp_makespan;
+      }
+  | Policy.Greedy ->
+      let r = Greedy.min_makespan p ~budget in
+      plain r.Greedy.allocation r.Greedy.makespan r.Greedy.budget_used
+  | Policy.Baseline ->
+      (* Zero allocation: realizable with zero units by definition and
+         computed without flow solves or fuel, so this rung cannot fail. *)
+      let allocation = Schedule.zero_allocation p in
+      plain allocation (Schedule.makespan p allocation) 0
+
+let error_of_exn = function
+  | Budget.Fuel_exhausted { stage; spent } -> Some (Error.Fuel_exhausted { stage; spent })
+  | Budget.Injected_fault { site } -> Some (Error.Fault_injected { site })
+  | Budget.Solver_failure { stage; reason } ->
+      Some (if stage = "lp" then Error.Lp_failure reason else Error.Flow_failure reason)
+  | Exact.Too_large states -> Some (Error.Too_large { states })
+  | Invalid_argument msg -> Some (Error.Invalid_instance msg)
+  | Stack_overflow -> Some (Error.Internal "stack overflow")
+  | _ -> None
+
+let solve ?fuel ?(policy = Policy.default) ?(alpha = Rat.half) ?(max_states = 2_000_000)
+    (p : Problem.t) ~budget =
+  if budget < 0 then Error (Error.Invalid_request "budget must be non-negative")
+  else if Rat.(alpha <= Rat.zero) || Rat.(alpha >= Rat.one) then
+    Error (Error.Invalid_request "alpha must lie strictly inside (0, 1)")
+  else if policy = [] then Error (Error.Invalid_request "empty fallback policy")
+  else begin
+    let total_spent = ref 0 in
+    (* Each rung gets a fresh fuel budget of the same size: exhausting
+       one rung must not starve its fallbacks. *)
+    let run_rung rung =
+      let rung_spent = ref 0 in
+      let result =
+        match
+          Budget.with_fuel fuel (fun () ->
+              Fun.protect
+                ~finally:(fun () -> rung_spent := Budget.spent ())
+                (fun () -> attempt p ~budget ~alpha ~max_states rung))
+        with
+        | claim -> Ok claim
+        | exception e -> (
+            match error_of_exn e with Some err -> Error err | None -> raise e)
+      in
+      total_spent := !total_spent + !rung_spent;
+      result
+    in
+    let rec walk degraded = function
+      | [] -> (
+          (* a one-rung chain fails with its own error; only a real
+             chain gets the aggregate class *)
+          match degraded with
+          | [ r ] -> Error r.error
+          | _ ->
+              Error
+                (Error.All_rungs_failed
+                   (List.rev_map (fun (r : report) -> (Policy.rung_name r.rung, r.error)) degraded)))
+      | rung :: rest -> (
+          let validated =
+            match run_rung rung with
+            | Error _ as e -> e
+            | Ok claim -> (
+                match Validate.check p claim with Ok () -> Ok claim | Error _ as e -> e)
+          in
+          match validated with
+          | Error error -> walk ({ rung; error } :: degraded) rest
+          | Ok claim ->
+              Ok
+                {
+                  rung;
+                  allocation = claim.Validate.allocation;
+                  makespan = claim.Validate.makespan;
+                  budget_used = claim.Validate.budget_used;
+                  lp_makespan = claim.Validate.lp_makespan;
+                  degraded = List.rev degraded;
+                  fuel_spent = !total_spent;
+                })
+    in
+    walk [] policy
+  end
+
+let load_string s =
+  match Io.of_string s with
+  | p -> Ok p
+  | exception Io.Parse_error { line; msg } -> Error (Error.Parse_error { line; msg })
+  | exception Invalid_argument msg -> Error (Error.Invalid_instance msg)
+
+let load path =
+  match Io.read_file path with
+  | p -> Ok p
+  | exception Io.Parse_error { line; msg } -> Error (Error.Parse_error { line; msg })
+  | exception Invalid_argument msg -> Error (Error.Invalid_instance msg)
+  | exception Sys_error msg -> Error (Error.Io_error msg)
+
+let pp_success fmt s =
+  Format.fprintf fmt "@[<v>rung:     %s%s@,makespan: %d@,budget:   %d" (Policy.rung_name s.rung)
+    (if degraded_to s then " (degraded)" else "")
+    s.makespan s.budget_used;
+  (match s.lp_makespan with
+  | Some lp -> Format.fprintf fmt "@,LP bound: %s" (Rat.to_string lp)
+  | None -> ());
+  if s.fuel_spent > 0 then Format.fprintf fmt "@,fuel:     %d steps" s.fuel_spent;
+  List.iter
+    (fun (r : report) ->
+      Format.fprintf fmt "@,skipped:  %s (%s)" (Policy.rung_name r.rung) (Error.to_string r.error))
+    s.degraded;
+  Format.fprintf fmt "@]"

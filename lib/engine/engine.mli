@@ -1,0 +1,60 @@
+(** The fault-tolerant solver engine — the only entry point a serving
+    layer (and the CLI) should use.
+
+    [solve] walks a {!Policy} fallback chain. Every rung runs under a
+    fresh deterministic fuel budget (a step counter threaded through
+    simplex pivots, flow augmentations and exact enumeration — no wall
+    clock, so runs are reproducible), every raw solver exception is
+    converted to a structured {!Error.t}, and every answer is
+    independently re-validated ({!Validate}) before being returned.
+    Degradation is visible, never silent: the result records which rung
+    answered and why each earlier rung was skipped. *)
+
+open Rtt_core
+open Rtt_num
+
+type report = { rung : Policy.rung; error : Error.t }
+
+type success = {
+  rung : Policy.rung;  (** The rung that produced the answer. *)
+  allocation : int array;
+  makespan : int;  (** Recomputed, not the rung's claim. *)
+  budget_used : int;  (** Min-flow cost of [allocation], recomputed. *)
+  lp_makespan : Rat.t option;  (** LP lower bound when an LP rung answered. *)
+  degraded : report list;  (** Rungs that failed first, in attempt order. *)
+  fuel_spent : int;  (** Total steps consumed across all rungs tried. *)
+}
+
+val degraded_to : success -> bool
+(** Whether at least one earlier rung was skipped. *)
+
+val solve :
+  ?fuel:int ->
+  ?policy:Policy.t ->
+  ?alpha:Rat.t ->
+  ?max_states:int ->
+  Problem.t ->
+  budget:int ->
+  (success, Error.t) result
+(** [solve ?fuel ?policy ?alpha ?max_states p ~budget] minimizes the
+    makespan under [budget] resource units.
+
+    [fuel] is a per-rung step budget; a rung that exhausts it fails with
+    [Fuel_exhausted] and the next rung starts fresh, so one runaway rung
+    cannot starve its fallbacks. Default: unmetered. [policy] defaults
+    to {!Policy.default}; [alpha] (default 1/2) feeds the bicriteria
+    rung; [max_states] (default 2_000_000) caps the exact rung's state
+    space.
+
+    Returns [Error (Invalid_request _)] on bad parameters and
+    [Error (All_rungs_failed _)] when no rung produces a validated
+    answer. Never raises on well-typed input. *)
+
+val load : string -> (Problem.t, Error.t) result
+(** Read an instance file; parse errors come back as
+    [Error.Parse_error] with a line number, unreadable files as
+    [Error.Io_error]. *)
+
+val load_string : string -> (Problem.t, Error.t) result
+
+val pp_success : Format.formatter -> success -> unit

@@ -1,0 +1,67 @@
+type t =
+  | Parse_error of { line : int; msg : string }
+  | Io_error of string
+  | Invalid_instance of string
+  | Invalid_request of string
+  | Too_large of { states : int }
+  | Fuel_exhausted of { stage : string; spent : int }
+  | Lp_failure of string
+  | Flow_failure of string
+  | Fault_injected of { site : string }
+  | Certificate_mismatch of { what : string; expected : string; got : string }
+  | All_rungs_failed of (string * t) list
+  | Internal of string
+
+let class_name = function
+  | Parse_error _ -> "parse-error"
+  | Io_error _ -> "io-error"
+  | Invalid_instance _ -> "invalid-instance"
+  | Invalid_request _ -> "invalid-request"
+  | Too_large _ -> "too-large"
+  | Fuel_exhausted _ -> "fuel-exhausted"
+  | Lp_failure _ -> "lp-failure"
+  | Flow_failure _ -> "flow-failure"
+  | Fault_injected _ -> "fault-injected"
+  | Certificate_mismatch _ -> "certificate-mismatch"
+  | All_rungs_failed _ -> "all-rungs-failed"
+  | Internal _ -> "internal"
+
+(* Stable process exit codes, one per error class. 0 is success and
+   1/124/125 are left to cmdliner's own conventions. *)
+let exit_code = function
+  | Parse_error _ -> 2
+  | Io_error _ -> 3
+  | Invalid_instance _ -> 4
+  | Invalid_request _ -> 5
+  | Too_large _ -> 6
+  | Fuel_exhausted _ -> 7
+  | Lp_failure _ -> 8
+  | Flow_failure _ -> 9
+  | Fault_injected _ -> 10
+  | Certificate_mismatch _ -> 11
+  | All_rungs_failed _ -> 12
+  | Internal _ -> 13
+
+let rec to_string = function
+  | Parse_error { line; msg } ->
+      if line > 0 then Printf.sprintf "parse error at line %d: %s" line msg
+      else Printf.sprintf "parse error: %s" msg
+  | Io_error msg -> Printf.sprintf "i/o error: %s" msg
+  | Invalid_instance msg -> Printf.sprintf "invalid instance: %s" msg
+  | Invalid_request msg -> Printf.sprintf "invalid request: %s" msg
+  | Too_large { states } ->
+      Printf.sprintf "instance too large for exact search (%d candidate states)" states
+  | Fuel_exhausted { stage; spent } ->
+      Printf.sprintf "fuel exhausted in %s after %d steps" stage spent
+  | Lp_failure msg -> Printf.sprintf "LP failure: %s" msg
+  | Flow_failure msg -> Printf.sprintf "flow failure: %s" msg
+  | Fault_injected { site } -> Printf.sprintf "injected fault fired at %s" site
+  | Certificate_mismatch { what; expected; got } ->
+      Printf.sprintf "certificate mismatch on %s: claimed %s, recomputed %s" what expected got
+  | All_rungs_failed reports ->
+      Printf.sprintf "all fallback rungs failed: %s"
+        (String.concat "; "
+           (List.map (fun (rung, e) -> Printf.sprintf "%s (%s)" rung (to_string e)) reports))
+  | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,51 @@
+(** The engine's structured error taxonomy.
+
+    Every failure the serving layer can see is one of these values —
+    raw exceptions from the solver kernels are caught at the engine
+    boundary and converted, so callers can pattern-match on the class,
+    log it, and pick a degradation strategy. Each class also owns a
+    stable nonzero process exit code for the CLI. *)
+
+type t =
+  | Parse_error of { line : int; msg : string }
+      (** Malformed instance text; [line] is 1-based, 0 for whole-file
+          problems such as a missing [vertices] directive. *)
+  | Io_error of string  (** The instance file could not be read. *)
+  | Invalid_instance of string
+      (** Structurally invalid problem (cycle, empty graph, bad
+          durations) discovered past parsing. *)
+  | Invalid_request of string
+      (** Bad query parameters: negative budget, alpha outside (0,1),
+          empty fallback policy, … *)
+  | Too_large of { states : int }
+      (** The exact search refused the instance: its candidate state
+          space exceeds the configured cap. *)
+  | Fuel_exhausted of { stage : string; spent : int }
+      (** The deterministic step budget ran out inside [stage]
+          (["simplex"], ["flow"] or ["exact"]) after [spent] steps. *)
+  | Lp_failure of string
+      (** The LP relaxation reported an outcome that is impossible for
+          a well-formed instance (infeasible/unbounded). *)
+  | Flow_failure of string
+      (** A min-flow computation failed or was aborted mid-augmentation. *)
+  | Fault_injected of { site : string }
+      (** An armed {!Faults} site fired and was not absorbed into a more
+          specific class. *)
+  | Certificate_mismatch of { what : string; expected : string; got : string }
+      (** Independent re-validation of a returned allocation disagreed
+          with the claim ([what] is e.g. ["makespan"], ["budget"],
+          ["approximation bound"]). *)
+  | All_rungs_failed of (string * t) list
+      (** Every rung of the fallback chain failed; the payload records
+          each rung name with its error, in attempt order. *)
+  | Internal of string
+
+val class_name : t -> string
+(** Short stable kebab-case identifier of the class. *)
+
+val exit_code : t -> int
+(** CLI exit code: 2–13, one per class (0 is success; 1, 124, 125 are
+    cmdliner's). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+open Rtt_budget
+
+type site = Lp_infeasible | Flow_abort | Fuel_zero
+
+let key = function
+  | Lp_infeasible -> Rtt_lp.Simplex.infeasible_site
+  | Flow_abort -> Rtt_flow.Maxflow.augment_site
+  | Fuel_zero -> Budget.fuel_zero
+
+let name = function
+  | Lp_infeasible -> "lp-infeasible"
+  | Flow_abort -> "flow-abort"
+  | Fuel_zero -> "fuel-zero"
+
+let all = [ Lp_infeasible; Flow_abort; Fuel_zero ]
+let of_string s = List.find_opt (fun f -> name f = String.lowercase_ascii (String.trim s)) all
+
+let arm ?(after = 0) site = Budget.arm ~site:(key site) ~after
+let disarm site = Budget.disarm ~site:(key site)
+let reset () = Budget.disarm_all ()
+let armed site = Budget.armed ~site:(key site)
+
+let with_fault ?after site f =
+  arm ?after site;
+  Fun.protect ~finally:reset f

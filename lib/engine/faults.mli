@@ -1,0 +1,40 @@
+(** Typed fault-injection registry over {!Rtt_budget.Budget}'s string
+    sites.
+
+    Arming a site makes the corresponding kernel misbehave once, at a
+    chosen trigger count — the tool the test suite uses to prove that
+    the fallback chain actually engages and that the certificate
+    validator catches corrupted answers, without patching solver code. *)
+
+type site =
+  | Lp_infeasible
+      (** The triggering simplex solve reports [Infeasible], which the
+          LP relaxation surfaces as a structured LP failure. *)
+  | Flow_abort
+      (** The triggering max-flow augmentation raises
+          [Rtt_budget.Budget.Injected_fault]. *)
+  | Fuel_zero
+      (** The triggering fuel tick zeroes the remaining budget, so the
+          next tick raises [Fuel_exhausted]. No-op without a fuel
+          context. *)
+
+val key : site -> string
+(** The underlying {!Rtt_budget.Budget} site string. *)
+
+val name : site -> string
+val all : site list
+val of_string : string -> site option
+
+val arm : ?after:int -> site -> unit
+(** [arm ~after site]: the first [after] probes of the site pass, the
+    next fires (default [after = 0]: fire on first probe). Faults are
+    one-shot. *)
+
+val disarm : site -> unit
+val reset : unit -> unit
+(** Disarm every site (including ones armed directly on [Budget]). *)
+
+val armed : site -> bool
+
+val with_fault : ?after:int -> site -> (unit -> 'a) -> 'a
+(** Run with the fault armed; all sites are reset afterwards. *)

@@ -1,0 +1,38 @@
+type rung = Exact | Bicriteria | Binary_bicriteria | Binary | Kway | Greedy | Baseline
+type t = rung list
+
+let default = [ Exact; Bicriteria; Greedy; Baseline ]
+
+let rung_name = function
+  | Exact -> "exact"
+  | Bicriteria -> "bicriteria"
+  | Binary_bicriteria -> "binary-bicriteria"
+  | Binary -> "binary"
+  | Kway -> "kway"
+  | Greedy -> "greedy"
+  | Baseline -> "baseline"
+
+let all_rungs = [ Exact; Bicriteria; Binary_bicriteria; Binary; Kway; Greedy; Baseline ]
+
+let rung_of_string s =
+  List.find_opt (fun r -> rung_name r = String.lowercase_ascii (String.trim s)) all_rungs
+
+let to_string policy = String.concat "," (List.map rung_name policy)
+
+let of_string s =
+  let names = String.split_on_char ',' s |> List.map String.trim |> List.filter (fun w -> w <> "") in
+  if names = [] then Error "empty fallback chain"
+  else
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+          match rung_of_string name with
+          | Some r -> build (r :: acc) rest
+          | None ->
+              Error
+                (Printf.sprintf "unknown rung %S (expected %s)" name
+                   (String.concat "|" (List.map rung_name all_rungs))))
+    in
+    build [] names
+
+let pp_rung fmt r = Format.pp_print_string fmt (rung_name r)

@@ -1,0 +1,38 @@
+(** Fallback policies: ordered chains of solver rungs.
+
+    {!Engine.solve} walks the chain left to right, stepping down on any
+    structured failure (fuel exhaustion, LP failure, injected fault,
+    certificate mismatch) until a rung answers. *)
+
+type rung =
+  | Exact  (** Branch-and-bound optimum ({!Rtt_core.Exact}); exponential. *)
+  | Bicriteria
+      (** LP relaxation + alpha-rounding, (1/α, 1/(1-α)) bi-criteria
+          guarantee (Thm 3.4). May exceed the requested budget by the
+          proven factor. *)
+  | Binary_bicriteria
+      (** Power-of-two rounding, (4/3, 14/5) bi-criteria guarantee
+          (Thm 3.16). May exceed the requested budget by 4/3. *)
+  | Binary  (** 4-approximation for binary reducers (Thm 3.9). *)
+  | Kway  (** 5-approximation for k-way reducers (Thm 3.10). *)
+  | Greedy  (** Polynomial greedy upgrades; no proven guarantee. *)
+  | Baseline
+      (** The zero allocation: always feasible at budget 0, never
+          consumes fuel — the chain's guaranteed last resort. *)
+
+type t = rung list
+
+val default : t
+(** [exact → bicriteria → greedy → baseline]. *)
+
+val all_rungs : rung list
+
+val rung_name : rung -> string
+val rung_of_string : string -> rung option
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses a comma-separated chain, e.g. ["exact,bicriteria,greedy"]. *)
+
+val pp_rung : Format.formatter -> rung -> unit

@@ -1,6 +1,10 @@
 (* Dinic's algorithm. Edges are stored in a flat array where edge [2k] and
    its reverse [2k+1] are paired; residual capacity lives in [cap]. *)
 
+open Rtt_budget
+
+let augment_site = "flow.augment"
+
 type t = {
   n : int;
   mutable dst : int array;
@@ -101,6 +105,8 @@ let max_flow g ~s ~t =
       end
     in
     let rec pump () =
+      Budget.tick ~stage:"flow";
+      if Budget.probe ~site:augment_site then raise (Budget.Injected_fault { site = augment_site });
       let d = dfs s infinity in
       if d > 0 then begin
         total := !total + d;

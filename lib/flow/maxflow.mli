@@ -23,12 +23,21 @@ val add_edge : t -> src:int -> dst:int -> cap:int -> edge
 (** Adds a directed edge of capacity [cap >= 0].
     @raise Invalid_argument on bad endpoints or negative capacity. *)
 
+val augment_site : string
+(** Fault-injection site (["flow.augment"]): when armed through
+    {!Rtt_budget.Budget.arm}, the triggering augmentation attempt raises
+    [Rtt_budget.Budget.Injected_fault]. Each augmentation attempt also
+    consumes one unit of ambient fuel (stage ["flow"]). *)
+
 val max_flow : t -> s:int -> t:int -> int
 (** Runs Dinic from scratch on the current residual state: repeated calls
     push additional flow, so [max_flow g ~s ~t] after an earlier run on a
     different terminal pair operates on the residual network — exactly
     what the min-flow reduction needs.
-    @raise Invalid_argument if [s = t]. *)
+    @raise Invalid_argument if [s = t].
+    @raise Rtt_budget.Budget.Fuel_exhausted when an ambient fuel budget
+    runs out mid-solve.
+    @raise Rtt_budget.Budget.Injected_fault when {!augment_site} fires. *)
 
 val freeze_edge : t -> edge -> unit
 (** Zeroes the remaining forward residual capacity of the edge so that

@@ -1,4 +1,5 @@
 open Rtt_num
+open Rtt_budget
 
 type relation = Le | Ge | Eq
 type constr = { coeffs : Rat.t array; relation : relation; rhs : Rat.t }
@@ -43,6 +44,7 @@ let run_phase tableau z basis ~width ~allowed =
   let m = Array.length tableau in
   let rhs = width - 1 in
   let rec loop () =
+    Budget.tick ~stage:"simplex";
     (* entering column *)
     let entering = ref (-1) in
     (try
@@ -80,7 +82,9 @@ let run_phase tableau z basis ~width ~allowed =
   in
   loop ()
 
-let minimize ~n_vars constraints ~objective =
+let infeasible_site = "lp.infeasible"
+
+let minimize_tableau ~n_vars constraints ~objective =
   if Array.length objective <> n_vars then invalid_arg "Simplex.minimize: objective size";
   List.iter
     (fun c -> if Array.length c.coeffs <> n_vars then invalid_arg "Simplex.minimize: constraint size")
@@ -188,6 +192,10 @@ let minimize ~n_vars constraints ~objective =
         Array.iteri (fun i b -> if b < n_vars then solution.(b) <- tableau2.(i).(rhs2)) basis2;
         Optimal { objective = Rat.neg z2.(rhs2); solution }
   end
+
+let minimize ~n_vars constraints ~objective =
+  if Budget.probe ~site:infeasible_site then Infeasible
+  else minimize_tableau ~n_vars constraints ~objective
 
 let maximize ~n_vars constraints ~objective =
   match minimize ~n_vars constraints ~objective:(Array.map Rat.neg objective) with

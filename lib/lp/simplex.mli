@@ -19,9 +19,17 @@ type outcome =
   | Infeasible
   | Unbounded
 
+val infeasible_site : string
+(** Fault-injection site (["lp.infeasible"]): when armed through
+    {!Rtt_budget.Budget.arm}, the triggering {!minimize} call reports
+    [Infeasible] without touching the tableau. Every pivot also consumes
+    one unit of ambient fuel (stage ["simplex"]). *)
+
 val minimize : n_vars:int -> constr list -> objective:Rat.t array -> outcome
 (** All variables implicitly satisfy [x >= 0].
-    @raise Invalid_argument on dimension mismatches. *)
+    @raise Invalid_argument on dimension mismatches.
+    @raise Rtt_budget.Budget.Fuel_exhausted when an ambient fuel budget
+    runs out mid-solve. *)
 
 val maximize : n_vars:int -> constr list -> objective:Rat.t array -> outcome
 (** [maximize] negates the objective and delegates to {!minimize}; the

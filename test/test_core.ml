@@ -546,13 +546,25 @@ let io_units =
               (Exact.min_makespan p' ~budget:b).Exact.makespan
           done
         done);
-    Alcotest.test_case "rejects malformed input" `Quick (fun () ->
+    Alcotest.test_case "rejects malformed input with a line number" `Quick (fun () ->
         List.iter
-          (fun s ->
+          (fun (s, want_line) ->
             match Io.of_string s with
-            | exception Invalid_argument _ -> ()
+            | exception Io.Parse_error { line; _ } ->
+                Alcotest.(check int) (Printf.sprintf "line of %S" s) want_line line
             | _ -> Alcotest.failf "accepted %S" s)
-          [ ""; "vertices 0"; "vertices 2\nedge 0 5"; "vertices x"; "vertices 2\nduration 0 nope" ]);
+          [
+            ("", 0);
+            ("vertices 0", 1);
+            ("vertices 2\nedge 0 5", 2);
+            ("vertices x", 1);
+            ("vertices 2\nduration 0 nope", 2);
+            ("vertices 2\nbogus 1 2", 2);
+            ("vertices 2\nduration 0", 2);
+            ("vertices 2\nedge 0", 2);
+            ("vertices 2\nedge 0 1\nedge 1 0", 1);
+            ("vertices 2\nvertices 3", 2);
+          ]);
     Alcotest.test_case "comments and blank lines ignored" `Quick (fun () ->
         let p = Io.of_string "# a comment\n\nvertices 2\nduration 0 0:5\nedge 0 1\n" in
         Alcotest.(check int) "jobs" 2 (Problem.n_jobs p));

@@ -1,0 +1,397 @@
+(* Tests for the hardened solver engine: structured errors, fuel
+   budgets, fallback chains, certificate validation, and fault
+   injection. The acceptance-critical scenarios: an injected simplex
+   fault degrades to the greedy rung (visibly, not as an exception);
+   exhausting fuel on the exact rung of a 20-job instance terminates
+   with Fuel_exhausted and falls back; corrupting a returned allocation
+   by one unit on one vertex is caught as Certificate_mismatch. *)
+
+open Rtt_dag
+open Rtt_core
+open Rtt_num
+open Rtt_engine
+
+let rng_of seed = Random.State.make [| seed |]
+
+(* The Figure 4/5 instance: node c (vertex 3) has in-degree 6; the
+   optimum at budget 2 puts both units on c for makespan 10. *)
+let fig45 () =
+  let g = Dag.create () in
+  let s = Dag.add_vertex ~label:"s" g in
+  let a = Dag.add_vertex ~label:"a" g in
+  let b = Dag.add_vertex ~label:"b" g in
+  let c = Dag.add_vertex ~label:"c" g in
+  let d = Dag.add_vertex ~label:"d" g in
+  let t = Dag.add_vertex ~label:"t" g in
+  let xs = List.init 5 (fun i -> Dag.add_vertex ~label:(Printf.sprintf "x%d" i) g) in
+  Dag.add_edge g s a;
+  Dag.add_edge g a b;
+  Dag.add_edge g b c;
+  List.iter
+    (fun x ->
+      Dag.add_edge g s x;
+      Dag.add_edge g x c)
+    xs;
+  Dag.add_edge g c d;
+  Dag.add_edge g (List.hd xs) d;
+  Dag.add_edge g d t;
+  Problem.of_race_dag g Problem.Binary
+
+let random_instance rng ~n kind =
+  Problem.of_race_dag (Gen.erdos_renyi rng ~n ~edge_prob:0.35) kind
+
+let check_ok what = function
+  | Ok s -> s
+  | Error e -> Alcotest.failf "%s: engine failed with %s" what (Error.to_string e)
+
+let plain_claim rung allocation makespan budget_used budget =
+  {
+    Validate.rung;
+    allocation;
+    makespan;
+    budget_used;
+    budget;
+    alpha = None;
+    lp_makespan = None;
+    lp_budget = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* (a) without fuel limits or faults, the engine is a transparent
+   wrapper: same answers as calling the algorithms directly            *)
+
+let agreement_units =
+  let check_rung rung ~seed ~runs check =
+    let rng = rng_of seed in
+    for _ = 1 to runs do
+      let p = random_instance rng ~n:(6 + Random.State.int rng 3) Problem.Binary in
+      let budget = Random.State.int rng 5 in
+      let s = check_ok (Policy.rung_name rung) (Engine.solve ~policy:[ rung ] p ~budget) in
+      Alcotest.(check (list bool)) "not degraded" [] (List.map (fun _ -> true) s.Engine.degraded);
+      check p ~budget s
+    done
+  in
+  [
+    Alcotest.test_case "exact rung equals direct Exact" `Quick (fun () ->
+        check_rung Policy.Exact ~seed:101 ~runs:12 (fun p ~budget s ->
+            let r = Exact.min_makespan p ~budget in
+            Alcotest.(check int) "makespan" r.Exact.makespan s.Engine.makespan;
+            Alcotest.(check int) "budget" r.Exact.budget_used s.Engine.budget_used));
+    Alcotest.test_case "bicriteria rung equals direct Bicriteria" `Quick (fun () ->
+        check_rung Policy.Bicriteria ~seed:102 ~runs:12 (fun p ~budget s ->
+            let bi = Bicriteria.min_makespan p ~budget ~alpha:Rat.half in
+            Alcotest.(check int) "makespan" bi.Bicriteria.rounded.Rounding.makespan
+              s.Engine.makespan;
+            Alcotest.(check int) "budget" bi.Bicriteria.rounded.Rounding.budget_used
+              s.Engine.budget_used));
+    Alcotest.test_case "greedy rung equals direct Greedy" `Quick (fun () ->
+        check_rung Policy.Greedy ~seed:103 ~runs:12 (fun p ~budget s ->
+            let r = Greedy.min_makespan p ~budget in
+            Alcotest.(check int) "makespan" r.Greedy.makespan s.Engine.makespan;
+            Alcotest.(check int) "budget" r.Greedy.budget_used s.Engine.budget_used));
+    Alcotest.test_case "default policy answers from the exact rung" `Quick (fun () ->
+        let rng = rng_of 104 in
+        for _ = 1 to 8 do
+          let p = random_instance rng ~n:7 Problem.Binary in
+          let budget = Random.State.int rng 4 in
+          let s = check_ok "default" (Engine.solve p ~budget) in
+          Alcotest.(check string) "rung" "exact" (Policy.rung_name s.Engine.rung);
+          Alcotest.(check bool) "not degraded" false (Engine.degraded_to s);
+          Alcotest.(check int) "optimal" (Exact.min_makespan p ~budget).Exact.makespan
+            s.Engine.makespan
+        done);
+    Alcotest.test_case "every rung validates its own genuine answer" `Quick (fun () ->
+        List.iter
+          (fun rung ->
+            let rng = rng_of 105 in
+            for _ = 1 to 6 do
+              let kind = if rung = Policy.Kway then Problem.Kway else Problem.Binary in
+              let p = random_instance rng ~n:(5 + Random.State.int rng 4) kind in
+              let budget = Random.State.int rng 5 in
+              ignore (check_ok (Policy.rung_name rung) (Engine.solve ~policy:[ rung ] p ~budget))
+            done)
+          Policy.all_rungs);
+    Alcotest.test_case "deterministic: same query, same outcome" `Quick (fun () ->
+        let p = random_instance (rng_of 106) ~n:10 Problem.Binary in
+        let once () =
+          match Engine.solve ~fuel:400 p ~budget:3 with
+          | Ok s ->
+              ( "ok",
+                Policy.rung_name s.Engine.rung,
+                s.Engine.makespan,
+                s.Engine.fuel_spent,
+                List.length s.Engine.degraded )
+          | Error e -> (Error.class_name e, "", 0, 0, 0)
+        in
+        let a = once () and b = once () in
+        Alcotest.(check bool) "equal outcomes" true (a = b));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* (b) fallback chains: every rung is reachable under injected faults  *)
+
+let fallback_units =
+  [
+    Alcotest.test_case "injected LP fault degrades to greedy, not an exception" `Quick (fun () ->
+        let p = random_instance (rng_of 201) ~n:9 Problem.Binary in
+        let s =
+          Faults.with_fault Faults.Lp_infeasible (fun () ->
+              check_ok "lp fault" (Engine.solve ~policy:[ Policy.Bicriteria; Policy.Greedy ] p ~budget:3))
+        in
+        Alcotest.(check string) "rung" "greedy" (Policy.rung_name s.Engine.rung);
+        Alcotest.(check bool) "degraded" true (Engine.degraded_to s);
+        (match s.Engine.degraded with
+        | [ { Engine.rung = Policy.Bicriteria; error = Error.Lp_failure _ } ] -> ()
+        | _ -> Alcotest.fail "expected a single bicriteria/Lp_failure report");
+        let direct = Greedy.min_makespan p ~budget:3 in
+        Alcotest.(check int) "greedy answer" direct.Greedy.makespan s.Engine.makespan);
+    Alcotest.test_case "fuel exhaustion on exact (20 jobs) falls back" `Quick (fun () ->
+        let p = random_instance (rng_of 202) ~n:20 Problem.Binary in
+        (* fewer steps than one branch-and-bound dive over 20 jobs, so
+           the exact rung cannot even reach its first leaf *)
+        let s = check_ok "fuel" (Engine.solve ~fuel:15 p ~budget:3) in
+        Alcotest.(check bool) "not exact" true (s.Engine.rung <> Policy.Exact);
+        (match s.Engine.degraded with
+        | { Engine.rung = Policy.Exact; error = Error.Fuel_exhausted { stage; spent } } :: _ ->
+            Alcotest.(check string) "stage" "exact" stage;
+            Alcotest.(check bool) "spent counted" true (spent > 0)
+        | _ -> Alcotest.fail "expected exact to fail first with Fuel_exhausted"));
+    Alcotest.test_case "fuel-zero fault reaches the bicriteria rung" `Quick (fun () ->
+        let p = random_instance (rng_of 203) ~n:8 Problem.Binary in
+        let s =
+          Faults.with_fault ~after:5 Faults.Fuel_zero (fun () ->
+              check_ok "fuel zero" (Engine.solve ~fuel:1_000_000_000 p ~budget:3))
+        in
+        Alcotest.(check string) "rung" "bicriteria" (Policy.rung_name s.Engine.rung);
+        match s.Engine.degraded with
+        | [ { Engine.rung = Policy.Exact; error = Error.Fuel_exhausted _ } ] -> ()
+        | _ -> Alcotest.fail "expected exact to die of the zeroed fuel");
+    Alcotest.test_case "two faults reach the greedy rung of the default chain" `Quick (fun () ->
+        let p = random_instance (rng_of 204) ~n:8 Problem.Binary in
+        let s =
+          Fun.protect ~finally:Faults.reset (fun () ->
+              Faults.arm ~after:5 Faults.Fuel_zero;
+              Faults.arm Faults.Lp_infeasible;
+              check_ok "two faults" (Engine.solve ~fuel:1_000_000_000 p ~budget:3))
+        in
+        Alcotest.(check string) "rung" "greedy" (Policy.rung_name s.Engine.rung);
+        Alcotest.(check int) "two rungs skipped" 2 (List.length s.Engine.degraded));
+    Alcotest.test_case "flow-abort fault degrades greedy to baseline" `Quick (fun () ->
+        let p = fig45 () in
+        let s =
+          Faults.with_fault Faults.Flow_abort (fun () ->
+              check_ok "flow abort"
+                (Engine.solve ~policy:[ Policy.Greedy; Policy.Baseline ] p ~budget:2))
+        in
+        Alcotest.(check string) "rung" "baseline" (Policy.rung_name s.Engine.rung);
+        (match s.Engine.degraded with
+        | [ { Engine.rung = Policy.Greedy; error } ] -> (
+            match error with
+            | Error.Fault_injected _ | Error.Flow_failure _ -> ()
+            | e -> Alcotest.failf "unexpected error class %s" (Error.class_name e))
+        | _ -> Alcotest.fail "expected a single greedy report");
+        Alcotest.(check int) "baseline budget" 0 s.Engine.budget_used;
+        Alcotest.(check int) "baseline makespan" 11 s.Engine.makespan);
+    Alcotest.test_case "zero fuel degrades all the way to baseline" `Quick (fun () ->
+        let p = fig45 () in
+        let s = check_ok "zero fuel" (Engine.solve ~fuel:0 p ~budget:2) in
+        Alcotest.(check string) "rung" "baseline" (Policy.rung_name s.Engine.rung);
+        Alcotest.(check int) "three rungs skipped" 3 (List.length s.Engine.degraded);
+        List.iter
+          (fun (r : Engine.report) ->
+            match r.Engine.error with
+            | Error.Fuel_exhausted _ -> ()
+            | e -> Alcotest.failf "expected fuel exhaustion, got %s" (Error.class_name e))
+          s.Engine.degraded);
+    Alcotest.test_case "a one-rung chain fails with its own error class" `Quick (fun () ->
+        let p = random_instance (rng_of 205) ~n:20 Problem.Binary in
+        match Engine.solve ~fuel:10 ~policy:[ Policy.Exact ] p ~budget:3 with
+        | Error (Error.Fuel_exhausted { stage = "exact"; _ }) -> ()
+        | Error e -> Alcotest.failf "expected Fuel_exhausted, got %s" (Error.class_name e)
+        | Ok _ -> Alcotest.fail "expected failure under 10 fuel");
+    Alcotest.test_case "faults do not leak into later solves" `Quick (fun () ->
+        let p = fig45 () in
+        (try
+           ignore
+             (Faults.with_fault Faults.Lp_infeasible (fun () ->
+                  Engine.solve ~policy:[ Policy.Bicriteria ] p ~budget:2))
+         with _ -> ());
+        let s = check_ok "clean" (Engine.solve ~policy:[ Policy.Bicriteria ] p ~budget:2) in
+        Alcotest.(check bool) "not degraded" false (Engine.degraded_to s));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* (c) certificate validation                                          *)
+
+let validation_units =
+  [
+    Alcotest.test_case "genuine exact certificate validates" `Quick (fun () ->
+        let p = fig45 () in
+        let r = Exact.min_makespan p ~budget:2 in
+        let claim = plain_claim Policy.Exact r.Exact.allocation r.Exact.makespan r.Exact.budget_used 2 in
+        match Validate.check p claim with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "rejected a genuine certificate: %s" (Error.to_string e));
+    Alcotest.test_case "corrupting one vertex by -1 is a Certificate_mismatch" `Quick (fun () ->
+        let p = fig45 () in
+        let r = Exact.min_makespan p ~budget:2 in
+        (* vertex 3 is c, the fan-in hub holding both units *)
+        Alcotest.(check int) "c gets both units" 2 r.Exact.allocation.(3);
+        let claim =
+          plain_claim Policy.Exact
+            (Validate.corrupt r.Exact.allocation ~vertex:3 ~delta:(-1))
+            r.Exact.makespan r.Exact.budget_used 2
+        in
+        (match Validate.check p claim with
+        | Error (Error.Certificate_mismatch _) -> ()
+        | Error e -> Alcotest.failf "wrong error class %s" (Error.class_name e)
+        | Ok () -> Alcotest.fail "validator accepted a corrupted allocation"));
+    Alcotest.test_case "corrupting one vertex by +1 is a Certificate_mismatch" `Quick (fun () ->
+        let p = fig45 () in
+        let r = Exact.min_makespan p ~budget:2 in
+        let claim =
+          plain_claim Policy.Exact
+            (Validate.corrupt r.Exact.allocation ~vertex:3 ~delta:1)
+            r.Exact.makespan r.Exact.budget_used 2
+        in
+        (match Validate.check p claim with
+        | Error (Error.Certificate_mismatch _) -> ()
+        | Error e -> Alcotest.failf "wrong error class %s" (Error.class_name e)
+        | Ok () -> Alcotest.fail "validator accepted a corrupted allocation"));
+    Alcotest.test_case "randomized: validator flags exactly the real corruptions" `Quick (fun () ->
+        let rng = rng_of 301 in
+        for _ = 1 to 10 do
+          let p = random_instance rng ~n:(6 + Random.State.int rng 3) Problem.Binary in
+          let budget = 1 + Random.State.int rng 4 in
+          let r = Exact.min_makespan p ~budget in
+          for v = 0 to Problem.n_jobs p - 1 do
+            List.iter
+              (fun delta ->
+                if r.Exact.allocation.(v) + delta >= 0 then begin
+                  let corrupted = Validate.corrupt r.Exact.allocation ~vertex:v ~delta in
+                  let really_changed =
+                    Schedule.makespan p corrupted <> r.Exact.makespan
+                    || Schedule.min_budget p corrupted <> r.Exact.budget_used
+                  in
+                  let claim =
+                    plain_claim Policy.Exact corrupted r.Exact.makespan r.Exact.budget_used budget
+                  in
+                  match (Validate.check p claim, really_changed) with
+                  | Error (Error.Certificate_mismatch _), true | Ok (), false -> ()
+                  | Ok (), true -> Alcotest.fail "validator missed a corrupted certificate"
+                  | Error e, false ->
+                      Alcotest.failf "validator rejected an unchanged certificate: %s"
+                        (Error.to_string e)
+                  | Error e, true -> Alcotest.failf "wrong error class %s" (Error.class_name e)
+                end)
+              [ -1; 1 ]
+          done
+        done);
+    Alcotest.test_case "claimed approximation bound is enforced" `Quick (fun () ->
+        let p = fig45 () in
+        let bi = Bicriteria.min_makespan p ~budget:2 ~alpha:Rat.half in
+        let base =
+          {
+            Validate.rung = Policy.Bicriteria;
+            allocation = bi.Bicriteria.rounded.Rounding.allocation;
+            makespan = bi.Bicriteria.rounded.Rounding.makespan;
+            budget_used = bi.Bicriteria.rounded.Rounding.budget_used;
+            budget = 2;
+            alpha = Some Rat.half;
+            lp_makespan = Some bi.Bicriteria.lp.Lp_relax.makespan;
+            lp_budget = Some bi.Bicriteria.lp.Lp_relax.budget_used;
+          }
+        in
+        (match Validate.check p base with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "rejected a genuine bicriteria claim: %s" (Error.to_string e));
+        (* shrink the claimed LP bound until the 1/alpha factor is violated *)
+        let tiny = Rat.of_ints 1 100 in
+        let forged = { base with Validate.lp_makespan = Some tiny } in
+        match Validate.check p forged with
+        | Error (Error.Certificate_mismatch { what = "approximation bound"; _ }) -> ()
+        | Error e -> Alcotest.failf "wrong error class %s" (Error.class_name e)
+        | Ok () -> Alcotest.fail "validator accepted a forged LP bound");
+    Alcotest.test_case "wrong-length allocation is a Certificate_mismatch" `Quick (fun () ->
+        let p = fig45 () in
+        let claim = plain_claim Policy.Baseline [| 0 |] 11 0 0 in
+        match Validate.check p claim with
+        | Error (Error.Certificate_mismatch _) -> ()
+        | _ -> Alcotest.fail "expected a mismatch");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* structured errors at the boundary                                   *)
+
+let boundary_units =
+  [
+    Alcotest.test_case "parse errors carry line numbers through the engine" `Quick (fun () ->
+        (match Engine.load_string "vertices 2\nduration 0 nope" with
+        | Error (Error.Parse_error { line = 2; _ }) -> ()
+        | Error e -> Alcotest.failf "wrong error %s" (Error.to_string e)
+        | Ok _ -> Alcotest.fail "accepted malformed input");
+        match Engine.load "/nonexistent/instance.rtt" with
+        | Error (Error.Io_error _) -> ()
+        | Error e -> Alcotest.failf "wrong error %s" (Error.to_string e)
+        | Ok _ -> Alcotest.fail "loaded a nonexistent file");
+    Alcotest.test_case "invalid requests are rejected, not raised" `Quick (fun () ->
+        let p = fig45 () in
+        (match Engine.solve p ~budget:(-1) with
+        | Error (Error.Invalid_request _) -> ()
+        | _ -> Alcotest.fail "negative budget accepted");
+        (match Engine.solve ~alpha:Rat.two p ~budget:2 with
+        | Error (Error.Invalid_request _) -> ()
+        | _ -> Alcotest.fail "alpha = 2 accepted");
+        match Engine.solve ~policy:[] p ~budget:2 with
+        | Error (Error.Invalid_request _) -> ()
+        | _ -> Alcotest.fail "empty policy accepted");
+    Alcotest.test_case "exit codes are stable and distinct per class" `Quick (fun () ->
+        let samples =
+          [
+            Error.Parse_error { line = 1; msg = "" };
+            Error.Io_error "";
+            Error.Invalid_instance "";
+            Error.Invalid_request "";
+            Error.Too_large { states = 0 };
+            Error.Fuel_exhausted { stage = ""; spent = 0 };
+            Error.Lp_failure "";
+            Error.Flow_failure "";
+            Error.Fault_injected { site = "" };
+            Error.Certificate_mismatch { what = ""; expected = ""; got = "" };
+            Error.All_rungs_failed [];
+            Error.Internal "";
+          ]
+        in
+        let codes = List.map Error.exit_code samples in
+        Alcotest.(check bool) "all nonzero" true (List.for_all (fun c -> c > 1) codes);
+        Alcotest.(check int) "distinct" (List.length codes)
+          (List.length (List.sort_uniq compare codes)));
+    Alcotest.test_case "policy round-trips through of_string" `Quick (fun () ->
+        (match Policy.of_string (Policy.to_string Policy.default) with
+        | Ok p -> Alcotest.(check string) "round trip" (Policy.to_string Policy.default)
+                    (Policy.to_string p)
+        | Error m -> Alcotest.failf "rejected default policy: %s" m);
+        (match Policy.of_string "exact, greedy" with
+        | Ok [ Policy.Exact; Policy.Greedy ] -> ()
+        | _ -> Alcotest.fail "spaces around commas should be accepted");
+        match Policy.of_string "exact,nope" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unknown rung accepted");
+    Alcotest.test_case "too-large exact instances fail structurally" `Quick (fun () ->
+        (* fig45's hub vertex has two duration options at budget 2, so
+           the state space strictly exceeds a cap of one state *)
+        let p = fig45 () in
+        match Engine.solve ~max_states:1 ~policy:[ Policy.Exact ] p ~budget:2 with
+        | Error (Error.Too_large { states }) -> Alcotest.(check bool) "states" true (states > 1)
+        | Error e -> Alcotest.failf "wrong error %s" (Error.class_name e)
+        | Ok _ -> Alcotest.fail "expected Too_large");
+  ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ("agreement", agreement_units);
+      ("fallback", fallback_units);
+      ("validation", validation_units);
+      ("boundary", boundary_units);
+    ]
