@@ -14,16 +14,34 @@ open Rtt_dag
 open Rtt_num
 open Rtt_duration
 open Rtt_core
+open Rtt_engine
 open Rtt_parsim
 open Rtt_reductions
 
 let failures = ref 0
 
-let section id title = Format.printf "@.== %s: %s ==@." id title
+(* Solves now go through the hardened engine, which threads a
+   deterministic step counter through every rung; each experiment's
+   verdict reports the fuel it burned so perf regressions show up as a
+   diff in the transcript, not just as wall-clock noise. *)
+let fuel = ref 0
+
+let engine_run ?alpha p ~budget rung =
+  match Engine.solve ?alpha ~policy:[ rung ] p ~budget with
+  | Ok s ->
+      fuel := !fuel + s.Engine.fuel_spent;
+      s
+  | Error e -> failwith (Printf.sprintf "engine (%s): %s" (Policy.rung_name rung) (Error.to_string e))
+
+let engine_exact p ~budget = engine_run p ~budget Policy.Exact
+
+let section id title =
+  fuel := 0;
+  Format.printf "@.== %s: %s ==@." id title
 
 let verdict id ok =
   if not ok then incr failures;
-  Format.printf "[%s] %s@." (if ok then "OK" else "SHAPE DIVERGES") id
+  Format.printf "[%s] %s (engine fuel_spent: %d)@." (if ok then "OK" else "SHAPE DIVERGES") id !fuel
 
 let rng_of seed = Random.State.make [| seed |]
 
@@ -60,17 +78,19 @@ let e1 () =
         let n = 4 + Random.State.int rng 5 in
         let p = random_step_instance rng ~n in
         let budget = 1 + Random.State.int rng 6 in
-        let bi = Bicriteria.min_makespan p ~budget ~alpha in
-        if not (Bicriteria.satisfies_guarantees bi) then ok := false;
-        (* measured inflation ratios vs the LP lower bounds *)
-        let lp_ms = bi.Bicriteria.lp.Lp_relax.makespan in
-        if Rat.sign lp_ms > 0 then
-          worst_ms :=
-            Rat.max !worst_ms (Rat.div (Rat.of_int bi.Bicriteria.rounded.Rounding.makespan) lp_ms);
-        let lp_b = bi.Bicriteria.lp.Lp_relax.budget_used in
-        if Rat.sign lp_b > 0 then
-          worst_rs :=
-            Rat.max !worst_rs (Rat.div (Rat.of_int bi.Bicriteria.rounded.Rounding.budget_used) lp_b)
+        let s = engine_run ~alpha p ~budget Policy.Bicriteria in
+        (* measured inflation ratios vs the LP lower bounds, read off the
+           engine's validated certificate *)
+        (match s.Engine.lp_makespan with
+        | Some lp_ms when Rat.sign lp_ms > 0 ->
+            worst_ms := Rat.max !worst_ms (Rat.div (Rat.of_int s.Engine.makespan) lp_ms)
+        | Some _ -> ()
+        | None -> ok := false);
+        (match s.Engine.lp_budget with
+        | Some lp_b when Rat.sign lp_b > 0 ->
+            worst_rs := Rat.max !worst_rs (Rat.div (Rat.of_int s.Engine.budget_used) lp_b)
+        | Some _ -> ()
+        | None -> ok := false)
       done;
       Format.printf "%8s | %15s | %15.3f | %15s | %15.3f@." label
         (Rat.to_string (Rat.inv alpha))
@@ -120,17 +140,17 @@ let e2 () =
     in
     let p = Problem.of_race_dag g Problem.Binary in
     let budget = 1 + Random.State.int rng 8 in
-    let opt = Exact.min_makespan p ~budget in
+    let opt = engine_exact p ~budget in
     let a4 = Binary_approx.min_makespan p ~budget in
     if a4.Binary_approx.budget_used > budget then ok := false;
-    if opt.Exact.makespan > 0 then
-      worst4 := max !worst4 (float_of_int a4.Binary_approx.makespan /. float_of_int opt.Exact.makespan);
-    if a4.Binary_approx.makespan > 4 * opt.Exact.makespan then ok := false;
+    if opt.Engine.makespan > 0 then
+      worst4 := max !worst4 (float_of_int a4.Binary_approx.makespan /. float_of_int opt.Engine.makespan);
+    if a4.Binary_approx.makespan > 4 * opt.Engine.makespan then ok := false;
     let bb = Binary_bicriteria.min_makespan p ~budget in
     if not (Binary_bicriteria.satisfies_guarantees bb) then ok := false;
-    if opt.Exact.makespan > 0 then
+    if opt.Engine.makespan > 0 then
       worst_bb_ms :=
-        max !worst_bb_ms (float_of_int bb.Binary_bicriteria.makespan /. float_of_int opt.Exact.makespan);
+        max !worst_bb_ms (float_of_int bb.Binary_bicriteria.makespan /. float_of_int opt.Engine.makespan);
     if budget > 0 then
       worst_bb_rs :=
         max !worst_bb_rs (float_of_int bb.Binary_bicriteria.budget_used /. float_of_int budget)
@@ -156,12 +176,12 @@ let e3 () =
     in
     let p = Problem.of_race_dag g Problem.Kway in
     let budget = 1 + Random.State.int rng 8 in
-    let opt = Exact.min_makespan p ~budget in
+    let opt = engine_exact p ~budget in
     let a = Kway_approx.min_makespan p ~budget in
     if a.Kway_approx.budget_used > budget then ok := false;
-    if opt.Exact.makespan > 0 then
-      worst := max !worst (float_of_int a.Kway_approx.makespan /. float_of_int opt.Exact.makespan);
-    if a.Kway_approx.makespan > 5 * opt.Exact.makespan then ok := false
+    if opt.Engine.makespan > 0 then
+      worst := max !worst (float_of_int a.Kway_approx.makespan /. float_of_int opt.Engine.makespan);
+    if a.Kway_approx.makespan > 5 * opt.Engine.makespan then ok := false
   done;
   Format.printf "measured: worst makespan/OPT = %.3f (bound 5)@." !worst;
   verdict "E3" (!ok && !worst <= 5.0)
@@ -316,13 +336,13 @@ let e8 () =
   let ms0, path = Schedule.critical_path p (Schedule.zero_allocation p) in
   let name v = Option.value ~default:(string_of_int v) (Dag.label p.Problem.dag v) in
   Format.printf "measured: makespan %d along %s@." ms0 (String.concat "->" (List.map name path));
-  let r = Exact.min_makespan p ~budget:2 in
-  Format.printf "measured: with budget 2 the optimum is %d (allocation at %s)@." r.Exact.makespan
+  let r = engine_exact p ~budget:2 in
+  Format.printf "measured: with budget 2 the optimum is %d (allocation at %s)@." r.Engine.makespan
     (String.concat ","
        (List.filter_map
-          (fun v -> if r.Exact.allocation.(v) > 0 then Some (name v) else None)
+          (fun v -> if r.Engine.allocation.(v) > 0 then Some (name v) else None)
           (Dag.vertices p.Problem.dag)));
-  verdict "E8" (ms0 = 11 && r.Exact.makespan = 10)
+  verdict "E8" (ms0 = 11 && r.Engine.makespan = 10)
 
 (* ------------------------------------------------------------------ *)
 (* E9: Figures 8-9 - general-duration SAT reduction                   *)
@@ -466,7 +486,7 @@ let e13 () =
     let ms, _ = Sp_exact.min_makespan tree ~budget in
     let g, jobs = Sp.to_dag tree in
     let p = Problem.make g ~durations:(fun v -> jobs.(v)) in
-    if ms = (Exact.min_makespan p ~budget).Exact.makespan then incr matches
+    if ms = (engine_exact p ~budget).Engine.makespan then incr matches
   done;
   Format.printf "measured: DP = brute-force optimum on %d/%d random SP instances@." !matches total;
   (* timing scaling in B at fixed m *)
@@ -627,7 +647,7 @@ let a2 () =
     in
     let p = Problem.of_race_dag g Problem.Binary in
     let budget = 2 + Random.State.int rng 6 in
-    let opt = (Exact.min_makespan p ~budget).Exact.makespan in
+    let opt = (engine_exact p ~budget).Engine.makespan in
     let bb = Binary_bicriteria.min_makespan p ~budget in
     let gr = (Greedy.min_makespan p ~budget).Greedy.makespan in
     sum_opt := !sum_opt + opt;
@@ -656,18 +676,18 @@ let a3 () =
   section "A3" "Bounded processors: list-scheduling the optimized Figure 4/5 instance";
   Format.printf "context: Observation 1.1 assumes unbounded processors; this is the finite-p view@.";
   let p = Problem.of_race_dag (fig45 ()) Problem.Binary in
-  let opt = Exact.min_makespan p ~budget:2 in
-  let w = Array.fold_left ( + ) 0 (Schedule.durations_at p opt.Exact.allocation) in
+  let opt = engine_exact p ~budget:2 in
+  let w = Array.fold_left ( + ) 0 (Schedule.durations_at p opt.Engine.allocation) in
   Format.printf "instance: Figure 4/5 with optimal 2-unit allocation (T_inf = %d, W = %d)@."
-    opt.Exact.makespan w;
+    opt.Engine.makespan w;
   Format.printf "%6s | %8s | %18s@." "p" "T_p" "Graham bound W/p+T_inf";
   let ok = ref true in
   List.iter
     (fun (k, tp) ->
-      let bound = (w / k) + opt.Exact.makespan in
-      if tp > bound || tp < opt.Exact.makespan then ok := false;
+      let bound = (w / k) + opt.Engine.makespan in
+      if tp > bound || tp < opt.Engine.makespan then ok := false;
       Format.printf "%6d | %8d | %18d@." k tp bound)
-    (Processors.speedup_curve p opt.Exact.allocation ~processors:[ 1; 2; 4; 8; 16 ]);
+    (Processors.speedup_curve p opt.Engine.allocation ~processors:[ 1; 2; 4; 8; 16 ]);
   verdict "A3" !ok
 
 (* ------------------------------------------------------------------ *)
@@ -708,7 +728,7 @@ let a5 () =
   let ok = ref true in
   let show label p budget =
     let nr = (Nonreusable.exact p ~budget).Exact.makespan in
-    let r = (Exact.min_makespan p ~budget).Exact.makespan in
+    let r = (engine_exact p ~budget).Engine.makespan in
     if r > nr then ok := false;
     Format.printf "%12s | %8d | %16d | %16d@." label budget nr r
   in
@@ -762,8 +782,9 @@ let perf () =
         Test.make ~name:"P5 reducer-sim (4096 updates, h=5)"
           (Staged.stage (fun () ->
                ignore (Reducer_sim.finish_time ~arrivals (Reducer_sim.Binary { height = 5 }))));
-        Test.make ~name:"P6 exact brute force (n=6)"
-          (Staged.stage (fun () -> ignore (Exact.min_makespan p_exact ~budget:3)));
+        Test.make ~name:"P6 exact via engine (n=6)"
+          (Staged.stage (fun () ->
+               ignore (Engine.solve ~policy:[ Policy.Exact ] p_exact ~budget:3)));
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in

@@ -7,7 +7,9 @@
      sp       solve a random series-parallel instance with the exact DP
      reduce   run one of the paper's hardness reductions
      dot      export an instance's DAG as Graphviz
-     demo     the Figure 4/5 walkthrough *)
+     demo     the Figure 4/5 walkthrough
+     serve    drain a spool directory of jobs, crash-safely
+     jobs     report the journaled state of a spool *)
 
 open Cmdliner
 open Rtt_dag
@@ -413,9 +415,89 @@ let demo_cmd =
   let info = Cmd.info "demo" ~doc:"The Figure 4/5 walkthrough (makespan 11 -> 10 with 2 units)." in
   Cmd.v info Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* serve / jobs                                                        *)
+
+let spool_arg =
+  let doc = "Spool directory: instance files ($(b,*.rtt)) plus the journal and sidecars." in
+  Arg.(required & opt (some dir) None & info [ "spool" ] ~docv:"DIR" ~doc)
+
+let serve_cmd =
+  let open Rtt_service in
+  let max_attempts =
+    let doc = "Attempts per job before it is declared dead." in
+    Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"N" ~doc)
+  in
+  let deadline_fuel =
+    let doc = "Per-attempt fuel deadline; a job that exhausts it fails transiently and is retried." in
+    Arg.(value & opt (some fuel_conv) None & info [ "deadline-fuel" ] ~docv:"F" ~doc)
+  in
+  let checkpoint_every =
+    let doc = "Ticks between checkpoint snapshots of the in-flight solve." in
+    Arg.(value & opt int 1000 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+  in
+  let fallback =
+    let doc = "Fallback chain used for every job (default exact,bicriteria,greedy,baseline)." in
+    Arg.(value & opt policy_conv Policy.default & info [ "fallback" ] ~docv:"CHAIN" ~doc)
+  in
+  let no_sleep =
+    let doc = "Do not pause between retries (backoff is still journaled)." in
+    Arg.(value & flag & info [ "no-sleep" ] ~doc)
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress lines on stderr.") in
+  let run spool budget fallback max_attempts deadline_fuel checkpoint_every seed no_sleep verbose =
+    if checkpoint_every <= 0 then begin
+      Format.eprintf "rtt: --checkpoint-every must be positive@.";
+      124
+    end
+    else if max_attempts <= 0 then begin
+      Format.eprintf "rtt: --max-attempts must be positive@.";
+      124
+    end
+    else
+      Supervisor.run
+        {
+          Supervisor.spool;
+          budget;
+          policy = fallback;
+          max_attempts;
+          deadline_fuel;
+          checkpoint_every;
+          seed;
+          sleep = not no_sleep;
+          verbose;
+        }
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Drain a spool directory through the engine, crash-safely: every state change is \
+         journaled before it matters, interrupted solves resume from checkpoints, transient \
+         failures retry with deterministic backoff. Exit 0 when drained, 31 when drained with \
+         permanently failed jobs, 30 on SIGTERM/SIGINT."
+  in
+  Cmd.v info
+    Term.(
+      const run $ spool_arg $ budget_arg $ fallback $ max_attempts $ deadline_fuel
+      $ checkpoint_every $ seed_arg $ no_sleep $ verbose)
+
+let jobs_cmd =
+  let run spool =
+    print_string (Rtt_service.Supervisor.render_report ~spool);
+    0
+  in
+  let spool_pos =
+    let doc = "Spool directory: instance files ($(b,*.rtt)) plus the journal and sidecars." in
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc)
+  in
+  let info = Cmd.info "jobs" ~doc:"Report the journaled state of every job in a spool." in
+  Cmd.v info Term.(const run $ spool_pos)
+
 let main =
   let doc = "Discrete resource-time tradeoff with resource reuse over paths (SPAA '19 reproduction)." in
   let info = Cmd.info "rtt" ~version:"1.0.0" ~doc in
-  Cmd.group info [ solve_cmd; exact_cmd; gen_cmd; sp_cmd; reduce_cmd; pareto_cmd; dot_cmd; demo_cmd ]
+  Cmd.group info
+    [ solve_cmd; exact_cmd; gen_cmd; sp_cmd; reduce_cmd; pareto_cmd; dot_cmd; demo_cmd; serve_cmd;
+      jobs_cmd ]
 
 let () = exit (Cmd.eval' main)

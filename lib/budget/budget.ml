@@ -6,8 +6,11 @@ exception Solver_failure of { stage : string; reason : string }
    installing a context at all. *)
 type fuel = { mutable remaining : int; mutable spent : int; unlimited : bool }
 
+type ckpt = { every : int; sink : string -> unit; mutable due : int }
+
 let context : fuel option ref = ref None
 let enabled = ref true
+let ckpt_ctx : ckpt option ref = ref None
 let faults : (string, int ref) Hashtbl.t = Hashtbl.create 7
 
 let fuel_zero = "fuel.zero"
@@ -51,6 +54,7 @@ let spent () = match !context with None -> 0 | Some c -> c.spent
 
 let tick ~stage =
   if !enabled then begin
+    (match !ckpt_ctx with Some k when k.due > 0 -> k.due <- k.due - 1 | _ -> ());
     if probe ~site:fuel_zero then begin
       match !context with
       | Some c when not c.unlimited -> c.remaining <- 0
@@ -70,3 +74,19 @@ let unmetered f =
   let saved = !enabled in
   enabled := false;
   Fun.protect ~finally:(fun () -> enabled := saved) f
+
+let with_checkpoint ~every sink f =
+  if every <= 0 then invalid_arg "Budget.with_checkpoint: every must be positive";
+  let saved = !ckpt_ctx in
+  ckpt_ctx := Some { every; sink; due = every };
+  Fun.protect ~finally:(fun () -> ckpt_ctx := saved) f
+
+let checkpoint state =
+  if !enabled then
+    match !ckpt_ctx with
+    | Some k when k.due = 0 ->
+        (* reset the quota before calling the sink: a sink that raises
+           (supervisor shutdown) must not be re-entered on unwind paths *)
+        k.due <- k.every;
+        k.sink (state ())
+    | _ -> ()

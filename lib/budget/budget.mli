@@ -42,10 +42,32 @@ val spent : unit -> int
 (** Steps consumed in the innermost active fuel context (0 if none). *)
 
 val unmetered : (unit -> 'a) -> 'a
-(** Run with instrumentation disabled: ticks and probes are no-ops and
-    armed faults keep their trigger counts. Used by the certificate
-    validator so re-checking an answer can neither exhaust fuel nor
-    trip an injected fault. *)
+(** Run with instrumentation disabled: ticks, probes and checkpoint
+    offers are no-ops and armed faults keep their trigger counts. Used
+    by the certificate validator so re-checking an answer can neither
+    exhaust fuel nor trip an injected fault. *)
+
+(** {1 Checkpointing}
+
+    The serving layer installs a {e sink} with {!with_checkpoint};
+    long-running kernels periodically {e offer} a snapshot of their
+    resumable state with {!checkpoint}. Offers are cheap closures — the
+    snapshot string is only materialized when at least [every] ticks
+    have elapsed since the last accepted offer, so kernels can offer at
+    every step. The sink may raise (the supervisor uses this to abort an
+    in-flight solve on shutdown); the exception propagates out of the
+    kernel. *)
+
+val with_checkpoint : every:int -> (string -> unit) -> (unit -> 'a) -> 'a
+(** [with_checkpoint ~every sink f] runs [f] with [sink] installed:
+    after each run of [every] ticks, the next {!checkpoint} offer
+    serializes its state and passes it to [sink]. The previous sink is
+    restored on exit, normal or exceptional.
+    @raise Invalid_argument when [every <= 0]. *)
+
+val checkpoint : (unit -> string) -> unit
+(** Offer a snapshot. No-op unless a sink is installed, instrumentation
+    is enabled, and the sink's tick quota has elapsed. *)
 
 (** {1 Fault injection} *)
 

@@ -33,15 +33,45 @@ let partial_lower_bound (p : Problem.t) time n_set =
   Longest_path.makespan p.dag ~weight:(fun v ->
       if v < n_set then time.(v) else Duration.best_time p.durations.(v))
 
-let min_makespan ?(max_states = 2_000_000) (p : Problem.t) ~budget =
+(* Incumbent snapshots: the branch-and-bound state worth persisting is
+   the best solution found so far. A resumed search primed with it prunes
+   from the first node with the incumbent's makespan as upper bound, so
+   every node it visits would also have been visited by the cold run —
+   same final answer (strict-improvement updates preserve the search
+   order's first optimum), strictly less fuel. *)
+let snapshot_of { makespan; budget_used; allocation } =
+  Printf.sprintf "exact1 %d %d %s" makespan budget_used
+    (String.concat "," (Array.to_list (Array.map string_of_int allocation)))
+
+let allocation_of_snapshot s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "exact1"; _; _; alloc ] -> (
+      let parts = String.split_on_char ',' alloc in
+      match List.map int_of_string_opt parts with
+      | ints when List.for_all Option.is_some ints ->
+          Some (Array.of_list (List.map Option.get ints))
+      | _ -> None
+      | exception _ -> None)
+  | _ -> None
+
+let min_makespan ?(max_states = 2_000_000) ?warm_start (p : Problem.t) ~budget =
   if budget < 0 then invalid_arg "Exact.min_makespan: negative budget";
   let options = options_of p ~cap:budget in
   check_size ~max_states options;
   let n = Problem.n_jobs p in
   let best = ref { makespan = max_int; budget_used = 0; allocation = Array.make n 0 } in
+  (* a warm start is a hint: silently ignored unless it is a feasible
+     allocation for this instance and budget *)
+  (match warm_start with
+  | Some a when Array.length a = n && Array.for_all (fun r -> r >= 0) a ->
+      let used = Schedule.min_budget p a in
+      if used <= budget then
+        best := { makespan = Schedule.makespan p a; budget_used = used; allocation = Array.copy a }
+  | _ -> ());
   let alloc = Array.make n 0 and time = Array.make n 0 in
   let rec go v =
     Budget.tick ~stage:"exact";
+    if !best.makespan < max_int then Budget.checkpoint (fun () -> snapshot_of !best);
     if partial_lower_bound p time v >= !best.makespan then ()
     else if v = n then begin
       let ms = Longest_path.makespan p.dag ~weight:(fun u -> time.(u)) in

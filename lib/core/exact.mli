@@ -15,12 +15,27 @@ exception Too_large of int
 (** Raised when the search space exceeds [max_states] (the payload is
     the estimated state count). *)
 
-val min_makespan : ?max_states:int -> Problem.t -> budget:int -> t
+val min_makespan : ?max_states:int -> ?warm_start:int array -> Problem.t -> budget:int -> t
 (** The true optimal makespan with the given budget (Question 1.3
     semantics: resources reused over paths).
+
+    [warm_start] primes the branch-and-bound incumbent with a previously
+    found allocation (typically recovered from a {!snapshot_of}
+    checkpoint): the search then prunes against its makespan from the
+    first node, so a resumed run spends strictly less fuel than a cold
+    one and returns the identical optimum. An infeasible or ill-sized
+    warm start is a hint and is silently ignored.
     @raise Too_large when the product of per-vertex option counts
     exceeds [max_states] (default [2_000_000]).
     @raise Invalid_argument on negative budget. *)
+
+val snapshot_of : t -> string
+(** Serialized resumable state (the incumbent), as offered to
+    {!Rtt_budget.Budget.checkpoint} sinks during the search. *)
+
+val allocation_of_snapshot : string -> int array option
+(** Recover the incumbent allocation from a {!snapshot_of} string;
+    [None] on anything malformed. *)
 
 val min_resource : ?max_states:int -> Problem.t -> target:int -> t option
 (** Minimum budget achieving makespan at most [target]; [None] when the

@@ -2,6 +2,7 @@ open Rtt_dag
 open Rtt_duration
 
 exception Parse_error of { line : int; msg : string }
+exception Invalid_dag of string
 
 let to_string (p : Problem.t) =
   let buf = Buffer.create 256 in
@@ -87,8 +88,44 @@ let of_string s =
       check_vertex lnum "edge endpoint" v;
       if u = v then fail lnum (Printf.sprintf "self-loop on vertex %d" u))
     !edges;
+  (* structural well-formedness, checked at load time so malformed DAGs
+     never reach a solver: duplicate edges are rejected naming the edge
+     and both lines; a cycle is reported naming a vertex on it *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (lnum, u, v) ->
+      match Hashtbl.find_opt seen (u, v) with
+      | Some first ->
+          raise
+            (Invalid_dag
+               (Printf.sprintf "duplicate edge %d -> %d (lines %d and %d)" u v first lnum))
+      | None -> Hashtbl.replace seen (u, v) lnum)
+    (List.rev !edges);
   let g = Dag.of_edges ~n:!n (List.rev_map (fun (_, u, v) -> (u, v)) !edges) in
-  if not (Dag.is_dag g) then fail !n_line "edges form a directed cycle";
+  if not (Dag.is_dag g) then begin
+    (* name a vertex on a cycle: peel vertices of residual in-degree 0
+       until a fixpoint; anything left has an in-edge inside the residue,
+       so the smallest survivor lies on (or behind) a directed cycle *)
+    let indeg = Array.make !n 0 in
+    List.iter (fun (_, _, v) -> indeg.(v) <- indeg.(v) + 1) !edges;
+    let queue = Queue.create () in
+    Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+    let removed = ref 0 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      incr removed;
+      List.iter
+        (fun (_, a, b) ->
+          if a = u then begin
+            indeg.(b) <- indeg.(b) - 1;
+            if indeg.(b) = 0 then Queue.add b queue
+          end)
+        !edges
+    done;
+    let witness = ref (-1) in
+    Array.iteri (fun v d -> if d > 0 && !witness < 0 then witness := v) indeg;
+    fail !n_line (Printf.sprintf "edges form a directed cycle through vertex %d" !witness)
+  end;
   Problem.make g ~durations:(fun v ->
       match Hashtbl.find_opt durations v with Some (_, d) -> d | None -> Duration.constant 0)
 

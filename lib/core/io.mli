@@ -15,16 +15,25 @@ exception Parse_error of { line : int; msg : string }
     count, out-of-range vertex id, duplicate directive, cyclic edge set,
     truncated line — is reported through this exception with the 1-based
     line number ([0] when the file as a whole is at fault, e.g. a
-    missing [vertices] directive). No raw [Failure] / [Invalid_argument]
+    missing [vertices] directive). A cyclic edge set additionally names
+    a vertex on the cycle. No raw [Failure] / [Invalid_argument]
     escapes the parser. *)
+
+exception Invalid_dag of string
+(** A syntactically valid instance whose edge set is structurally
+    ill-formed as a request — currently a duplicate edge, named together
+    with both defining lines. {!Rtt_engine.Engine.load} surfaces this as
+    [Error.Invalid_request]. *)
 
 val to_string : Problem.t -> string
 
 val of_string : string -> Problem.t
-(** @raise Parse_error on malformed input. *)
+(** @raise Parse_error on malformed input.
+    @raise Invalid_dag on a well-parsed but structurally invalid edge set. *)
 
 val write_file : string -> Problem.t -> unit
 
 val read_file : string -> Problem.t
 (** @raise Parse_error on malformed input.
+    @raise Invalid_dag on a well-parsed but structurally invalid edge set.
     @raise Sys_error if the file cannot be read. *)

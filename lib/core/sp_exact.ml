@@ -1,29 +1,110 @@
 open Rtt_dag
 open Rtt_duration
+open Rtt_budget
 
 (* cap additions so that "unreachable" sentinels never overflow *)
 let big = max_int / 4
 let ( +! ) a b = min big (a + b)
 
-let rec table tree ~budget =
-  match tree with
-  | Sp.Leaf d -> Array.init (budget + 1) (fun l -> Duration.eval d l)
-  | Sp.Series (a, b) ->
-      let ta = table a ~budget and tb = table b ~budget in
-      Array.init (budget + 1) (fun l -> ta.(l) +! tb.(l))
-  | Sp.Parallel (a, b) ->
-      let ta = table a ~budget and tb = table b ~budget in
-      Array.init (budget + 1) (fun l ->
-          let best = ref big in
-          for i = 0 to l do
-            let v = max ta.(i) tb.(l - i) in
-            if v < !best then best := v
-          done;
-          !best)
+(* Snapshots of the bottom-up DP: the tables of completed decomposition
+   nodes, keyed by their postorder index (a deterministic numbering, so
+   a resumed run maps entries back onto the same nodes). Format:
+   "sp1 <budget> <idx>:<t0>,<t1>,... ..." *)
+let snapshot_of ~budget completed =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "sp1 %d" budget);
+  List.iter
+    (fun (idx, t) ->
+      Buffer.add_string buf
+        (Printf.sprintf " %d:%s" idx
+           (String.concat "," (Array.to_list (Array.map string_of_int t)))))
+    (List.rev completed);
+  Buffer.contents buf
 
-let makespan_table tree ~budget =
+let tables_of_snapshot ~budget s =
+  match String.split_on_char ' ' (String.trim s) with
+  | "sp1" :: b :: entries when int_of_string_opt b = Some budget ->
+      let parse entry =
+        match String.split_on_char ':' entry with
+        | [ idx; cells ] -> (
+            match
+              ( int_of_string_opt idx,
+                List.map int_of_string_opt (String.split_on_char ',' cells) )
+            with
+            | Some idx, ints when List.for_all Option.is_some ints ->
+                Some (idx, Array.of_list (List.map Option.get ints))
+            | _ -> None)
+        | _ -> None
+      in
+      let parsed = List.map parse (List.filter (fun e -> e <> "") entries) in
+      if List.for_all Option.is_some parsed then
+        Some (List.map Option.get parsed)
+      else None
+  | _ -> None
+
+(* Bottom-up tables with checkpoint plumbing: each completed node's
+   table is recorded under its postorder index and offered to the
+   ambient checkpoint sink; a node already present in [cache] is reused
+   without recomputation (and without fuel). *)
+let table ?snapshot tree ~budget =
+  let cache : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  (match snapshot with
+  | Some s -> (
+      match tables_of_snapshot ~budget s with
+      | Some entries -> List.iter (fun (i, t) -> Hashtbl.replace cache i t) entries
+      | None -> ())
+  | None -> ());
+  let completed = ref [] in
+  let next = ref 0 in
+  let rec go tree =
+    (* postorder: number children first, then this node *)
+    let result =
+      match tree with
+      | Sp.Leaf d ->
+          let idx = !next in
+          incr next;
+          fresh idx (fun () ->
+              Array.init (budget + 1) (fun l ->
+                  Budget.tick ~stage:"sp";
+                  Duration.eval d l))
+      | Sp.Series (a, b) ->
+          let ta = go a and tb = go b in
+          let idx = !next in
+          incr next;
+          fresh idx (fun () ->
+              Array.init (budget + 1) (fun l ->
+                  Budget.tick ~stage:"sp";
+                  ta.(l) +! tb.(l)))
+      | Sp.Parallel (a, b) ->
+          let ta = go a and tb = go b in
+          let idx = !next in
+          incr next;
+          fresh idx (fun () ->
+              Array.init (budget + 1) (fun l ->
+                  Budget.tick ~stage:"sp";
+                  let best = ref big in
+                  for i = 0 to l do
+                    let v = max ta.(i) tb.(l - i) in
+                    if v < !best then best := v
+                  done;
+                  !best))
+    in
+    result
+  and fresh idx compute =
+    let t =
+      match Hashtbl.find_opt cache idx with Some t -> t | None -> compute ()
+    in
+    (* record cache hits too, so snapshots taken by a resumed run stay
+       cumulative across a second interruption *)
+    completed := (idx, t) :: !completed;
+    Budget.checkpoint (fun () -> snapshot_of ~budget !completed);
+    t
+  in
+  go tree
+
+let makespan_table ?snapshot tree ~budget =
   if budget < 0 then invalid_arg "Sp_exact: negative budget";
-  table tree ~budget
+  table ?snapshot tree ~budget
 
 let min_makespan tree ~budget =
   if budget < 0 then invalid_arg "Sp_exact: negative budget";

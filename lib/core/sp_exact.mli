@@ -11,9 +11,16 @@
 open Rtt_dag
 open Rtt_duration
 
-val makespan_table : Duration.t Sp.t -> budget:int -> int array
+val makespan_table : ?snapshot:string -> Duration.t Sp.t -> budget:int -> int array
 (** [makespan_table tree ~budget] returns [T(root, λ)] for
     [λ = 0 .. budget].
+
+    The computation consumes one fuel tick per DP cell and periodically
+    offers the tables of completed decomposition nodes to the ambient
+    {!Rtt_budget.Budget.checkpoint} sink. Passing such a snapshot back
+    as [?snapshot] resumes the computation: nodes present in the
+    snapshot are reused without recomputation (and without fuel). A
+    snapshot taken at a different budget, or malformed, is ignored.
     @raise Invalid_argument on negative budget. *)
 
 val min_makespan : Duration.t Sp.t -> budget:int -> int * int Sp.t

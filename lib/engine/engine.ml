@@ -10,6 +10,7 @@ type success = {
   makespan : int;
   budget_used : int;
   lp_makespan : Rat.t option;
+  lp_budget : Rat.t option;
   degraded : report list;
   fuel_spent : int;
 }
@@ -18,7 +19,7 @@ let degraded_to s = s.degraded <> []
 
 (* One raw rung invocation. Runs inside the caller's fuel context, so
    any exception here is a structured failure of this rung only. *)
-let attempt p ~budget ~alpha ~max_states rung : Validate.claim =
+let attempt p ~budget ~alpha ~max_states ~warm_start rung : Validate.claim =
   let plain allocation makespan budget_used =
     {
       Validate.rung;
@@ -33,7 +34,7 @@ let attempt p ~budget ~alpha ~max_states rung : Validate.claim =
   in
   match rung with
   | Policy.Exact ->
-      let r = Exact.min_makespan ~max_states p ~budget in
+      let r = Exact.min_makespan ~max_states ?warm_start p ~budget in
       plain r.Exact.allocation r.Exact.makespan r.Exact.budget_used
   | Policy.Bicriteria ->
       let bi = Bicriteria.min_makespan p ~budget ~alpha in
@@ -88,7 +89,7 @@ let error_of_exn = function
   | _ -> None
 
 let solve ?fuel ?(policy = Policy.default) ?(alpha = Rat.half) ?(max_states = 2_000_000)
-    (p : Problem.t) ~budget =
+    ?warm_start (p : Problem.t) ~budget =
   if budget < 0 then Error (Error.Invalid_request "budget must be non-negative")
   else if Rat.(alpha <= Rat.zero) || Rat.(alpha >= Rat.one) then
     Error (Error.Invalid_request "alpha must lie strictly inside (0, 1)")
@@ -104,7 +105,7 @@ let solve ?fuel ?(policy = Policy.default) ?(alpha = Rat.half) ?(max_states = 2_
           Budget.with_fuel fuel (fun () ->
               Fun.protect
                 ~finally:(fun () -> rung_spent := Budget.spent ())
-                (fun () -> attempt p ~budget ~alpha ~max_states rung))
+                (fun () -> attempt p ~budget ~alpha ~max_states ~warm_start rung))
         with
         | claim -> Ok claim
         | exception e -> (
@@ -140,6 +141,7 @@ let solve ?fuel ?(policy = Policy.default) ?(alpha = Rat.half) ?(max_states = 2_
                   makespan = claim.Validate.makespan;
                   budget_used = claim.Validate.budget_used;
                   lp_makespan = claim.Validate.lp_makespan;
+                  lp_budget = claim.Validate.lp_budget;
                   degraded = List.rev degraded;
                   fuel_spent = !total_spent;
                 })
@@ -151,12 +153,14 @@ let load_string s =
   match Io.of_string s with
   | p -> Ok p
   | exception Io.Parse_error { line; msg } -> Error (Error.Parse_error { line; msg })
+  | exception Io.Invalid_dag msg -> Error (Error.Invalid_request msg)
   | exception Invalid_argument msg -> Error (Error.Invalid_instance msg)
 
 let load path =
   match Io.read_file path with
   | p -> Ok p
   | exception Io.Parse_error { line; msg } -> Error (Error.Parse_error { line; msg })
+  | exception Io.Invalid_dag msg -> Error (Error.Invalid_request msg)
   | exception Invalid_argument msg -> Error (Error.Invalid_instance msg)
   | exception Sys_error msg -> Error (Error.Io_error msg)
 

@@ -21,6 +21,7 @@ type success = {
   makespan : int;  (** Recomputed, not the rung's claim. *)
   budget_used : int;  (** Min-flow cost of [allocation], recomputed. *)
   lp_makespan : Rat.t option;  (** LP lower bound when an LP rung answered. *)
+  lp_budget : Rat.t option;  (** LP resource usage when an LP rung answered. *)
   degraded : report list;  (** Rungs that failed first, in attempt order. *)
   fuel_spent : int;  (** Total steps consumed across all rungs tried. *)
 }
@@ -33,18 +34,22 @@ val solve :
   ?policy:Policy.t ->
   ?alpha:Rat.t ->
   ?max_states:int ->
+  ?warm_start:int array ->
   Problem.t ->
   budget:int ->
   (success, Error.t) result
-(** [solve ?fuel ?policy ?alpha ?max_states p ~budget] minimizes the
-    makespan under [budget] resource units.
+(** [solve ?fuel ?policy ?alpha ?max_states ?warm_start p ~budget]
+    minimizes the makespan under [budget] resource units.
 
     [fuel] is a per-rung step budget; a rung that exhausts it fails with
     [Fuel_exhausted] and the next rung starts fresh, so one runaway rung
     cannot starve its fallbacks. Default: unmetered. [policy] defaults
     to {!Policy.default}; [alpha] (default 1/2) feeds the bicriteria
     rung; [max_states] (default 2_000_000) caps the exact rung's state
-    space.
+    space. [warm_start] primes the exact rung's branch-and-bound
+    incumbent (see {!Rtt_core.Exact.min_makespan}) — the serving layer
+    passes a checkpointed allocation here to resume an interrupted
+    solve instead of restarting it from scratch.
 
     Returns [Error (Invalid_request _)] on bad parameters and
     [Error (All_rungs_failed _)] when no rung produces a validated
@@ -53,7 +58,8 @@ val solve :
 val load : string -> (Problem.t, Error.t) result
 (** Read an instance file; parse errors come back as
     [Error.Parse_error] with a line number, unreadable files as
-    [Error.Io_error]. *)
+    [Error.Io_error], and structurally ill-formed DAGs (duplicate
+    edges, with the offending edge named) as [Error.Invalid_request]. *)
 
 val load_string : string -> (Problem.t, Error.t) result
 

@@ -1,0 +1,36 @@
+let path ~spool ~job = Filename.concat spool (job ^ ".ckpt")
+
+let store ~spool ~job snapshot =
+  let final = path ~spool ~job in
+  let tmp = final ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let line = Printf.sprintf "%08lx %s" (Journal.crc32 snapshot) snapshot in
+      let bytes = Bytes.of_string line in
+      let len = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < len do
+        written := !written + Unix.write fd bytes !written (len - !written)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp final
+
+let load ~spool ~job =
+  match open_in (path ~spool ~job) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          let line = really_input_string ic len in
+          if len < 9 || line.[8] <> ' ' then None
+          else
+            let snapshot = String.sub line 9 (len - 9) in
+            match int_of_string_opt ("0x" ^ String.sub line 0 8) with
+            | Some crc when Int32.of_int crc = Journal.crc32 snapshot -> Some snapshot
+            | _ -> None)
+
+let clear ~spool ~job = try Sys.remove (path ~spool ~job) with Sys_error _ -> ()

@@ -1,0 +1,18 @@
+(** Sidecar checkpoint files: one per job, atomically replaced.
+
+    The supervisor installs {!store} as the
+    {!Rtt_budget.Budget.with_checkpoint} sink while a job solves; the
+    kernel's serialized state (e.g. {!Rtt_core.Exact.snapshot_of}) is
+    written to a temporary file, fsync'd and renamed over the sidecar,
+    so a crash during a checkpoint leaves either the previous snapshot
+    or the new one — never a torn file. Each snapshot carries the same
+    CRC framing as the journal; {!load} returns [None] for anything
+    unreadable or corrupt, which downgrades a resume to a cold start
+    instead of failing the job. *)
+
+val path : spool:string -> job:string -> string
+(** [spool ^ "/" ^ job ^ ".ckpt"]. *)
+
+val store : spool:string -> job:string -> string -> unit
+val load : spool:string -> job:string -> string option
+val clear : spool:string -> job:string -> unit

@@ -1,0 +1,219 @@
+type event =
+  | Queued
+  | Started of { attempt : int }
+  | Done of { attempt : int; makespan : int; budget_used : int; fuel : int }
+  | Failed of { attempt : int; error_class : string; transient : bool; backoff : int }
+  | Abandoned of { attempt : int }
+
+type record = { job : string; event : event }
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected), table-driven                        *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* wire format: "<crc-as-8-hex> <payload>"; payload tokens are space-
+   separated, job names percent-encoded so any file name round-trips *)
+
+let encode_job job =
+  let buf = Buffer.create (String.length job) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '%' | '\n' | '\r' -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    job;
+  Buffer.contents buf
+
+let decode_job s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 < n then begin
+        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some code ->
+            Buffer.add_char buf (Char.chr code);
+            go (i + 3)
+        | None -> None
+      end
+      else None
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let payload_of { job; event } =
+  let j = encode_job job in
+  match event with
+  | Queued -> Printf.sprintf "queued %s" j
+  | Started { attempt } -> Printf.sprintf "started %s %d" j attempt
+  | Done { attempt; makespan; budget_used; fuel } ->
+      Printf.sprintf "done %s %d %d %d %d" j attempt makespan budget_used fuel
+  | Failed { attempt; error_class; transient; backoff } ->
+      Printf.sprintf "failed %s %d %s %s %d" j attempt error_class
+        (if transient then "transient" else "permanent")
+        backoff
+  | Abandoned { attempt } -> Printf.sprintf "abandoned %s %d" j attempt
+
+let record_of_payload payload =
+  let int = int_of_string_opt in
+  match String.split_on_char ' ' payload with
+  | [ "queued"; j ] -> Option.map (fun job -> { job; event = Queued }) (decode_job j)
+  | [ "started"; j; a ] -> (
+      match (decode_job j, int a) with
+      | Some job, Some attempt -> Some { job; event = Started { attempt } }
+      | _ -> None)
+  | [ "done"; j; a; ms; bu; fu ] -> (
+      match (decode_job j, int a, int ms, int bu, int fu) with
+      | Some job, Some attempt, Some makespan, Some budget_used, Some fuel ->
+          Some { job; event = Done { attempt; makespan; budget_used; fuel } }
+      | _ -> None)
+  | [ "failed"; j; a; cls; tr; bo ] -> (
+      match (decode_job j, int a, int bo, tr) with
+      | Some job, Some attempt, Some backoff, ("transient" | "permanent") ->
+          Some
+            {
+              job;
+              event = Failed { attempt; error_class = cls; transient = tr = "transient"; backoff };
+            }
+      | _ -> None)
+  | [ "abandoned"; j; a ] -> (
+      match (decode_job j, int a) with
+      | Some job, Some attempt -> Some { job; event = Abandoned { attempt } }
+      | _ -> None)
+  | _ -> None
+
+let encode r =
+  let payload = payload_of r in
+  Printf.sprintf "%08lx %s" (crc32 payload) payload
+
+let decode line =
+  match String.index_opt line ' ' with
+  | Some 8 -> (
+      let crc_field = String.sub line 0 8 in
+      let payload = String.sub line 9 (String.length line - 9) in
+      match int_of_string_opt ("0x" ^ crc_field) with
+      | Some crc when Int32.of_int crc = crc32 payload -> record_of_payload payload
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* durable log                                                         *)
+
+type t = { fd : Unix.file_descr }
+
+let path ~spool = Filename.concat spool "journal.log"
+
+let open_ ~spool =
+  { fd = Unix.openfile (path ~spool) [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 }
+
+let append t r =
+  let line = encode r ^ "\n" in
+  let bytes = Bytes.of_string line in
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write t.fd bytes !written (len - !written)
+  done;
+  Unix.fsync t.fd
+
+let close t = Unix.close t.fd
+
+let replay ~spool =
+  match open_in (path ~spool) with
+  | exception Sys_error _ -> []
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | exception End_of_file -> List.rev acc
+            | line -> (
+                match decode line with
+                | Some r -> go (r :: acc)
+                (* an undecodable record ends the valid prefix: it is
+                   either a torn final write or corruption, and nothing
+                   after it can be trusted *)
+                | None -> List.rev acc)
+          in
+          go [])
+
+(* ------------------------------------------------------------------ *)
+(* derived state                                                       *)
+
+type status =
+  | Pending of { attempts : int }
+  | Running of { attempt : int }
+  | Interrupted of { attempt : int }
+  | Completed of { attempt : int; makespan : int; budget_used : int; fuel : int }
+  | Dead of { attempts : int; error_class : string }
+
+let step status event =
+  match (status, event) with
+  (* a Done is final: late or duplicate events never un-complete a job,
+     so a result is reported at most once *)
+  | (Some (Completed _ as c), _) -> c
+  | _, Queued -> ( match status with Some s -> s | None -> Pending { attempts = 0 })
+  | _, Started { attempt } -> Running { attempt }
+  | _, Done { attempt; makespan; budget_used; fuel } ->
+      Completed { attempt; makespan; budget_used; fuel }
+  | _, Failed { attempt; transient = true; _ } -> Pending { attempts = attempt }
+  | _, Failed { attempt; error_class; transient = false; _ } ->
+      Dead { attempts = attempt; error_class }
+  | _, Abandoned { attempt } -> Interrupted { attempt }
+
+let apply states { job; event } =
+  let rec go = function
+    | [] -> [ (job, step None event) ]
+    | (j, s) :: rest when j = job -> (j, step (Some s) event) :: rest
+    | entry :: rest -> entry :: go rest
+  in
+  go states
+
+let fold records = List.fold_left apply [] records
+
+let status_name = function
+  | Pending _ -> "pending"
+  | Running _ -> "running"
+  | Interrupted _ -> "interrupted"
+  | Completed _ -> "done"
+  | Dead _ -> "failed"
+
+let pp_status fmt = function
+  | Pending { attempts } ->
+      if attempts = 0 then Format.fprintf fmt "pending"
+      else Format.fprintf fmt "pending (retry after %d attempt%s)" attempts
+             (if attempts = 1 then "" else "s")
+  | Running { attempt } -> Format.fprintf fmt "running (attempt %d)" attempt
+  | Interrupted { attempt } -> Format.fprintf fmt "interrupted (attempt %d)" attempt
+  | Completed { attempt; makespan; budget_used; fuel } ->
+      Format.fprintf fmt "done (attempt %d, makespan %d, budget %d, fuel %d)" attempt makespan
+        budget_used fuel
+  | Dead { attempts; error_class } ->
+      Format.fprintf fmt "failed permanently (%s after %d attempt%s)" error_class attempts
+        (if attempts = 1 then "" else "s")

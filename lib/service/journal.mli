@@ -1,0 +1,86 @@
+(** Write-ahead job journal: the supervisor's single source of truth.
+
+    Append-only, line-framed, one record per line, each protected by a
+    CRC-32 over its payload and fsync'd before {!append} returns — so a
+    [kill -9] at any instruction leaves a journal whose valid prefix is
+    exactly the set of events that were durably acknowledged. Replay
+    ({!replay}) accepts that prefix and drops a truncated or
+    CRC-corrupt tail record (and anything after it) instead of failing:
+    an interrupted append is indistinguishable from an append that
+    never happened, which is the correct recovery semantics for a WAL.
+
+    The derived job state ({!fold}/{!apply}) is a pure left fold, so
+    replaying any prefix of a journal and then the rest yields the same
+    state map as one replay — the idempotence property the test suite
+    checks. *)
+
+type event =
+  | Queued  (** The job was discovered in the spool. *)
+  | Started of { attempt : int }  (** Attempt [attempt] (1-based) claimed the job. *)
+  | Done of { attempt : int; makespan : int; budget_used : int; fuel : int }
+      (** The attempt produced a validated answer; recorded once, ever. *)
+  | Failed of { attempt : int; error_class : string; transient : bool; backoff : int }
+      (** The attempt failed. [transient] means the supervisor will
+          retry after [backoff] backoff units; permanent failures end
+          the job. *)
+  | Abandoned of { attempt : int }
+      (** Graceful shutdown interrupted the attempt; the job resumes
+          from its checkpoint on the next run. *)
+
+type record = { job : string; event : event }
+
+(** {1 Durable log} *)
+
+type t
+(** An open journal handle (append mode). *)
+
+val path : spool:string -> string
+(** [spool ^ "/journal.log"]. *)
+
+val open_ : spool:string -> t
+(** Open (creating if absent) the spool's journal for appending. *)
+
+val append : t -> record -> unit
+(** Frame, CRC, write and fsync one record. When [append] returns, the
+    record survives a crash. *)
+
+val close : t -> unit
+
+val replay : spool:string -> record list
+(** The journal's valid prefix, in append order. A missing journal is
+    an empty one. A record that fails CRC or framing ends the prefix:
+    it and everything after it are dropped. *)
+
+(** {1 Derived job state} *)
+
+type status =
+  | Pending of { attempts : int }
+      (** Awaiting (re)execution; [attempts] already consumed. *)
+  | Running of { attempt : int }
+      (** A [Started] with no terminal event — in-flight, or the
+          previous process crashed mid-attempt. *)
+  | Interrupted of { attempt : int }  (** Abandoned by a graceful shutdown. *)
+  | Completed of { attempt : int; makespan : int; budget_used : int; fuel : int }
+  | Dead of { attempts : int; error_class : string }
+      (** Permanently failed (bad instance, or retries exhausted). *)
+
+val apply : (string * status) list -> record -> (string * status) list
+(** One state-machine step; unknown jobs are inserted in encounter
+    order. *)
+
+val fold : record list -> (string * status) list
+(** [List.fold_left apply []]. *)
+
+val status_name : status -> string
+val pp_status : Format.formatter -> status -> unit
+
+(** {1 Wire format (exposed for tests)} *)
+
+val encode : record -> string
+(** One framed line, without the trailing newline. *)
+
+val decode : string -> record option
+(** [None] on bad CRC or framing. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3) of a string, as used by the framing. *)

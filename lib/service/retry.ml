@@ -1,0 +1,33 @@
+open Rtt_engine
+
+type classification = Transient | Permanent
+
+let rec classify = function
+  | Error.Fuel_exhausted _ | Error.Lp_failure _ | Error.Flow_failure _ | Error.Fault_injected _
+  | Error.Internal _ ->
+      Transient
+  | Error.Certificate_mismatch _ ->
+      (* a deterministic solver should never produce one of these twice,
+         and an injected corruption never will — worth one more try *)
+      Transient
+  | Error.All_rungs_failed reports ->
+      if List.exists (fun (_, e) -> classify e = Transient) reports then Transient else Permanent
+  | Error.Parse_error _ | Error.Io_error _ | Error.Invalid_instance _ | Error.Invalid_request _
+  | Error.Too_large _ ->
+      Permanent
+
+let base_backoff = 100
+let max_backoff = 2000
+
+let backoff ~seed ~job ~attempt =
+  if attempt < 1 then invalid_arg "Retry.backoff: attempts are 1-based";
+  let exp =
+    (* saturating doubling: attempt 1 -> base, 2 -> 2*base, ... *)
+    let rec go acc k = if k <= 1 || acc >= max_backoff then acc else go (acc * 2) (k - 1) in
+    min max_backoff (go base_backoff attempt)
+  in
+  let jitter =
+    let key = Printf.sprintf "%d:%s:%d" seed job attempt in
+    Int32.to_int (Int32.logand (Journal.crc32 key) 0x7FFFFFFFl) mod (base_backoff / 2)
+  in
+  exp + jitter

@@ -1,0 +1,35 @@
+(** Retry policy: error classification and deterministic backoff.
+
+    Transient failures are those where a retry can plausibly do better:
+    fuel deadlines (the retry resumes from a checkpoint, so the same
+    deadline buys further progress), injected faults and LP/flow
+    aborts (one-shot by construction), and internal errors. Permanent
+    failures are deterministic properties of the request itself —
+    malformed input, bad parameters, a state space over the cap — where
+    retrying burns attempts for the same answer.
+
+    Backoff is capped exponential with deterministic jitter: the jitter
+    is a hash of [(seed, job, attempt)], not a random draw, so a given
+    spool replays the exact same backoff sequence — the property the
+    fault-driven retry test pins down. Backoff is measured in abstract
+    units (the supervisor maps one unit to one millisecond). *)
+
+open Rtt_engine
+
+type classification = Transient | Permanent
+
+val classify : Error.t -> classification
+(** [All_rungs_failed] is transient iff at least one rung failed
+    transiently. *)
+
+val base_backoff : int
+(** Backoff units of the first retry (100). *)
+
+val max_backoff : int
+(** Cap on the exponential growth (2000 units). *)
+
+val backoff : seed:int -> job:string -> attempt:int -> int
+(** Backoff units to wait after failed attempt [attempt] (1-based):
+    [min max_backoff (base * 2^(attempt-1))] plus jitter in
+    [0, base/2), deterministic in [(seed, job, attempt)].
+    @raise Invalid_argument when [attempt < 1]. *)

@@ -1,0 +1,248 @@
+open Rtt_core
+open Rtt_budget
+open Rtt_engine
+
+type config = {
+  spool : string;
+  budget : int;
+  policy : Policy.t;
+  max_attempts : int;
+  deadline_fuel : int option;
+  checkpoint_every : int;
+  seed : int;
+  sleep : bool;
+  verbose : bool;
+}
+
+let default_config ~spool =
+  {
+    spool;
+    budget = 4;
+    policy = Policy.default;
+    max_attempts = 3;
+    deadline_fuel = None;
+    checkpoint_every = 1000;
+    seed = 0;
+    sleep = true;
+    verbose = false;
+  }
+
+let drained_exit_code = 0
+let failed_jobs_exit_code = 31
+let shutdown_exit_code = 30
+
+exception Shutdown
+
+let instance_suffix = ".rtt"
+
+let jobs_in ~spool =
+  match Sys.readdir spool with
+  | exception Sys_error _ -> []
+  | entries ->
+      entries |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f instance_suffix)
+      |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* results                                                             *)
+
+let result_path ~spool ~job = Filename.concat spool (job ^ ".result")
+
+let write_result ~spool ~job ~attempt (s : Engine.success) =
+  let final = result_path ~spool ~job in
+  let tmp = final ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let text =
+        Printf.sprintf "job %s\nrung %s\nattempt %d\nmakespan %d\nbudget_used %d\nfuel %d\ndegraded %d\nallocation %s\n"
+          job (Policy.rung_name s.Engine.rung) attempt s.Engine.makespan s.Engine.budget_used
+          s.Engine.fuel_spent
+          (List.length s.Engine.degraded)
+          (String.concat " " (Array.to_list (Array.map string_of_int s.Engine.allocation)))
+      in
+      let bytes = Bytes.of_string text in
+      let len = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < len do
+        written := !written + Unix.write fd bytes !written (len - !written)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp final
+
+let read_result ~spool ~job =
+  match open_in (result_path ~spool ~job) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | exception End_of_file -> Some (List.rev acc)
+            | line -> (
+                match String.index_opt line ' ' with
+                | Some i ->
+                    go ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1)) :: acc)
+                | None -> go acc)
+          in
+          go [])
+
+(* ------------------------------------------------------------------ *)
+(* the drain loop                                                      *)
+
+let run cfg =
+  let spool = cfg.spool in
+  let log fmt =
+    Printf.ksprintf (fun s -> if cfg.verbose then Printf.eprintf "[serve] %s\n%!" s) fmt
+  in
+  let states = ref (Journal.fold (Journal.replay ~spool)) in
+  let journal = Journal.open_ ~spool in
+  let record event job =
+    let r = { Journal.job; event } in
+    Journal.append journal r;
+    states := Journal.apply !states r
+  in
+  let stop = ref false in
+  let install signal = Sys.signal signal (Sys.Signal_handle (fun _ -> stop := true)) in
+  let saved_term = install Sys.sigterm in
+  let saved_int = install Sys.sigint in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm saved_term;
+      Sys.set_signal Sys.sigint saved_int;
+      Journal.close journal)
+    (fun () ->
+      (* admit new spool files *)
+      let jobs = jobs_in ~spool in
+      List.iter (fun job -> if not (List.mem_assoc job !states) then record Journal.Queued job) jobs;
+      (* one attempt; returns [`Done | `Dead | `Retry of int] *)
+      let attempt_once job ~attempt =
+        record (Journal.Started { attempt }) job;
+        match Engine.load (Filename.concat spool job) with
+        | Error e ->
+            log "%s attempt %d: unloadable (%s)" job attempt (Error.to_string e);
+            record
+              (Journal.Failed
+                 { attempt; error_class = Error.class_name e; transient = false; backoff = 0 })
+              job;
+            `Dead
+        | Ok p -> (
+            let warm_start =
+              Option.bind (Checkpoint.load ~spool ~job) Exact.allocation_of_snapshot
+            in
+            if warm_start <> None then log "%s attempt %d: resuming from checkpoint" job attempt;
+            let sink snapshot =
+              Checkpoint.store ~spool ~job snapshot;
+              if !stop then raise Shutdown
+            in
+            let solve () =
+              Budget.with_checkpoint ~every:cfg.checkpoint_every sink (fun () ->
+                  Engine.solve ?fuel:cfg.deadline_fuel ~policy:cfg.policy ?warm_start p
+                    ~budget:cfg.budget)
+            in
+            match solve () with
+            | exception Shutdown ->
+                record (Journal.Abandoned { attempt }) job;
+                log "%s attempt %d: abandoned on shutdown (checkpoint kept)" job attempt;
+                raise Shutdown
+            | Ok s ->
+                (* result before journal: a crash in between re-runs the
+                   job and rewrites the identical (deterministic) result,
+                   so `done` is only ever journaled for a durable result *)
+                write_result ~spool ~job ~attempt s;
+                record
+                  (Journal.Done
+                     {
+                       attempt;
+                       makespan = s.Engine.makespan;
+                       budget_used = s.Engine.budget_used;
+                       fuel = s.Engine.fuel_spent;
+                     })
+                  job;
+                Checkpoint.clear ~spool ~job;
+                log "%s attempt %d: done (makespan %d, fuel %d)" job attempt s.Engine.makespan
+                  s.Engine.fuel_spent;
+                `Done
+            | Error e ->
+                let error_class = Error.class_name e in
+                if attempt < cfg.max_attempts && Retry.classify e = Retry.Transient then begin
+                  let backoff = Retry.backoff ~seed:cfg.seed ~job ~attempt in
+                  record (Journal.Failed { attempt; error_class; transient = true; backoff }) job;
+                  log "%s attempt %d: transient %s, backoff %d" job attempt error_class backoff;
+                  `Retry backoff
+                end
+                else begin
+                  record (Journal.Failed { attempt; error_class; transient = false; backoff = 0 }) job;
+                  log "%s attempt %d: permanent %s" job attempt error_class;
+                  `Dead
+                end)
+      in
+      let rec drive job ~attempt =
+        if !stop then raise Shutdown;
+        if attempt > cfg.max_attempts then
+          record
+            (Journal.Failed
+               { attempt = cfg.max_attempts; error_class = "retries-exhausted"; transient = false;
+                 backoff = 0 })
+            job
+        else
+          match attempt_once job ~attempt with
+          | `Done | `Dead -> ()
+          | `Retry backoff ->
+              if cfg.sleep then Unix.sleepf (float_of_int backoff /. 1000.);
+              drive job ~attempt:(attempt + 1)
+      in
+      match
+        List.iter
+          (fun job ->
+            match List.assoc_opt job !states with
+            | Some (Journal.Completed _) -> ()
+            | Some (Journal.Dead _) -> ()
+            | Some (Journal.Pending { attempts }) -> drive job ~attempt:(attempts + 1)
+            | Some (Journal.Running { attempt }) | Some (Journal.Interrupted { attempt }) ->
+                (* a Running state at startup is a crashed attempt: the
+                   process died holding the job. Same recovery as a
+                   graceful abandon — the attempt is consumed, resume
+                   from the checkpoint *)
+                drive job ~attempt:(attempt + 1)
+            | None -> drive job ~attempt:1)
+          jobs
+      with
+      | () ->
+          if !stop then shutdown_exit_code
+          else if
+            List.exists (function _, Journal.Dead _ -> true | _ -> false) !states
+          then failed_jobs_exit_code
+          else drained_exit_code
+      | exception Shutdown ->
+          log "shutdown requested; exiting";
+          shutdown_exit_code)
+
+(* ------------------------------------------------------------------ *)
+(* reporting                                                           *)
+
+let report ~spool =
+  let states = Journal.fold (Journal.replay ~spool) in
+  let unseen =
+    List.filter_map
+      (fun job ->
+        if List.mem_assoc job states then None else Some (job, Journal.Pending { attempts = 0 }))
+      (jobs_in ~spool)
+  in
+  states @ unseen
+
+let render_report ~spool =
+  let entries = report ~spool in
+  let buf = Buffer.create 256 in
+  let width =
+    List.fold_left (fun acc (job, _) -> max acc (String.length job)) (String.length "job") entries
+  in
+  Buffer.add_string buf (Printf.sprintf "%-*s | state\n" width "job");
+  List.iter
+    (fun (job, status) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s | %s\n" width job (Format.asprintf "%a" Journal.pp_status status)))
+    entries;
+  Buffer.contents buf

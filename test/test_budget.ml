@@ -1,0 +1,176 @@
+(* Tests for Rtt_budget.Budget's context discipline: nesting of fuel
+   contexts, unmetered sections inside metered ones, restoration on
+   exceptional exit, and the checkpoint sink plumbing the serving layer
+   relies on. *)
+
+open Rtt_budget
+open Rtt_engine
+
+let spin ~stage n =
+  for _ = 1 to n do
+    Budget.tick ~stage
+  done
+
+let exhausts f =
+  match f () with
+  | exception Budget.Fuel_exhausted _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* fuel context nesting                                                *)
+
+let fuel_units =
+  [
+    Alcotest.test_case "with_fuel meters exactly n ticks" `Quick (fun () ->
+        Budget.with_fuel (Some 5) (fun () -> spin ~stage:"t" 5);
+        Alcotest.(check bool) "n+1-th tick exhausts" true
+          (exhausts (fun () -> Budget.with_fuel (Some 5) (fun () -> spin ~stage:"t" 6))));
+    Alcotest.test_case "nested with_fuel: inner budget is independent" `Quick (fun () ->
+        Budget.with_fuel (Some 3) (fun () ->
+            spin ~stage:"outer" 2;
+            (* a fresh inner context: its 10 ticks do not touch the
+               outer context's single remaining unit *)
+            Budget.with_fuel (Some 10) (fun () -> spin ~stage:"inner" 10);
+            spin ~stage:"outer" 1);
+        Alcotest.(check bool) "outer still exhausts at its own limit" true
+          (exhausts (fun () ->
+               Budget.with_fuel (Some 3) (fun () ->
+                   spin ~stage:"outer" 2;
+                   Budget.with_fuel (Some 10) (fun () -> spin ~stage:"inner" 10);
+                   spin ~stage:"outer" 2))));
+    Alcotest.test_case "inner exhaustion does not charge the outer context" `Quick (fun () ->
+        Budget.with_fuel (Some 4) (fun () ->
+            (match Budget.with_fuel (Some 2) (fun () -> spin ~stage:"inner" 3) with
+            | exception Budget.Fuel_exhausted { stage; spent } ->
+                Alcotest.(check string) "stage" "inner" stage;
+                (* the raising tick itself is counted *)
+                Alcotest.(check int) "spent" 3 spent
+            | () -> Alcotest.fail "inner should exhaust");
+            (* the outer context was restored with all 4 units intact *)
+            spin ~stage:"outer" 4));
+    Alcotest.test_case "spent reports the innermost context" `Quick (fun () ->
+        Alcotest.(check int) "no context" 0 (Budget.spent ());
+        Budget.with_fuel (Some 10) (fun () ->
+            spin ~stage:"o" 3;
+            Budget.with_fuel (Some 10) (fun () ->
+                spin ~stage:"i" 1;
+                Alcotest.(check int) "inner" 1 (Budget.spent ()));
+            Alcotest.(check int) "outer restored" 3 (Budget.spent ())));
+    Alcotest.test_case "with_fuel None is unmetered but probes fire" `Quick (fun () ->
+        Faults.reset ();
+        Faults.arm ~after:0 Faults.Flow_abort;
+        Budget.with_fuel None (fun () ->
+            spin ~stage:"t" 10_000;
+            Alcotest.(check bool) "probe fires" true
+              (Budget.probe ~site:(Faults.key Faults.Flow_abort)));
+        Faults.reset ());
+    Alcotest.test_case "with_fuel (Some 0) exhausts on the first tick" `Quick (fun () ->
+        Budget.with_fuel (Some 0) (fun () -> ());
+        Alcotest.(check bool) "first tick" true
+          (exhausts (fun () -> Budget.with_fuel (Some 0) (fun () -> spin ~stage:"t" 1))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* unmetered sections                                                  *)
+
+let unmetered_units =
+  [
+    Alcotest.test_case "unmetered inside metered consumes nothing" `Quick (fun () ->
+        Budget.with_fuel (Some 3) (fun () ->
+            spin ~stage:"m" 2;
+            Budget.unmetered (fun () -> spin ~stage:"free" 10_000);
+            Alcotest.(check int) "spent unchanged" 2 (Budget.spent ());
+            spin ~stage:"m" 1));
+    Alcotest.test_case "unmetered preserves armed fault trigger counts" `Quick (fun () ->
+        Faults.reset ();
+        Faults.arm ~after:2 Faults.Lp_infeasible;
+        let site = Faults.key Faults.Lp_infeasible in
+        Budget.unmetered (fun () ->
+            (* probes inside an unmetered section neither fire nor count *)
+            for _ = 1 to 50 do
+              Alcotest.(check bool) "no fire" false (Budget.probe ~site)
+            done);
+        Alcotest.(check bool) "still armed" true (Faults.armed Faults.Lp_infeasible);
+        (* the trigger count survives intact: passes twice, fires third *)
+        Alcotest.(check bool) "pass 1" false (Budget.probe ~site);
+        Alcotest.(check bool) "pass 2" false (Budget.probe ~site);
+        Alcotest.(check bool) "fires" true (Budget.probe ~site);
+        Faults.reset ());
+    Alcotest.test_case "metering resumes after unmetered raises" `Quick (fun () ->
+        Budget.with_fuel (Some 2) (fun () ->
+            (try Budget.unmetered (fun () -> failwith "boom") with Failure _ -> ());
+            spin ~stage:"m" 2);
+        Alcotest.(check bool) "restored context still meters" true
+          (exhausts (fun () ->
+               Budget.with_fuel (Some 2) (fun () ->
+                   (try Budget.unmetered (fun () -> failwith "boom") with Failure _ -> ());
+                   spin ~stage:"m" 3))));
+    Alcotest.test_case "context restored when the metered thunk raises" `Quick (fun () ->
+        (try Budget.with_fuel (Some 7) (fun () -> spin ~stage:"t" 1; failwith "boom")
+         with Failure _ -> ());
+        Alcotest.(check int) "no lingering context" 0 (Budget.spent ());
+        (* ticks outside any context are free again *)
+        spin ~stage:"t" 10_000);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint offers                                                   *)
+
+let checkpoint_units =
+  [
+    Alcotest.test_case "sink fires once per quota of ticks" `Quick (fun () ->
+        let got = ref [] in
+        Budget.with_checkpoint ~every:10 (fun s -> got := s :: !got) (fun () ->
+            Budget.with_fuel (Some 100) (fun () ->
+                for i = 1 to 35 do
+                  Budget.tick ~stage:"t";
+                  Budget.checkpoint (fun () -> string_of_int i)
+                done));
+        Alcotest.(check (list string)) "snapshots at ticks 10/20/30" [ "30"; "20"; "10" ] !got);
+    Alcotest.test_case "offers are lazy: closure not forced below quota" `Quick (fun () ->
+        let forced = ref false in
+        Budget.with_checkpoint ~every:100 (fun _ -> ()) (fun () ->
+            Budget.with_fuel (Some 100) (fun () ->
+                for _ = 1 to 50 do
+                  Budget.tick ~stage:"t";
+                  Budget.checkpoint (fun () -> forced := true; "")
+                done));
+        Alcotest.(check bool) "not forced" false !forced);
+    Alcotest.test_case "no sink, no effect; unmetered suppresses offers" `Quick (fun () ->
+        Budget.with_fuel (Some 10) (fun () ->
+            Budget.tick ~stage:"t";
+            Budget.checkpoint (fun () -> Alcotest.fail "no sink installed"));
+        Budget.with_checkpoint ~every:1 (fun _ -> Alcotest.fail "unmetered must not offer")
+          (fun () ->
+            Budget.unmetered (fun () ->
+                spin ~stage:"t" 10;
+                Budget.checkpoint (fun () -> "s"))));
+    Alcotest.test_case "a raising sink propagates and uninstalls cleanly" `Quick (fun () ->
+        let r =
+          match
+            Budget.with_checkpoint ~every:1 (fun _ -> failwith "shutdown") (fun () ->
+                Budget.with_fuel (Some 10) (fun () ->
+                    Budget.tick ~stage:"t";
+                    Budget.checkpoint (fun () -> "s");
+                    "unreachable"))
+          with
+          | exception Failure m -> m
+          | s -> s
+        in
+        Alcotest.(check string) "escaped" "shutdown" r;
+        (* the sink is gone afterwards *)
+        Budget.with_fuel (Some 10) (fun () ->
+            Budget.tick ~stage:"t";
+            Budget.checkpoint (fun () -> Alcotest.fail "sink leaked")));
+    Alcotest.test_case "with_checkpoint rejects a non-positive quota" `Quick (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Budget.with_checkpoint: every must be positive")
+          (fun () -> Budget.with_checkpoint ~every:0 (fun _ -> ()) (fun () -> ())));
+  ]
+
+let () =
+  Alcotest.run "budget"
+    [
+      ("fuel", fuel_units);
+      ("unmetered", unmetered_units);
+      ("checkpoint", checkpoint_units);
+    ]
