@@ -744,6 +744,148 @@ let a5 () =
   verdict "A5" !ok
 
 (* ------------------------------------------------------------------ *)
+(* T1: batch-service throughput - worker pool and result cache        *)
+
+let online_cores () =
+  match Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" with
+  | exception _ -> 1
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, int_of_string_opt (String.trim line)) with
+      | _, Some n when n > 0 -> n
+      | _ -> 1)
+
+let bench_spool =
+  let counter = ref 0 in
+  fun tag ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "rtt_bench_%s_%d_%d" tag (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    dir
+
+(* a flat fan the branch-and-bound has to sweat over, plus an
+   i-dependent constant tail so the 16 instances have 16 digests *)
+let throughput_instance i =
+  let g = Dag.create () in
+  let s = Dag.add_vertex ~label:"s" g in
+  let fan = List.init 8 (fun _ -> Dag.add_vertex g) in
+  let hub = Dag.add_vertex g in
+  List.iter
+    (fun v ->
+      Dag.add_edge g s v;
+      Dag.add_edge g v hub)
+    fan;
+  let prev = ref hub in
+  for _ = 0 to i do
+    let v = Dag.add_vertex g in
+    Dag.add_edge g !prev v;
+    prev := v
+  done;
+  Problem.make g ~durations:(fun v ->
+      if List.mem v fan then Duration.make (List.init 3 (fun r -> (r, 10 - r)))
+      else Duration.constant 1)
+
+let fill_throughput_spool spool =
+  List.init 16 (fun i ->
+      let name = Printf.sprintf "job_%02d.rtt" i in
+      Io.write_file (Filename.concat spool name) (throughput_instance i);
+      name)
+
+let t1 () =
+  section "T1" "Batch service: pooled drain throughput and the content-addressed result cache";
+  let open Rtt_service in
+  let cores = online_cores () in
+  Format.printf "workload: 16 distinct instances per run; detected %d core(s)@." cores;
+  let run ?cache_dir workers =
+    let spool = bench_spool (Printf.sprintf "w%d" workers) in
+    let jobs = fill_throughput_spool spool in
+    let cfg =
+      {
+        (Supervisor.default_config ~spool) with
+        workers;
+        cache_dir;
+        sleep = false;
+        budget = 3;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let code = Supervisor.run cfg in
+    let dt = Unix.gettimeofday () -. t0 in
+    (spool, jobs, code, dt)
+  in
+  let ok = ref true in
+  Format.printf "%8s | %9s | %9s | %8s@." "workers" "seconds" "jobs/sec" "exit";
+  let rates =
+    List.map
+      (fun workers ->
+        let _, jobs, code, dt = run workers in
+        if code <> Supervisor.drained_exit_code then ok := false;
+        let rate = float_of_int (List.length jobs) /. max 1e-9 dt in
+        Format.printf "%8d | %9.3f | %9.1f | %8d@." workers dt rate code;
+        (workers, rate))
+      [ 1; 2; 4 ]
+  in
+  (* pooled and sequential runs must agree result-for-result *)
+  let spool_seq, jobs, code_seq, _ = run 1 in
+  let spool_par, _, code_par, _ = run 4 in
+  if code_seq <> 0 || code_par <> 0 then ok := false;
+  List.iter
+    (fun job ->
+      let strip kvs = List.filter (fun (k, _) -> k <> "attempt") kvs in
+      match
+        ( Supervisor.read_result ~spool:spool_seq ~job,
+          Supervisor.read_result ~spool:spool_par ~job )
+      with
+      | Some a, Some b when strip a = strip b -> ()
+      | _ ->
+          ok := false;
+          Format.printf "DIVERGED: %s differs between --workers 1 and --workers 4@." job)
+    jobs;
+  Format.printf "measured: --workers 4 results identical to --workers 1 on all %d jobs: %b@."
+    (List.length jobs) !ok;
+  (* the cache: a freshly populated cache serves a duplicate spool
+     entirely from disk, with zero engine fuel *)
+  let cache = Filename.concat (bench_spool "cache") "cas" in
+  let _, _, code_warm, _ = run ~cache_dir:cache 4 in
+  let spool_dup = bench_spool "dup" in
+  let dup_jobs = fill_throughput_spool spool_dup in
+  let cfg_dup =
+    {
+      (Supervisor.default_config ~spool:spool_dup) with
+      workers = 4;
+      cache_dir = Some cache;
+      sleep = false;
+      budget = 3;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let code_dup = Supervisor.run cfg_dup in
+  let dt_dup = Unix.gettimeofday () -. t0 in
+  let hits =
+    List.length
+      (List.filter
+         (fun r ->
+           match r.Journal.event with Journal.Done { cached = true; _ } -> true | _ -> false)
+         (Journal.replay ~spool:spool_dup))
+  in
+  if code_warm <> 0 || code_dup <> 0 || hits <> List.length dup_jobs then ok := false;
+  Format.printf "measured: duplicate spool re-run: %d/%d cache hits in %.3fs (%.1f jobs/sec)@." hits
+    (List.length dup_jobs) dt_dup
+    (float_of_int (List.length dup_jobs) /. max 1e-9 dt_dup);
+  (* the >= 2x speedup gate only means something with >= 4 real cores;
+     on smaller machines the table above is informational *)
+  let rate_of w = try List.assoc w rates with Not_found -> 0.0 in
+  let speedup = rate_of 4 /. max 1e-9 (rate_of 1) in
+  Format.printf "measured: jobs/sec speedup at 4 workers vs 1: %.2fx (gated only when cores >= 4)@."
+    speedup;
+  if cores >= 4 && speedup < 2.0 then ok := false;
+  verdict "T1" !ok
+
+(* ------------------------------------------------------------------ *)
 (* perf: Bechamel micro-benchmarks                                     *)
 
 let perf () =
@@ -807,7 +949,7 @@ let all_experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
     ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15);
-    ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("perf", perf);
+    ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("T1", t1); ("perf", perf);
   ]
 
 let () =

@@ -445,13 +445,34 @@ let serve_cmd =
     Arg.(value & flag & info [ "no-sleep" ] ~doc)
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress lines on stderr.") in
-  let run spool budget fallback max_attempts deadline_fuel checkpoint_every seed no_sleep verbose =
+  let workers =
+    let doc =
+      "Drain with $(docv) forked worker processes. The parent keeps sole ownership of the \
+       journal; each worker solves in its own process with its own fuel deadline. 1 (the \
+       default) drains in-process."
+    in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let cache_dir =
+    let doc =
+      "Content-addressed result cache directory. Solved instances are published under their \
+       canonical digest; duplicate instances in the spool are solved once and re-submissions \
+       are served from the cache with zero fuel."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run spool budget fallback max_attempts deadline_fuel checkpoint_every seed no_sleep verbose
+      workers cache_dir =
     if checkpoint_every <= 0 then begin
       Format.eprintf "rtt: --checkpoint-every must be positive@.";
       124
     end
     else if max_attempts <= 0 then begin
       Format.eprintf "rtt: --max-attempts must be positive@.";
+      124
+    end
+    else if workers <= 0 then begin
+      Format.eprintf "rtt: --workers must be positive@.";
       124
     end
     else
@@ -466,6 +487,8 @@ let serve_cmd =
           seed;
           sleep = not no_sleep;
           verbose;
+          workers;
+          cache_dir;
         }
   in
   let info =
@@ -473,25 +496,40 @@ let serve_cmd =
       ~doc:
         "Drain a spool directory through the engine, crash-safely: every state change is \
          journaled before it matters, interrupted solves resume from checkpoints, transient \
-         failures retry with deterministic backoff. Exit 0 when drained, 31 when drained with \
-         permanently failed jobs, 30 on SIGTERM/SIGINT."
+         failures retry with deterministic backoff. With $(b,--workers) N the drain fans out \
+         over forked worker processes (same journal semantics, same outcomes); with \
+         $(b,--cache-dir) duplicate instances are solved once and served from a \
+         content-addressed cache. Exit 0 when drained, 31 when drained with permanently failed \
+         jobs, 30 on SIGTERM/SIGINT."
   in
   Cmd.v info
     Term.(
       const run $ spool_arg $ budget_arg $ fallback $ max_attempts $ deadline_fuel
-      $ checkpoint_every $ seed_arg $ no_sleep $ verbose)
+      $ checkpoint_every $ seed_arg $ no_sleep $ verbose $ workers $ cache_dir)
 
 let jobs_cmd =
-  let run spool =
+  let run spool cache_dir =
     print_string (Rtt_service.Supervisor.render_report ~spool);
+    (match cache_dir with
+    | Some dir -> Printf.printf "cache entries: %d\n" (Rtt_engine.Cache.entries ~dir)
+    | None -> ());
     0
   in
   let spool_pos =
     let doc = "Spool directory: instance files ($(b,*.rtt)) plus the journal and sidecars." in
     Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc)
   in
-  let info = Cmd.info "jobs" ~doc:"Report the journaled state of every job in a spool." in
-  Cmd.v info Term.(const run $ spool_pos)
+  let cache_dir =
+    let doc = "Also report the entry count of this result cache directory." in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let info =
+    Cmd.info "jobs"
+      ~doc:
+        "Report the journaled state of every job in a spool, including which completions were \
+         served from the result cache."
+  in
+  Cmd.v info Term.(const run $ spool_pos $ cache_dir)
 
 let main =
   let doc = "Discrete resource-time tradeoff with resource reuse over paths (SPAA '19 reproduction)." in

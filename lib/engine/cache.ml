@@ -1,0 +1,106 @@
+open Rtt_num
+
+let path ~dir ~key = Filename.concat dir (key ^ ".rttc")
+
+let opt_rat_to_string = function None -> "-" | Some r -> Rat.to_string r
+
+let opt_rat_of_string = function
+  | "-" -> Some None
+  | s -> ( match Rat.of_string s with r -> Some (Some r) | exception _ -> None)
+
+let payload_of (s : Engine.success) =
+  let alloc =
+    if Array.length s.Engine.allocation = 0 then "-"
+    else String.concat "," (Array.to_list (Array.map string_of_int s.Engine.allocation))
+  in
+  Printf.sprintf "rttc1 %s %d %d %s %s %s"
+    (Policy.rung_name s.Engine.rung)
+    s.Engine.makespan s.Engine.budget_used
+    (opt_rat_to_string s.Engine.lp_makespan)
+    (opt_rat_to_string s.Engine.lp_budget)
+    alloc
+
+let success_of_payload payload =
+  match String.split_on_char ' ' payload with
+  | [ "rttc1"; rung; ms; bu; lp_ms; lp_b; alloc ] -> (
+      let ints l = List.map int_of_string_opt l in
+      let alloc =
+        if alloc = "-" then Some [||]
+        else
+          match ints (String.split_on_char ',' alloc) with
+          | parts when List.for_all Option.is_some parts ->
+              Some (Array.of_list (List.map Option.get parts))
+          | _ -> None
+      in
+      match
+        ( Policy.rung_of_string rung,
+          int_of_string_opt ms,
+          int_of_string_opt bu,
+          opt_rat_of_string lp_ms,
+          opt_rat_of_string lp_b,
+          alloc )
+      with
+      | Some rung, Some makespan, Some budget_used, Some lp_makespan, Some lp_budget, Some allocation
+        ->
+          Some
+            {
+              Engine.rung;
+              allocation;
+              makespan;
+              budget_used;
+              lp_makespan;
+              lp_budget;
+              degraded = [];
+              fuel_spent = 0;
+            }
+      | _ -> None)
+  | _ -> None
+
+(* tmp + fsync + rename, like every other durable artifact in the
+   system: a crashed or concurrent writer can never leave a torn entry
+   behind, and two workers racing to store the same digest both rename
+   identical bytes, so last-writer-wins is harmless. *)
+let store ~dir ~key (s : Engine.success) =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+  let payload = payload_of s in
+  let line = Printf.sprintf "%s %s" (Stdlib.Digest.to_hex (Stdlib.Digest.string payload)) payload in
+  let final = path ~dir ~key in
+  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let bytes = Bytes.of_string line in
+      let len = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < len do
+        written := !written + Unix.write fd bytes !written (len - !written)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp final
+
+let lookup ~dir ~key =
+  match open_in_bin (path ~dir ~key) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          if len < 33 then None
+          else
+            let line = really_input_string ic len in
+            if line.[32] <> ' ' then None
+            else
+              let payload = String.sub line 33 (len - 33) in
+              if Stdlib.Digest.to_hex (Stdlib.Digest.string payload) <> String.sub line 0 32 then
+                None
+              else success_of_payload payload)
+
+let entries ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.fold_left
+        (fun acc name -> if Filename.check_suffix name ".rttc" then acc + 1 else acc)
+        0 names

@@ -1,0 +1,30 @@
+(** Content-addressed on-disk result cache, keyed by
+    {!Fingerprint.digest}.
+
+    One entry per solved request, written atomically (tmp + fsync +
+    rename) so a crash — or two pool workers racing to publish the same
+    digest — can never leave a torn entry. Each entry carries an
+    integrity checksum over its payload; a corrupt, truncated, or
+    unparseable entry reads back as a miss, never as a wrong answer.
+    Callers are still expected to re-validate a hit against the
+    instance ({!Validate.check}) before serving it: the checksum
+    detects torn writes, validation detects a forged or stale entry
+    whose bytes are internally consistent.
+
+    A cached hit deliberately reports [fuel_spent = 0] and
+    [degraded = []]: no solver ran. *)
+
+val path : dir:string -> key:string -> string
+(** [dir ^ "/" ^ key ^ ".rttc"]. *)
+
+val store : dir:string -> key:string -> Engine.success -> unit
+(** Durably publish a result under [key], creating [dir] if needed.
+    Degradation reports are not persisted — a cache hit has no solver
+    history. *)
+
+val lookup : dir:string -> key:string -> Engine.success option
+(** The entry stored under [key]; [None] when absent, torn, or
+    corrupt. The returned success has [fuel_spent = 0]. *)
+
+val entries : dir:string -> int
+(** Number of entries currently in the cache directory. *)

@@ -1,0 +1,34 @@
+open Rtt_core
+open Rtt_num
+open Rtt_dag
+open Rtt_duration
+
+(* The canonical text is what the digest is computed over, so it must be
+   a pure function of the *instance*, not of how its file spelled it:
+   duration lines are emitted in vertex order (the file may declare them
+   in any order), edges are sorted (the file may declare them in any
+   order), and nothing position-dependent — file name, comments,
+   whitespace — survives. Vertex identities themselves are part of the
+   instance (the format addresses vertices by index), so no graph
+   canonization is attempted. *)
+let canonical (p : Problem.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "rtt-instance-v1\n";
+  Buffer.add_string buf (Printf.sprintf "jobs %d\n" (Problem.n_jobs p));
+  Array.iteri
+    (fun v d ->
+      Buffer.add_string buf (Printf.sprintf "duration %d" v);
+      List.iter (fun (r, t) -> Buffer.add_string buf (Printf.sprintf " %d:%d" r t)) (Duration.tuples d);
+      Buffer.add_char buf '\n')
+    p.Problem.durations;
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v))
+    (List.sort compare (Dag.edges p.Problem.dag));
+  Buffer.contents buf
+
+let digest ?(policy = Policy.default) ?(alpha = Rat.half) (p : Problem.t) ~budget =
+  let text =
+    Printf.sprintf "%sbudget %d\npolicy %s\nalpha %s\n" (canonical p) budget
+      (Policy.to_string policy) (Rat.to_string alpha)
+  in
+  Stdlib.Digest.to_hex (Stdlib.Digest.string text)

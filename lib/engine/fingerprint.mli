@@ -1,0 +1,28 @@
+(** Canonical, content-addressed identity of a solve request.
+
+    [digest] hashes a canonical rendering of the instance (DAG +
+    duration functions) together with every parameter that can change
+    the engine's answer: budget, fallback policy, and alpha. Two solve
+    requests share a digest iff they denote the same optimization
+    question, regardless of how their instance files were spelled:
+    permuting duration or edge declaration lines, renaming the file,
+    reordering or re-commenting it all leave the digest fixed, while
+    changing any duration tuple, adding or dropping an edge, or moving
+    the budget/policy/alpha all change it.
+
+    The digest keys the on-disk result cache ({!Cache}) and the
+    supervisor's duplicate-instance detection, so its stability across
+    processes and OCaml versions matters: it is an MD5 (stdlib
+    [Digest]) of a versioned text rendering, not of any in-memory
+    representation. *)
+
+open Rtt_core
+open Rtt_num
+
+val canonical : Problem.t -> string
+(** The canonical text rendering the digest is computed over
+    (versioned; exposed for tests and debugging). *)
+
+val digest : ?policy:Policy.t -> ?alpha:Rat.t -> Problem.t -> budget:int -> string
+(** 32-hex-character digest of the full solve request. Defaults match
+    {!Engine.solve}: [Policy.default] and alpha 1/2. *)

@@ -1,7 +1,7 @@
 type event =
   | Queued
   | Started of { attempt : int }
-  | Done of { attempt : int; makespan : int; budget_used : int; fuel : int }
+  | Done of { attempt : int; makespan : int; budget_used : int; fuel : int; cached : bool }
   | Failed of { attempt : int; error_class : string; transient : bool; backoff : int }
   | Abandoned of { attempt : int }
 
@@ -71,8 +71,9 @@ let payload_of { job; event } =
   match event with
   | Queued -> Printf.sprintf "queued %s" j
   | Started { attempt } -> Printf.sprintf "started %s %d" j attempt
-  | Done { attempt; makespan; budget_used; fuel } ->
-      Printf.sprintf "done %s %d %d %d %d" j attempt makespan budget_used fuel
+  | Done { attempt; makespan; budget_used; fuel; cached } ->
+      Printf.sprintf "done %s %d %d %d %d %s" j attempt makespan budget_used fuel
+        (if cached then "cached" else "fresh")
   | Failed { attempt; error_class; transient; backoff } ->
       Printf.sprintf "failed %s %d %s %s %d" j attempt error_class
         (if transient then "transient" else "permanent")
@@ -88,9 +89,16 @@ let record_of_payload payload =
       | Some job, Some attempt -> Some { job; event = Started { attempt } }
       | _ -> None)
   | [ "done"; j; a; ms; bu; fu ] -> (
+      (* pre-cache journals: a five-field done is a fresh solve *)
       match (decode_job j, int a, int ms, int bu, int fu) with
       | Some job, Some attempt, Some makespan, Some budget_used, Some fuel ->
-          Some { job; event = Done { attempt; makespan; budget_used; fuel } }
+          Some { job; event = Done { attempt; makespan; budget_used; fuel; cached = false } }
+      | _ -> None)
+  | [ "done"; j; a; ms; bu; fu; (("cached" | "fresh") as src) ] -> (
+      match (decode_job j, int a, int ms, int bu, int fu) with
+      | Some job, Some attempt, Some makespan, Some budget_used, Some fuel ->
+          Some
+            { job; event = Done { attempt; makespan; budget_used; fuel; cached = src = "cached" } }
       | _ -> None)
   | [ "failed"; j; a; cls; tr; bo ] -> (
       match (decode_job j, int a, int bo, tr) with
@@ -170,7 +178,7 @@ type status =
   | Pending of { attempts : int }
   | Running of { attempt : int }
   | Interrupted of { attempt : int }
-  | Completed of { attempt : int; makespan : int; budget_used : int; fuel : int }
+  | Completed of { attempt : int; makespan : int; budget_used : int; fuel : int; cached : bool }
   | Dead of { attempts : int; error_class : string }
 
 let step status event =
@@ -180,8 +188,8 @@ let step status event =
   | (Some (Completed _ as c), _) -> c
   | _, Queued -> ( match status with Some s -> s | None -> Pending { attempts = 0 })
   | _, Started { attempt } -> Running { attempt }
-  | _, Done { attempt; makespan; budget_used; fuel } ->
-      Completed { attempt; makespan; budget_used; fuel }
+  | _, Done { attempt; makespan; budget_used; fuel; cached } ->
+      Completed { attempt; makespan; budget_used; fuel; cached }
   | _, Failed { attempt; transient = true; _ } -> Pending { attempts = attempt }
   | _, Failed { attempt; error_class; transient = false; _ } ->
       Dead { attempts = attempt; error_class }
@@ -211,9 +219,10 @@ let pp_status fmt = function
              (if attempts = 1 then "" else "s")
   | Running { attempt } -> Format.fprintf fmt "running (attempt %d)" attempt
   | Interrupted { attempt } -> Format.fprintf fmt "interrupted (attempt %d)" attempt
-  | Completed { attempt; makespan; budget_used; fuel } ->
-      Format.fprintf fmt "done (attempt %d, makespan %d, budget %d, fuel %d)" attempt makespan
+  | Completed { attempt; makespan; budget_used; fuel; cached } ->
+      Format.fprintf fmt "done (attempt %d, makespan %d, budget %d, fuel %d%s)" attempt makespan
         budget_used fuel
+        (if cached then ", cache hit" else "")
   | Dead { attempts; error_class } ->
       Format.fprintf fmt "failed permanently (%s after %d attempt%s)" error_class attempts
         (if attempts = 1 then "" else "s")

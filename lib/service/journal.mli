@@ -17,8 +17,11 @@
 type event =
   | Queued  (** The job was discovered in the spool. *)
   | Started of { attempt : int }  (** Attempt [attempt] (1-based) claimed the job. *)
-  | Done of { attempt : int; makespan : int; budget_used : int; fuel : int }
-      (** The attempt produced a validated answer; recorded once, ever. *)
+  | Done of { attempt : int; makespan : int; budget_used : int; fuel : int; cached : bool }
+      (** The attempt produced a validated answer; recorded once, ever.
+          [cached] marks a result served from the content-addressed
+          cache instead of a solve ([fuel] is then 0). Journals written
+          before the cache existed replay with [cached = false]. *)
   | Failed of { attempt : int; error_class : string; transient : bool; backoff : int }
       (** The attempt failed. [transient] means the supervisor will
           retry after [backoff] backoff units; permanent failures end
@@ -60,7 +63,7 @@ type status =
       (** A [Started] with no terminal event — in-flight, or the
           previous process crashed mid-attempt. *)
   | Interrupted of { attempt : int }  (** Abandoned by a graceful shutdown. *)
-  | Completed of { attempt : int; makespan : int; budget_used : int; fuel : int }
+  | Completed of { attempt : int; makespan : int; budget_used : int; fuel : int; cached : bool }
   | Dead of { attempts : int; error_class : string }
       (** Permanently failed (bad instance, or retries exhausted). *)
 
@@ -84,3 +87,9 @@ val decode : string -> record option
 
 val crc32 : string -> int32
 (** CRC-32 (IEEE 802.3) of a string, as used by the framing. *)
+
+val encode_job : string -> string
+(** Percent-encode a job name so it survives space-separated framing
+    (also used by the worker-pool wire protocol). *)
+
+val decode_job : string -> string option

@@ -1,0 +1,352 @@
+open Rtt_engine
+
+(* ------------------------------------------------------------------ *)
+(* wire protocol: one framed line per message, "<crc-8-hex> <payload>",
+   same framing discipline as the journal. Pipes do not corrupt bytes,
+   but the CRC turns any protocol bug into an ignorable line instead of
+   a silently misparsed result. *)
+
+let frame payload = Printf.sprintf "%08lx %s\n" (Journal.crc32 payload) payload
+
+let unframe line =
+  match String.index_opt line ' ' with
+  | Some 8 -> (
+      let payload = String.sub line 9 (String.length line - 9) in
+      match int_of_string_opt ("0x" ^ String.sub line 0 8) with
+      | Some crc when Int32.of_int crc = Journal.crc32 payload -> Some payload
+      | _ -> None)
+  | _ -> None
+
+let rec write_all fd bytes off len =
+  if len > 0 then
+    match Unix.write fd bytes off len with
+    | n -> write_all fd bytes (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
+
+let send fd payload =
+  let b = Bytes.of_string (frame payload) in
+  write_all fd b 0 (Bytes.length b)
+
+(* ------------------------------------------------------------------ *)
+(* worker side                                                         *)
+
+(* Blocking byte-at-a-time line read; assignments are a few dozen bytes
+   and arrive at job granularity, so simplicity beats buffering. *)
+let read_assignment ~stop fd =
+  let buf = Buffer.create 64 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    if stop () then None
+    else
+      match Unix.read fd byte 0 1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | 0 -> None
+      | _ -> if Bytes.get byte 0 = '\n' then Some (Buffer.contents buf) else (Buffer.add_bytes buf byte; go ())
+  in
+  go ()
+
+(* The worker body run in the forked child: read one assignment, run
+   the shared Work.attempt, report the outcome, repeat. Exits with
+   [Unix._exit] so the child never unwinds into the parent's at_exit
+   handlers or flushes duplicated stdio buffers. *)
+let worker_loop (cfg : Work.config) ~from_parent ~to_parent : 'a =
+  let stop = ref false in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let log s =
+    if cfg.Work.verbose then Printf.eprintf "[worker %d] %s\n%!" (Unix.getpid ()) s
+  in
+  let reply payload =
+    try send to_parent payload with Unix.Unix_error _ -> stop := true
+  in
+  let rec loop () =
+    if !stop then Unix._exit 0;
+    match read_assignment ~stop:(fun () -> !stop) from_parent with
+    | None -> Unix._exit 0
+    | Some line ->
+        (match Option.map (String.split_on_char ' ') (unframe line) with
+        | Some [ "quit" ] -> Unix._exit 0
+        | Some [ "solve"; j; a ] -> (
+            match (Journal.decode_job j, int_of_string_opt a) with
+            | Some job, Some attempt -> (
+                match Work.attempt cfg ~stop:(fun () -> !stop) ~log ~job ~attempt with
+                | Work.Solved (s, cached) ->
+                    reply
+                      (Printf.sprintf "ok %d %d %d %d %d" attempt s.Engine.makespan
+                         s.Engine.budget_used s.Engine.fuel_spent
+                         (if cached then 1 else 0))
+                | Work.Failed { error_class; transient; backoff } ->
+                    reply
+                      (Printf.sprintf "fail %d %s %d %d" attempt error_class
+                         (if transient then 1 else 0)
+                         backoff)
+                | exception Work.Interrupted ->
+                    reply (Printf.sprintf "abandoned %d" attempt);
+                    Unix._exit 0)
+            | _ -> log "undecodable assignment ignored")
+        | Some _ | None -> log "undecodable assignment ignored");
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* parent side                                                         *)
+
+type worker = {
+  pid : int;
+  to_w : Unix.file_descr;
+  from_w : Unix.file_descr;
+  mutable acc : string;  (* partial line read from the worker *)
+  mutable current : (string * int) option;  (* claimed (job, attempt) *)
+}
+
+let reap pid =
+  let rec go () =
+    match Unix.waitpid [] pid with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    | _ -> ()
+  in
+  go ()
+
+let now () = Unix.gettimeofday ()
+
+let drain (cfg : Work.config) ~(record : Journal.event -> string -> unit)
+    ~(jobs : (string * int) list) ~(stop : bool ref) ~(log : string -> unit) =
+  let pending = ref jobs in
+  let deferred = ref ([] : (float * string * int) list) in
+  let workers = ref ([] : worker list) in
+  let saved_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let spawn () =
+    let ar, aw = Unix.pipe () (* parent -> worker *) in
+    let br, bw = Unix.pipe () (* worker -> parent *) in
+    match Unix.fork () with
+    | 0 ->
+        Unix.close aw;
+        Unix.close br;
+        List.iter
+          (fun w ->
+            Unix.close w.to_w;
+            Unix.close w.from_w)
+          !workers;
+        worker_loop cfg ~from_parent:ar ~to_parent:bw
+    | pid ->
+        Unix.close ar;
+        Unix.close bw;
+        let w = { pid; to_w = aw; from_w = br; acc = ""; current = None } in
+        workers := !workers @ [ w ];
+        log (Printf.sprintf "spawned worker %d" pid);
+        w
+  in
+  (* duplicate-instance coalescing: when the cache is on, two jobs with
+     the same digest are never in flight together — the second waits
+     and is then served from the entry the first published. *)
+  let digest_memo : (string, string option) Hashtbl.t = Hashtbl.create 16 in
+  let digest_of job =
+    match cfg.Work.cache_dir with
+    | None -> None
+    | Some _ -> (
+        match Hashtbl.find_opt digest_memo job with
+        | Some d -> d
+        | None ->
+            let d =
+              match Engine.load (Filename.concat cfg.Work.spool job) with
+              | Ok p -> Some (Work.digest_of cfg p)
+              | Error _ -> None
+            in
+            Hashtbl.replace digest_memo job d;
+            d)
+  in
+  let inflight_digests : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let release w =
+    (match w.current with
+    | Some (job, _) -> (
+        match digest_of job with Some d -> Hashtbl.remove inflight_digests d | None -> ())
+    | None -> ());
+    w.current <- None
+  in
+  let requeue job next_attempt =
+    if next_attempt > cfg.Work.max_attempts then
+      record
+        (Journal.Failed
+           {
+             attempt = cfg.Work.max_attempts;
+             error_class = "retries-exhausted";
+             transient = false;
+             backoff = 0;
+           })
+        job
+    else pending := !pending @ [ (job, next_attempt) ]
+  in
+  (* a worker died without reporting: its claim is replayed — the
+     attempt is consumed, exactly like a whole-process crash in the
+     sequential path, and the job is retried from its checkpoint *)
+  let handle_death w =
+    Unix.close w.to_w;
+    Unix.close w.from_w;
+    reap w.pid;
+    workers := List.filter (fun x -> x.pid <> w.pid) !workers;
+    match w.current with
+    | None -> ()
+    | Some (job, attempt) ->
+        log (Printf.sprintf "worker %d died holding %s (attempt %d)" w.pid job attempt);
+        release w;
+        if not !stop then requeue job (attempt + 1)
+  in
+  let handle_message w payload =
+    match (w.current, String.split_on_char ' ' payload) with
+    | Some (job, attempt), [ "ok"; a; ms; bu; fu; c ]
+      when int_of_string_opt a = Some attempt -> (
+        match (int_of_string_opt ms, int_of_string_opt bu, int_of_string_opt fu) with
+        | Some makespan, Some budget_used, Some fuel ->
+            record
+              (Journal.Done { attempt; makespan; budget_used; fuel; cached = c = "1" })
+              job;
+            release w
+        | _ -> log (Printf.sprintf "garbled ok from worker %d ignored" w.pid))
+    | Some (job, attempt), [ "fail"; a; error_class; tr; bo ]
+      when int_of_string_opt a = Some attempt ->
+        let transient = tr = "1" in
+        let backoff = Option.value ~default:0 (int_of_string_opt bo) in
+        if transient && attempt < cfg.Work.max_attempts then begin
+          record (Journal.Failed { attempt; error_class; transient = true; backoff }) job;
+          if cfg.Work.sleep then
+            deferred :=
+              !deferred @ [ (now () +. (float_of_int backoff /. 1000.), job, attempt + 1) ]
+          else pending := !pending @ [ (job, attempt + 1) ]
+        end
+        else
+          record (Journal.Failed { attempt; error_class; transient = false; backoff = 0 }) job;
+        release w
+    | Some (job, attempt), [ "abandoned"; a ] when int_of_string_opt a = Some attempt ->
+        record (Journal.Abandoned { attempt }) job;
+        release w;
+        (* an externally signalled worker abandons and exits; if the
+           pool itself is not shutting down the claim is replayed *)
+        if not !stop then requeue job (attempt + 1)
+    | _, _ -> log (Printf.sprintf "unexpected message %S from worker %d ignored" payload w.pid)
+  in
+  let handle_readable w =
+    let chunk = Bytes.create 4096 in
+    match Unix.read w.from_w chunk 0 4096 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | 0 -> handle_death w
+    | n ->
+        w.acc <- w.acc ^ Bytes.sub_string chunk 0 n;
+        let rec split () =
+          match String.index_opt w.acc '\n' with
+          | None -> ()
+          | Some i ->
+              let line = String.sub w.acc 0 i in
+              w.acc <- String.sub w.acc (i + 1) (String.length w.acc - i - 1);
+              (match unframe line with
+              | Some payload -> handle_message w payload
+              | None -> log (Printf.sprintf "unframed line from worker %d ignored" w.pid));
+              split ()
+        in
+        split ()
+  in
+  let promote_deferred () =
+    let t = now () in
+    let ready, still = List.partition (fun (at, _, _) -> at <= t) !deferred in
+    deferred := still;
+    List.iter (fun (_, job, attempt) -> pending := !pending @ [ (job, attempt) ]) ready
+  in
+  let assign () =
+    let idle = List.filter (fun w -> w.current = None) !workers in
+    List.iter
+      (fun w ->
+        if not !stop then begin
+          let assignable (job, _) =
+            match digest_of job with
+            | None -> true
+            | Some d -> not (Hashtbl.mem inflight_digests d)
+          in
+          match List.find_opt assignable !pending with
+          | None -> ()
+          | Some ((job, attempt) as pick) ->
+              pending := List.filter (fun x -> x != pick) !pending;
+              (match digest_of job with
+              | Some d -> Hashtbl.replace inflight_digests d ()
+              | None -> ());
+              w.current <- Some (job, attempt);
+              record (Journal.Started { attempt }) job;
+              log (Printf.sprintf "assign %s (attempt %d) to worker %d" job attempt w.pid);
+              (try send w.to_w (Printf.sprintf "solve %s %d" (Journal.encode_job job) attempt)
+               with Unix.Unix_error _ -> handle_death w)
+        end)
+      idle
+  in
+  let busy () = List.exists (fun w -> w.current <> None) !workers in
+  let select_step timeout =
+    let fds = List.map (fun w -> w.from_w) !workers in
+    match Unix.select fds [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun w -> w.from_w = fd) !workers with
+            | Some w -> handle_readable w
+            | None -> ())
+          readable
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.signal Sys.sigpipe saved_pipe);
+      (* graceful teardown of whatever is left: in-flight workers are
+         asked to abandon (they checkpoint first), then everything is
+         closed and reaped *)
+      if busy () then begin
+        List.iter
+          (fun w -> if w.current <> None then try Unix.kill w.pid Sys.sigterm with Unix.Unix_error _ -> ())
+          !workers;
+        let deadline = now () +. 60.0 in
+        while busy () && now () < deadline do
+          select_step 0.1
+        done;
+        List.iter
+          (fun w ->
+            match w.current with
+            | Some (_, attempt) when !stop ->
+                (* unresponsive after the grace period: record the
+                   abandonment on its behalf and kill it *)
+                record (Journal.Abandoned { attempt }) (fst (Option.get w.current));
+                release w;
+                (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
+            | _ -> ())
+          !workers
+      end;
+      List.iter
+        (fun w ->
+          (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+          (try Unix.close w.from_w with Unix.Unix_error _ -> ());
+          reap w.pid)
+        !workers;
+      workers := [])
+    (fun () ->
+      let width = max 1 (min cfg.Work.workers (List.length jobs)) in
+      for _ = 1 to width do
+        ignore (spawn ())
+      done;
+      while (not !stop) && (!pending <> [] || !deferred <> [] || busy ()) do
+        promote_deferred ();
+        assign ();
+        if !workers = [] && (!pending <> [] || !deferred <> []) then ignore (spawn ())
+        else begin
+          let timeout =
+            match !deferred with
+            | [] -> 0.2
+            | ds ->
+                let soonest = List.fold_left (fun acc (at, _, _) -> min acc at) infinity ds in
+                max 0.01 (min 0.2 (soonest -. now ()))
+          in
+          if !workers <> [] then select_step timeout
+        end;
+        (* replace crashed workers while there is still work to hand out *)
+        if
+          (not !stop)
+          && List.length !workers < width
+          && List.length !pending + List.length !deferred > 0
+        then ignore (spawn ())
+      done)

@@ -1,0 +1,30 @@
+(** Fork-based parallel drain: the pool parent owns the journal and the
+    claim protocol; each worker is a forked child running the shared
+    {!Work.attempt} over a framed pipe protocol.
+
+    Exactly-once is inherited from the journal discipline, not from the
+    pipes: the parent records [Started] when it hands a job to a worker
+    and a terminal event only when the worker reports back. A worker
+    that dies mid-solve (SIGKILL, crash) leaves a claim with no
+    terminal record, exactly like a whole-process crash of the
+    sequential supervisor, so the parent replays it — attempt consumed,
+    resumed from the last checkpoint — and never double-reports.
+
+    When the configuration has a cache directory, jobs with the same
+    {!Rtt_engine.Fingerprint} digest are never in flight concurrently:
+    the first occupant solves and publishes the entry, later ones are
+    served from the cache. *)
+
+val drain :
+  Work.config ->
+  record:(Journal.event -> string -> unit) ->
+  jobs:(string * int) list ->
+  stop:bool ref ->
+  log:(string -> unit) ->
+  unit
+(** Drain [jobs] — [(job, next_attempt)] pairs in admission order —
+    across [config.workers] forked workers. [record] journals an event
+    for a job (the parent is the only journal writer). Returns when the
+    spool is drained or [stop] has turned true; on stop, in-flight
+    workers are signalled, given a grace period to checkpoint and
+    abandon, then reaped. *)

@@ -1,30 +1,30 @@
-open Rtt_core
-open Rtt_budget
-open Rtt_engine
-
-type config = {
+type config = Work.config = {
   spool : string;
   budget : int;
-  policy : Policy.t;
+  policy : Rtt_engine.Policy.t;
   max_attempts : int;
   deadline_fuel : int option;
   checkpoint_every : int;
   seed : int;
   sleep : bool;
   verbose : bool;
+  workers : int;
+  cache_dir : string option;
 }
 
 let default_config ~spool =
   {
     spool;
     budget = 4;
-    policy = Policy.default;
+    policy = Rtt_engine.Policy.default;
     max_attempts = 3;
     deadline_fuel = None;
     checkpoint_every = 1000;
     seed = 0;
     sleep = true;
     verbose = false;
+    workers = 1;
+    cache_dir = None;
   }
 
 let drained_exit_code = 0
@@ -33,61 +33,9 @@ let shutdown_exit_code = 30
 
 exception Shutdown
 
-let instance_suffix = ".rtt"
-
-let jobs_in ~spool =
-  match Sys.readdir spool with
-  | exception Sys_error _ -> []
-  | entries ->
-      entries |> Array.to_list
-      |> List.filter (fun f -> Filename.check_suffix f instance_suffix)
-      |> List.sort compare
-
-(* ------------------------------------------------------------------ *)
-(* results                                                             *)
-
-let result_path ~spool ~job = Filename.concat spool (job ^ ".result")
-
-let write_result ~spool ~job ~attempt (s : Engine.success) =
-  let final = result_path ~spool ~job in
-  let tmp = final ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let text =
-        Printf.sprintf "job %s\nrung %s\nattempt %d\nmakespan %d\nbudget_used %d\nfuel %d\ndegraded %d\nallocation %s\n"
-          job (Policy.rung_name s.Engine.rung) attempt s.Engine.makespan s.Engine.budget_used
-          s.Engine.fuel_spent
-          (List.length s.Engine.degraded)
-          (String.concat " " (Array.to_list (Array.map string_of_int s.Engine.allocation)))
-      in
-      let bytes = Bytes.of_string text in
-      let len = Bytes.length bytes in
-      let written = ref 0 in
-      while !written < len do
-        written := !written + Unix.write fd bytes !written (len - !written)
-      done;
-      Unix.fsync fd);
-  Unix.rename tmp final
-
-let read_result ~spool ~job =
-  match open_in (result_path ~spool ~job) with
-  | exception Sys_error _ -> None
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let rec go acc =
-            match input_line ic with
-            | exception End_of_file -> Some (List.rev acc)
-            | line -> (
-                match String.index_opt line ' ' with
-                | Some i ->
-                    go ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1)) :: acc)
-                | None -> go acc)
-          in
-          go [])
+let jobs_in = Work.jobs_in
+let result_path = Work.result_path
+let read_result = Work.read_result
 
 (* ------------------------------------------------------------------ *)
 (* the drain loop                                                      *)
@@ -117,108 +65,103 @@ let run cfg =
       (* admit new spool files *)
       let jobs = jobs_in ~spool in
       List.iter (fun job -> if not (List.mem_assoc job !states) then record Journal.Queued job) jobs;
-      (* one attempt; returns [`Done | `Dead | `Retry of int] *)
-      let attempt_once job ~attempt =
-        record (Journal.Started { attempt }) job;
-        match Engine.load (Filename.concat spool job) with
-        | Error e ->
-            log "%s attempt %d: unloadable (%s)" job attempt (Error.to_string e);
-            record
-              (Journal.Failed
-                 { attempt; error_class = Error.class_name e; transient = false; backoff = 0 })
-              job;
-            `Dead
-        | Ok p -> (
-            let warm_start =
-              Option.bind (Checkpoint.load ~spool ~job) Exact.allocation_of_snapshot
-            in
-            if warm_start <> None then log "%s attempt %d: resuming from checkpoint" job attempt;
-            let sink snapshot =
-              Checkpoint.store ~spool ~job snapshot;
-              if !stop then raise Shutdown
-            in
-            let solve () =
-              Budget.with_checkpoint ~every:cfg.checkpoint_every sink (fun () ->
-                  Engine.solve ?fuel:cfg.deadline_fuel ~policy:cfg.policy ?warm_start p
-                    ~budget:cfg.budget)
-            in
-            match solve () with
-            | exception Shutdown ->
-                record (Journal.Abandoned { attempt }) job;
-                log "%s attempt %d: abandoned on shutdown (checkpoint kept)" job attempt;
-                raise Shutdown
-            | Ok s ->
-                (* result before journal: a crash in between re-runs the
-                   job and rewrites the identical (deterministic) result,
-                   so `done` is only ever journaled for a durable result *)
-                write_result ~spool ~job ~attempt s;
-                record
-                  (Journal.Done
-                     {
-                       attempt;
-                       makespan = s.Engine.makespan;
-                       budget_used = s.Engine.budget_used;
-                       fuel = s.Engine.fuel_spent;
-                     })
-                  job;
-                Checkpoint.clear ~spool ~job;
-                log "%s attempt %d: done (makespan %d, fuel %d)" job attempt s.Engine.makespan
-                  s.Engine.fuel_spent;
-                `Done
-            | Error e ->
-                let error_class = Error.class_name e in
-                if attempt < cfg.max_attempts && Retry.classify e = Retry.Transient then begin
-                  let backoff = Retry.backoff ~seed:cfg.seed ~job ~attempt in
-                  record (Journal.Failed { attempt; error_class; transient = true; backoff }) job;
-                  log "%s attempt %d: transient %s, backoff %d" job attempt error_class backoff;
-                  `Retry backoff
-                end
-                else begin
-                  record (Journal.Failed { attempt; error_class; transient = false; backoff = 0 }) job;
-                  log "%s attempt %d: permanent %s" job attempt error_class;
-                  `Dead
-                end)
+      (* each job's next attempt number, per the journal: completed and
+         dead jobs are done; a Running state at startup is a crashed
+         attempt (the process died holding the job) with the same
+         recovery as a graceful abandon — the attempt is consumed,
+         resume from the checkpoint *)
+      let next_attempt job =
+        match List.assoc_opt job !states with
+        | Some (Journal.Completed _) | Some (Journal.Dead _) -> None
+        | Some (Journal.Pending { attempts }) -> Some (attempts + 1)
+        | Some (Journal.Running { attempt }) | Some (Journal.Interrupted { attempt }) ->
+            Some (attempt + 1)
+        | None -> Some 1
       in
-      let rec drive job ~attempt =
-        if !stop then raise Shutdown;
-        if attempt > cfg.max_attempts then
-          record
-            (Journal.Failed
-               { attempt = cfg.max_attempts; error_class = "retries-exhausted"; transient = false;
-                 backoff = 0 })
-            job
-        else
-          match attempt_once job ~attempt with
-          | `Done | `Dead -> ()
-          | `Retry backoff ->
-              if cfg.sleep then Unix.sleepf (float_of_int backoff /. 1000.);
-              drive job ~attempt:(attempt + 1)
+      let exhausted job =
+        record
+          (Journal.Failed
+             { attempt = cfg.max_attempts; error_class = "retries-exhausted"; transient = false;
+               backoff = 0 })
+          job
       in
-      match
-        List.iter
-          (fun job ->
-            match List.assoc_opt job !states with
-            | Some (Journal.Completed _) -> ()
-            | Some (Journal.Dead _) -> ()
-            | Some (Journal.Pending { attempts }) -> drive job ~attempt:(attempts + 1)
-            | Some (Journal.Running { attempt }) | Some (Journal.Interrupted { attempt }) ->
-                (* a Running state at startup is a crashed attempt: the
-                   process died holding the job. Same recovery as a
-                   graceful abandon — the attempt is consumed, resume
-                   from the checkpoint *)
+      let exit_code () =
+        if !stop then shutdown_exit_code
+        else if List.exists (function _, Journal.Dead _ -> true | _ -> false) !states then
+          failed_jobs_exit_code
+        else drained_exit_code
+      in
+      if cfg.workers > 1 then begin
+        let worklist =
+          List.filter_map
+            (fun job ->
+              match next_attempt job with
+              | None -> None
+              | Some attempt when attempt > cfg.max_attempts ->
+                  exhausted job;
+                  None
+              | Some attempt -> Some (job, attempt))
+            jobs
+        in
+        Pool.drain cfg ~record ~jobs:worklist ~stop ~log:(fun s -> log "%s" s);
+        exit_code ()
+      end
+      else begin
+        (* one attempt; returns [`Done | `Dead | `Retry of int] *)
+        let attempt_once job ~attempt =
+          record (Journal.Started { attempt }) job;
+          match
+            Work.attempt cfg ~stop:(fun () -> !stop) ~log:(fun s -> log "%s" s) ~job ~attempt
+          with
+          | exception Work.Interrupted ->
+              record (Journal.Abandoned { attempt }) job;
+              log "%s attempt %d: abandoned on shutdown (checkpoint kept)" job attempt;
+              raise Shutdown
+          | Work.Solved (s, cached) ->
+              record
+                (Journal.Done
+                   {
+                     attempt;
+                     makespan = s.Rtt_engine.Engine.makespan;
+                     budget_used = s.Rtt_engine.Engine.budget_used;
+                     fuel = s.Rtt_engine.Engine.fuel_spent;
+                     cached;
+                   })
+                job;
+              `Done
+          | Work.Failed { error_class; transient; backoff } ->
+              if transient && attempt < cfg.max_attempts then begin
+                record (Journal.Failed { attempt; error_class; transient = true; backoff }) job;
+                `Retry backoff
+              end
+              else begin
+                record (Journal.Failed { attempt; error_class; transient = false; backoff = 0 }) job;
+                `Dead
+              end
+        in
+        let rec drive job ~attempt =
+          if !stop then raise Shutdown;
+          if attempt > cfg.max_attempts then exhausted job
+          else
+            match attempt_once job ~attempt with
+            | `Done | `Dead -> ()
+            | `Retry backoff ->
+                if cfg.sleep then Unix.sleepf (float_of_int backoff /. 1000.);
                 drive job ~attempt:(attempt + 1)
-            | None -> drive job ~attempt:1)
-          jobs
-      with
-      | () ->
-          if !stop then shutdown_exit_code
-          else if
-            List.exists (function _, Journal.Dead _ -> true | _ -> false) !states
-          then failed_jobs_exit_code
-          else drained_exit_code
-      | exception Shutdown ->
-          log "shutdown requested; exiting";
-          shutdown_exit_code)
+        in
+        match
+          List.iter
+            (fun job ->
+              match next_attempt job with
+              | None -> ()
+              | Some attempt -> drive job ~attempt)
+            jobs
+        with
+        | () -> exit_code ()
+        | exception Shutdown ->
+            log "shutdown requested; exiting";
+            shutdown_exit_code
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* reporting                                                           *)
@@ -245,4 +188,10 @@ let render_report ~spool =
       Buffer.add_string buf
         (Printf.sprintf "%-*s | %s\n" width job (Format.asprintf "%a" Journal.pp_status status)))
     entries;
+  let hits =
+    List.fold_left
+      (fun acc -> function _, Journal.Completed { cached = true; _ } -> acc + 1 | _ -> acc)
+      0 entries
+  in
+  if hits > 0 then Buffer.add_string buf (Printf.sprintf "%d completed from cache\n" hits);
   Buffer.contents buf

@@ -18,27 +18,37 @@
     ticks and fed back as a warm start, so a retried or resumed attempt
     spends strictly less fuel than a cold one).
 
+    With [workers > 1] the drain runs through a fork-based worker pool
+    ({!Pool}): the parent keeps sole ownership of the journal, claims
+    jobs, and hands them to workers over pipes; each worker runs the
+    same {!Work.attempt} as the sequential path, so the two modes
+    produce the same journal outcomes up to record order. A worker
+    killed mid-solve is a crashed attempt — replayed, never
+    double-reported. With a [cache_dir], results are published to a
+    content-addressed cache ({!Rtt_engine.Cache}) and duplicate
+    instances are solved once.
+
     On SIGTERM/SIGINT the supervisor stops claiming jobs, checkpoints
-    and journals the in-flight attempt as abandoned, and returns
+    and journals the in-flight attempt(s) as abandoned, and returns
     {!shutdown_exit_code}. *)
 
-open Rtt_engine
-
-type config = {
+type config = Work.config = {
   spool : string;
   budget : int;  (** Resource budget passed to every solve. *)
-  policy : Policy.t;
+  policy : Rtt_engine.Policy.t;
   max_attempts : int;  (** Attempts per job before it is declared dead. *)
   deadline_fuel : int option;  (** Per-attempt fuel deadline; [None] = unmetered. *)
   checkpoint_every : int;  (** Ticks between checkpoint offers. *)
-  seed : int;  (** Backoff jitter seed ({!Retry.backoff}). *)
+  seed : int;  (** Backoff jitter seed ({!Retry.backoff}); inherited by forked workers. *)
   sleep : bool;  (** Actually pause 1 ms per backoff unit between attempts. *)
   verbose : bool;  (** Progress lines on stderr. *)
+  workers : int;  (** Pool width; 1 = in-process sequential drain. *)
+  cache_dir : string option;  (** Content-addressed result cache; [None] disables. *)
 }
 
 val default_config : spool:string -> config
 (** budget 4, default policy, 3 attempts, no deadline, checkpoint every
-    1000 ticks, seed 0, sleeping, quiet. *)
+    1000 ticks, seed 0, sleeping, quiet, 1 worker, no cache. *)
 
 val drained_exit_code : int  (** 0 — every job reached [done]. *)
 
@@ -57,7 +67,9 @@ val report : spool:string -> (string * Journal.status) list
     the journal has not seen yet (as pending). *)
 
 val render_report : spool:string -> string
-(** Human-readable table for [rtt jobs]. *)
+(** Human-readable table for [rtt jobs], with a trailing
+    completed-from-cache tally when any job was served from the
+    cache. *)
 
 val result_path : spool:string -> job:string -> string
 

@@ -1,0 +1,187 @@
+open Rtt_core
+open Rtt_num
+open Rtt_budget
+open Rtt_engine
+
+type config = {
+  spool : string;
+  budget : int;
+  policy : Policy.t;
+  max_attempts : int;
+  deadline_fuel : int option;
+  checkpoint_every : int;
+  seed : int;
+  sleep : bool;
+  verbose : bool;
+  workers : int;
+  cache_dir : string option;
+}
+
+(* The supervisor never overrides Engine.solve's alpha, but the digest,
+   the solve, and the re-validation of cache hits must all agree on it,
+   so it is pinned here rather than defaulted in three places. *)
+let alpha = Rat.half
+
+exception Interrupted
+
+let instance_suffix = ".rtt"
+
+let jobs_in ~spool =
+  match Sys.readdir spool with
+  | exception Sys_error _ -> []
+  | entries ->
+      entries |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f instance_suffix)
+      |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* results                                                             *)
+
+let result_path ~spool ~job = Filename.concat spool (job ^ ".result")
+
+let write_result ~spool ~job ~attempt ~cached (s : Engine.success) =
+  let final = result_path ~spool ~job in
+  (* suffix the temp name with the pid: concurrent workers finishing
+     duplicate jobs must not clobber each other's in-flight temp file *)
+  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let text =
+        Printf.sprintf
+          "job %s\nrung %s\nattempt %d\nmakespan %d\nbudget_used %d\nfuel %d\ncached %d\ndegraded %d\nallocation %s\n"
+          job (Policy.rung_name s.Engine.rung) attempt s.Engine.makespan s.Engine.budget_used
+          s.Engine.fuel_spent
+          (if cached then 1 else 0)
+          (List.length s.Engine.degraded)
+          (String.concat " " (Array.to_list (Array.map string_of_int s.Engine.allocation)))
+      in
+      let bytes = Bytes.of_string text in
+      let len = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < len do
+        written := !written + Unix.write fd bytes !written (len - !written)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp final
+
+let read_result ~spool ~job =
+  match open_in (result_path ~spool ~job) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | exception End_of_file -> Some (List.rev acc)
+            | line -> (
+                match String.index_opt line ' ' with
+                | Some i ->
+                    go ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1)) :: acc)
+                | None -> go acc)
+          in
+          go [])
+
+(* ------------------------------------------------------------------ *)
+(* one attempt                                                         *)
+
+type outcome =
+  | Solved of Engine.success * bool  (** The success and whether it came from the cache. *)
+  | Failed of { error_class : string; transient : bool; backoff : int }
+      (** [transient] is {!Retry.classify}'s verdict alone; whether the
+          attempt is actually retried also depends on [max_attempts],
+          which the caller owns. [backoff] is the deterministic
+          [(seed, job, attempt)] jitter value regardless. *)
+
+let digest_of cfg p = Fingerprint.digest ~policy:cfg.policy ~alpha p ~budget:cfg.budget
+
+let claim_of (s : Engine.success) ~budget : Validate.claim =
+  {
+    Validate.rung = s.Engine.rung;
+    allocation = s.Engine.allocation;
+    makespan = s.Engine.makespan;
+    budget_used = s.Engine.budget_used;
+    budget;
+    alpha = (if s.Engine.rung = Policy.Bicriteria then Some alpha else None);
+    lp_makespan = s.Engine.lp_makespan;
+    lp_budget = s.Engine.lp_budget;
+  }
+
+let cache_lookup cfg p ~log =
+  match cfg.cache_dir with
+  | None -> None
+  | Some dir -> (
+      match Cache.lookup ~dir ~key:(digest_of cfg p) with
+      | None -> None
+      | Some s -> (
+          (* a hit is never trusted blind: the entry is re-validated
+             against the instance, so a forged or stale cache can cost a
+             redundant solve but never serve a wrong answer *)
+          match Validate.check p (claim_of s ~budget:cfg.budget) with
+          | Ok () -> Some s
+          | Error e ->
+              log (Printf.sprintf "cache entry rejected by validation (%s)" (Error.to_string e));
+              None))
+
+let cache_store cfg p s =
+  match cfg.cache_dir with
+  | None -> ()
+  | Some dir -> Cache.store ~dir ~key:(digest_of cfg p) s
+
+(* One attempt at [job], shared verbatim by the sequential supervisor
+   and by pool workers: load, consult the cache, otherwise solve with
+   checkpointing and a warm start, publish the durable result file, and
+   classify any failure. Raises [Interrupted] (after persisting a
+   checkpoint) when [stop] turns true mid-solve. *)
+let attempt cfg ~stop ~log ~job ~attempt =
+  let spool = cfg.spool in
+  match Engine.load (Filename.concat spool job) with
+  | Error e ->
+      log (Printf.sprintf "%s attempt %d: unloadable (%s)" job attempt (Error.to_string e));
+      Failed { error_class = Error.class_name e; transient = false; backoff = 0 }
+  | Ok p -> (
+      match cache_lookup cfg p ~log with
+      | Some s ->
+          write_result ~spool ~job ~attempt ~cached:true s;
+          Checkpoint.clear ~spool ~job;
+          log (Printf.sprintf "%s attempt %d: cache hit (makespan %d)" job attempt s.Engine.makespan);
+          Solved (s, true)
+      | None -> (
+          let warm_start =
+            Option.bind (Checkpoint.load ~spool ~job) Exact.allocation_of_snapshot
+          in
+          if warm_start <> None then
+            log (Printf.sprintf "%s attempt %d: resuming from checkpoint" job attempt);
+          let sink snapshot =
+            Checkpoint.store ~spool ~job snapshot;
+            if stop () then raise Interrupted
+          in
+          let solve () =
+            Budget.with_checkpoint ~every:cfg.checkpoint_every sink (fun () ->
+                Engine.solve ?fuel:cfg.deadline_fuel ~policy:cfg.policy ~alpha ?warm_start p
+                  ~budget:cfg.budget)
+          in
+          match solve () with
+          | Ok s ->
+              (* result (and cache entry) before any completion report: a
+                 crash in between re-runs the job and rewrites the
+                 identical (deterministic) result, so `done` is only ever
+                 journaled for a durable result *)
+              cache_store cfg p s;
+              write_result ~spool ~job ~attempt ~cached:false s;
+              Checkpoint.clear ~spool ~job;
+              log
+                (Printf.sprintf "%s attempt %d: done (makespan %d, fuel %d)" job attempt
+                   s.Engine.makespan s.Engine.fuel_spent);
+              Solved (s, false)
+          | Error e ->
+              let error_class = Error.class_name e in
+              let transient = Retry.classify e = Retry.Transient in
+              let backoff = if transient then Retry.backoff ~seed:cfg.seed ~job ~attempt else 0 in
+              log
+                (Printf.sprintf "%s attempt %d: %s %s" job attempt
+                   (if transient then "transient" else "permanent")
+                   error_class);
+              Failed { error_class; transient; backoff }))

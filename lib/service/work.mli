@@ -1,0 +1,73 @@
+(** The unit of work shared by the sequential supervisor and pool
+    workers: one attempt at one spool job, with cache consultation,
+    checkpoint/resume, durable result publication, and failure
+    classification — everything except journaling, which stays with
+    whichever process owns the journal (the supervisor / pool parent).
+
+    Keeping this in one place is what makes [--workers N] behaviorally
+    identical to [--workers 1]: both paths run literally the same
+    attempt code, so the journal outcomes differ only in record
+    order. *)
+
+open Rtt_engine
+
+type config = {
+  spool : string;
+  budget : int;  (** Resource budget passed to every solve. *)
+  policy : Policy.t;
+  max_attempts : int;  (** Attempts per job before it is declared dead. *)
+  deadline_fuel : int option;  (** Per-attempt fuel deadline; [None] = unmetered. *)
+  checkpoint_every : int;  (** Ticks between checkpoint offers. *)
+  seed : int;  (** Backoff jitter seed ({!Retry.backoff}); inherited by forked workers. *)
+  sleep : bool;  (** Actually pause 1 ms per backoff unit between attempts. *)
+  verbose : bool;  (** Progress lines on stderr. *)
+  workers : int;  (** Pool width; 1 = the in-process sequential drain. *)
+  cache_dir : string option;
+      (** Content-addressed result cache directory ({!Rtt_engine.Cache});
+          [None] disables caching and duplicate-instance coalescing. *)
+}
+
+exception Interrupted
+(** Raised out of {!attempt} when [stop] turned true mid-solve; the
+    in-flight state has been checkpointed first. *)
+
+val alpha : Rtt_num.Rat.t
+(** The alpha every solve, digest, and cache re-validation agrees on
+    (1/2, {!Engine.solve}'s default). *)
+
+val instance_suffix : string
+
+val jobs_in : spool:string -> string list
+(** Instance files ([*.rtt]) in the spool, sorted. *)
+
+val result_path : spool:string -> job:string -> string
+
+val write_result :
+  spool:string -> job:string -> attempt:int -> cached:bool -> Engine.success -> unit
+(** Atomically (tmp + fsync + rename) publish a job's result file. *)
+
+val read_result : spool:string -> job:string -> (string * string) list option
+(** The recorded result file as [key, value] pairs ([allocation] is a
+    space-separated list); [None] if absent. *)
+
+type outcome =
+  | Solved of Engine.success * bool  (** The success and whether it came from the cache. *)
+  | Failed of { error_class : string; transient : bool; backoff : int }
+      (** [transient] is {!Retry.classify}'s verdict alone; whether the
+          attempt is actually retried also depends on [max_attempts],
+          which the caller owns. [backoff] is the deterministic
+          [(seed, job, attempt)] value whenever [transient]. *)
+
+val digest_of : config -> Rtt_core.Problem.t -> string
+(** {!Fingerprint.digest} under this configuration's budget, policy,
+    and pinned alpha. *)
+
+val attempt :
+  config -> stop:(unit -> bool) -> log:(string -> unit) -> job:string -> attempt:int -> outcome
+(** Run one attempt: load (load failures are permanent), consult and
+    re-validate the cache, otherwise solve with checkpoint offers every
+    [checkpoint_every] ticks and a warm start from any existing
+    checkpoint sidecar. On success the result file (and cache entry) is
+    durable before [Solved] is returned, so the caller's completion
+    record never precedes its evidence.
+    @raise Interrupted when [stop] turns true at a checkpoint offer. *)

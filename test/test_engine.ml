@@ -387,6 +387,193 @@ let boundary_units =
         | Ok _ -> Alcotest.fail "expected Too_large");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* (e) content addressing: the fingerprint digest and the result cache *)
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let dir_counter = ref 0
+
+let fresh_dir tag =
+  incr dir_counter;
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rtt-%s-%d-%d" tag (Unix.getpid ()) !dir_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+(* keep the [vertices] header first (the parser needs the count before
+   any directive that references a vertex), shuffle everything else *)
+let shuffle_instance_text rng text =
+  match List.filter (fun l -> l <> "") (String.split_on_char '\n' text) with
+  | [] -> text
+  | header :: rest ->
+      let tagged = List.map (fun l -> (Random.State.bits rng, l)) rest in
+      let shuffled = List.map snd (List.sort compare tagged) in
+      String.concat "\n" (header :: shuffled) ^ "\n"
+
+let third = Rat.make Bigint.one (Bigint.of_int 3)
+
+let fingerprint_units =
+  [
+    prop "digest: declaration order is irrelevant" 60
+      QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+      (fun (iseed, sseed) ->
+        let p = random_instance (rng_of iseed) ~n:8 Problem.Binary in
+        let text = Io.to_string p in
+        let p2 = Io.of_string (shuffle_instance_text (rng_of sseed) text) in
+        Fingerprint.digest p ~budget:3 = Fingerprint.digest p2 ~budget:3);
+    prop "digest: budget, alpha, and policy are all part of the key" 40
+      QCheck.(int_range 0 10_000)
+      (fun seed ->
+        let p = random_instance (rng_of seed) ~n:7 Problem.Binary in
+        let base = Fingerprint.digest p ~budget:3 in
+        base <> Fingerprint.digest p ~budget:4
+        && base <> Fingerprint.digest ~alpha:third p ~budget:3
+        && base <> Fingerprint.digest ~policy:[ Policy.Greedy ] p ~budget:3);
+    Alcotest.test_case "digest: the file name is not part of the key" `Quick (fun () ->
+        let p = fig45 () in
+        let dir = fresh_dir "name" in
+        let write name =
+          Io.write_file (Filename.concat dir name) p;
+          match Engine.load (Filename.concat dir name) with
+          | Ok p -> Fingerprint.digest p ~budget:2
+          | Error e -> Alcotest.failf "load: %s" (Error.to_string e)
+        in
+        Alcotest.(check string) "same digest" (write "alpha.rtt") (write "renamed_copy.rtt"));
+    Alcotest.test_case "digest: one duration point moves it" `Quick (fun () ->
+        let p = fig45 () in
+        let bump v' d =
+          match Rtt_duration.Duration.tuples d with
+          | (0, t0) :: rest when v' = 3 -> Rtt_duration.Duration.make ((0, t0 + 1) :: rest)
+          | _ -> d
+        in
+        let p2 = Problem.make p.Problem.dag ~durations:(fun v -> bump v (Problem.duration p v)) in
+        Alcotest.(check bool)
+          "digests differ" true
+          (Fingerprint.digest p ~budget:2 <> Fingerprint.digest p2 ~budget:2));
+    Alcotest.test_case "digest: one edge moves it" `Quick (fun () ->
+        let p = fig45 () in
+        let text = Io.to_string p in
+        let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' text) in
+        let edges, others =
+          List.partition (fun l -> String.length l > 5 && String.sub l 0 5 = "edge ") lines
+        in
+        let dropped =
+          match edges with
+          | [] -> Alcotest.fail "no edges in fig45"
+          | _ :: rest -> others @ rest
+        in
+        let p2 = Io.of_string (String.concat "\n" dropped ^ "\n") in
+        Alcotest.(check bool)
+          "digests differ" true
+          (Fingerprint.digest p ~budget:2 <> Fingerprint.digest p2 ~budget:2));
+  ]
+
+let roundtrip_claim (s : Engine.success) ~budget : Validate.claim =
+  {
+    Validate.rung = s.Engine.rung;
+    allocation = s.Engine.allocation;
+    makespan = s.Engine.makespan;
+    budget_used = s.Engine.budget_used;
+    budget;
+    alpha = (if s.Engine.rung = Policy.Bicriteria then Some Rat.half else None);
+    lp_makespan = s.Engine.lp_makespan;
+    lp_budget = s.Engine.lp_budget;
+  }
+
+let cache_units =
+  [
+    Alcotest.test_case "round-trip: a stored solve reads back validate-clean" `Quick (fun () ->
+        let p = fig45 () in
+        let dir = fresh_dir "cache" in
+        let s = check_ok "solve" (Engine.solve p ~budget:2) in
+        let key = Fingerprint.digest p ~budget:2 in
+        Cache.store ~dir ~key s;
+        Alcotest.(check int) "one entry" 1 (Cache.entries ~dir);
+        match Cache.lookup ~dir ~key with
+        | None -> Alcotest.fail "expected a hit"
+        | Some c ->
+            Alcotest.(check int) "makespan" s.Engine.makespan c.Engine.makespan;
+            Alcotest.(check int) "budget_used" s.Engine.budget_used c.Engine.budget_used;
+            Alcotest.(check (array int)) "allocation" s.Engine.allocation c.Engine.allocation;
+            Alcotest.(check int) "no fuel charged" 0 c.Engine.fuel_spent;
+            (match Validate.check p (roundtrip_claim c ~budget:2) with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "re-validation rejected the hit: %s" (Error.to_string e)));
+    Alcotest.test_case "round-trip: a bicriteria result keeps its LP evidence" `Quick (fun () ->
+        let p = fig45 () in
+        let dir = fresh_dir "cache-bi" in
+        let s = check_ok "solve" (Engine.solve ~policy:[ Policy.Bicriteria ] p ~budget:2) in
+        let key = Fingerprint.digest ~policy:[ Policy.Bicriteria ] p ~budget:2 in
+        Cache.store ~dir ~key s;
+        match Cache.lookup ~dir ~key with
+        | None -> Alcotest.fail "expected a hit"
+        | Some c ->
+            Alcotest.(check bool) "lp_makespan kept" true (c.Engine.lp_makespan = s.Engine.lp_makespan);
+            (match Validate.check p (roundtrip_claim c ~budget:2) with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "re-validation rejected the hit: %s" (Error.to_string e)));
+    Alcotest.test_case "a corrupted entry is a miss, not a wrong answer" `Quick (fun () ->
+        let p = fig45 () in
+        let dir = fresh_dir "cache-corrupt" in
+        let s = check_ok "solve" (Engine.solve p ~budget:2) in
+        let key = Fingerprint.digest p ~budget:2 in
+        Cache.store ~dir ~key s;
+        let path = Cache.path ~dir ~key in
+        let ic = open_in_bin path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let flip i =
+          let b = Bytes.of_string text in
+          Bytes.set b i (if Bytes.get b i = '0' then '1' else '0');
+          let oc = open_out_bin path in
+          output_bytes oc b;
+          close_out oc
+        in
+        (* corrupt the payload: checksum mismatch *)
+        flip (String.length text - 1);
+        Alcotest.(check bool) "payload corruption -> miss" true (Cache.lookup ~dir ~key = None);
+        (* truncate: no room for a checksum *)
+        let oc = open_out_bin path in
+        output_string oc (String.sub text 0 10);
+        close_out oc;
+        Alcotest.(check bool) "truncated -> miss" true (Cache.lookup ~dir ~key = None);
+        Alcotest.(check bool) "absent key -> miss" true
+          (Cache.lookup ~dir ~key:(String.make 32 'f') = None);
+        Alcotest.(check int) "missing dir counts zero" 0
+          (Cache.entries ~dir:(Filename.concat dir "nowhere")));
+    prop "round-trip: arbitrary successes survive store/lookup" 40
+      QCheck.(
+        quad (int_range 0 1000) (int_range 0 50)
+          (small_list (int_range 0 9))
+          (pair bool (int_range 1 50)))
+      (fun (makespan, budget_used, alloc, (with_lp, lp_num)) ->
+        let dir = fresh_dir "cache-prop" in
+        let s =
+          {
+            Engine.rung = Policy.Exact;
+            allocation = Array.of_list alloc;
+            makespan;
+            budget_used;
+            lp_makespan = (if with_lp then Some (Rat.make (Bigint.of_int lp_num) (Bigint.of_int 7)) else None);
+            lp_budget = None;
+            degraded = [];
+            fuel_spent = 12345;
+          }
+        in
+        let key = String.make 32 'a' in
+        Cache.store ~dir ~key s;
+        match Cache.lookup ~dir ~key with
+        | None -> false
+        | Some c ->
+            c.Engine.makespan = makespan && c.Engine.budget_used = budget_used
+            && c.Engine.allocation = Array.of_list alloc
+            && c.Engine.lp_makespan = s.Engine.lp_makespan
+            && c.Engine.fuel_spent = 0);
+  ]
+
 let () =
   Alcotest.run "engine"
     [
@@ -394,4 +581,6 @@ let () =
       ("fallback", fallback_units);
       ("validation", validation_units);
       ("boundary", boundary_units);
+      ("fingerprint", fingerprint_units);
+      ("cache", cache_units);
     ]

@@ -100,9 +100,9 @@ let event_gen =
         return Journal.Queued;
         map (fun attempt -> Journal.Started { attempt }) attempt;
         map
-          (fun (attempt, (makespan, budget_used, fuel)) ->
-            Journal.Done { attempt; makespan; budget_used; fuel })
-          (pair attempt (triple (int_range 0 1000) (int_range 0 50) (int_range 0 100000)));
+          (fun ((attempt, cached), (makespan, budget_used, fuel)) ->
+            Journal.Done { attempt; makespan; budget_used; fuel; cached })
+          (pair (pair attempt bool) (triple (int_range 0 1000) (int_range 0 50) (int_range 0 100000)));
         map
           (fun (attempt, error_class, (transient, backoff)) ->
             Journal.Failed { attempt; error_class; transient; backoff })
@@ -190,13 +190,15 @@ let journal_units =
               { Journal.job = "a"; event = Journal.Started { attempt = 1 } };
               {
                 Journal.job = "a";
-                event = Journal.Done { attempt = 1; makespan = 9; budget_used = 2; fuel = 40 };
+                event =
+                  Journal.Done { attempt = 1; makespan = 9; budget_used = 2; fuel = 40; cached = false };
               };
               (* events a buggy or crashed writer might still emit *)
               { Journal.job = "a"; event = Journal.Started { attempt = 2 } };
               {
                 Journal.job = "a";
-                event = Journal.Done { attempt = 2; makespan = 1; budget_used = 0; fuel = 1 };
+                event =
+                  Journal.Done { attempt = 2; makespan = 1; budget_used = 0; fuel = 1; cached = true };
               };
               { Journal.job = "a"; event = Journal.Abandoned { attempt = 2 } };
             ]
