@@ -9,7 +9,10 @@
      dot      export an instance's DAG as Graphviz
      demo     the Figure 4/5 walkthrough
      serve    drain a spool directory of jobs, crash-safely
-     jobs     report the journaled state of a spool *)
+     jobs     report the journaled state of a spool
+     daemon   serve the batch service over a socket
+     submit   send an instance to a running daemon
+     status   ask a running daemon for one job's state *)
 
 open Cmdliner
 open Rtt_dag
@@ -71,16 +74,7 @@ let fuel_arg =
   in
   Arg.(value & opt (some fuel_conv) None & info [ "fuel" ] ~docv:"FUEL" ~doc)
 
-let pp_alloc p alloc =
-  let parts = ref [] in
-  Array.iteri
-    (fun v r ->
-      if r > 0 then begin
-        let name = Option.value ~default:(string_of_int v) (Dag.label p.Problem.dag v) in
-        parts := Printf.sprintf "%s=%d" name r :: !parts
-      end)
-    alloc;
-  if !parts = [] then "(none)" else String.concat " " (List.rev !parts)
+let pp_alloc = Engine.render_allocation
 
 (* ------------------------------------------------------------------ *)
 (* solve                                                               *)
@@ -508,11 +502,24 @@ let serve_cmd =
       $ checkpoint_every $ seed_arg $ no_sleep $ verbose $ workers $ cache_dir)
 
 let jobs_cmd =
-  let run spool cache_dir =
-    print_string (Rtt_service.Supervisor.render_report ~spool);
-    (match cache_dir with
-    | Some dir -> Printf.printf "cache entries: %d\n" (Rtt_engine.Cache.entries ~dir)
-    | None -> ());
+  let run spool cache_dir json =
+    if json then
+      (* one Jobview object per job — the same serializer the daemon's
+         `rtt status` answers with, so scripts parse one format *)
+      List.iter
+        (fun (job, status) ->
+          let id =
+            let suffix = Rtt_service.Work.instance_suffix in
+            if Filename.check_suffix job suffix then Filename.chop_suffix job suffix else job
+          in
+          print_endline (Rtt_service.Jobview.json_of ~id (Some status)))
+        (Rtt_service.Supervisor.report ~spool)
+    else begin
+      print_string (Rtt_service.Supervisor.render_report ~spool);
+      match cache_dir with
+      | Some dir -> Printf.printf "cache entries: %d\n" (Rtt_engine.Cache.entries ~dir)
+      | None -> ()
+    end;
     0
   in
   let spool_pos =
@@ -523,19 +530,274 @@ let jobs_cmd =
     let doc = "Also report the entry count of this result cache directory." in
     Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
   in
+  let json =
+    let doc =
+      "Machine-readable output: one JSON object per job (id, state, attempts, fuel, cache_hit, \
+       error) — the same rendering $(b,rtt status) returns for daemon jobs."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
   let info =
     Cmd.info "jobs"
       ~doc:
         "Report the journaled state of every job in a spool, including which completions were \
          served from the result cache."
   in
-  Cmd.v info Term.(const run $ spool_pos $ cache_dir)
+  Cmd.v info Term.(const run $ spool_pos $ cache_dir $ json)
+
+(* ------------------------------------------------------------------ *)
+(* daemon / submit / status                                            *)
+
+let socket_arg =
+  let doc = "Unix-domain socket the daemon listens on (or the client connects to)." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let daemon_cmd =
+  let open Rtt_net in
+  let listen =
+    let doc = "Also listen on TCP $(docv) (e.g. 127.0.0.1:7421)." in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let queue =
+    let doc = "Admission bound: jobs queued or in flight beyond this are shed with a \
+               retry-after hint, never silently dropped."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let max_frame =
+    let doc = "Largest inbound protocol line in bytes; an overlong line poisons only the \
+               offending connection."
+    in
+    Arg.(value & opt int (16 * 1024 * 1024) & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let idle_timeout =
+    let doc = "Per-connection read deadline in seconds (connections with unanswered waits \
+               are exempt)."
+    in
+    Arg.(value & opt float 30.0 & info [ "idle-timeout" ] ~docv:"SEC" ~doc)
+  in
+  let workers =
+    let doc = "Forked solver workers (same wire protocol and journal semantics as \
+               $(b,rtt serve --workers))."
+    in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let fallback =
+    let doc = "Fallback chain used for every job (default exact,bicriteria,greedy,baseline)." in
+    Arg.(value & opt policy_conv Policy.default & info [ "fallback" ] ~docv:"CHAIN" ~doc)
+  in
+  let max_attempts =
+    let doc = "Attempts per job before it is declared dead." in
+    Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"N" ~doc)
+  in
+  let deadline_fuel =
+    let doc = "Per-attempt fuel deadline; a job that exhausts it fails transiently and is retried." in
+    Arg.(value & opt (some fuel_conv) None & info [ "deadline-fuel" ] ~docv:"F" ~doc)
+  in
+  let cache_dir =
+    let doc = "Content-addressed result cache directory; duplicate submissions are solved once." in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress lines on stderr.") in
+  let run spool socket listen queue max_frame idle_timeout workers fallback max_attempts
+      deadline_fuel cache_dir budget seed verbose =
+    let invalid msg =
+      Format.eprintf "rtt: %s@." msg;
+      124
+    in
+    let tcp =
+      match listen with
+      | None -> Ok None
+      | Some hp -> (
+          match Rtt_net.Client.endpoint_of_string hp with
+          | Ok (Rtt_net.Client.Tcp (h, p)) -> Ok (Some (h, p))
+          | Ok _ | Error _ -> Error (Printf.sprintf "--listen %s: expected HOST:PORT" hp))
+    in
+    match tcp with
+    | Error msg -> invalid msg
+    | Ok tcp ->
+        if workers <= 0 then invalid "--workers must be positive"
+        else if max_attempts <= 0 then invalid "--max-attempts must be positive"
+        else if queue <= 0 then invalid "--queue must be positive"
+        else if max_frame < 64 then invalid "--max-frame must be at least 64 bytes"
+        else
+          Daemon.run
+            {
+              Daemon.service =
+                {
+                  (Rtt_service.Supervisor.default_config ~spool) with
+                  budget;
+                  policy = fallback;
+                  max_attempts;
+                  deadline_fuel;
+                  seed;
+                  verbose;
+                  workers;
+                  cache_dir;
+                };
+              socket_path = socket;
+              tcp;
+              queue_capacity = queue;
+              max_frame;
+              idle_timeout;
+            }
+  in
+  let info =
+    Cmd.info "daemon"
+      ~doc:
+        "Serve the batch service over a socket: framed CRC-checked wire protocol, bounded \
+         admission with shed/retry-after, duplicate coalescing by instance digest, and the \
+         same crash-safe spool + journal + worker machinery as $(b,rtt serve) — an accepted \
+         job survives $(b,kill -9) and is adopted by the next daemon on the same spool. First \
+         SIGTERM drains (submissions shed, in-flight clients answered, exit 0/31); a second \
+         forces checkpoint-and-abandon (exit 30)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ spool_arg $ socket_arg $ listen $ queue $ max_frame $ idle_timeout $ workers
+      $ fallback $ max_attempts $ deadline_fuel $ cache_dir $ budget_arg $ seed_arg $ verbose)
+
+let with_client socket k =
+  let open Rtt_net in
+  match Client.endpoint_of_string socket with
+  | Error msg ->
+      Format.eprintf "rtt: %s@." msg;
+      Client.exit_connect
+  | Ok ep -> (
+      match Client.connect ep with
+      | Error e ->
+          Format.eprintf "rtt: %s@." (Client.error_to_string e);
+          Client.exit_connect
+      | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> k c))
+
+let report_client_error e =
+  let open Rtt_net in
+  Format.eprintf "rtt: %s@." (Client.error_to_string e);
+  match e with Client.Timeout -> Client.exit_timeout | _ -> Client.exit_connect
+
+(* Map a terminal daemon answer onto this process's exit code: a result
+   prints exactly what `rtt solve` would have; a dead job exits with the
+   engine code of its journaled error class (31 when the class is
+   service-level, e.g. retries-exhausted). *)
+let finish_terminal = function
+  | Rtt_net.Protocol.Result { rendered; _ } ->
+      print_string rendered;
+      0
+  | Rtt_net.Protocol.Failed { id; error_class; attempts } ->
+      Format.eprintf "rtt: job %s failed permanently after %d attempt(s): %s@." id attempts
+        error_class;
+      Option.value
+        (Error.exit_code_of_class error_class)
+        ~default:Rtt_service.Supervisor.failed_jobs_exit_code
+  | Rtt_net.Protocol.Errored { code = "unknown-job"; msg } ->
+      Format.eprintf "rtt: unknown job %s@." msg;
+      Rtt_net.Client.exit_unknown_job
+  | Rtt_net.Protocol.Errored { code; msg } ->
+      Format.eprintf "rtt: daemon error %s: %s@." code msg;
+      Rtt_net.Client.exit_connect
+  | _ ->
+      Format.eprintf "rtt: unexpected daemon response@.";
+      Rtt_net.Client.exit_connect
+
+let submit_cmd =
+  let open Rtt_net in
+  let wait =
+    let doc = "Block until the job reaches a terminal state and print the result (byte-identical \
+               to a local $(b,rtt solve) of the same instance under the daemon's configuration)."
+    in
+    Arg.(value & flag & info [ "wait" ] ~doc)
+  in
+  let timeout =
+    let doc = "Give up waiting after $(docv) seconds (exit 42)." in
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"SEC" ~doc)
+  in
+  let name_arg =
+    let doc = "Label for the daemon's log; defaults to the instance file name." in
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let run path socket wait timeout name =
+    let body =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let name = Option.value name ~default:(Filename.basename path) in
+    with_client socket @@ fun c ->
+    match Client.request c (Protocol.Submit { name; body }) with
+    | Error e -> report_client_error e
+    | Ok (Protocol.Shed { retry_after_ms }) ->
+        Format.eprintf "rtt: submission shed; retry in %d ms@." retry_after_ms;
+        Client.exit_shed
+    | Ok (Protocol.Errored { code; msg }) ->
+        Format.eprintf "rtt: rejected (%s): %s@." code msg;
+        Option.value (Error.exit_code_of_class code) ~default:Client.exit_connect
+    | Ok (Protocol.Accepted { id }) -> (
+        if not wait then begin
+          print_endline id;
+          0
+        end
+        else
+          match Client.request ~timeout c (Protocol.Wait { id }) with
+          | Error e -> report_client_error e
+          | Ok resp -> finish_terminal resp)
+    | Ok _ ->
+        Format.eprintf "rtt: unexpected daemon response@.";
+        Client.exit_connect
+  in
+  let info =
+    Cmd.info "submit"
+      ~doc:
+        "Submit an instance file to a running $(b,rtt daemon). Prints the durable job id (the \
+         instance's content digest — duplicate submissions coalesce), or with $(b,--wait) \
+         blocks for the result. Exit codes: 0 success, 40 connect/protocol failure, 41 shed, \
+         42 wait timeout; a permanently failed job exits with its error class's engine code."
+  in
+  Cmd.v info Term.(const run $ instance_arg $ socket_arg $ wait $ timeout $ name_arg)
+
+let status_cmd =
+  let open Rtt_net in
+  let id_arg =
+    let doc = "Job id as printed by $(b,rtt submit)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB_ID" ~doc)
+  in
+  let run id socket =
+    with_client socket @@ fun c ->
+    match Client.request c (Protocol.Status { id }) with
+    | Error e -> report_client_error e
+    | Ok (Protocol.Status_is { json; _ }) ->
+        print_endline json;
+        if
+          (* state "unknown" is still printed, but signalled in the exit code *)
+          let marker = {json|"state":"unknown"|json} in
+          let rec contains i =
+            i + String.length marker <= String.length json
+            && (String.sub json i (String.length marker) = marker || contains (i + 1))
+          in
+          contains 0
+        then Client.exit_unknown_job
+        else 0
+    | Ok (Protocol.Errored { code; msg }) ->
+        Format.eprintf "rtt: daemon error %s: %s@." code msg;
+        Client.exit_connect
+    | Ok _ ->
+        Format.eprintf "rtt: unexpected daemon response@.";
+        Client.exit_connect
+  in
+  let info =
+    Cmd.info "status"
+      ~doc:
+        "Ask a running $(b,rtt daemon) for one job's state as JSON (the same object \
+         $(b,rtt jobs --json) prints from the spool). Exit 0, or 43 when the daemon has no \
+         trace of the job."
+  in
+  Cmd.v info Term.(const run $ id_arg $ socket_arg)
 
 let main =
   let doc = "Discrete resource-time tradeoff with resource reuse over paths (SPAA '19 reproduction)." in
   let info = Cmd.info "rtt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ solve_cmd; exact_cmd; gen_cmd; sp_cmd; reduce_cmd; pareto_cmd; dot_cmd; demo_cmd; serve_cmd;
-      jobs_cmd ]
+      jobs_cmd; daemon_cmd; submit_cmd; status_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -164,6 +164,17 @@ let load path =
   | exception Invalid_argument msg -> Error (Error.Invalid_instance msg)
   | exception Sys_error msg -> Error (Error.Io_error msg)
 
+let render_allocation (p : Problem.t) alloc =
+  let parts = ref [] in
+  Array.iteri
+    (fun v r ->
+      if r > 0 then begin
+        let name = Option.value ~default:(string_of_int v) (Rtt_dag.Dag.label p.Problem.dag v) in
+        parts := Printf.sprintf "%s=%d" name r :: !parts
+      end)
+    alloc;
+  if !parts = [] then "(none)" else String.concat " " (List.rev !parts)
+
 let pp_success fmt s =
   Format.fprintf fmt "@[<v>rung:     %s%s@,makespan: %d@,budget:   %d" (Policy.rung_name s.rung)
     (if degraded_to s then " (degraded)" else "")

@@ -64,3 +64,9 @@ val load : string -> (Problem.t, Error.t) result
 val load_string : string -> (Problem.t, Error.t) result
 
 val pp_success : Format.formatter -> success -> unit
+
+val render_allocation : Problem.t -> int array -> string
+(** Human-readable allocation, one [name=r] token per job holding
+    resources (vertex labels when the DAG has them); ["(none)"] when
+    no job holds any. The rendering the CLI and the daemon's result
+    frames share, so both serving paths print identical text. *)

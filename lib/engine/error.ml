@@ -42,6 +42,24 @@ let exit_code = function
   | All_rungs_failed _ -> 12
   | Internal _ -> 13
 
+(* The inverse mapping by class name, for consumers that only have the
+   journaled class string (e.g. a network client rendering a dead
+   job's exit code). *)
+let exit_code_of_class = function
+  | "parse-error" -> Some 2
+  | "io-error" -> Some 3
+  | "invalid-instance" -> Some 4
+  | "invalid-request" -> Some 5
+  | "too-large" -> Some 6
+  | "fuel-exhausted" -> Some 7
+  | "lp-failure" -> Some 8
+  | "flow-failure" -> Some 9
+  | "fault-injected" -> Some 10
+  | "certificate-mismatch" -> Some 11
+  | "all-rungs-failed" -> Some 12
+  | "internal" -> Some 13
+  | _ -> None
+
 let rec to_string = function
   | Parse_error { line; msg } ->
       if line > 0 then Printf.sprintf "parse error at line %d: %s" line msg

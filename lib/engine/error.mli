@@ -47,5 +47,11 @@ val exit_code : t -> int
 (** CLI exit code: 2–13, one per class (0 is success; 1, 124, 125 are
     cmdliner's). *)
 
+val exit_code_of_class : string -> int option
+(** {!exit_code} looked up by {!class_name} — for consumers that only
+    hold the journaled class string, such as a network client mapping
+    a dead job to a process exit code. [None] for unknown classes
+    (e.g. the service-level ["retries-exhausted"]). *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -32,3 +32,7 @@ let digest ?(policy = Policy.default) ?(alpha = Rat.half) (p : Problem.t) ~budge
       (Policy.to_string policy) (Rat.to_string alpha)
   in
   Stdlib.Digest.to_hex (Stdlib.Digest.string text)
+
+let is_digest s =
+  String.length s = 32
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s

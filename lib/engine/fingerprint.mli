@@ -26,3 +26,8 @@ val canonical : Problem.t -> string
 val digest : ?policy:Policy.t -> ?alpha:Rat.t -> Problem.t -> budget:int -> string
 (** 32-hex-character digest of the full solve request. Defaults match
     {!Engine.solve}: [Policy.default] and alpha 1/2. *)
+
+val is_digest : string -> bool
+(** Whether a string has the shape of a {!digest} (exactly 32
+    lowercase hex characters) — what the daemon and its clients use to
+    sanity-check job ids before touching the spool. *)

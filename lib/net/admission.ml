@@ -1,0 +1,45 @@
+type t = {
+  capacity : int;
+  queue : string Queue.t;
+  tracked : (string, unit) Hashtbl.t;  (* queued or in flight *)
+  mutable ewma_ms : float;  (* smoothed per-job service time *)
+}
+
+let create ?(capacity = 64) () =
+  { capacity; queue = Queue.create (); tracked = Hashtbl.create 64; ewma_ms = 250. }
+
+let capacity t = t.capacity
+let queued t = Queue.length t.queue
+let in_flight t = Hashtbl.length t.tracked - Queue.length t.queue
+
+let retry_after_ms t =
+  let occupancy = Hashtbl.length t.tracked + 1 in
+  let ms = t.ewma_ms *. float_of_int occupancy in
+  int_of_float (Float.min 60_000. (Float.max 100. ms))
+
+let offer t ~id =
+  if Hashtbl.mem t.tracked id then `Duplicate
+  else if Hashtbl.length t.tracked >= t.capacity then `Shed (retry_after_ms t)
+  else begin
+    Hashtbl.replace t.tracked id ();
+    Queue.push id t.queue;
+    `Admitted
+  end
+
+let force t ~id =
+  if not (Hashtbl.mem t.tracked id) then begin
+    Hashtbl.replace t.tracked id ();
+    Queue.push id t.queue
+  end
+
+let take t = Queue.take_opt t.queue
+
+let requeue t ~id =
+  if Hashtbl.mem t.tracked id && not (Queue.fold (fun acc j -> acc || j = id) false t.queue)
+  then Queue.push id t.queue
+
+let finish t ~id ~elapsed_ms =
+  if Hashtbl.mem t.tracked id then begin
+    Hashtbl.remove t.tracked id;
+    t.ewma_ms <- (0.8 *. t.ewma_ms) +. (0.2 *. float_of_int (max 0 elapsed_ms))
+  end

@@ -1,0 +1,52 @@
+(** Bounded admission queue: the daemon's only backpressure mechanism.
+
+    A submission is either admitted (and then durably journaled before
+    the client hears [accepted]) or shed with a retry-after hint —
+    never silently dropped, never queued unboundedly. The hint is an
+    EWMA of recent per-job service times scaled by the current
+    occupancy, so a client that honors it re-arrives roughly when a
+    slot has drained.
+
+    The queue tracks jobs from admission to terminal completion
+    ([offer] -> [take] -> [finish]), so duplicate submissions of an
+    in-flight job are recognized ([`Duplicate]) instead of consuming a
+    second slot. All functions take [now]/[elapsed_ms] explicitly —
+    the module never reads the clock, which keeps the retry-hint
+    arithmetic deterministic under test. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 64) bounds jobs admitted but not yet finished
+    (queued + in flight). *)
+
+val capacity : t -> int
+
+val offer : t -> id:string -> [ `Admitted | `Duplicate | `Shed of int ]
+(** Try to admit [id]. [`Duplicate] if it is already queued or in
+    flight (not an error: the caller coalesces). [`Shed ms] carries
+    the retry-after hint. *)
+
+val force : t -> id:string -> unit
+(** Admit ignoring capacity — for adopting a restart backlog that was
+    already journaled (refusing it would lose accepted jobs). No-op if
+    already tracked. *)
+
+val take : t -> string option
+(** Dequeue the next job for assignment; it stays tracked (in flight)
+    until {!finish}. *)
+
+val requeue : t -> id:string -> unit
+(** Put an in-flight job back at the queue tail (worker died, transient
+    retry). No-op unless the job is tracked and not already queued. *)
+
+val finish : t -> id:string -> elapsed_ms:int -> unit
+(** The job reached a terminal state: release its slot and feed the
+    service-time EWMA. *)
+
+val queued : t -> int
+val in_flight : t -> int
+
+val retry_after_ms : t -> int
+(** Occupancy times the smoothed service time, clamped to
+    [[100 ms, 60 s]]. *)

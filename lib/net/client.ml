@@ -1,0 +1,81 @@
+open Rtt_service
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let endpoint_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i when not (String.contains s '/') -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "bad endpoint %S (expected HOST:PORT or a socket path)" s))
+  | _ -> if s = "" then Error "empty endpoint" else Ok (Unix_socket s)
+
+type t = { fd : Unix.file_descr; reader : Frame.reader }
+
+type error = Timeout | Closed of string | Bad_frame of string
+
+let error_to_string = function
+  | Timeout -> "timed out waiting for the daemon"
+  | Closed msg -> msg
+  | Bad_frame msg -> Printf.sprintf "protocol failure: %s" msg
+
+let exit_connect = 40
+let exit_shed = 41
+let exit_timeout = 42
+let exit_unknown_job = 43
+
+let connect ep =
+  let domain, addr =
+    match ep with
+    | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+        let a =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found -> Unix.inet_addr_loopback)
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (a, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () -> Ok { fd; reader = Frame.reader () }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Closed (Printf.sprintf "cannot connect: %s" (Unix.error_message e)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let recv ~deadline t =
+  let buf = Bytes.create 8192 in
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0. then Error Timeout
+    else
+      match Unix.select [ t.fd ] [] [] remaining with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | [], _, _ -> Error Timeout
+      | _ -> (
+          match Unix.read t.fd buf 0 (Bytes.length buf) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Closed (Unix.error_message e))
+          | 0 -> Error (Closed "the daemon closed the connection")
+          | n -> (
+              match Frame.feed t.reader (Bytes.sub_string buf 0 n) with
+              | [] -> go ()
+              | `Frame payload :: _ -> (
+                  match Protocol.parse_response payload with
+                  | Ok resp -> Ok resp
+                  | Error msg -> Error (Bad_frame msg))
+              | `Corrupt line :: _ -> Error (Bad_frame (Printf.sprintf "corrupt frame %S" line))
+              | `Overflow :: _ -> Error (Bad_frame "oversized response frame")))
+  in
+  go ()
+
+let request ?(timeout = 30.) t req =
+  match Frame.write t.fd (Protocol.encode_request req) with
+  | exception Unix.Unix_error (e, _, _) -> Error (Closed (Unix.error_message e))
+  | () -> recv ~deadline:(Unix.gettimeofday () +. timeout) t

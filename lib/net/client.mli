@@ -1,0 +1,43 @@
+(** Blocking client for the daemon's {!Protocol} — the engine behind
+    [rtt submit] and [rtt status].
+
+    One {!request} is one round trip: frame and send, then read frames
+    until a response arrives (for [wait], that read blocks until the
+    job reaches a terminal state or [timeout] elapses). Errors are
+    typed so the CLI can map them onto its exit-code contract. *)
+
+type endpoint =
+  | Unix_socket of string
+  | Tcp of string * int
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** ["HOST:PORT"] parses as TCP, anything else as a Unix-socket
+    path. *)
+
+type t
+
+type error =
+  | Timeout  (** The deadline passed with no response. *)
+  | Closed of string  (** Connect refused, or the daemon hung up. *)
+  | Bad_frame of string  (** A response failed the CRC or the grammar. *)
+
+val error_to_string : error -> string
+
+val connect : endpoint -> (t, error) result
+val close : t -> unit
+
+val request : ?timeout:float -> t -> Protocol.request -> (Protocol.response, error) result
+(** Send one request, block (default 30 s) for its response. *)
+
+(** {1 CLI exit codes}
+
+    The client-side contract, disjoint from the engine's 2–13 and the
+    supervisor's 0/30/31/124: *)
+
+val exit_connect : int  (** 40 — could not connect / protocol failure. *)
+
+val exit_shed : int  (** 41 — the daemon shed the submission. *)
+
+val exit_timeout : int  (** 42 — [--wait] timed out. *)
+
+val exit_unknown_job : int  (** 43 — the daemon has no trace of the job. *)

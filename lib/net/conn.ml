@@ -1,0 +1,60 @@
+open Rtt_service
+
+type t = {
+  fd : Unix.file_descr;
+  peer : string;
+  reader : Frame.reader;
+  mutable out : string;  (* bytes not yet accepted by the socket *)
+  mutable last_read : float;
+  mutable wait_ids : string list;
+  mutable close_pending : bool;
+}
+
+let create ?max_frame ~peer ~now fd =
+  {
+    fd;
+    peer;
+    reader = Frame.reader ?max_frame ();
+    out = "";
+    last_read = now;
+    wait_ids = [];
+    close_pending = false;
+  }
+
+let fd t = t.fd
+let peer t = t.peer
+let chunk = 8192
+
+let read t ~now =
+  let buf = Bytes.create chunk in
+  match Unix.read t.fd buf 0 chunk with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> `Again
+  | exception Unix.Unix_error (_, _, _) -> `Eof
+  | 0 -> `Eof
+  | n ->
+      t.last_read <- now;
+      `Frames (Frame.feed t.reader (Bytes.sub_string buf 0 n))
+
+let send t resp = t.out <- t.out ^ Frame.frame (Protocol.encode_response resp) ^ "\n"
+let wants_write t = t.out <> ""
+
+let flush t =
+  let rec go () =
+    if t.out = "" then `Done
+    else
+      match Unix.write_substring t.fd t.out 0 (String.length t.out) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Again
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> `Closed
+      | n ->
+          t.out <- String.sub t.out n (String.length t.out - n);
+          go ()
+  in
+  go ()
+
+let close_after_flush t = t.close_pending <- true
+let closing t = t.close_pending
+let add_wait t id = if not (List.mem id t.wait_ids) then t.wait_ids <- id :: t.wait_ids
+let remove_wait t id = t.wait_ids <- List.filter (fun x -> x <> id) t.wait_ids
+let waits t = t.wait_ids
+let idle_for t ~now = now -. t.last_read

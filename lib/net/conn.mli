@@ -1,0 +1,54 @@
+(** One accepted client connection: incremental frame reassembly in,
+    buffered non-blocking writes out, a read deadline, and the set of
+    jobs the client is waiting on.
+
+    The daemon's event loop owns the socket; this module owns the
+    bookkeeping between [select] wakeups. Writes never block the loop:
+    {!send} only appends to the output buffer, {!flush} drains as much
+    as the socket accepts ([EAGAIN] is a normal outcome), and
+    {!wants_write} tells the loop whether to watch the descriptor for
+    writability. *)
+
+type t
+
+val create : ?max_frame:int -> peer:string -> now:float -> Unix.file_descr -> t
+(** Wrap an accepted descriptor (already set non-blocking). [peer] is
+    a display name for logs; [max_frame] bounds one inbound line
+    ({!Rtt_service.Frame.reader}). *)
+
+val fd : t -> Unix.file_descr
+val peer : t -> string
+
+val read : t -> now:float -> [ `Frames of [ `Frame of string | `Corrupt of string | `Overflow ] list | `Eof | `Again ]
+(** Pull whatever the socket has and run it through the frame reader.
+    [`Eof] means the client closed its end. Resets the read deadline
+    when bytes arrive. *)
+
+val send : t -> Protocol.response -> unit
+(** Frame and buffer one response; {!flush} moves it to the socket. *)
+
+val wants_write : t -> bool
+
+val flush : t -> [ `Done | `Again | `Closed ]
+(** Write buffered bytes without blocking. [`Done]: buffer empty.
+    [`Again]: the socket stopped accepting ([EAGAIN]); watch for
+    writability. [`Closed]: the peer is gone ([EPIPE]/reset). *)
+
+val close_after_flush : t -> unit
+(** Mark the connection for closing once the output buffer drains
+    ([bye], protocol errors). *)
+
+val closing : t -> bool
+
+val add_wait : t -> string -> unit
+(** Record that this client waits on a job id. *)
+
+val remove_wait : t -> string -> unit
+(** The wait was answered; the read deadline applies again. *)
+
+val waits : t -> string list
+
+val idle_for : t -> now:float -> float
+(** Seconds since the last inbound byte. The daemon exempts
+    connections with non-empty {!waits} from the read deadline — they
+    are waiting on us, not the other way around. *)

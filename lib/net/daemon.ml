@@ -1,0 +1,577 @@
+open Rtt_service
+module E = Rtt_engine
+
+type config = {
+  service : Work.config;
+  socket_path : string;
+  tcp : (string * int) option;
+  queue_capacity : int;
+  max_frame : int;
+  idle_timeout : float;
+}
+
+let default_config ~spool ~socket_path =
+  {
+    service = Supervisor.default_config ~spool;
+    socket_path;
+    tcp = None;
+    queue_capacity = 64;
+    max_frame = 16 * 1024 * 1024;
+    idle_timeout = 30.0;
+  }
+
+type worker = {
+  pid : int;
+  to_w : Unix.file_descr;
+  from_w : Unix.file_descr;
+  reader : Frame.reader;
+  mutable current : (string * int) option;
+}
+
+let reap pid =
+  let rec go () =
+    match Unix.waitpid [] pid with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    | _ -> ()
+  in
+  go ()
+
+let now () = Unix.gettimeofday ()
+
+let listen_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.bind fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+      (* a socket file is already there: probe it — refuse to evict a
+         live daemon, but clean up after a crashed one *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let alive =
+        try
+          Unix.connect probe (Unix.ADDR_UNIX path);
+          true
+        with Unix.Unix_error _ -> false
+      in
+      Unix.close probe;
+      if alive then begin
+        Unix.close fd;
+        failwith (Printf.sprintf "%s: a daemon is already listening" path)
+      end
+      else begin
+        Unix.unlink path;
+        Unix.bind fd (Unix.ADDR_UNIX path)
+      end);
+  Unix.listen fd 16;
+  Unix.set_nonblock fd;
+  fd
+
+let listen_tcp (host, port) =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> failwith (Printf.sprintf "%s: unknown host" host))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 16;
+  Unix.set_nonblock fd;
+  fd
+
+let run cfg =
+  let spool = cfg.service.Work.spool in
+  let log fmt =
+    Printf.ksprintf
+      (fun s -> if cfg.service.Work.verbose then Printf.eprintf "[daemon] %s\n%!" s)
+      fmt
+  in
+  let states = ref (Journal.fold (Journal.replay ~spool)) in
+  let journal = Journal.open_ ~spool in
+  let record event job =
+    let r = { Journal.job; event } in
+    Journal.append journal r;
+    states := Journal.apply !states r
+  in
+  let status_of job = List.assoc_opt job !states in
+  let terminal job =
+    match status_of job with
+    | Some (Journal.Completed _) | Some (Journal.Dead _) -> true
+    | _ -> false
+  in
+  let id_of_job job =
+    if Filename.check_suffix job Work.instance_suffix then
+      Filename.chop_suffix job Work.instance_suffix
+    else job
+  in
+  let job_of_id id = id ^ Work.instance_suffix in
+  let next_attempt job =
+    match status_of job with
+    | Some (Journal.Completed _) | Some (Journal.Dead _) -> None
+    | Some (Journal.Pending { attempts }) -> Some (attempts + 1)
+    | Some (Journal.Running { attempt }) | Some (Journal.Interrupted { attempt }) ->
+        Some (attempt + 1)
+    | None -> Some 1
+  in
+  let admission = Admission.create ~capacity:cfg.queue_capacity () in
+  let started_at : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let conns = ref ([] : Conn.t list) in
+  let waiters : (string, Conn.t list) Hashtbl.t = Hashtbl.create 16 in
+  let workers = ref ([] : worker list) in
+  let listeners = ref ([] : Unix.file_descr list) in
+  let drain = ref false in
+  let force = ref false in
+  let drop_conn c =
+    (try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ());
+    conns := List.filter (fun x -> x != c) !conns
+  in
+  (* ---------------------------------------------------------------- *)
+  (* answering terminal jobs                                           *)
+  let rendered_of job =
+    match Work.read_result ~spool ~job with
+    | None -> "(result file missing)\n"
+    | Some kvs -> (
+        match Option.bind (List.assoc_opt "rendered" kvs) Frame.unescape with
+        | Some r -> r
+        | None ->
+            (* a result file from before the rendered blob existed:
+               reconstruct the essentials rather than fail the wait *)
+            let get k = Option.value ~default:"?" (List.assoc_opt k kvs) in
+            Printf.sprintf "rung:     %s\nmakespan: %s\nbudget:   %s\nallocation: %s\n"
+              (get "rung") (get "makespan") (get "budget_used") (get "allocation"))
+  in
+  let terminal_response job =
+    let id = id_of_job job in
+    match status_of job with
+    | Some (Journal.Completed _) -> Protocol.Result { id; rendered = rendered_of job }
+    | Some (Journal.Dead { attempts; error_class }) ->
+        Protocol.Failed { id; error_class; attempts }
+    | _ -> Protocol.Errored { code = "internal"; msg = "job not terminal" }
+  in
+  let notify_waiters job =
+    match Hashtbl.find_opt waiters job with
+    | None -> ()
+    | Some cs ->
+        Hashtbl.remove waiters job;
+        let resp = terminal_response job in
+        List.iter
+          (fun c ->
+            if List.memq c !conns then begin
+              Conn.send c resp;
+              Conn.remove_wait c (id_of_job job)
+            end)
+          cs
+  in
+  let complete job =
+    let elapsed_ms =
+      match Hashtbl.find_opt started_at job with
+      | Some t0 ->
+          Hashtbl.remove started_at job;
+          int_of_float ((now () -. t0) *. 1000.)
+      | None -> 0
+    in
+    Admission.finish admission ~id:job ~elapsed_ms;
+    notify_waiters job
+  in
+  (* ---------------------------------------------------------------- *)
+  (* workers: forked Pool.worker_loop children, pool wire protocol     *)
+  let spawn () =
+    let ar, aw = Unix.pipe () in
+    let br, bw = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+        Unix.close aw;
+        Unix.close br;
+        List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
+        List.iter (fun c -> try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ()) !conns;
+        List.iter
+          (fun w ->
+            Unix.close w.to_w;
+            Unix.close w.from_w)
+          !workers;
+        (try Unix.close (Journal.fd journal) with Unix.Unix_error _ -> ());
+        Pool.worker_loop cfg.service ~from_parent:ar ~to_parent:bw
+    | pid ->
+        Unix.close ar;
+        Unix.close bw;
+        let w = { pid; to_w = aw; from_w = br; reader = Frame.reader (); current = None } in
+        workers := !workers @ [ w ];
+        log "spawned worker %d" pid
+  in
+  let handle_death w =
+    (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+    (try Unix.close w.from_w with Unix.Unix_error _ -> ());
+    reap w.pid;
+    workers := List.filter (fun x -> x.pid <> w.pid) !workers;
+    match w.current with
+    | None -> ()
+    | Some (job, attempt) ->
+        (* claim replay: the attempt is consumed (states still Running),
+           the job goes back in line and resumes from its checkpoint *)
+        log "worker %d died holding %s (attempt %d)" w.pid job attempt;
+        w.current <- None;
+        if not !force then Admission.requeue admission ~id:job
+  in
+  let max_attempts = cfg.service.Work.max_attempts in
+  let handle_report w payload =
+    match (w.current, Pool.parse_report payload) with
+    | ( Some (job, attempt),
+        Some (Pool.Solved { attempt = a; makespan; budget_used; fuel; cached }) )
+      when a = attempt ->
+        record (Journal.Done { attempt; makespan; budget_used; fuel; cached }) job;
+        w.current <- None;
+        complete job
+    | ( Some (job, attempt),
+        Some (Pool.Failed { attempt = a; error_class; transient; backoff }) )
+      when a = attempt ->
+        w.current <- None;
+        if transient && attempt < max_attempts then begin
+          (* the deterministic backoff is journaled for forensics, but a
+             serving daemon never idles a slot waiting for it *)
+          record (Journal.Failed { attempt; error_class; transient = true; backoff }) job;
+          Admission.requeue admission ~id:job
+        end
+        else begin
+          record (Journal.Failed { attempt; error_class; transient = false; backoff = 0 }) job;
+          complete job
+        end
+    | Some (job, attempt), Some (Pool.Abandoned { attempt = a }) when a = attempt ->
+        record (Journal.Abandoned { attempt }) job;
+        w.current <- None;
+        if not !force then Admission.requeue admission ~id:job
+    | _, _ -> log "unexpected worker message %S ignored" payload
+  in
+  let worker_readable w =
+    let buf = Bytes.create 4096 in
+    match Unix.read w.from_w buf 0 4096 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | 0 -> handle_death w
+    | n ->
+        List.iter
+          (function
+            | `Frame payload -> handle_report w payload
+            | `Corrupt line -> log "unframed line from worker %d ignored: %S" w.pid line
+            | `Overflow -> handle_death w)
+          (Frame.feed w.reader (Bytes.sub_string buf 0 n))
+  in
+  let rec assign_idle () =
+    match List.find_opt (fun w -> w.current = None) !workers with
+    | None -> ()
+    | Some w -> (
+        match Admission.take admission with
+        | None -> ()
+        | Some job -> (
+            match next_attempt job with
+            | None ->
+                (* adopted twice or completed while queued *)
+                complete job;
+                assign_idle ()
+            | Some attempt when attempt > max_attempts ->
+                record
+                  (Journal.Failed
+                     {
+                       attempt = max_attempts;
+                       error_class = "retries-exhausted";
+                       transient = false;
+                       backoff = 0;
+                     })
+                  job;
+                complete job;
+                assign_idle ()
+            | Some attempt ->
+                record (Journal.Started { attempt }) job;
+                Hashtbl.replace started_at job (now ());
+                w.current <- Some (job, attempt);
+                log "assign %s (attempt %d) to worker %d" job attempt w.pid;
+                (try Pool.send w.to_w (Pool.assignment ~job ~attempt)
+                 with Unix.Unix_error _ -> handle_death w);
+                assign_idle ()))
+  in
+  (* ---------------------------------------------------------------- *)
+  (* requests                                                          *)
+  let write_instance ~job text =
+    let final = Filename.concat spool job in
+    let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let b = Bytes.of_string text in
+        let len = Bytes.length b in
+        let written = ref 0 in
+        while !written < len do
+          written := !written + Unix.write fd b !written (len - !written)
+        done;
+        Unix.fsync fd);
+    Unix.rename tmp final
+  in
+  let handle_request c = function
+    | Protocol.Hello _ ->
+        Conn.send c (Protocol.Welcome { version = Protocol.version; max_frame = cfg.max_frame })
+    | Protocol.Ping -> Conn.send c Protocol.Pong
+    | Protocol.Bye -> Conn.close_after_flush c
+    | Protocol.Status { id } ->
+        let json = Jobview.json_of ~id (status_of (job_of_id id)) in
+        Conn.send c (Protocol.Status_is { id; json })
+    | Protocol.Wait { id } ->
+        let job = job_of_id id in
+        if terminal job then Conn.send c (terminal_response job)
+        else if status_of job <> None then begin
+          Conn.add_wait c id;
+          Hashtbl.replace waiters job
+            (c :: Option.value ~default:[] (Hashtbl.find_opt waiters job))
+        end
+        else Conn.send c (Protocol.Errored { code = "unknown-job"; msg = id })
+    | Protocol.Submit { name; body } ->
+        if !drain then
+          Conn.send c (Protocol.Shed { retry_after_ms = Admission.retry_after_ms admission })
+        else begin
+          match E.Engine.load_string body with
+          | Error e ->
+              Conn.send c
+                (Protocol.Errored { code = E.Error.class_name e; msg = E.Error.to_string e })
+          | Ok p -> (
+              let id = Work.digest_of cfg.service p in
+              let job = job_of_id id in
+              if status_of job <> None then begin
+                log "submit %s: coalesced onto %s" name id;
+                Conn.send c (Protocol.Accepted { id })
+              end
+              else
+                match Admission.offer admission ~id:job with
+                | `Shed ms ->
+                    log "submit %s: shed (queue full)" name;
+                    Conn.send c (Protocol.Shed { retry_after_ms = ms })
+                | `Duplicate -> Conn.send c (Protocol.Accepted { id })
+                | `Admitted ->
+                    (* durability order: instance file, then journal
+                       record, then the accepted reply — a crash between
+                       any two steps leaves either an adoptable spool
+                       file or a fully journaled job, never an accepted
+                       ghost *)
+                    write_instance ~job (Rtt_core.Io.to_string p);
+                    record Journal.Queued job;
+                    log "submit %s: accepted as %s" name id;
+                    Conn.send c (Protocol.Accepted { id }))
+        end
+  in
+  let conn_readable c =
+    match Conn.read c ~now:(now ()) with
+    | `Again -> ()
+    | `Eof -> drop_conn c
+    | `Frames items ->
+        List.iter
+          (fun item ->
+            if not (Conn.closing c) then
+              match item with
+              | `Frame payload -> (
+                  match Protocol.parse_request payload with
+                  | Ok req -> handle_request c req
+                  | Error msg -> Conn.send c (Protocol.Errored { code = "bad-request"; msg }))
+              | `Corrupt _ ->
+                  (* past a torn frame, stream sync cannot be trusted *)
+                  Conn.send c
+                    (Protocol.Errored { code = "bad-frame"; msg = "CRC or framing failure" });
+                  Conn.close_after_flush c
+              | `Overflow ->
+                  Conn.send c
+                    (Protocol.Errored
+                       {
+                         code = "frame-overflow";
+                         msg = Printf.sprintf "line exceeds %d bytes" cfg.max_frame;
+                       });
+                  Conn.close_after_flush c)
+          items
+  in
+  let conn_flush c =
+    match Conn.flush c with
+    | `Closed -> drop_conn c
+    | `Done -> if Conn.closing c then drop_conn c
+    | `Again -> ()
+  in
+  let accept_conn lfd =
+    match Unix.accept lfd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | fd, sa ->
+        Unix.set_nonblock fd;
+        let peer =
+          match sa with
+          | Unix.ADDR_UNIX _ -> "unix"
+          | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+        in
+        conns := Conn.create ~max_frame:cfg.max_frame ~peer ~now:(now ()) fd :: !conns;
+        log "accepted connection (%s)" peer
+  in
+  (* ---------------------------------------------------------------- *)
+  (* shutdown                                                          *)
+  let finish_workers () =
+    if !force then
+      List.iter
+        (fun w -> try Unix.kill w.pid Sys.sigterm with Unix.Unix_error _ -> ())
+        !workers
+    else
+      List.iter
+        (fun w -> try Pool.send w.to_w Pool.quit_payload with Unix.Unix_error _ -> ())
+        !workers;
+    let busy () = List.exists (fun w -> w.current <> None) !workers in
+    let deadline = now () +. 30.0 in
+    while busy () && now () < deadline do
+      let fds = List.map (fun w -> w.from_w) !workers in
+      match Unix.select fds [] [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | r, _, _ ->
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun w -> w.from_w = fd) !workers with
+              | Some w -> worker_readable w
+              | None -> ())
+            r
+    done;
+    List.iter
+      (fun w ->
+        (match w.current with
+        | Some (job, attempt) ->
+            (* unresponsive after the grace period: record the
+               abandonment on its behalf and kill it *)
+            record (Journal.Abandoned { attempt }) job;
+            w.current <- None;
+            (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
+        | None -> ());
+        (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+        (try Unix.close w.from_w with Unix.Unix_error _ -> ());
+        reap w.pid)
+      !workers;
+    workers := []
+  in
+  let exit_code () =
+    if !force then Supervisor.shutdown_exit_code
+    else if List.exists (function _, Journal.Dead _ -> true | _ -> false) !states then
+      Supervisor.failed_jobs_exit_code
+    else Supervisor.drained_exit_code
+  in
+  (* ---------------------------------------------------------------- *)
+  (* the event loop                                                    *)
+  let on_signal _ = if !drain then force := true else drain := true in
+  let saved_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+  let saved_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  let saved_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm saved_term;
+      Sys.set_signal Sys.sigint saved_int;
+      Sys.set_signal Sys.sigpipe saved_pipe;
+      Journal.close journal)
+    (fun () ->
+      match
+        let l = listen_unix cfg.socket_path in
+        l :: (match cfg.tcp with Some hp -> [ listen_tcp hp ] | None -> [])
+      with
+      | exception Failure msg ->
+          Printf.eprintf "rtt: %s\n%!" msg;
+          124
+      | ls ->
+          listeners := ls;
+          (* adopt the startup backlog: every spool instance file is
+             journaled and every non-terminal one re-admitted — the
+             accepted jobs of a crashed daemon are solved, not lost *)
+          let backlog = Work.jobs_in ~spool in
+          List.iter (fun job -> if status_of job = None then record Journal.Queued job) backlog;
+          List.iter
+            (fun job -> if not (terminal job) then Admission.force admission ~id:job)
+            backlog;
+          for _ = 1 to max 1 cfg.service.Work.workers do
+            spawn ()
+          done;
+          log "listening on %s (%d jobs adopted)" cfg.socket_path (Admission.queued admission);
+          let running = ref true in
+          while !running do
+            if !force then running := false
+            else begin
+              assign_idle ();
+              let workers_idle = List.for_all (fun w -> w.current = None) !workers in
+              if
+                !drain
+                && Admission.queued admission = 0
+                && Admission.in_flight admission = 0
+                && workers_idle
+              then running := false
+              else begin
+                let reads =
+                  !listeners
+                  @ List.filter_map
+                      (fun c -> if Conn.closing c then None else Some (Conn.fd c))
+                      !conns
+                  @ List.map (fun w -> w.from_w) !workers
+                in
+                let writes =
+                  List.filter_map
+                    (fun c -> if Conn.wants_write c then Some (Conn.fd c) else None)
+                    !conns
+                in
+                (match Unix.select reads writes [] 0.25 with
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                | r, wr, _ ->
+                    List.iter
+                      (fun fd ->
+                        if List.mem fd !listeners then accept_conn fd
+                        else
+                          match List.find_opt (fun w -> w.from_w = fd) !workers with
+                          | Some w -> worker_readable w
+                          | None -> (
+                              match List.find_opt (fun c -> Conn.fd c = fd) !conns with
+                              | Some c -> conn_readable c
+                              | None -> ()))
+                      r;
+                    List.iter
+                      (fun fd ->
+                        match List.find_opt (fun c -> Conn.fd c = fd) !conns with
+                        | Some c -> conn_flush c
+                        | None -> ())
+                      wr);
+                (* opportunistic flush of freshly queued replies *)
+                List.iter
+                  (fun c -> if Conn.wants_write c || Conn.closing c then conn_flush c)
+                  !conns;
+                (* read-deadline sweep; unanswered waiters are exempt *)
+                let t = now () in
+                List.iter
+                  (fun c ->
+                    if Conn.waits c = [] && Conn.idle_for c ~now:t > cfg.idle_timeout then begin
+                      log "closing idle connection (%s)" (Conn.peer c);
+                      drop_conn c
+                    end)
+                  !conns;
+                (* keep the worker complement up while there is work *)
+                if (not !drain) || Admission.queued admission > 0 then begin
+                  let width = max 1 cfg.service.Work.workers in
+                  while List.length !workers < width do
+                    spawn ()
+                  done
+                end
+              end
+            end
+          done;
+          log "%s" (if !force then "forced shutdown" else "drained; shutting down");
+          finish_workers ();
+          (* answer anything still waiting: terminal jobs truthfully, the
+             rest (forced shutdown) with a shutdown error so the client
+             knows to resubmit or re-wait against the next daemon *)
+          Hashtbl.iter
+            (fun job cs ->
+              List.iter
+                (fun c ->
+                  if List.memq c !conns then
+                    Conn.send c
+                      (if terminal job then terminal_response job
+                       else Protocol.Errored { code = "shutdown"; msg = id_of_job job }))
+                cs)
+            waiters;
+          Hashtbl.reset waiters;
+          List.iter (fun c -> ignore (Conn.flush c)) !conns;
+          List.iter (fun c -> try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ()) !conns;
+          conns := [];
+          List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
+          listeners := [];
+          (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+          exit_code ())

@@ -1,0 +1,54 @@
+(** The network daemon: the batch service behind a socket.
+
+    [run] listens on a Unix-domain socket (and optionally TCP), speaks
+    the {!Protocol} over {!Rtt_service.Frame}d lines, and bridges
+    accepted submissions into the same spool + journal + worker + cache
+    machinery as [rtt serve] — a submission becomes a spool instance
+    file named [<digest>.rtt] plus a journaled [Queued] record
+    {e before} the client hears [accepted], so an accepted job survives
+    a daemon [kill -9] and is adopted (and solved) by the next daemon
+    started on the same spool. Duplicate submissions coalesce onto one
+    job by construction: the job id {e is} the instance's
+    {!Rtt_engine.Fingerprint} digest.
+
+    Concurrency is a single-threaded [select] loop over the listeners,
+    the client connections, and the pipes of forked workers — the
+    workers run {!Rtt_service.Pool.worker_loop} and speak the pool's
+    wire protocol verbatim; the daemon process is the sole journal
+    writer, so exactly-once and claim-replay are inherited from the
+    pool's discipline, not re-implemented.
+
+    Admission is bounded ({!Admission}): a submission past capacity is
+    answered [shed <retry-after-ms>], never queued unboundedly and
+    never silently dropped. Per-connection defenses: a read deadline
+    ([idle_timeout], connections with unanswered waits are exempt) and
+    a maximum frame size ([max_frame], an overlong line poisons only
+    that connection).
+
+    Shutdown: the first SIGTERM/SIGINT starts a drain — no new
+    submissions (they shed), the admitted backlog finishes, in-flight
+    clients get their answers, then exit with
+    {!Rtt_service.Supervisor.drained_exit_code} (or
+    [failed_jobs_exit_code] if any job died). A second signal forces:
+    workers are told to checkpoint and abandon, and the exit code is
+    {!Rtt_service.Supervisor.shutdown_exit_code}. *)
+
+type config = {
+  service : Rtt_service.Work.config;
+      (** Spool, budget, policy, workers, cache — exactly [rtt serve]'s
+          knobs; the daemon is the same service with a socket in
+          front. *)
+  socket_path : string;  (** Unix-domain listening socket. *)
+  tcp : (string * int) option;  (** Optional additional TCP listener. *)
+  queue_capacity : int;  (** Admission bound (queued + in flight). *)
+  max_frame : int;  (** Per-connection inbound line limit, bytes. *)
+  idle_timeout : float;  (** Read deadline, seconds. *)
+}
+
+val default_config : spool:string -> socket_path:string -> config
+(** [rtt serve] service defaults; no TCP, capacity 64, 16 MiB frames,
+    30 s read deadline. *)
+
+val run : config -> int
+(** Serve until signalled. Returns an exit code (see above); the
+    listening socket file is removed on the way out. *)

@@ -1,0 +1,120 @@
+open Rtt_service
+
+let version = 1
+
+type request =
+  | Hello of { version : int }
+  | Submit of { name : string; body : string }
+  | Status of { id : string }
+  | Wait of { id : string }
+  | Ping
+  | Bye
+
+type response =
+  | Welcome of { version : int; max_frame : int }
+  | Accepted of { id : string }
+  | Shed of { retry_after_ms : int }
+  | Status_is of { id : string; json : string }
+  | Result of { id : string; rendered : string }
+  | Failed of { id : string; error_class : string; attempts : int }
+  | Errored of { code : string; msg : string }
+  | Pong
+
+let esc = Frame.escape
+
+let encode_request = function
+  | Hello { version } -> Printf.sprintf "hello %d" version
+  | Submit { name; body } ->
+      (* the length is of the unescaped body: the receiver re-checks it
+         after unescaping, so a torn or spliced frame that still passes
+         the CRC (a client bug, not line noise) cannot silently submit
+         a truncated instance *)
+      Printf.sprintf "submit %s %d %s" (esc name) (String.length body) (esc body)
+  | Status { id } -> Printf.sprintf "status %s" (esc id)
+  | Wait { id } -> Printf.sprintf "wait %s" (esc id)
+  | Ping -> "ping"
+  | Bye -> "bye"
+
+let encode_response = function
+  | Welcome { version; max_frame } -> Printf.sprintf "welcome %d %d" version max_frame
+  | Accepted { id } -> Printf.sprintf "accepted %s" (esc id)
+  | Shed { retry_after_ms } -> Printf.sprintf "shed %d" retry_after_ms
+  | Status_is { id; json } -> Printf.sprintf "status-is %s %s" (esc id) (esc json)
+  | Result { id; rendered } -> Printf.sprintf "result %s %s" (esc id) (esc rendered)
+  | Failed { id; error_class; attempts } ->
+      Printf.sprintf "failed %s %s %d" (esc id) (esc error_class) attempts
+  | Errored { code; msg } -> Printf.sprintf "error %s %s" (esc code) (esc msg)
+  | Pong -> "pong"
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+let unesc what s =
+  match Frame.unescape s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "malformed escape in %s" what)
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> Ok n
+  | _ -> Error (Printf.sprintf "bad %s %S" what s)
+
+let ( let* ) = Result.bind
+
+let parse_request payload =
+  match String.split_on_char ' ' payload with
+  | [ "hello"; v ] ->
+      let* version = int_field "version" v in
+      Ok (Hello { version })
+  | [ "submit"; name; len; body ] ->
+      let* name = unesc "name" name in
+      let* len = int_field "length" len in
+      let* body = unesc "body" body in
+      if String.length body <> len then
+        Error
+          (Printf.sprintf "length mismatch: declared %d bytes, body has %d" len
+             (String.length body))
+      else Ok (Submit { name; body })
+  | [ "status"; id ] ->
+      let* id = unesc "id" id in
+      Ok (Status { id })
+  | [ "wait"; id ] ->
+      let* id = unesc "id" id in
+      Ok (Wait { id })
+  | [ "ping" ] -> Ok Ping
+  | [ "bye" ] -> Ok Bye
+  | verb :: _ -> Error (Printf.sprintf "unknown or malformed request %S" verb)
+  | [] -> Error "empty request"
+
+let parse_response payload =
+  match String.split_on_char ' ' payload with
+  | [ "welcome"; v; mf ] ->
+      let* version = int_field "version" v in
+      let* max_frame = int_field "max-frame" mf in
+      Ok (Welcome { version; max_frame })
+  | [ "accepted"; id ] ->
+      let* id = unesc "id" id in
+      Ok (Accepted { id })
+  | [ "shed"; ms ] ->
+      let* retry_after_ms = int_field "retry-after" ms in
+      Ok (Shed { retry_after_ms })
+  | [ "status-is"; id; json ] ->
+      let* id = unesc "id" id in
+      let* json = unesc "json" json in
+      Ok (Status_is { id; json })
+  | [ "result"; id; rendered ] ->
+      let* id = unesc "id" id in
+      let* rendered = unesc "rendered" rendered in
+      Ok (Result { id; rendered })
+  | [ "failed"; id; cls; a ] ->
+      let* id = unesc "id" id in
+      let* error_class = unesc "class" cls in
+      let* attempts = int_field "attempts" a in
+      Ok (Failed { id; error_class; attempts })
+  | [ "error"; code; msg ] ->
+      let* code = unesc "code" code in
+      let* msg = unesc "message" msg in
+      Ok (Errored { code; msg })
+  | [ "pong" ] -> Ok Pong
+  | verb :: _ -> Error (Printf.sprintf "unknown or malformed response %S" verb)
+  | [] -> Error "empty response"

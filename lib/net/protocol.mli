@@ -1,0 +1,94 @@
+(** The daemon's wire protocol: every frame type, both directions.
+
+    Transport: one {!Rtt_service.Frame} per message — a single line
+    ["<crc-8-hex> <payload>\n"] whose CRC-32 covers the payload alone.
+    Payloads are space-tokenized; any field that can carry arbitrary
+    bytes (names, instance bodies, rendered results, error messages) is
+    percent-encoded with {!Rtt_service.Frame.escape}. A line that fails
+    the CRC is a [`Corrupt] frame and ends the conversation (the daemon
+    replies [error bad-frame] and closes — stream sync cannot be
+    trusted past a torn frame); a line longer than the daemon's
+    [--max-frame] poisons the connection ([error frame-overflow],
+    close).
+
+    {1 Requests (client -> daemon)}
+
+    - [hello <version>] — handshake; the daemon answers {!Welcome}.
+      Optional but recommended: it is how a client learns the daemon's
+      frame-size limit before submitting a large instance.
+    - [submit <name> <length> <body>] — submit an instance. [name] is a
+      client-chosen label (logging only, escaped); [body] is the
+      instance text (escaped); [length] is the byte length of the
+      {e unescaped} body and must match exactly — a mismatch means the
+      frame was torn or the client is buggy, and parses as an error
+      rather than a shorter instance. Answered by {!Accepted} (the
+      durable job id — the instance's {!Rtt_engine.Fingerprint}
+      digest, so duplicate submissions coalesce onto one job),
+      {!Shed} (admission queue full, retry later) or {!Errored}
+      (unparseable instance; the code is the
+      {!Rtt_engine.Error.class_name}).
+    - [status <job-id>] — answered by {!Status_is} with the job's
+      {!Rtt_service.Jobview} JSON (state ["unknown"] for a job the
+      daemon has never seen).
+    - [wait <job-id>] — answered by {!Result} or {!Failed} once the job
+      reaches a terminal state (immediately if it already has);
+      {!Errored} with code [unknown-job] if the daemon has no trace of
+      it. A connection may wait on several jobs; answers carry the id.
+    - [ping] — liveness probe, answered by {!Pong}. Also resets the
+      connection's read deadline.
+    - [bye] — polite close; the daemon flushes pending replies and
+      closes the connection.
+
+    {1 Responses (daemon -> client)}
+
+    - [welcome <version> <max-frame>] — handshake answer.
+    - [accepted <job-id>] — the submission is durable: instance file
+      and journal record survive a daemon crash from this frame on.
+    - [shed <retry-after-ms>] — admission queue full (or the daemon is
+      draining after SIGTERM); nothing was recorded. The hint is the
+      daemon's estimate of when a slot frees up.
+    - [status-is <job-id> <json>] — one {!Rtt_service.Jobview} object,
+      escaped.
+    - [result <job-id> <rendered>] — terminal success. [rendered]
+      (escaped) is byte-identical to what [rtt solve] prints for the
+      same instance and configuration.
+    - [failed <job-id> <class> <attempts>] — terminal failure with the
+      journaled error class.
+    - [error <code> <message>] — request-level failure; [code] is a
+      stable kebab-case token ([bad-frame], [frame-overflow],
+      [unknown-job], [bad-request], or an engine
+      {!Rtt_engine.Error.class_name}).
+    - [pong] — answer to [ping]. *)
+
+val version : int
+(** Protocol version, currently 1. *)
+
+type request =
+  | Hello of { version : int }
+  | Submit of { name : string; body : string }
+  | Status of { id : string }
+  | Wait of { id : string }
+  | Ping
+  | Bye
+
+type response =
+  | Welcome of { version : int; max_frame : int }
+  | Accepted of { id : string }
+  | Shed of { retry_after_ms : int }
+  | Status_is of { id : string; json : string }
+  | Result of { id : string; rendered : string }
+  | Failed of { id : string; error_class : string; attempts : int }
+  | Errored of { code : string; msg : string }
+  | Pong
+
+val encode_request : request -> string
+(** The frame payload (not yet framed — pass to
+    {!Rtt_service.Frame.write}). *)
+
+val parse_request : string -> (request, string) result
+(** Inverse of {!encode_request} on a frame payload. [Error] carries a
+    human-readable reason (unknown verb, arity, length mismatch,
+    malformed escape). *)
+
+val encode_response : response -> string
+val parse_response : string -> (response, string) result

@@ -7,7 +7,7 @@ let store ~spool ~job snapshot =
   Fun.protect
     ~finally:(fun () -> Unix.close fd)
     (fun () ->
-      let line = Printf.sprintf "%08lx %s" (Journal.crc32 snapshot) snapshot in
+      let line = Frame.frame snapshot in
       let bytes = Bytes.of_string line in
       let len = Bytes.length bytes in
       let written = ref 0 in
@@ -25,12 +25,6 @@ let load ~spool ~job =
         ~finally:(fun () -> close_in ic)
         (fun () ->
           let len = in_channel_length ic in
-          let line = really_input_string ic len in
-          if len < 9 || line.[8] <> ' ' then None
-          else
-            let snapshot = String.sub line 9 (len - 9) in
-            match int_of_string_opt ("0x" ^ String.sub line 0 8) with
-            | Some crc when Int32.of_int crc = Journal.crc32 snapshot -> Some snapshot
-            | _ -> None)
+          Frame.unframe (really_input_string ic len))
 
 let clear ~spool ~job = try Sys.remove (path ~spool ~job) with Sys_error _ -> ()

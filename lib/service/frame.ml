@@ -1,0 +1,116 @@
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected), table-driven                        *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* framing                                                             *)
+
+let frame payload = Printf.sprintf "%08lx %s" (crc32 payload) payload
+
+let unframe line =
+  match String.index_opt line ' ' with
+  | Some 8 -> (
+      let payload = String.sub line 9 (String.length line - 9) in
+      match int_of_string_opt ("0x" ^ String.sub line 0 8) with
+      | Some crc when Int32.of_int crc = crc32 payload -> Some payload
+      | _ -> None)
+  | _ -> None
+
+let rec write_all fd bytes off len =
+  if len > 0 then
+    match Unix.write fd bytes off len with
+    | n -> write_all fd bytes (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
+
+let write fd payload =
+  let b = Bytes.of_string (frame payload ^ "\n") in
+  write_all fd b 0 (Bytes.length b)
+
+(* ------------------------------------------------------------------ *)
+(* token escaping                                                      *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '%' | '\n' | '\r' -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 < n then begin
+        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+        | Some code ->
+            Buffer.add_char buf (Char.chr code);
+            go (i + 3)
+        | None -> None
+      end
+      else None
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* incremental reader                                                  *)
+
+type reader = { max_frame : int; buf : Buffer.t; mutable poisoned : bool }
+
+let reader ?(max_frame = 16 * 1024 * 1024) () =
+  { max_frame; buf = Buffer.create 256; poisoned = false }
+
+let buffered r = Buffer.length r.buf
+
+let feed r chunk =
+  if r.poisoned then [ `Overflow ]
+  else begin
+    Buffer.add_string r.buf chunk;
+    let s = Buffer.contents r.buf in
+    let items = ref [] in
+    let start = ref 0 in
+    (try
+       while true do
+         let nl = String.index_from s !start '\n' in
+         let line = String.sub s !start (nl - !start) in
+         items :=
+           (match unframe line with Some p -> `Frame p | None -> `Corrupt line) :: !items;
+         start := nl + 1
+       done
+     with Not_found -> ());
+    Buffer.clear r.buf;
+    Buffer.add_substring r.buf s !start (String.length s - !start);
+    if Buffer.length r.buf >= r.max_frame then begin
+      r.poisoned <- true;
+      List.rev (`Overflow :: !items)
+    end
+    else List.rev !items
+  end

@@ -1,0 +1,63 @@
+(** CRC-32 line framing — the one wire discipline shared by every
+    byte stream in the system: the write-ahead journal, checkpoint
+    sidecars, the worker-pool pipes, and the network daemon's socket
+    protocol.
+
+    A frame is a single line ["<crc-as-8-hex> <payload>"], where the
+    CRC-32 (IEEE 802.3, reflected) is computed over the payload alone.
+    The payload must not contain a newline; payloads that need to carry
+    arbitrary bytes (job names, instance file contents) go through
+    {!escape} first. Anything that fails the CRC or the framing shape
+    reads back as [None] — a protocol bug or a torn write becomes an
+    ignorable line, never a silently misparsed message. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3, reflected), table-driven. *)
+
+val frame : string -> string
+(** [frame payload] is ["<crc8hex> <payload>"], without a trailing
+    newline. The payload must not contain ['\n'] (see {!escape}). *)
+
+val unframe : string -> string option
+(** Inverse of {!frame} on a single line (no trailing newline):
+    [Some payload] iff the line has the framing shape and the CRC
+    matches. *)
+
+val write : Unix.file_descr -> string -> unit
+(** [write fd payload] writes [frame payload ^ "\n"] fully, retrying
+    on [EINTR] and short writes. Raises [Unix.Unix_error] like
+    [Unix.write] on a broken pipe. *)
+
+(** {1 Token escaping}
+
+    Frames are newline-terminated and their payloads token-split on
+    spaces, so any field that can contain arbitrary bytes is
+    percent-encoded: [' '], ['%'], ['\n'] and ['\r'] become [%XX]. *)
+
+val escape : string -> string
+
+val unescape : string -> string option
+(** [None] on a truncated or malformed [%XX] sequence. *)
+
+(** {1 Incremental reader}
+
+    Splits an arbitrary byte stream (socket reads, pipe reads) into
+    frames, tolerating any chunking. A line longer than [max_frame]
+    bytes poisons the reader — every subsequent feed yields
+    [`Overflow] — because an unbounded line is exactly the
+    slow-loris / malicious-client shape the limit exists to stop. *)
+
+type reader
+
+val reader : ?max_frame:int -> unit -> reader
+(** A fresh reader. [max_frame] (default 16 MiB) bounds a single
+    line, terminator included. *)
+
+val feed : reader -> string -> [ `Frame of string | `Corrupt of string | `Overflow ] list
+(** Feed a chunk; returns the completed items in stream order.
+    [`Frame p] is a CRC-valid payload, [`Corrupt line] a complete line
+    that failed {!unframe}, [`Overflow] (terminal, reported once per
+    poisoned feed) a line that exceeded [max_frame]. *)
+
+val buffered : reader -> int
+(** Bytes currently held for an incomplete line. *)

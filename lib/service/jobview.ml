@@ -1,0 +1,45 @@
+(* Minimal JSON emission: the object shape is fixed and flat, so a
+   string escaper plus a few printfs beats a dependency. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of ~id status =
+  let state = match status with None -> "unknown" | Some s -> Journal.status_name s in
+  let attempts =
+    match status with
+    | None -> 0
+    | Some (Journal.Pending { attempts }) | Some (Journal.Dead { attempts; _ }) -> attempts
+    | Some (Journal.Running { attempt })
+    | Some (Journal.Interrupted { attempt })
+    | Some (Journal.Completed { attempt; _ }) ->
+        attempt
+  in
+  let fuel =
+    match status with Some (Journal.Completed { fuel; _ }) -> string_of_int fuel | _ -> "null"
+  in
+  let cache_hit =
+    match status with
+    | Some (Journal.Completed { cached; _ }) -> string_of_bool cached
+    | _ -> "null"
+  in
+  let error =
+    match status with
+    | Some (Journal.Dead { error_class; _ }) -> Printf.sprintf "%S" (escape error_class)
+    | _ -> "null"
+  in
+  Printf.sprintf
+    "{\"id\":\"%s\",\"state\":\"%s\",\"attempts\":%d,\"fuel\":%s,\"cache_hit\":%s,\"error\":%s}"
+    (escape id) (escape state) attempts fuel cache_hit error

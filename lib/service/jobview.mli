@@ -1,0 +1,22 @@
+(** The one machine-readable job serializer.
+
+    [rtt jobs --json] (spool view) and [rtt status] (daemon view) both
+    print exactly this rendering, one JSON object per job, so scripts
+    never have to reconcile two formats. Fields:
+
+    - [id]: the job's identity — its spool instance name without the
+      [.rtt] suffix, which for daemon submissions is the instance's
+      {!Rtt_engine.Fingerprint} digest;
+    - [state]: ["pending" | "running" | "interrupted" | "done" |
+      "failed" | "unknown"] ({!Journal.status_name}, or ["unknown"]
+      when no journal entry exists);
+    - [attempts]: attempts consumed (the in-flight one included);
+    - [fuel]: engine steps the completing attempt spent ([null] until
+      done);
+    - [cache_hit]: whether the result came from the content-addressed
+      cache ([null] until done);
+    - [error]: the terminal error class ([null] unless failed). *)
+
+val json_of : id:string -> Journal.status option -> string
+(** One JSON object on a single line, no trailing newline. [None]
+    renders as state ["unknown"]. *)

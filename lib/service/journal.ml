@@ -7,64 +7,17 @@ type event =
 
 type record = { job : string; event : event }
 
-(* ------------------------------------------------------------------ *)
-(* CRC-32 (IEEE 802.3, reflected), table-driven                        *)
+(* The CRC-32 and the line framing now live in {!Frame}, shared with
+   the pool pipes and the network daemon; the aliases below keep this
+   module the journal-facing name for them. *)
 
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           if Int32.logand !c 1l <> 0l then
-             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-           else c := Int32.shift_right_logical !c 1
-         done;
-         !c))
+let crc32 = Frame.crc32
 
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
-      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
-    s;
-  Int32.logxor !c 0xFFFFFFFFl
-
-(* ------------------------------------------------------------------ *)
 (* wire format: "<crc-as-8-hex> <payload>"; payload tokens are space-
    separated, job names percent-encoded so any file name round-trips *)
 
-let encode_job job =
-  let buf = Buffer.create (String.length job) in
-  String.iter
-    (fun c ->
-      match c with
-      | ' ' | '%' | '\n' | '\r' -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    job;
-  Buffer.contents buf
-
-let decode_job s =
-  let buf = Buffer.create (String.length s) in
-  let n = String.length s in
-  let rec go i =
-    if i >= n then Some (Buffer.contents buf)
-    else if s.[i] = '%' then
-      if i + 2 < n then begin
-        match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
-        | Some code ->
-            Buffer.add_char buf (Char.chr code);
-            go (i + 3)
-        | None -> None
-      end
-      else None
-    else begin
-      Buffer.add_char buf s.[i];
-      go (i + 1)
-    end
-  in
-  go 0
+let encode_job = Frame.escape
+let decode_job = Frame.unescape
 
 let payload_of { job; event } =
   let j = encode_job job in
@@ -115,19 +68,8 @@ let record_of_payload payload =
       | _ -> None)
   | _ -> None
 
-let encode r =
-  let payload = payload_of r in
-  Printf.sprintf "%08lx %s" (crc32 payload) payload
-
-let decode line =
-  match String.index_opt line ' ' with
-  | Some 8 -> (
-      let crc_field = String.sub line 0 8 in
-      let payload = String.sub line 9 (String.length line - 9) in
-      match int_of_string_opt ("0x" ^ crc_field) with
-      | Some crc when Int32.of_int crc = crc32 payload -> record_of_payload payload
-      | _ -> None)
-  | _ -> None
+let encode r = Frame.frame (payload_of r)
+let decode line = Option.bind (Frame.unframe line) record_of_payload
 
 (* ------------------------------------------------------------------ *)
 (* durable log                                                         *)
@@ -150,6 +92,7 @@ let append t r =
   Unix.fsync t.fd
 
 let close t = Unix.close t.fd
+let fd t = t.fd
 
 let replay ~spool =
   match open_in (path ~spool) with

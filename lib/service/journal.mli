@@ -49,6 +49,11 @@ val append : t -> record -> unit
 
 val close : t -> unit
 
+val fd : t -> Unix.file_descr
+(** The underlying descriptor — exposed so a forked child (pool or
+    daemon worker) can close its inherited copy; only the owning
+    process may write. *)
+
 val replay : spool:string -> record list
 (** The journal's valid prefix, in append order. A missing journal is
     an empty one. A record that fails CRC or framing ends the prefix:
@@ -86,10 +91,12 @@ val decode : string -> record option
 (** [None] on bad CRC or framing. *)
 
 val crc32 : string -> int32
-(** CRC-32 (IEEE 802.3) of a string, as used by the framing. *)
+(** CRC-32 (IEEE 802.3) of a string, as used by the framing.
+    Alias of {!Frame.crc32}. *)
 
 val encode_job : string -> string
 (** Percent-encode a job name so it survives space-separated framing
-    (also used by the worker-pool wire protocol). *)
+    (also used by the worker-pool wire protocol). Alias of
+    {!Frame.escape}. *)
 
 val decode_job : string -> string option

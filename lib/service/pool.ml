@@ -1,31 +1,46 @@
 open Rtt_engine
 
 (* ------------------------------------------------------------------ *)
-(* wire protocol: one framed line per message, "<crc-8-hex> <payload>",
-   same framing discipline as the journal. Pipes do not corrupt bytes,
-   but the CRC turns any protocol bug into an ignorable line instead of
-   a silently misparsed result. *)
+(* wire protocol: one {!Frame}d line per message. Pipes do not corrupt
+   bytes, but the CRC turns any protocol bug into an ignorable line
+   instead of a silently misparsed result. The payload grammar below
+   (assignments down, reports up) is shared with the network daemon,
+   whose workers speak the same protocol over the same kind of pipe. *)
 
-let frame payload = Printf.sprintf "%08lx %s\n" (Journal.crc32 payload) payload
+let send = Frame.write
 
-let unframe line =
-  match String.index_opt line ' ' with
-  | Some 8 -> (
-      let payload = String.sub line 9 (String.length line - 9) in
-      match int_of_string_opt ("0x" ^ String.sub line 0 8) with
-      | Some crc when Int32.of_int crc = Journal.crc32 payload -> Some payload
+let assignment ~job ~attempt = Printf.sprintf "solve %s %d" (Journal.encode_job job) attempt
+let quit_payload = "quit"
+
+type report =
+  | Solved of { attempt : int; makespan : int; budget_used : int; fuel : int; cached : bool }
+  | Failed of { attempt : int; error_class : string; transient : bool; backoff : int }
+  | Abandoned of { attempt : int }
+
+let report_payload = function
+  | Solved { attempt; makespan; budget_used; fuel; cached } ->
+      Printf.sprintf "ok %d %d %d %d %d" attempt makespan budget_used fuel (if cached then 1 else 0)
+  | Failed { attempt; error_class; transient; backoff } ->
+      Printf.sprintf "fail %d %s %d %d" attempt (Journal.encode_job error_class)
+        (if transient then 1 else 0)
+        backoff
+  | Abandoned { attempt } -> Printf.sprintf "abandoned %d" attempt
+
+let parse_report payload =
+  let int = int_of_string_opt in
+  match String.split_on_char ' ' payload with
+  | [ "ok"; a; ms; bu; fu; c ] -> (
+      match (int a, int ms, int bu, int fu) with
+      | Some attempt, Some makespan, Some budget_used, Some fuel when c = "0" || c = "1" ->
+          Some (Solved { attempt; makespan; budget_used; fuel; cached = c = "1" })
       | _ -> None)
+  | [ "fail"; a; cls; tr; bo ] -> (
+      match (int a, Journal.decode_job cls, int bo) with
+      | Some attempt, Some error_class, Some backoff when tr = "0" || tr = "1" ->
+          Some (Failed { attempt; error_class; transient = tr = "1"; backoff })
+      | _ -> None)
+  | [ "abandoned"; a ] -> Option.map (fun attempt -> Abandoned { attempt }) (int a)
   | _ -> None
-
-let rec write_all fd bytes off len =
-  if len > 0 then
-    match Unix.write fd bytes off len with
-    | n -> write_all fd bytes (off + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
-
-let send fd payload =
-  let b = Bytes.of_string (frame payload) in
-  write_all fd b 0 (Bytes.length b)
 
 (* ------------------------------------------------------------------ *)
 (* worker side                                                         *)
@@ -65,7 +80,7 @@ let worker_loop (cfg : Work.config) ~from_parent ~to_parent : 'a =
     match read_assignment ~stop:(fun () -> !stop) from_parent with
     | None -> Unix._exit 0
     | Some line ->
-        (match Option.map (String.split_on_char ' ') (unframe line) with
+        (match Option.map (String.split_on_char ' ') (Frame.unframe line) with
         | Some [ "quit" ] -> Unix._exit 0
         | Some [ "solve"; j; a ] -> (
             match (Journal.decode_job j, int_of_string_opt a) with
@@ -73,16 +88,19 @@ let worker_loop (cfg : Work.config) ~from_parent ~to_parent : 'a =
                 match Work.attempt cfg ~stop:(fun () -> !stop) ~log ~job ~attempt with
                 | Work.Solved (s, cached) ->
                     reply
-                      (Printf.sprintf "ok %d %d %d %d %d" attempt s.Engine.makespan
-                         s.Engine.budget_used s.Engine.fuel_spent
-                         (if cached then 1 else 0))
+                      (report_payload
+                         (Solved
+                            {
+                              attempt;
+                              makespan = s.Engine.makespan;
+                              budget_used = s.Engine.budget_used;
+                              fuel = s.Engine.fuel_spent;
+                              cached;
+                            }))
                 | Work.Failed { error_class; transient; backoff } ->
-                    reply
-                      (Printf.sprintf "fail %d %s %d %d" attempt error_class
-                         (if transient then 1 else 0)
-                         backoff)
+                    reply (report_payload (Failed { attempt; error_class; transient; backoff }))
                 | exception Work.Interrupted ->
-                    reply (Printf.sprintf "abandoned %d" attempt);
+                    reply (report_payload (Abandoned { attempt }));
                     Unix._exit 0)
             | _ -> log "undecodable assignment ignored")
         | Some _ | None -> log "undecodable assignment ignored");
@@ -195,20 +213,21 @@ let drain (cfg : Work.config) ~(record : Journal.event -> string -> unit)
         if not !stop then requeue job (attempt + 1)
   in
   let handle_message w payload =
-    match (w.current, String.split_on_char ' ' payload) with
-    | Some (job, attempt), [ "ok"; a; ms; bu; fu; c ]
-      when int_of_string_opt a = Some attempt -> (
-        match (int_of_string_opt ms, int_of_string_opt bu, int_of_string_opt fu) with
-        | Some makespan, Some budget_used, Some fuel ->
-            record
-              (Journal.Done { attempt; makespan; budget_used; fuel; cached = c = "1" })
-              job;
-            release w
-        | _ -> log (Printf.sprintf "garbled ok from worker %d ignored" w.pid))
-    | Some (job, attempt), [ "fail"; a; error_class; tr; bo ]
-      when int_of_string_opt a = Some attempt ->
-        let transient = tr = "1" in
-        let backoff = Option.value ~default:0 (int_of_string_opt bo) in
+    match (w.current, parse_report payload) with
+    | Some (job, attempt), Some (Solved r) when r.attempt = attempt ->
+        record
+          (Journal.Done
+             {
+               attempt;
+               makespan = r.makespan;
+               budget_used = r.budget_used;
+               fuel = r.fuel;
+               cached = r.cached;
+             })
+          job;
+        release w
+    | Some (job, attempt), Some (Failed { error_class; transient; backoff; attempt = a })
+      when a = attempt ->
         if transient && attempt < cfg.Work.max_attempts then begin
           record (Journal.Failed { attempt; error_class; transient = true; backoff }) job;
           if cfg.Work.sleep then
@@ -219,7 +238,7 @@ let drain (cfg : Work.config) ~(record : Journal.event -> string -> unit)
         else
           record (Journal.Failed { attempt; error_class; transient = false; backoff = 0 }) job;
         release w
-    | Some (job, attempt), [ "abandoned"; a ] when int_of_string_opt a = Some attempt ->
+    | Some (job, attempt), Some (Abandoned { attempt = a }) when a = attempt ->
         record (Journal.Abandoned { attempt }) job;
         release w;
         (* an externally signalled worker abandons and exits; if the
@@ -240,7 +259,7 @@ let drain (cfg : Work.config) ~(record : Journal.event -> string -> unit)
           | Some i ->
               let line = String.sub w.acc 0 i in
               w.acc <- String.sub w.acc (i + 1) (String.length w.acc - i - 1);
-              (match unframe line with
+              (match Frame.unframe line with
               | Some payload -> handle_message w payload
               | None -> log (Printf.sprintf "unframed line from worker %d ignored" w.pid));
               split ()
@@ -273,7 +292,7 @@ let drain (cfg : Work.config) ~(record : Journal.event -> string -> unit)
               w.current <- Some (job, attempt);
               record (Journal.Started { attempt }) job;
               log (Printf.sprintf "assign %s (attempt %d) to worker %d" job attempt w.pid);
-              (try send w.to_w (Printf.sprintf "solve %s %d" (Journal.encode_job job) attempt)
+              (try send w.to_w (assignment ~job ~attempt)
                with Unix.Unix_error _ -> handle_death w)
         end)
       idle

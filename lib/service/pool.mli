@@ -15,6 +15,39 @@
     the first occupant solves and publishes the entry, later ones are
     served from the cache. *)
 
+(** {1 Worker wire protocol}
+
+    One {!Frame}d line per message: the parent sends {!assignment}
+    payloads down, the worker sends {!report} payloads up. Exposed so
+    the network daemon can drive workers that are byte-compatible with
+    the pool's — same assignment grammar, same report grammar, same
+    {!Work.attempt} in the child. *)
+
+val worker_loop :
+  Work.config -> from_parent:Unix.file_descr -> to_parent:Unix.file_descr -> 'a
+(** The body run in a forked child: read one assignment, run the
+    shared {!Work.attempt}, report the outcome, repeat; exits the
+    process (never returns). Installs its own SIGTERM/SIGINT handlers
+    (checkpoint, report [abandoned], exit). *)
+
+val assignment : job:string -> attempt:int -> string
+(** Payload asking a worker to run [attempt] of [job]. *)
+
+val quit_payload : string
+(** Payload asking a worker to exit cleanly. *)
+
+type report =
+  | Solved of { attempt : int; makespan : int; budget_used : int; fuel : int; cached : bool }
+  | Failed of { attempt : int; error_class : string; transient : bool; backoff : int }
+  | Abandoned of { attempt : int }
+      (** The worker checkpointed and gave the job back (shutdown). *)
+
+val report_payload : report -> string
+val parse_report : string -> report option
+
+val send : Unix.file_descr -> string -> unit
+(** Frame a payload and write it fully ({!Frame.write}). *)
+
 val drain :
   Work.config ->
   record:(Journal.event -> string -> unit) ->

@@ -40,7 +40,7 @@ let read_result = Work.read_result
 (* ------------------------------------------------------------------ *)
 (* the drain loop                                                      *)
 
-let run cfg =
+let run ?(notify = fun _ -> ()) cfg =
   let spool = cfg.spool in
   let log fmt =
     Printf.ksprintf (fun s -> if cfg.verbose then Printf.eprintf "[serve] %s\n%!" s) fmt
@@ -50,7 +50,8 @@ let run cfg =
   let record event job =
     let r = { Journal.job; event } in
     Journal.append journal r;
-    states := Journal.apply !states r
+    states := Journal.apply !states r;
+    notify r
   in
   let stop = ref false in
   let install signal = Sys.signal signal (Sys.Signal_handle (fun _ -> stop := true)) in

@@ -58,9 +58,15 @@ val failed_jobs_exit_code : int
 val shutdown_exit_code : int
 (** 30 — a SIGTERM/SIGINT stopped the run; undone jobs remain resumable. *)
 
-val run : config -> int
+val run : ?notify:(Journal.record -> unit) -> config -> int
 (** Drain the spool; returns one of the exit codes above. Never raises
-    on solver failures — those are journaled. *)
+    on solver failures — those are journaled.
+
+    [notify] is called with every record immediately after it has been
+    durably journaled — the hook a front-end (the network daemon, a
+    metrics exporter) uses to observe completions without tailing the
+    journal file. It runs in the journal-owning process; keep it
+    fast and never let it raise. *)
 
 val report : spool:string -> (string * Journal.status) list
 (** Current job states: the journal's view, plus spool instance files

@@ -39,7 +39,14 @@ let jobs_in ~spool =
 
 let result_path ~spool ~job = Filename.concat spool (job ^ ".result")
 
-let write_result ~spool ~job ~attempt ~cached (s : Engine.success) =
+(* Exactly what `rtt solve` prints for this success — stored with the
+   result so a network client's `submit --wait` can be byte-identical
+   to a local solve without the daemon re-deriving anything. *)
+let render p (s : Engine.success) =
+  Format.asprintf "%a@." Engine.pp_success s
+  ^ Format.asprintf "allocation: %s@." (Engine.render_allocation p s.Engine.allocation)
+
+let write_result ?rendered ~spool ~job ~attempt ~cached (s : Engine.success) =
   let final = result_path ~spool ~job in
   (* suffix the temp name with the pid: concurrent workers finishing
      duplicate jobs must not clobber each other's in-flight temp file *)
@@ -56,6 +63,12 @@ let write_result ~spool ~job ~attempt ~cached (s : Engine.success) =
           (if cached then 1 else 0)
           (List.length s.Engine.degraded)
           (String.concat " " (Array.to_list (Array.map string_of_int s.Engine.allocation)))
+        ^
+        (* the blob is percent-encoded onto one line so the key-value
+           reader stays line-oriented *)
+        match rendered with
+        | Some r -> Printf.sprintf "rendered %s\n" (Frame.escape r)
+        | None -> ""
       in
       let bytes = Bytes.of_string text in
       let len = Bytes.length bytes in
@@ -144,7 +157,7 @@ let attempt cfg ~stop ~log ~job ~attempt =
   | Ok p -> (
       match cache_lookup cfg p ~log with
       | Some s ->
-          write_result ~spool ~job ~attempt ~cached:true s;
+          write_result ~rendered:(render p s) ~spool ~job ~attempt ~cached:true s;
           Checkpoint.clear ~spool ~job;
           log (Printf.sprintf "%s attempt %d: cache hit (makespan %d)" job attempt s.Engine.makespan);
           Solved (s, true)
@@ -170,7 +183,7 @@ let attempt cfg ~stop ~log ~job ~attempt =
                  identical (deterministic) result, so `done` is only ever
                  journaled for a durable result *)
               cache_store cfg p s;
-              write_result ~spool ~job ~attempt ~cached:false s;
+              write_result ~rendered:(render p s) ~spool ~job ~attempt ~cached:false s;
               Checkpoint.clear ~spool ~job;
               log
                 (Printf.sprintf "%s attempt %d: done (makespan %d, fuel %d)" job attempt

@@ -42,13 +42,22 @@ val jobs_in : spool:string -> string list
 
 val result_path : spool:string -> job:string -> string
 
+val render : Rtt_core.Problem.t -> Engine.success -> string
+(** Exactly the text [rtt solve] prints for this success
+    ({!Engine.pp_success} plus the allocation line) — stored under the
+    [rendered] key of the result file so the daemon can answer
+    [submit --wait] byte-identically to a local solve. *)
+
 val write_result :
+  ?rendered:string ->
   spool:string -> job:string -> attempt:int -> cached:bool -> Engine.success -> unit
-(** Atomically (tmp + fsync + rename) publish a job's result file. *)
+(** Atomically (tmp + fsync + rename) publish a job's result file.
+    [rendered] is stored percent-encoded under the [rendered] key. *)
 
 val read_result : spool:string -> job:string -> (string * string) list option
 (** The recorded result file as [key, value] pairs ([allocation] is a
-    space-separated list); [None] if absent. *)
+    space-separated list, [rendered] percent-encoded); [None] if
+    absent. *)
 
 type outcome =
   | Solved of Engine.success * bool  (** The success and whether it came from the cache. *)

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Daemon smoke test: start `rtt daemon`, throw 8 concurrent submissions
+# at it (6 unique instances + 2 duplicates), wait for every waiter, and
+# assert the spool journal shows exactly 6 jobs, all done.  The whole
+# run is wrapped in a hard timeout by the caller (CI) or the default
+# `timeout` below, so a wedged daemon is a failure, not a hang.
+set -euo pipefail
+
+RTT=${RTT:-_build/default/bin/rtt.exe}
+WORK=$(mktemp -d)
+SPOOL="$WORK/spool"
+SOCKET="$WORK/d.sock"
+mkdir -p "$SPOOL"
+
+cleanup() {
+  if [[ -n "${DAEMON_PID:-}" ]]; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# six unique instances; submissions 7 and 8 duplicate the first two
+for i in 1 2 3 4 5 6; do
+  # n = 8*i gives each instance a distinct hub count — the hub
+  # generator has few shapes per hub count, so nearby seeds collide
+  "$RTT" gen -k hub -n "$((8 * i))" --seed "$((100 + i))" > "$WORK/in_$i.txt"
+done
+cp "$WORK/in_1.txt" "$WORK/in_7.txt"
+cp "$WORK/in_2.txt" "$WORK/in_8.txt"
+
+"$RTT" daemon --spool "$SPOOL" --socket "$SOCKET" -b 3 --workers 2 &
+DAEMON_PID=$!
+
+# wait for the socket to appear (daemon binds before accepting)
+for _ in $(seq 1 100); do
+  [[ -S "$SOCKET" ]] && break
+  sleep 0.1
+done
+[[ -S "$SOCKET" ]] || { echo "FAIL: daemon never created its socket"; exit 1; }
+
+# 8 concurrent waiters; every one must come back with a rendered result
+PIDS=()
+for i in 1 2 3 4 5 6 7 8; do
+  "$RTT" submit "$WORK/in_$i.txt" --socket "$SOCKET" --wait --timeout 120 \
+    > "$WORK/out_$i.txt" &
+  PIDS+=("$!")
+done
+for pid in "${PIDS[@]}"; do
+  wait "$pid" || { echo "FAIL: a waiter exited non-zero"; exit 1; }
+done
+for i in 1 2 3 4 5 6 7 8; do
+  grep -q makespan "$WORK/out_$i.txt" \
+    || { echo "FAIL: waiter $i got no rendering"; exit 1; }
+done
+
+# duplicates must have coalesced: exactly 6 unique jobs, all done
+JOBS=$("$RTT" jobs "$SPOOL" --json)
+TOTAL=$(printf '%s\n' "$JOBS" | grep -c '"id"' || true)
+DONE=$(printf '%s\n' "$JOBS" | grep -c '"state":"done"' || true)
+if [[ "$TOTAL" -ne 6 || "$DONE" -ne 6 ]]; then
+  echo "FAIL: expected 6 unique done jobs, got total=$TOTAL done=$DONE"
+  printf '%s\n' "$JOBS"
+  exit 1
+fi
+
+# graceful shutdown: SIGTERM drains and exits 0, removing the socket
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "FAIL: drained daemon exited non-zero"; exit 1; }
+DAEMON_PID=""
+[[ -e "$SOCKET" ]] && { echo "FAIL: socket file left behind"; exit 1; }
+
+echo "PASS: 8 submissions, 6 unique jobs done, duplicates coalesced, clean drain"

@@ -1,0 +1,446 @@
+(* Tests for the network daemon: protocol codec round-trips (qcheck,
+   hostile strings included), submit length-check rejection, the
+   bounded admission queue (shed, duplicate, force, retry-after), and
+   the process-level acceptance scenarios against the real rtt binary:
+   a submit --wait whose result is byte-identical to a local solve,
+   duplicate coalescing, shed under a full queue, SIGKILL crash safety
+   (no accepted job lost, no unaccepted job journaled), and SIGTERM
+   drain that still answers in-flight waiters. *)
+
+open Rtt_net
+
+let prop name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* protocol codec                                                      *)
+
+let hostile_string_gen = QCheck.Gen.(map Bytes.unsafe_to_string (bytes_size (int_range 0 40)))
+
+let request_gen =
+  QCheck.Gen.(
+    let s = hostile_string_gen in
+    oneof
+      [
+        map (fun version -> Protocol.Hello { version }) (int_range 0 9);
+        map (fun (name, body) -> Protocol.Submit { name; body }) (pair s s);
+        map (fun id -> Protocol.Status { id }) s;
+        map (fun id -> Protocol.Wait { id }) s;
+        return Protocol.Ping;
+        return Protocol.Bye;
+      ])
+
+let response_gen =
+  QCheck.Gen.(
+    let s = hostile_string_gen in
+    let n = int_range 0 10_000 in
+    oneof
+      [
+        map (fun (version, max_frame) -> Protocol.Welcome { version; max_frame }) (pair (int_range 0 9) n);
+        map (fun id -> Protocol.Accepted { id }) s;
+        map (fun retry_after_ms -> Protocol.Shed { retry_after_ms }) n;
+        map (fun (id, json) -> Protocol.Status_is { id; json }) (pair s s);
+        map (fun (id, rendered) -> Protocol.Result { id; rendered }) (pair s s);
+        map
+          (fun (id, error_class, attempts) -> Protocol.Failed { id; error_class; attempts })
+          (triple s s (int_range 0 9));
+        map (fun (code, msg) -> Protocol.Errored { code; msg }) (pair s s);
+        return Protocol.Pong;
+      ])
+
+let protocol_props =
+  [
+    prop "request encode/parse round-trip (hostile strings)" 500
+      (QCheck.make ~print:Protocol.encode_request request_gen)
+      (fun r -> Protocol.parse_request (Protocol.encode_request r) = Ok r);
+    prop "response encode/parse round-trip (hostile strings)" 500
+      (QCheck.make ~print:Protocol.encode_response response_gen)
+      (fun r -> Protocol.parse_response (Protocol.encode_response r) = Ok r);
+    prop "encoded payloads survive the frame layer" 200
+      (QCheck.make ~print:Protocol.encode_request request_gen)
+      (fun r ->
+        let open Rtt_service in
+        Frame.unframe (Frame.frame (Protocol.encode_request r)) = Some (Protocol.encode_request r));
+  ]
+
+let protocol_units =
+  [
+    Alcotest.test_case "submit length mismatch is rejected" `Quick (fun () ->
+        let good = Protocol.encode_request (Protocol.Submit { name = "n"; body = "vertices 1" }) in
+        (* splice a wrong declared length into the otherwise valid frame *)
+        let bad =
+          match String.split_on_char ' ' good with
+          | [ verb; name; _len; body ] -> String.concat " " [ verb; name; "3"; body ]
+          | _ -> Alcotest.fail "unexpected submit shape"
+        in
+        (match Protocol.parse_request bad with
+        | Error msg -> Alcotest.(check bool) "mentions mismatch" true (contains ~needle:"mismatch" msg)
+        | Ok _ -> Alcotest.fail "length mismatch must not parse"));
+    Alcotest.test_case "unknown verbs and bad arity are errors" `Quick (fun () ->
+        List.iter
+          (fun payload ->
+            match Protocol.parse_request payload with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "%S must not parse" payload)
+          [ ""; "frobnicate"; "hello"; "hello x"; "submit a b"; "status"; "wait a b"; "ping extra" ]);
+    Alcotest.test_case "malformed escapes are errors, not misparses" `Quick (fun () ->
+        match Protocol.parse_request "status %zz" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "bad escape must not parse");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* admission queue                                                     *)
+
+let admission_units =
+  [
+    Alcotest.test_case "admit to capacity, then shed with a hint" `Quick (fun () ->
+        let a = Admission.create ~capacity:2 () in
+        Alcotest.(check bool) "first" true (Admission.offer a ~id:"a" = `Admitted);
+        Alcotest.(check bool) "second" true (Admission.offer a ~id:"b" = `Admitted);
+        (match Admission.offer a ~id:"c" with
+        | `Shed ms -> Alcotest.(check bool) "hint in [100ms,60s]" true (ms >= 100 && ms <= 60_000)
+        | _ -> Alcotest.fail "expected shed");
+        Alcotest.(check int) "queued" 2 (Admission.queued a));
+    Alcotest.test_case "duplicates never consume a second slot" `Quick (fun () ->
+        let a = Admission.create ~capacity:2 () in
+        ignore (Admission.offer a ~id:"a");
+        Alcotest.(check bool) "dup" true (Admission.offer a ~id:"a" = `Duplicate);
+        Alcotest.(check int) "queued" 1 (Admission.queued a);
+        (* still a duplicate while in flight *)
+        Alcotest.(check (option string)) "take" (Some "a") (Admission.take a);
+        Alcotest.(check bool) "dup in flight" true (Admission.offer a ~id:"a" = `Duplicate);
+        Alcotest.(check int) "in flight" 1 (Admission.in_flight a));
+    Alcotest.test_case "finish frees the slot and feeds the EWMA" `Quick (fun () ->
+        let a = Admission.create ~capacity:1 () in
+        ignore (Admission.offer a ~id:"a");
+        ignore (Admission.take a);
+        Admission.finish a ~id:"a" ~elapsed_ms:10_000;
+        Alcotest.(check bool) "slot free" true (Admission.offer a ~id:"b" = `Admitted);
+        (* one 10 s sample pushes the smoothed hint well above the floor *)
+        Alcotest.(check bool) "hint grew" true (Admission.retry_after_ms a > 1_000));
+    Alcotest.test_case "force admits a restart backlog past capacity" `Quick (fun () ->
+        let a = Admission.create ~capacity:1 () in
+        Admission.force a ~id:"a";
+        Admission.force a ~id:"b";
+        Admission.force a ~id:"a";
+        Alcotest.(check int) "both queued, no dup" 2 (Admission.queued a);
+        match Admission.offer a ~id:"c" with
+        | `Shed _ -> ()
+        | _ -> Alcotest.fail "over capacity after force: fresh submits shed");
+    Alcotest.test_case "requeue returns an in-flight job to the tail" `Quick (fun () ->
+        let a = Admission.create ~capacity:4 () in
+        ignore (Admission.offer a ~id:"a");
+        ignore (Admission.offer a ~id:"b");
+        Alcotest.(check (option string)) "take a" (Some "a") (Admission.take a);
+        Admission.requeue a ~id:"a";
+        Alcotest.(check (option string)) "b first" (Some "b") (Admission.take a);
+        Alcotest.(check (option string)) "then a again" (Some "a") (Admission.take a);
+        (* untracked ids are not resurrected *)
+        Admission.requeue a ~id:"ghost";
+        Alcotest.(check (option string)) "no ghost" None (Admission.take a));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* process-level acceptance                                            *)
+
+let rtt_exe =
+  (* under `dune runtest` the cwd is _build/default/test; under a bare
+     `dune exec` it is the workspace root *)
+  let candidates =
+    [
+      Filename.concat (Filename.dirname (Sys.getcwd ())) "bin/rtt.exe";
+      Filename.concat (Sys.getcwd ()) "_build/default/bin/rtt.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun tag ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "rtt_net_%s_%d_%d" tag (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+    else Unix.mkdir dir 0o755;
+    dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* run rtt to completion, capturing stdout *)
+let run_rtt args =
+  let out = Filename.temp_file "rtt_net_out" ".txt" in
+  let fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid = Unix.create_process rtt_exe (Array.of_list (rtt_exe :: args)) Unix.stdin fd null in
+  Unix.close fd;
+  Unix.close null;
+  let code =
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED c -> c
+    | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> 255
+  in
+  let text = read_file out in
+  Sys.remove out;
+  (code, text)
+
+let spawn_rtt args =
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid = Unix.create_process rtt_exe (Array.of_list (rtt_exe :: args)) Unix.stdin null null in
+  Unix.close null;
+  pid
+
+let wait_exit pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED c -> `Exited c
+  | _, Unix.WSIGNALED s -> `Signaled s
+  | _, Unix.WSTOPPED _ -> `Stopped
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> `Reaped
+
+let wait_for ?(timeout = 60.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () -. t0 > timeout then false
+    else begin
+      ignore (Unix.select [] [] [] 0.01);
+      go ()
+    end
+  in
+  go ()
+
+let gen_instance ~seed ~n path =
+  let code, text = run_rtt [ "gen"; "-k"; "hub"; "-n"; string_of_int n; "--seed"; string_of_int seed ] in
+  Alcotest.(check int) "gen exits 0" 0 code;
+  write_file path text
+
+let spawn_daemon ?(extra = []) ~spool ~socket () =
+  let pid =
+    spawn_rtt ([ "daemon"; "--spool"; spool; "--socket"; socket; "-b"; "3" ] @ extra)
+  in
+  if not (wait_for (fun () -> Sys.file_exists socket)) then begin
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    Alcotest.fail "daemon never created its socket"
+  end;
+  pid
+
+let kill_quietly pid signal = try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let line_with ~needle text =
+  List.find_opt (fun l -> contains ~needle l) (String.split_on_char '\n' text)
+
+let process_units =
+  [
+    Alcotest.test_case "submit --wait is byte-identical to a local solve" `Slow (fun () ->
+        let spool = fresh_dir "e2e" in
+        let socket = Filename.concat spool "d.sock" in
+        let inst = Filename.concat spool "instance.txt" in
+        gen_instance ~seed:7 ~n:16 inst;
+        let daemon = spawn_daemon ~spool ~socket () in
+        Fun.protect
+          ~finally:(fun () ->
+            kill_quietly daemon Sys.sigkill;
+            ignore (wait_exit daemon))
+          (fun () ->
+            let net_code, net_out =
+              run_rtt [ "submit"; inst; "--socket"; socket; "--wait"; "--timeout"; "60" ]
+            in
+            let local_code, local_out = run_rtt [ "solve"; inst; "--fallback"; "-b"; "3" ] in
+            Alcotest.(check int) "daemon result exit 0" 0 net_code;
+            Alcotest.(check int) "local solve exit 0" 0 local_code;
+            Alcotest.(check string) "byte-identical output" local_out net_out;
+            (* resubmission coalesces onto the same durable job id *)
+            let c1, id1 = run_rtt [ "submit"; inst; "--socket"; socket ] in
+            let c2, id2 = run_rtt [ "submit"; inst; "--socket"; socket ] in
+            Alcotest.(check int) "resubmit ok" 0 c1;
+            Alcotest.(check int) "resubmit ok" 0 c2;
+            Alcotest.(check string) "duplicate submissions share one id" id1 id2;
+            let id = String.trim id1 in
+            (* daemon status and spool jobs --json agree on the rendering *)
+            let sc, sjson = run_rtt [ "status"; id; "--socket"; socket ] in
+            Alcotest.(check int) "status exit 0" 0 sc;
+            Alcotest.(check bool) "status says done" true
+              (contains ~needle:{|"state":"done"|} sjson);
+            let jc, jjson = run_rtt [ "jobs"; spool; "--json" ] in
+            Alcotest.(check int) "jobs --json exit 0" 0 jc;
+            (match line_with ~needle:id jjson with
+            | Some line ->
+                Alcotest.(check string) "one serializer for both views" (String.trim sjson)
+                  (String.trim line)
+            | None -> Alcotest.fail "submitted job missing from rtt jobs --json");
+            (* unknown jobs: state unknown, exit 43 *)
+            let uc, ujson = run_rtt [ "status"; "feedfacedeadbeef"; "--socket"; socket ] in
+            Alcotest.(check int) "unknown job exits 43" 43 uc;
+            Alcotest.(check bool) "unknown state" true
+              (contains ~needle:{|"state":"unknown"|} ujson)));
+    Alcotest.test_case "full admission queue sheds instead of hanging" `Slow (fun () ->
+        let spool = fresh_dir "shed" in
+        let socket = Filename.concat spool "d.sock" in
+        (* an exact-only chain with --deadline-fuel 1 fails transiently
+           on every attempt (no baseline rung to degrade to), and the
+           huge retry budget keeps the first job churning: it stays
+           tracked by admission for the whole test, so with --queue 1
+           every later submission must shed deterministically *)
+        let daemon =
+          spawn_daemon ~spool ~socket
+            ~extra:
+              [ "--queue"; "1"; "--max-attempts"; "100000"; "--deadline-fuel"; "1";
+                "--fallback"; "exact" ]
+            ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            kill_quietly daemon Sys.sigkill;
+            ignore (wait_exit daemon))
+          (fun () ->
+            let occupant = Filename.concat spool "occupant.txt" in
+            let late = Filename.concat spool "late.txt" in
+            (* distinct sizes, not just seeds: the hub generator has few
+               shapes per hub count, and [late] coalescing with
+               [occupant] would defeat the shed assertion *)
+            gen_instance ~seed:11 ~n:16 occupant;
+            gen_instance ~seed:12 ~n:24 late;
+            let c0, _ = run_rtt [ "submit"; occupant; "--socket"; socket ] in
+            Alcotest.(check int) "occupant admitted" 0 c0;
+            let c1, _ = run_rtt [ "submit"; late; "--socket"; socket ] in
+            Alcotest.(check int) "second submission shed (exit 41)" 41 c1;
+            (* a duplicate of the occupant still coalesces, full or not *)
+            let c2, _ = run_rtt [ "submit"; occupant; "--socket"; socket ] in
+            Alcotest.(check int) "duplicate coalesces through a full queue" 0 c2));
+    Alcotest.test_case "SIGKILL: accepted jobs survive, journal never leads the spool" `Slow
+      (fun () ->
+        let spool = fresh_dir "crash" in
+        let socket = Filename.concat spool "d.sock" in
+        let daemon = spawn_daemon ~spool ~socket () in
+        let accepted = ref [] in
+        Fun.protect
+          ~finally:(fun () ->
+            kill_quietly daemon Sys.sigkill;
+            ignore (wait_exit daemon))
+          (fun () ->
+            for i = 0 to 5 do
+              let inst = Filename.concat spool (Printf.sprintf "in_%d.txt" i) in
+              (* n = 8*(i+1): one extra hub per instance, so the six
+                 digests are distinct by construction *)
+              gen_instance ~seed:(20 + i) ~n:(8 * (i + 1)) inst;
+              let code, out = run_rtt [ "submit"; inst; "--socket"; socket ] in
+              Alcotest.(check int) "accepted" 0 code;
+              accepted := String.trim out :: !accepted
+            done;
+            (* kill the daemon mid-stream — accepted jobs are already
+               durable (instance file + journaled Queued) by contract *)
+            kill_quietly daemon Sys.sigkill;
+            ignore (wait_exit daemon));
+        (* invariant: every journaled job has its instance file — the
+           journal must never get ahead of the spool *)
+        let jobs_of () =
+          let _, json = run_rtt [ "jobs"; spool; "--json" ] in
+          List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' json)
+        in
+        List.iter
+          (fun line ->
+            match String.index_opt line ':' with
+            | None -> ()
+            | Some _ ->
+                let prefix = {|{"id":"|} in
+                if String.length line > String.length prefix then begin
+                  let rest = String.sub line 7 (String.length line - 7) in
+                  let id = String.sub rest 0 (String.index rest '"') in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "journaled %s has an instance file" id)
+                    true
+                    (Sys.file_exists (Filename.concat spool (id ^ ".rtt")))
+                end)
+          (jobs_of ());
+        (* restart on the same spool and drain: no accepted job lost.
+           SIGKILL left the old socket file behind; remove it so the
+           file reappearing means the new daemon has actually bound
+           (spawn_daemon polls for existence, not connectability) *)
+        if Sys.file_exists socket then Sys.remove socket;
+        let daemon2 = spawn_daemon ~spool ~socket () in
+        Fun.protect
+          ~finally:(fun () ->
+            kill_quietly daemon2 Sys.sigkill;
+            ignore (wait_exit daemon2))
+          (fun () ->
+            List.iter
+              (fun id ->
+                let code, out =
+                  run_rtt [ "submit"; Filename.concat spool (id ^ ".rtt"); "--socket"; socket;
+                            "--wait"; "--timeout"; "60" ]
+                in
+                Alcotest.(check int) (Printf.sprintf "job %s completes after restart" id) 0 code;
+                Alcotest.(check bool) "result is a solve rendering" true
+                  (contains ~needle:"makespan" out))
+              !accepted));
+    Alcotest.test_case "SIGTERM drain answers in-flight waiters, exits 0" `Slow (fun () ->
+        let spool = fresh_dir "drain" in
+        let socket = Filename.concat spool "d.sock" in
+        let inst = Filename.concat spool "instance.txt" in
+        gen_instance ~seed:31 ~n:20 inst;
+        let daemon = spawn_daemon ~spool ~socket () in
+        Fun.protect
+          ~finally:(fun () ->
+            kill_quietly daemon Sys.sigkill;
+            ignore (wait_exit daemon))
+          (fun () ->
+            (* a waiter in flight when the drain starts *)
+            let out = Filename.concat spool "waiter.out" in
+            let fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+            let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+            let waiter =
+              Unix.create_process rtt_exe
+                [| rtt_exe; "submit"; inst; "--socket"; socket; "--wait"; "--timeout"; "60" |]
+                Unix.stdin fd null
+            in
+            Unix.close fd;
+            Unix.close null;
+            ignore (Unix.select [] [] [] 0.2);
+            kill_quietly daemon Sys.sigterm;
+            (match wait_exit waiter with
+            | `Exited 0 -> ()
+            | outcome ->
+                Alcotest.failf "waiter should be answered through the drain, got %s"
+                  (match outcome with
+                  | `Exited c -> Printf.sprintf "exit %d" c
+                  | `Signaled s -> Printf.sprintf "signal %d" s
+                  | `Stopped -> "stopped"
+                  | `Reaped -> "already reaped"));
+            Alcotest.(check bool) "waiter printed a result" true
+              (contains ~needle:"makespan" (read_file out));
+            (match wait_exit daemon with
+            | `Exited 0 -> ()
+            | `Exited c -> Alcotest.failf "drained daemon must exit 0, got %d" c
+            | _ -> Alcotest.fail "daemon killed by signal");
+            (* a drained daemon sheds new submissions rather than
+               accepting work it will never run — and after exit, the
+               socket file is gone *)
+            Alcotest.(check bool) "socket removed" false (Sys.file_exists socket)));
+  ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ("protocol-props", protocol_props);
+      ("protocol", protocol_units);
+      ("admission", admission_units);
+      ("process", process_units);
+    ]

@@ -681,9 +681,111 @@ let process_units =
         | None -> Alcotest.fail "no fuel recorded for the resumed job");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* shared frame layer: round-trips, corruption rejection, reassembly   *)
+
+let payload_gen =
+  (* anything but '\n' — the framing's one reserved byte *)
+  QCheck.Gen.(
+    map
+      (fun chars -> String.concat "" (List.map (String.make 1) chars))
+      (list_size (int_range 0 60)
+         (oneof [ char_range ' ' '~'; oneofl [ '\t'; '\r'; '%'; '\255'; '\000' ] ])))
+
+let arbitrary_bytes_gen =
+  QCheck.Gen.(map Bytes.unsafe_to_string (bytes_size (int_range 0 60)))
+
+let frame_props =
+  [
+    prop "frame/unframe round-trip" 500
+      (QCheck.make ~print:String.escaped payload_gen)
+      (fun p -> Frame.unframe (Frame.frame p) = Some p);
+    prop "any single corrupted byte is rejected" 500
+      (QCheck.make
+         ~print:(fun (p, pos, b) -> Printf.sprintf "%S pos=%d byte=%d" p pos b)
+         QCheck.Gen.(triple payload_gen (int_range 0 1000) (int_range 0 255)))
+      (fun (p, pos, b) ->
+        let line = Frame.frame p in
+        let pos = pos mod String.length line in
+        let c = Char.chr b in
+        QCheck.assume (c <> line.[pos] && c <> '\n');
+        let corrupted = Bytes.of_string line in
+        Bytes.set corrupted pos c;
+        Frame.unframe (Bytes.to_string corrupted) = None);
+    prop "escape/unescape round-trip on arbitrary bytes" 500
+      (QCheck.make ~print:String.escaped arbitrary_bytes_gen)
+      (fun s ->
+        let e = Frame.escape s in
+        String.for_all (fun c -> c <> ' ' && c <> '\n' && c <> '\r') e
+        && Frame.unescape e = Some s);
+    prop "reader reassembles any chunking of any frame stream" 200
+      (QCheck.make
+         ~print:(fun (ps, cuts) ->
+           Printf.sprintf "%d payloads, cuts [%s]" (List.length ps)
+             (String.concat ";" (List.map string_of_int cuts)))
+         QCheck.Gen.(pair (list_size (int_range 0 8) payload_gen) (list (int_range 1 17))))
+      (fun (payloads, cuts) ->
+        let stream = String.concat "" (List.map (fun p -> Frame.frame p ^ "\n") payloads) in
+        let r = Frame.reader () in
+        let got = ref [] in
+        let pos = ref 0 in
+        let cuts = ref (cuts @ [ String.length stream ]) in
+        while !pos < String.length stream do
+          let step =
+            match !cuts with
+            | c :: rest ->
+                cuts := rest;
+                min c (String.length stream - !pos)
+            | [] -> String.length stream - !pos
+          in
+          got := !got @ Frame.feed r (String.sub stream !pos step);
+          pos := !pos + step
+        done;
+        !got = List.map (fun p -> `Frame p) payloads && Frame.buffered r = 0);
+    prop "torn tail: the incomplete line is held, then completed" 200
+      (QCheck.make ~print:String.escaped payload_gen)
+      (fun p ->
+        let line = Frame.frame p ^ "\n" in
+        let cut = max 1 (String.length line - 3) in
+        let r = Frame.reader () in
+        let first = Frame.feed r (String.sub line 0 cut) in
+        let rest = Frame.feed r (String.sub line cut (String.length line - cut)) in
+        first = [] && rest = [ `Frame p ]);
+  ]
+
+let frame_units =
+  [
+    Alcotest.test_case "a complete unframed line reads as corrupt" `Quick (fun () ->
+        match Frame.feed (Frame.reader ()) "garbage\n" with
+        | [ `Corrupt "garbage" ] -> ()
+        | _ -> Alcotest.fail "expected [`Corrupt]");
+    Alcotest.test_case "an overlong line poisons the reader for good" `Quick (fun () ->
+        let r = Frame.reader ~max_frame:64 () in
+        (match Frame.feed r (String.make 100 'x') with
+        | [ `Overflow ] -> ()
+        | _ -> Alcotest.fail "expected [`Overflow]");
+        (* even a well-formed follow-up cannot resynchronize *)
+        match Frame.feed r (Frame.frame "ok" ^ "\n") with
+        | [ `Overflow ] -> ()
+        | _ -> Alcotest.fail "poisoned reader must keep reporting `Overflow");
+    Alcotest.test_case "overflow triggers on accumulation across feeds" `Quick (fun () ->
+        let r = Frame.reader ~max_frame:64 () in
+        Alcotest.(check (list reject)) "no items yet" [] (Frame.feed r (String.make 40 'x'));
+        match Frame.feed r (String.make 40 'y') with
+        | [ `Overflow ] -> ()
+        | _ -> Alcotest.fail "expected [`Overflow] on the second feed");
+    Alcotest.test_case "journal encode is the shared framing" `Quick (fun () ->
+        let r = { Journal.job = "a b.rtt"; event = Journal.Queued } in
+        match Frame.unframe (Journal.encode r) with
+        | Some payload -> Alcotest.(check bool) "decodes" true (Journal.decode (Frame.frame payload) <> None)
+        | None -> Alcotest.fail "journal lines must unframe");
+  ]
+
 let () =
   Alcotest.run "service"
     [
+      ("frame-props", frame_props);
+      ("frame", frame_units);
       ("journal-props", journal_props);
       ("journal", journal_units);
       ("retry", retry_units);
