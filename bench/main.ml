@@ -26,6 +26,53 @@ let failures = ref 0
    diff in the transcript, not just as wall-clock noise. *)
 let fuel = ref 0
 
+(* --json: machine-readable per-section records, one JSON object per
+   line (so CI can gate on a value with grep/sed, no JSON parser
+   needed), written to BENCH_5.json alongside the human transcript. *)
+let json_path = "BENCH_5.json"
+let json_chan : out_channel option ref = ref None
+
+type section_state = {
+  sec_id : string;
+  sec_title : string;
+  started : float;
+  pivots0 : int;
+  warm_acc0 : int;
+  warm_rej0 : int;
+}
+
+let current_section : section_state option ref = ref None
+
+let begin_section id title =
+  match !json_chan with
+  | None -> ()
+  | Some _ ->
+      let warm_acc0, warm_rej0 = Rtt_lp.Simplex.warm_stats () in
+      current_section :=
+        Some
+          {
+            sec_id = id;
+            sec_title = title;
+            started = Unix.gettimeofday ();
+            pivots0 = Rtt_lp.Simplex.pivot_count ();
+            warm_acc0;
+            warm_rej0;
+          }
+
+let end_section id ok =
+  match (!json_chan, !current_section) with
+  | Some oc, Some s when s.sec_id = id ->
+      let seconds = Unix.gettimeofday () -. s.started in
+      let warm_acc, warm_rej = Rtt_lp.Simplex.warm_stats () in
+      let quote = Jsonout.quote in
+      Printf.fprintf oc
+        "{\"id\":%s,\"title\":%s,\"ok\":%b,\"seconds\":%.6f,\"fuel\":%d,\"pivots\":%d,\"warm_accepted\":%d,\"warm_rejected\":%d}\n"
+        (quote id) (quote s.sec_title) ok seconds !fuel
+        (Rtt_lp.Simplex.pivot_count () - s.pivots0)
+        (warm_acc - s.warm_acc0) (warm_rej - s.warm_rej0);
+      current_section := None
+  | _ -> ()
+
 let engine_run ?alpha p ~budget rung =
   match Engine.solve ?alpha ~policy:[ rung ] p ~budget with
   | Ok s ->
@@ -37,11 +84,13 @@ let engine_exact p ~budget = engine_run p ~budget Policy.Exact
 
 let section id title =
   fuel := 0;
+  begin_section id title;
   Format.printf "@.== %s: %s ==@." id title
 
 let verdict id ok =
   if not ok then incr failures;
-  Format.printf "[%s] %s (engine fuel_spent: %d)@." (if ok then "OK" else "SHAPE DIVERGES") id !fuel
+  Format.printf "[%s] %s (engine fuel_spent: %d)@." (if ok then "OK" else "SHAPE DIVERGES") id !fuel;
+  end_section id ok
 
 let rng_of seed = Random.State.make [| seed |]
 
@@ -959,6 +1008,15 @@ let all_experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let flags, args = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args in
+  List.iter
+    (function
+      | "--json" -> json_chan := Some (open_out json_path)
+      | "--no-float-warmstart" -> Rtt_lp.Simplex.warmstart_enabled := false
+      | f ->
+          Printf.eprintf "unknown flag %s (known: --json, --no-float-warmstart)\n" f;
+          exit 2)
+    flags;
   let selected =
     match args with [] -> all_experiments | _ -> List.filter (fun (id, _) -> List.mem id args) all_experiments
   in
@@ -968,4 +1026,9 @@ let () =
   Format.printf "@.%s@."
     (if !failures = 0 then "ALL EXPERIMENT SHAPES REPRODUCED"
      else Printf.sprintf "%d EXPERIMENT(S) DIVERGED" !failures);
+  (match !json_chan with
+  | Some oc ->
+      close_out oc;
+      Format.printf "wrote %s@." json_path
+  | None -> ());
   exit (if !failures = 0 then 0 else 1)

@@ -74,6 +74,18 @@ let fuel_arg =
   in
   Arg.(value & opt (some fuel_conv) None & info [ "fuel" ] ~docv:"FUEL" ~doc)
 
+let no_warmstart_arg =
+  (* a unit term: evaluating it applies the toggle, so commands just
+     prepend it and take a leading () *)
+  let doc =
+    "Disable the float-guided warm start of the exact simplex; every LP then runs the full \
+     two-phase method from scratch. Results are identical either way — this is a performance \
+     toggle for benchmarking and for auditing the float-free path. Equivalent to setting \
+     RTT_LP_WARMSTART=0."
+  in
+  let term = Arg.(value & flag & info [ "no-float-warmstart" ] ~doc) in
+  Term.(const (fun off -> if off then Rtt_lp.Simplex.warmstart_enabled := false) $ term)
+
 let pp_alloc = Engine.render_allocation
 
 (* ------------------------------------------------------------------ *)
@@ -137,7 +149,7 @@ let solve_cmd =
     in
     Arg.(value & opt_all inject_conv [] & info [ "inject" ] ~docv:"SITE[:AFTER]" ~doc)
   in
-  let run path algo fallback fuel alpha inject budget =
+  let run () path algo fallback fuel alpha inject budget =
     with_instance path @@ fun p ->
     let policy = match fallback with Some chain -> chain | None -> [ algo ] in
     Faults.reset ();
@@ -158,7 +170,9 @@ let solve_cmd =
          budget, fallback chains, certificate validation."
   in
   Cmd.v info
-    Term.(const run $ instance_arg $ algo $ fallback $ fuel_arg $ alpha_arg $ inject $ budget_arg)
+    Term.(
+      const run $ no_warmstart_arg $ instance_arg $ algo $ fallback $ fuel_arg $ alpha_arg
+      $ inject $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exact                                                               *)
@@ -342,7 +356,7 @@ let pareto_cmd =
   let max_budget =
     Arg.(value & opt int 8 & info [ "max-budget" ] ~docv:"B" ~doc:"Largest budget to sweep (default 8; exact sweeps are exponential).")
   in
-  let run path approx max_budget =
+  let run () path approx max_budget =
     with_instance path @@ fun p ->
     let curve =
       if approx then Pareto.approximate ~max_budget p else Pareto.exact ~max_budget p
@@ -357,7 +371,7 @@ let pareto_cmd =
     0
   in
   let info = Cmd.info "pareto" ~doc:"Sweep the space-time tradeoff curve of an instance." in
-  Cmd.v info Term.(const run $ instance_arg $ approx $ max_budget)
+  Cmd.v info Term.(const run $ no_warmstart_arg $ instance_arg $ approx $ max_budget)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
@@ -455,8 +469,8 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
   in
-  let run spool budget fallback max_attempts deadline_fuel checkpoint_every seed no_sleep verbose
-      workers cache_dir =
+  let run () spool budget fallback max_attempts deadline_fuel checkpoint_every seed no_sleep
+      verbose workers cache_dir =
     if checkpoint_every <= 0 then begin
       Format.eprintf "rtt: --checkpoint-every must be positive@.";
       124
@@ -498,8 +512,8 @@ let serve_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ spool_arg $ budget_arg $ fallback $ max_attempts $ deadline_fuel
-      $ checkpoint_every $ seed_arg $ no_sleep $ verbose $ workers $ cache_dir)
+      const run $ no_warmstart_arg $ spool_arg $ budget_arg $ fallback $ max_attempts
+      $ deadline_fuel $ checkpoint_every $ seed_arg $ no_sleep $ verbose $ workers $ cache_dir)
 
 let jobs_cmd =
   let run spool cache_dir json =
@@ -599,7 +613,7 @@ let daemon_cmd =
     Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress lines on stderr.") in
-  let run spool socket listen queue max_frame idle_timeout workers fallback max_attempts
+  let run () spool socket listen queue max_frame idle_timeout workers fallback max_attempts
       deadline_fuel cache_dir budget seed verbose =
     let invalid msg =
       Format.eprintf "rtt: %s@." msg;
@@ -654,8 +668,9 @@ let daemon_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ spool_arg $ socket_arg $ listen $ queue $ max_frame $ idle_timeout $ workers
-      $ fallback $ max_attempts $ deadline_fuel $ cache_dir $ budget_arg $ seed_arg $ verbose)
+      const run $ no_warmstart_arg $ spool_arg $ socket_arg $ listen $ queue $ max_frame
+      $ idle_timeout $ workers $ fallback $ max_attempts $ deadline_fuel $ cache_dir
+      $ budget_arg $ seed_arg $ verbose)
 
 let with_client socket k =
   let open Rtt_net in

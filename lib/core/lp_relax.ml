@@ -22,7 +22,6 @@ let build (t : Transform.t) =
   let tv = Array.init nv (fun v -> Lp.var lp (Printf.sprintf "T%d" v)) in
   let fx i = Linexpr.var (Lp.var_index fv.(i)) in
   let tx v = Linexpr.var (Lp.var_index tv.(v)) in
-  let const_q q = Linexpr.const q in
   let const_i i = Linexpr.const (Rat.of_int i) in
   (* T_source = 0 *)
   Lp.add_eq lp (tx t.source) (const_i 0);
@@ -56,7 +55,6 @@ let build (t : Transform.t) =
     end
   done;
   let budget_expr = List.fold_left (fun acc i -> Linexpr.add acc (fx i)) Linexpr.zero outbound.(t.source) in
-  ignore const_q;
   (lp, fv, tv, fx, tx, budget_expr)
 
 let extract (t : Transform.t) (s : Lp.solution) fv tv budget_expr =

@@ -26,6 +26,20 @@ let round (tr : Transform.t) ~alpha (sol : Lp_relax.solution) =
             let threshold = Rat.mul alpha (Rat.of_int e.t0) in
             Rat.(t < threshold))
   in
+  (* Canonicalize each chain's upgrades to a prefix. The realized tuple
+     is the first non-upgraded chain index (times are non-increasing
+     along the chain), so an upgrade past that point buys nothing yet
+     would still be charged below through its flow lower bound —
+     degenerate LP optima can produce such patterns, and they would make
+     the claimed budget exceed what the allocation actually needs. *)
+  Array.iter
+    (fun chain ->
+      let cut = ref false in
+      List.iter
+        (fun i ->
+          if !cut then upgraded.(i) <- false else if not upgraded.(i) then cut := true)
+        chain)
+    tr.chains;
   let requirement =
     Array.init ne (fun i ->
         if upgraded.(i) then match tr.edges.(i).upgrade with Some r -> r | None -> 0 else 0)

@@ -1,0 +1,80 @@
+(* Shared minimal JSON string emission. The JSON we produce — job
+   listings in the service, bench sections — is flat objects with fixed
+   keys, so a correct string escaper plus printf at the call sites beats
+   a parser/printer dependency. This module exists so every emitter
+   escapes the same way; it replaced a per-caller copy in the service
+   that double-escaped via [Printf.sprintf "%S"]. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let quote s = "\"" ^ escape s ^ "\""
+
+let unescape s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else if s.[i] <> '\\' then begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+    else if i + 1 >= n then None
+    else
+      match s.[i + 1] with
+      | '"' ->
+          Buffer.add_char buf '"';
+          go (i + 2)
+      | '\\' ->
+          Buffer.add_char buf '\\';
+          go (i + 2)
+      | '/' ->
+          Buffer.add_char buf '/';
+          go (i + 2)
+      | 'n' ->
+          Buffer.add_char buf '\n';
+          go (i + 2)
+      | 'r' ->
+          Buffer.add_char buf '\r';
+          go (i + 2)
+      | 't' ->
+          Buffer.add_char buf '\t';
+          go (i + 2)
+      | 'b' ->
+          Buffer.add_char buf '\b';
+          go (i + 2)
+      | 'f' ->
+          Buffer.add_char buf '\012';
+          go (i + 2)
+      | 'u' when i + 5 < n -> (
+          match (hex s.[i + 2], hex s.[i + 3], hex s.[i + 4], hex s.[i + 5]) with
+          | Some a, Some b, Some c, Some d ->
+              let code = (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d in
+              if code < 0x100 then begin
+                Buffer.add_char buf (Char.chr code);
+                go (i + 6)
+              end
+              else None (* non-latin escapes never occur in our own output *)
+          | _ -> None)
+      | _ -> None
+  in
+  go 0

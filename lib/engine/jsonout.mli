@@ -1,0 +1,18 @@
+(** Shared JSON string escaping for the repo's hand-rolled emitters
+    ([rtt jobs --json], [bench --json]). One escaper, one behaviour —
+    call sites print the fixed object shells themselves. *)
+
+val escape : string -> string
+(** JSON string-body escaping: double quotes, backslashes and control
+    characters become their two-character or [\uXXXX] escapes. Does not
+    add the surrounding quotes. *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes — a complete JSON
+    string literal. *)
+
+val unescape : string -> string option
+(** Inverse of {!escape} (also accepts the standard [\/], [\b], [\f]
+    and [\uXXXX] for code points below 256). [None] on malformed input
+    or escapes outside the byte range. Exists so tests can assert the
+    round trip; production code only emits. *)

@@ -30,6 +30,7 @@ let of_terms ?(const = Rat.zero) ts =
 let coeff e v = try IMap.find v e.coeffs with Not_found -> Rat.zero
 let constant e = e.const
 let terms e = IMap.bindings e.coeffs
+let iter_terms f e = IMap.iter f e.coeffs
 let eval e f = IMap.fold (fun v c acc -> Rat.add acc (Rat.mul c (f v))) e.coeffs e.const
 let max_var e = IMap.fold (fun v _ acc -> max v acc) e.coeffs (-1)
 

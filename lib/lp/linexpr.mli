@@ -22,6 +22,10 @@ val constant : t -> Rat.t
 val terms : t -> (int * Rat.t) list
 (** Nonzero terms, ascending variable index. *)
 
+val iter_terms : (int -> Rat.t -> unit) -> t -> unit
+(** [iter_terms f e] applies [f var coeff] to each nonzero term in
+    ascending variable order, without materializing the {!terms} list. *)
+
 val eval : t -> (int -> Rat.t) -> Rat.t
 val max_var : t -> int
 (** Largest variable index mentioned; [-1] if none. *)

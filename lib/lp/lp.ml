@@ -33,17 +33,26 @@ let n_constraints lp = List.length lp.constrs
 type solution = { objective : Rat.t; value : var -> Rat.t; expr_value : Linexpr.t -> Rat.t }
 type outcome = Optimal of solution | Infeasible | Unbounded
 
+(* Fill a preallocated row straight from the sparse map — no
+   intermediate bindings list per constraint. *)
+let fill_dense arr n e = Linexpr.iter_terms (fun v c -> if v < n then arr.(v) <- c) e
+
 let to_dense n e =
   let arr = Array.make n Rat.zero in
-  List.iter (fun (v, c) -> if v < n then arr.(v) <- c) (Linexpr.terms e);
+  fill_dense arr n e;
   arr
 
 let solve direction lp obj =
   let n = lp.n in
+  let m = List.length lp.constrs in
+  let rows = Array.make_matrix m n Rat.zero in
   let constraints =
-    List.rev_map
-      (fun { expr; relation; bound } -> { Simplex.coeffs = to_dense n expr; relation; rhs = bound })
-      lp.constrs
+    List.rev
+      (List.mapi
+         (fun i { expr; relation; bound } ->
+           fill_dense rows.(i) n expr;
+           { Simplex.coeffs = rows.(i); relation; rhs = bound })
+         lp.constrs)
   in
   let obj_dense = to_dense n obj in
   let obj_const = Linexpr.constant obj in

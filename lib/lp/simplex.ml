@@ -9,12 +9,44 @@ type outcome =
   | Infeasible
   | Unbounded
 
+let infeasible_site = "lp.infeasible"
+let warmstart_reject_site = "lp.warmstart.reject"
+
+let warmstart_enabled =
+  ref
+    (match Sys.getenv_opt "RTT_LP_WARMSTART" with
+    | Some ("0" | "false" | "no" | "off") -> false
+    | _ -> true)
+
+type pricing = Dantzig | Bland
+
+(* Bland is the default because it reproduces the seed solver's pivot
+   sequence exactly — on LPs with several optimal vertices, Dantzig can
+   (correctly) answer with a different one, and downstream consumers
+   treat the Bland vertex as the canonical result. On the paper's small
+   dense instances Dantzig also measures no faster (its full pricing
+   scan costs as much as the pivots it saves), so the default trades
+   nothing; see EXPERIMENTS.md. *)
+let pricing =
+  ref (match Sys.getenv_opt "RTT_LP_PRICING" with Some "dantzig" -> Dantzig | _ -> Bland)
+
+(* cumulative observability counters, read by the bench harness *)
+let pivots = ref 0
+let warm_accepted = ref 0
+let warm_rejected = ref 0
+let pivot_count () = !pivots
+let warm_stats () = (!warm_accepted, !warm_rejected)
+
 (* The tableau holds m rows of length [width]; column [width - 1] is the
    right-hand side. [z] is the objective row maintained alongside, with
    z.(width - 1) = -(current objective value). Basic columns always read
    as a unit column, and b >= 0 is an invariant of every pivot. *)
 
-let pivot tableau z basis ~row ~col ~width =
+(* Gauss-Jordan step over the constraint rows only (no objective row);
+   also the unit of work of the warm-start crash, so it ticks fuel and
+   counts as a pivot *)
+let pivot_rows tableau ~row ~col ~width =
+  incr pivots;
   let m = Array.length tableau in
   let prow = tableau.(row) in
   let p = prow.(col) in
@@ -29,7 +61,11 @@ let pivot tableau z basis ~row ~col ~width =
           tableau.(i).(j) <- Rat.sub tableau.(i).(j) (Rat.mul f prow.(j))
         done
     end
-  done;
+  done
+
+let pivot tableau z basis ~row ~col ~width =
+  pivot_rows tableau ~row ~col ~width;
+  let prow = tableau.(row) in
   let f = z.(col) in
   if not (Rat.is_zero f) then
     for j = 0 to width - 1 do
@@ -37,24 +73,42 @@ let pivot tableau z basis ~row ~col ~width =
     done;
   basis.(row) <- col
 
-(* Bland's rule: entering = lowest-index column with negative reduced
-   cost; leaving = lowest basis index among ratio-test ties. Returns
-   [`Optimal], or [`Unbounded] with the offending column. *)
-let run_phase tableau z basis ~width ~allowed =
+(* Dantzig pricing (most negative reduced cost, lowest index on ties)
+   with Bland's rule as the anti-cycling fallback: after [stall_limit]
+   consecutive degenerate pivots the loop switches to Bland's rule —
+   which provably escapes any degenerate vertex in finitely many pivots
+   — and switches back on the next strict objective improvement. Each
+   Bland segment terminates and each strict improvement reaches a basis
+   no earlier iteration visited, so termination stays guaranteed. *)
+let stall_limit = 24
+
+let run_phase tableau z basis ~width =
   let m = Array.length tableau in
   let rhs = width - 1 in
+  let degen = ref 0 in
   let rec loop () =
     Budget.tick ~stage:"simplex";
-    (* entering column *)
     let entering = ref (-1) in
-    (try
-       for j = 0 to width - 2 do
-         if allowed j && Rat.(z.(j) < Rat.zero) then begin
-           entering := j;
-           raise Exit
-         end
-       done
-     with Exit -> ());
+    if !pricing = Bland || !degen > stall_limit then begin
+      (* Bland: lowest-index column with negative reduced cost *)
+      try
+        for j = 0 to width - 2 do
+          if Rat.(z.(j) < Rat.zero) then begin
+            entering := j;
+            raise Exit
+          end
+        done
+      with Exit -> ()
+    end
+    else begin
+      let best = ref Rat.zero in
+      for j = 0 to width - 2 do
+        if Rat.(z.(j) < !best) then begin
+          entering := j;
+          best := z.(j)
+        end
+      done
+    end;
     if !entering < 0 then `Optimal
     else begin
       let col = !entering in
@@ -64,9 +118,10 @@ let run_phase tableau z basis ~width ~allowed =
         let a = tableau.(i).(col) in
         if Rat.(a > Rat.zero) then begin
           let ratio = Rat.div tableau.(i).(rhs) a in
-          if !best_row < 0
-             || Rat.(ratio < !best_ratio)
-             || (Rat.equal ratio !best_ratio && basis.(i) < basis.(!best_row))
+          if
+            !best_row < 0
+            || Rat.(ratio < !best_ratio)
+            || (Rat.equal ratio !best_ratio && basis.(i) < basis.(!best_row))
           then begin
             best_row := i;
             best_ratio := ratio
@@ -76,52 +131,93 @@ let run_phase tableau z basis ~width ~allowed =
       if !best_row < 0 then `Unbounded
       else begin
         pivot tableau z basis ~row:!best_row ~col ~width;
+        if Rat.is_zero !best_ratio then incr degen else degen := 0;
         loop ()
       end
     end
   in
   loop ()
 
-let infeasible_site = "lp.infeasible"
+(* ------------------------------------------------------------------ *)
+(* Standard form, shared by the exact paths and the float warm start:
+   m rows of [n_vars] originals then one slack/surplus per inequality,
+   right-hand side (>= 0 after sign normalization) in the last column.
+   Artificial columns are NOT part of the standard form — the two-phase
+   path adds them privately and drops them again after phase 1.         *)
 
-let minimize_tableau ~n_vars constraints ~objective =
-  if Array.length objective <> n_vars then invalid_arg "Simplex.minimize: objective size";
-  List.iter
-    (fun c -> if Array.length c.coeffs <> n_vars then invalid_arg "Simplex.minimize: constraint size")
-    constraints;
+type std = { n_vars : int; n_slack : int; rows : Rat.t array array }
+
+let build_std ~n_vars constraints =
   let constraints = Array.of_list constraints in
   let m = Array.length constraints in
-  (* columns: n_vars originals, then one slack/surplus per inequality,
-     then m artificials, then rhs *)
-  let n_slack = Array.fold_left (fun acc c -> match c.relation with Eq -> acc | Le | Ge -> acc + 1) 0 constraints in
-  let n_total = n_vars + n_slack + m in
-  let width = n_total + 1 in
-  let rhs = n_total in
-  let tableau = Array.make_matrix m width Rat.zero in
-  let basis = Array.make m 0 in
+  let n_slack =
+    Array.fold_left (fun acc c -> match c.relation with Eq -> acc | Le | Ge -> acc + 1) 0 constraints
+  in
+  let n_real = n_vars + n_slack in
+  let rows = Array.make_matrix m (n_real + 1) Rat.zero in
   let slack_idx = ref n_vars in
   Array.iteri
     (fun i c ->
-      let row = tableau.(i) in
+      let row = rows.(i) in
       (* normalize to rhs >= 0 *)
       let flip = Rat.(c.rhs < Rat.zero) in
       let sgn x = if flip then Rat.neg x else x in
-      Array.iteri (fun j v -> row.(j) <- sgn v) c.coeffs;
-      row.(rhs) <- sgn c.rhs;
-      (match c.relation with
+      Array.iteri (fun j v -> if not (Rat.is_zero v) then row.(j) <- sgn v) c.coeffs;
+      row.(n_real) <- sgn c.rhs;
+      match c.relation with
       | Eq -> ()
       | Le ->
           row.(!slack_idx) <- sgn Rat.one;
           incr slack_idx
       | Ge ->
           row.(!slack_idx) <- sgn Rat.minus_one;
-          incr slack_idx);
-      (* artificial variable for this row *)
-      let art = n_vars + n_slack + i in
-      row.(art) <- Rat.one;
-      basis.(i) <- art)
+          incr slack_idx)
     constraints;
-  let is_artificial j = j >= n_vars + n_slack && j < n_total in
+  { n_vars; n_slack; rows }
+
+(* Phase 2 from a feasible tableau over real columns only: price the
+   objective out of the basic columns and run the pivot loop. *)
+let solve_phase2 tableau basis ~n_vars ~width ~objective =
+  let rhs = width - 1 in
+  let z = Array.make width Rat.zero in
+  for j = 0 to n_vars - 1 do
+    z.(j) <- objective.(j)
+  done;
+  Array.iteri
+    (fun i b ->
+      let cb = if b < n_vars then objective.(b) else Rat.zero in
+      if not (Rat.is_zero cb) then
+        for j = 0 to width - 1 do
+          z.(j) <- Rat.sub z.(j) (Rat.mul cb tableau.(i).(j))
+        done)
+    basis;
+  match run_phase tableau z basis ~width with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let solution = Array.make n_vars Rat.zero in
+      Array.iteri (fun i b -> if b < n_vars then solution.(b) <- tableau.(i).(rhs)) basis;
+      Optimal { objective = Rat.neg z.(rhs); solution }
+
+(* ------------------------------------------------------------------ *)
+(* Full two-phase solve.                                               *)
+
+let solve_two_phase std ~objective =
+  let m = Array.length std.rows in
+  let n_real = std.n_vars + std.n_slack in
+  let n_total = n_real + m in
+  let width = n_total + 1 in
+  let rhs = n_total in
+  let tableau = Array.make_matrix m width Rat.zero in
+  let basis = Array.make m 0 in
+  Array.iteri
+    (fun i row ->
+      Array.blit row 0 tableau.(i) 0 n_real;
+      tableau.(i).(rhs) <- row.(n_real);
+      (* artificial variable for this row *)
+      tableau.(i).(n_real + i) <- Rat.one;
+      basis.(i) <- n_real + i)
+    std.rows;
+  let is_artificial j = j >= n_real && j < n_total in
   (* Phase 1 objective row: minimize sum of artificials. Reduced costs:
      c_j - sum of rows (c over artificials = 1, basis = artificials). *)
   let z = Array.make width Rat.zero in
@@ -130,7 +226,7 @@ let minimize_tableau ~n_vars constraints ~objective =
     let cj = if is_artificial j then Rat.one else Rat.zero in
     z.(j) <- Rat.sub (if j = rhs then Rat.zero else cj) colsum
   done;
-  (match run_phase tableau z basis ~width ~allowed:(fun _ -> true) with
+  (match run_phase tableau z basis ~width with
   | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
   | `Optimal -> ());
   let phase1_value = Rat.neg z.(rhs) in
@@ -141,7 +237,7 @@ let minimize_tableau ~n_vars constraints ~objective =
       if is_artificial basis.(i) then begin
         let found = ref (-1) in
         (try
-           for j = 0 to n_vars + n_slack - 1 do
+           for j = 0 to n_real - 1 do
              if not (Rat.is_zero tableau.(i).(j)) then begin
                found := j;
                raise Exit
@@ -155,43 +251,137 @@ let minimize_tableau ~n_vars constraints ~objective =
     done;
     (* Compact for phase 2: rows whose basic variable is still artificial
        are redundant (all-zero over real columns after the drive-out
-       loop) and can be dropped; the artificial columns themselves are
-       dead weight in every subsequent pivot. *)
-    let keep_rows =
-      List.filter (fun i -> not (is_artificial basis.(i))) (List.init m (fun i -> i))
-    in
-    let n_real = n_vars + n_slack in
+       loop) and are dropped, and so are the artificial columns — they
+       would be dead weight in every subsequent pivot. *)
+    let keep_rows = List.filter (fun i -> not (is_artificial basis.(i))) (List.init m (fun i -> i)) in
     let width2 = n_real + 1 in
     let rhs2 = n_real in
     let tableau2 =
       Array.of_list
         (List.map
-           (fun i ->
-             Array.init width2 (fun j -> if j = rhs2 then tableau.(i).(rhs) else tableau.(i).(j)))
+           (fun i -> Array.init width2 (fun j -> if j = rhs2 then tableau.(i).(rhs) else tableau.(i).(j)))
            keep_rows)
     in
     let basis2 = Array.of_list (List.map (fun i -> basis.(i)) keep_rows) in
-    (* Phase 2 objective row. *)
-    let z2 = Array.make width2 Rat.zero in
-    for j = 0 to n_vars - 1 do
-      z2.(j) <- objective.(j)
-    done;
-    (* subtract multiples of rows to zero the reduced costs of basics *)
-    Array.iteri
-      (fun i b ->
-        let cb = if b < n_vars then objective.(b) else Rat.zero in
-        if not (Rat.is_zero cb) then
-          for j = 0 to width2 - 1 do
-            z2.(j) <- Rat.sub z2.(j) (Rat.mul cb tableau2.(i).(j))
-          done)
-      basis2;
-    match run_phase tableau2 z2 basis2 ~width:width2 ~allowed:(fun _ -> true) with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-        let solution = Array.make n_vars Rat.zero in
-        Array.iteri (fun i b -> if b < n_vars then solution.(b) <- tableau2.(i).(rhs2)) basis2;
-        Optimal { objective = Rat.neg z2.(rhs2); solution }
+    solve_phase2 tableau2 basis2 ~n_vars:std.n_vars ~width:width2 ~objective
   end
+
+(* ------------------------------------------------------------------ *)
+(* Warm start: verify/repair a float-guessed basis in exact arithmetic.
+
+   [pairs] maps row index -> candidate basic column. The tableau for
+   that basis is rebuilt from the standard form by exact Gauss-Jordan
+   pivots on precisely those entries. The guess is REJECTED (returning
+   [None], which routes the caller through the ordinary two-phase
+   solve) whenever a pivot entry is exactly zero, a row the floats
+   called redundant is not identically zero, or the crashed basic
+   solution is not primal feasible. A surviving basis is a proven
+   basic feasible solution, so phase 2 from it is exact regardless of
+   what the floats did. *)
+
+let crash_basis std ~objective pairs =
+  if Budget.probe ~site:warmstart_reject_site then None
+  else begin
+    let m = Array.length std.rows in
+    let n_real = std.n_vars + std.n_slack in
+    let width = n_real + 1 in
+    let rhs = width - 1 in
+    let tableau = Array.map Array.copy std.rows in
+    let assigned = Array.make m (-1) in
+    let in_basis = Array.make n_real false in
+    let used = Array.make n_real false in
+    let ok = ref true in
+    Array.iter
+      (fun (i, col) ->
+        if i < 0 || i >= m || col < 0 || col >= n_real || assigned.(i) >= 0 || in_basis.(col) then
+          ok := false
+        else begin
+          assigned.(i) <- col;
+          in_basis.(col) <- true
+        end)
+      pairs;
+    (* The basic solution is determined by the basis column SET, not by
+       which column the float tableau happened to pair with which row —
+       and that pairing need not be a valid Gauss-Jordan pivot order on
+       the original rows anyway. So eliminate row by row, preferring the
+       float's pairing when its entry is nonzero and falling back to any
+       unused basis column otherwise; for a nonsingular basis the Schur
+       complement stays nonsingular after every pivot, so a usable
+       column always exists and a dead end means the guess was bad. *)
+    if !ok then
+      Array.iter
+        (fun (i, _) ->
+          if !ok then begin
+            Budget.tick ~stage:"simplex";
+            let col = ref assigned.(i) in
+            if Rat.is_zero tableau.(i).(!col) then begin
+              col := -1;
+              (try
+                 for c = 0 to n_real - 1 do
+                   if in_basis.(c) && (not used.(c)) && not (Rat.is_zero tableau.(i).(c)) then begin
+                     col := c;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ())
+            end;
+            if !col < 0 then ok := false
+            else begin
+              assigned.(i) <- !col;
+              used.(!col) <- true;
+              pivot_rows tableau ~row:i ~col:!col ~width
+            end
+          end)
+        pairs;
+    if not !ok then None
+    else begin
+      (* rows the floats dropped must vanish exactly, and the basic
+         solution must be feasible — both checked with zero tolerance *)
+      let keep = ref [] in
+      for i = m - 1 downto 0 do
+        if assigned.(i) >= 0 then begin
+          if Rat.(tableau.(i).(rhs) < Rat.zero) then ok := false;
+          keep := i :: !keep
+        end
+        else if not (Array.for_all Rat.is_zero tableau.(i)) then ok := false
+      done;
+      if not !ok then None
+      else begin
+        let rows = Array.of_list (List.map (fun i -> tableau.(i)) !keep) in
+        let basis = Array.of_list (List.map (fun i -> assigned.(i)) !keep) in
+        Some (solve_phase2 rows basis ~n_vars:std.n_vars ~width ~objective)
+      end
+    end
+  end
+
+let try_warm_start std ~objective =
+  let n_real = std.n_vars + std.n_slack in
+  let frows = Array.map (Array.map Rat.to_float) std.rows in
+  let fobj =
+    Array.init n_real (fun j -> if j < std.n_vars then Rat.to_float objective.(j) else 0.0)
+  in
+  match Fsimplex.solve ~rows:frows ~n_real ~objective:fobj with
+  | None -> None
+  | Some pairs -> crash_basis std ~objective pairs
+
+(* ------------------------------------------------------------------ *)
+
+let minimize_tableau ~n_vars constraints ~objective =
+  if Array.length objective <> n_vars then invalid_arg "Simplex.minimize: objective size";
+  List.iter
+    (fun c -> if Array.length c.coeffs <> n_vars then invalid_arg "Simplex.minimize: constraint size")
+    constraints;
+  let std = build_std ~n_vars constraints in
+  if !warmstart_enabled then begin
+    match try_warm_start std ~objective with
+    | Some outcome ->
+        incr warm_accepted;
+        outcome
+    | None ->
+        incr warm_rejected;
+        solve_two_phase std ~objective
+  end
+  else solve_two_phase std ~objective
 
 let minimize ~n_vars constraints ~objective =
   if Budget.probe ~site:infeasible_site then Infeasible

@@ -1,10 +1,16 @@
 (** Exact two-phase primal simplex over rationals.
 
-    Solves [minimize c·x subject to A x {<=,=,>=} b, x >= 0] with Bland's
-    anti-cycling rule, so termination is guaranteed and results are exact
-    — no tolerances. This is the engine behind the LP relaxation of
-    Section 3.1 ({!Rtt_core.Lp_relax}). Dense tableau; intended for the
-    small/medium instances the paper's constructions produce. *)
+    Solves [minimize c·x subject to A x {<=,=,>=} b, x >= 0] exactly —
+    no tolerances. Entering columns are priced by Bland's anti-cycling
+    rule by default (reproducing the seed solver's canonical pivot
+    sequence), or by Dantzig's most-negative-reduced-cost rule with a
+    degenerate-stall fallback to Bland when {!pricing} selects it.
+    Before the two-phase solve, a float simplex ({!Fsimplex}) may
+    suggest a starting basis, which is re-validated in exact arithmetic
+    and discarded on any mismatch — results never depend on floating
+    point. This is the engine behind the LP relaxation of Section 3.1
+    ({!Rtt_core.Lp_relax}). Dense tableau; intended for the small/medium
+    instances the paper's constructions produce. *)
 
 open Rtt_num
 
@@ -24,6 +30,39 @@ val infeasible_site : string
     {!Rtt_budget.Budget.arm}, the triggering {!minimize} call reports
     [Infeasible] without touching the tableau. Every pivot also consumes
     one unit of ambient fuel (stage ["simplex"]). *)
+
+val warmstart_reject_site : string
+(** Fault-injection site (["lp.warmstart.reject"]): when armed, the
+    triggering solve discards the float-suggested basis before crashing
+    it and falls through to the ordinary two-phase path — exercising the
+    fallback without having to construct a float-hostile instance. *)
+
+type pricing = Dantzig | Bland
+
+val pricing : pricing ref
+(** Entering-column rule. [Bland] (the default) is the seed's pure
+    lowest-index rule, reproducing its pivot sequence — and therefore
+    its exact answers — bit for bit. [Dantzig] picks the most negative
+    reduced cost and falls back to Bland's rule only while stalled on
+    degenerate pivots (so termination stays guaranteed); it reaches the
+    same optimal {e value} but, on LPs with several optimal vertices,
+    possibly a different (equally optimal) solution, which is why it is
+    opt-in: set the environment variable [RTT_LP_PRICING=dantzig] or
+    flip this ref. *)
+
+val warmstart_enabled : bool ref
+(** Whether solves may consult the float simplex for a starting basis.
+    Defaults to [true]; initialized to [false] when the environment
+    variable [RTT_LP_WARMSTART] is ["0"], ["false"], ["no"] or ["off"].
+    Purely a performance toggle — outcomes are identical either way. *)
+
+val pivot_count : unit -> int
+(** Cumulative exact pivots (including warm-start crash pivots) since
+    program start. Observability for the bench harness. *)
+
+val warm_stats : unit -> int * int
+(** [(accepted, rejected)] warm-start attempts since program start.
+    Solves with warm start disabled count in neither bucket. *)
 
 val minimize : n_vars:int -> constr list -> objective:Rat.t array -> outcome
 (** All variables implicitly satisfy [x >= 0].

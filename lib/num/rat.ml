@@ -1,43 +1,105 @@
-type t = { n : Bigint.t; d : Bigint.t }
-(* invariant: d > 0, gcd (n, d) = 1 *)
+(* Exact rationals with a small-integer fast path.
 
-let mk_norm n d =
-  if Bigint.is_zero d then raise Division_by_zero;
-  let n, d = if Stdlib.( < ) (Bigint.sign d) 0 then (Bigint.neg n, Bigint.neg d) else (n, d) in
-  if Bigint.is_zero n then { n = Bigint.zero; d = Bigint.one }
+   A value is either [S (n, d)] — native-int numerator/denominator with
+   |n| < 2^30, 0 < d < 2^30 and gcd (|n|, d) = 1 — or [B (n, d)], the
+   bigint arm with the same normalization invariants (d > 0, coprime).
+   The representation is canonical: every value whose reduced form fits
+   the [S] bounds is stored as [S], so a [B] value never equals an [S]
+   value and structural equality coincides with numeric equality.
+
+   The bound 2^30 keeps every cross product of the fast arm (n1*d2,
+   n1*n2, d1*d2, ...) below 2^60 and two-term sums below 2^61, inside
+   the 63-bit native range, so the fast arm never overflows silently:
+   results whose reduced form outgrows the bound promote to [B], and
+   [B] results that shrink back demote to [S]. *)
+
+let small_lim = 1 lsl 30
+
+type t = S of int * int | B of Bigint.t * Bigint.t
+
+let fits n = n > -small_lim && n < small_lim
+
+(* gcd on non-negative native ints *)
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+(* Euclidean floor division for d > 0 *)
+let ediv n d = if n >= 0 then n / d else -((-n + d - 1) / d)
+
+let zero = S (0, 1)
+let one = S (1, 1)
+let two = S (2, 1)
+let half = S (1, 2)
+let minus_one = S (-1, 1)
+
+(* [n], [d] native ints with d > 0, both bounded well inside the native
+   range (call sites keep them below ~2^61); returns the canonical arm *)
+let norm_small n d =
+  if n = 0 then zero
   else begin
-    let g = Bigint.gcd n d in
-    { n = Bigint.div n g; d = Bigint.div d g }
+    let g = gcd_int (Stdlib.abs n) d in
+    let n = n / g and d = d / g in
+    if fits n && fits d then S (n, d) else B (Bigint.of_int n, Bigint.of_int d)
   end
 
-let zero = { n = Bigint.zero; d = Bigint.one }
-let one = { n = Bigint.one; d = Bigint.one }
-let two = { n = Bigint.two; d = Bigint.one }
-let half = { n = Bigint.one; d = Bigint.two }
-let minus_one = { n = Bigint.minus_one; d = Bigint.one }
-let of_bigint n = { n; d = Bigint.one }
-let of_int i = of_bigint (Bigint.of_int i)
-let make = mk_norm
-let of_ints a b = mk_norm (Bigint.of_int a) (Bigint.of_int b)
-let num x = x.n
-let den x = x.d
-let sign x = Bigint.sign x.n
-let is_zero x = Bigint.is_zero x.n
-let is_integer x = Bigint.equal x.d Bigint.one
-let to_float x = Bigint.to_float x.n /. Bigint.to_float x.d
+(* reduced bigint pair (d > 0, coprime): demote to the fast arm if it fits *)
+let demote n d =
+  match (Bigint.to_int_opt n, Bigint.to_int_opt d) with
+  | Some sn, Some sd when fits sn && fits sd -> S (sn, sd)
+  | _ -> B (n, d)
 
-let to_bigint_floor x =
-  (* Bigint.divmod is Euclidean (remainder >= 0), which is exactly floor
-     division for positive denominators *)
-  Bigint.div x.n x.d
+let norm_big n d =
+  if Bigint.is_zero d then raise Division_by_zero;
+  let n, d = if Stdlib.( < ) (Bigint.sign d) 0 then (Bigint.neg n, Bigint.neg d) else (n, d) in
+  if Bigint.is_zero n then zero
+  else begin
+    let g = Bigint.gcd n d in
+    demote (Bigint.div n g) (Bigint.div d g)
+  end
 
-let to_bigint_ceil x = Bigint.neg (Bigint.div (Bigint.neg x.n) x.d)
-let to_int_floor x = Bigint.to_int (to_bigint_floor x)
-let to_int_ceil x = Bigint.to_int (to_bigint_ceil x)
+let of_bigint n = demote n Bigint.one
+let of_int i = if fits i then S (i, 1) else B (Bigint.of_int i, Bigint.one)
+let make = norm_big
 
-let to_string x =
-  if is_integer x then Bigint.to_string x.n
-  else Bigint.to_string x.n ^ "/" ^ Bigint.to_string x.d
+let of_ints a b =
+  if b = 0 then raise Division_by_zero;
+  if a = Stdlib.min_int || b = Stdlib.min_int then norm_big (Bigint.of_int a) (Bigint.of_int b)
+  else if b < 0 then norm_small (-a) (-b)
+  else norm_small a b
+
+let num = function S (n, _) -> Bigint.of_int n | B (n, _) -> n
+let den = function S (_, d) -> Bigint.of_int d | B (_, d) -> d
+let sign = function S (n, _) -> Stdlib.compare n 0 | B (n, _) -> Bigint.sign n
+let is_zero = function S (n, _) -> n = 0 | B _ -> false
+let is_integer = function S (_, d) -> d = 1 | B (_, d) -> Bigint.equal d Bigint.one
+let is_small_repr = function S _ -> true | B _ -> false
+
+let to_float = function
+  | S (n, d) -> float_of_int n /. float_of_int d
+  | B (n, d) -> Bigint.to_float n /. Bigint.to_float d
+
+let to_bigint_floor = function
+  | S (n, d) -> Bigint.of_int (ediv n d)
+  | B (n, d) ->
+      (* Bigint.divmod is Euclidean (remainder >= 0), which is exactly
+         floor division for positive denominators *)
+      Bigint.div n d
+
+let to_bigint_ceil = function
+  | S (n, d) -> Bigint.of_int (-ediv (-n) d)
+  | B (n, d) -> Bigint.neg (Bigint.div (Bigint.neg n) d)
+
+let to_int_floor = function S (n, d) -> ediv n d | B (n, d) -> Bigint.to_int (Bigint.div n d)
+
+let to_int_ceil = function
+  | S (n, d) -> -ediv (-n) d
+  | B (n, d) -> Bigint.to_int (Bigint.neg (Bigint.div (Bigint.neg n) d))
+
+let to_string = function
+  | S (n, 1) -> string_of_int n
+  | S (n, d) -> string_of_int n ^ "/" ^ string_of_int d
+  | B (n, d) ->
+      if Bigint.equal d Bigint.one then Bigint.to_string n
+      else Bigint.to_string n ^ "/" ^ Bigint.to_string d
 
 let of_string s =
   match String.index_opt s '/' with
@@ -45,27 +107,73 @@ let of_string s =
   | Some i ->
       let a = Bigint.of_string (String.sub s 0 i) in
       let b = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
-      mk_norm a b
+      norm_big a b
 
-let compare a b = Bigint.compare (Bigint.mul a.n b.d) (Bigint.mul b.n a.d)
-let equal a b = Stdlib.( = ) (compare a b) 0
+let compare a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) -> Stdlib.compare (n1 * d2) (n2 * d1)
+  | _ -> Bigint.compare (Bigint.mul (num a) (den b)) (Bigint.mul (num b) (den a))
+
+(* canonical representation: structural equality per arm, never across *)
+let equal a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) -> n1 = n2 && d1 = d2
+  | B (n1, d1), B (n2, d2) -> Bigint.equal n1 n2 && Bigint.equal d1 d2
+  | S _, B _ | B _, S _ -> false
+
 let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
 let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
-let neg x = { x with n = Bigint.neg x.n }
-let abs x = { x with n = Bigint.abs x.n }
+let neg = function S (n, d) -> S (-n, d) | B (n, d) -> B (Bigint.neg n, d)
+let abs = function S (n, d) -> S (Stdlib.abs n, d) | B (n, d) -> B (Bigint.abs n, d)
 
 let add a b =
-  mk_norm (Bigint.add (Bigint.mul a.n b.d) (Bigint.mul b.n a.d)) (Bigint.mul a.d b.d)
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) ->
+      if d1 = d2 then norm_small (n1 + n2) d1 else norm_small ((n1 * d2) + (n2 * d1)) (d1 * d2)
+  | _ ->
+      norm_big
+        (Bigint.add (Bigint.mul (num a) (den b)) (Bigint.mul (num b) (den a)))
+        (Bigint.mul (den a) (den b))
 
 let sub a b =
-  mk_norm (Bigint.sub (Bigint.mul a.n b.d) (Bigint.mul b.n a.d)) (Bigint.mul a.d b.d)
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) ->
+      if d1 = d2 then norm_small (n1 - n2) d1 else norm_small ((n1 * d2) - (n2 * d1)) (d1 * d2)
+  | _ ->
+      norm_big
+        (Bigint.sub (Bigint.mul (num a) (den b)) (Bigint.mul (num b) (den a)))
+        (Bigint.mul (den a) (den b))
 
-let mul a b = mk_norm (Bigint.mul a.n b.n) (Bigint.mul a.d b.d)
-let div a b = if is_zero b then raise Division_by_zero else mk_norm (Bigint.mul a.n b.d) (Bigint.mul a.d b.n)
-let inv x = div one x
-let mul_int x k = mk_norm (Bigint.mul_int x.n k) x.d
-let floor x = of_bigint (to_bigint_floor x)
-let ceil x = of_bigint (to_bigint_ceil x)
+let mul a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) -> norm_small (n1 * n2) (d1 * d2)
+  | _ -> norm_big (Bigint.mul (num a) (num b)) (Bigint.mul (den a) (den b))
+
+let div a b =
+  if is_zero b then raise Division_by_zero;
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) ->
+      let n = n1 * d2 and d = d1 * n2 in
+      if d < 0 then norm_small (-n) (-d) else norm_small n d
+  | _ -> norm_big (Bigint.mul (num a) (den b)) (Bigint.mul (den a) (num b))
+
+(* inverting swaps the (coprime) components, so both arms stay canonical *)
+let inv = function
+  | S (n, d) -> if n = 0 then raise Division_by_zero else if n > 0 then S (d, n) else S (-d, -n)
+  | B (n, d) ->
+      if Stdlib.( < ) (Bigint.sign n) 0 then B (Bigint.neg d, Bigint.neg n) else B (d, n)
+
+let mul_int x k =
+  match x with
+  | S (n, d) when fits k -> norm_small (n * k) d
+  | _ -> norm_big (Bigint.mul_int (num x) k) (den x)
+
+let floor = function S (n, d) -> S (ediv n d, 1) | B (n, d) -> of_bigint (Bigint.div n d)
+
+let ceil = function
+  | S (n, d) -> S (-ediv (-n) d, 1)
+  | B (n, d) -> of_bigint (Bigint.neg (Bigint.div (Bigint.neg n) d))
+
 let pp fmt x = Format.pp_print_string fmt (to_string x)
 let ( + ) = add
 let ( - ) = sub

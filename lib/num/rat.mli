@@ -1,9 +1,17 @@
-(** Exact rational numbers over {!Bigint}.
+(** Exact rational numbers with a small-integer fast path.
 
     Values are kept normalized: the denominator is strictly positive and
     coprime with the numerator; zero is [0/1]. Used throughout the LP
     relaxation pipeline (Section 3.1 of the paper) so that rounding
-    decisions and ratio checks are exact. *)
+    decisions and ratio checks are exact.
+
+    Internally a value lives on one of two arms: a native-[int]
+    numerator/denominator pair (both below [2^30], so every cross
+    product stays inside the 63-bit native range) or a {!Bigint} pair.
+    Arithmetic runs on the fast arm whenever both operands fit and
+    promotes on overflow; results that shrink back are demoted, so the
+    representation is canonical and observable behaviour is identical to
+    a pure-bigint implementation — only faster. *)
 
 type t
 
@@ -36,6 +44,11 @@ val den : t -> Bigint.t
 val sign : t -> int
 val is_zero : t -> bool
 val is_integer : t -> bool
+
+val is_small_repr : t -> bool
+(** Whether the value currently lives on the native-[int] fast arm.
+    Representation introspection for tests and benchmarks only — the
+    two arms are observably identical. *)
 
 val to_float : t -> float
 

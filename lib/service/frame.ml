@@ -27,9 +27,15 @@ let crc32 s =
 
 let frame payload = Printf.sprintf "%08lx %s" (crc32 payload) payload
 
+(* Only canonical lowercase hex: [int_of_string "0x..."] would also
+   accept uppercase digits and underscores, letting some single-byte
+   corruptions of the CRC field ("a" -> "A", leading "0" -> "_") parse
+   to the same checksum value and slip through. *)
+let is_lower_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
 let unframe line =
   match String.index_opt line ' ' with
-  | Some 8 -> (
+  | Some 8 when String.for_all is_lower_hex (String.sub line 0 8) -> (
       let payload = String.sub line 9 (String.length line - 9) in
       match int_of_string_opt ("0x" ^ String.sub line 0 8) with
       | Some crc when Int32.of_int crc = crc32 payload -> Some payload

@@ -1,22 +1,9 @@
-(* Minimal JSON emission: the object shape is fixed and flat, so a
-   string escaper plus a few printfs beats a dependency. *)
-
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Minimal JSON emission: the object shape is fixed and flat, so the
+   shared escaper ({!Rtt_engine.Jsonout}) plus a few printfs beats a
+   dependency. *)
 
 let json_of ~id status =
+  let quote = Rtt_engine.Jsonout.quote in
   let state = match status with None -> "unknown" | Some s -> Journal.status_name s in
   let attempts =
     match status with
@@ -37,9 +24,10 @@ let json_of ~id status =
   in
   let error =
     match status with
-    | Some (Journal.Dead { error_class; _ }) -> Printf.sprintf "%S" (escape error_class)
+    (* [quote], not a double pass through [%S]: the former per-module
+       escaper fed already-escaped text to [%S], mangling backslashes *)
+    | Some (Journal.Dead { error_class; _ }) -> quote error_class
     | _ -> "null"
   in
-  Printf.sprintf
-    "{\"id\":\"%s\",\"state\":\"%s\",\"attempts\":%d,\"fuel\":%s,\"cache_hit\":%s,\"error\":%s}"
-    (escape id) (escape state) attempts fuel cache_hit error
+  Printf.sprintf "{\"id\":%s,\"state\":%s,\"attempts\":%d,\"fuel\":%s,\"cache_hit\":%s,\"error\":%s}"
+    (quote id) (quote state) attempts fuel cache_hit error

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Perf gate for the exact-LP fast path.
+#
+# Runs the E1 section of the bench harness twice with --json and
+# compares the faster run against the committed BENCH_5.json baseline:
+# more than 20% slower fails the gate. When the two fresh runs disagree
+# with each other by more than 30% the runner is too noisy to judge and
+# the gate prints a `skipped:` line instead (same convention as the
+# bench's own T1 speedup table) and exits 0.
+#
+# Wall time, not fuel: fuel counts are already asserted bit-for-bit by
+# the bench verdicts; this gate exists to catch constant-factor
+# regressions (a lost fast path, an accidental deep copy) that fuel
+# cannot see.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BASELINE=BENCH_5.json
+BENCH=_build/default/bench/main.exe
+
+[ -x "$BENCH" ] || { echo "bench_gate: $BENCH missing — run dune build first" >&2; exit 2; }
+[ -f "$BASELINE" ] || { echo "bench_gate: committed baseline $BASELINE missing" >&2; exit 2; }
+
+# extract the E1 seconds field from a BENCH_5.json-shaped file
+e1_seconds() {
+  sed -n 's/.*"id":"E1".*"seconds":\([0-9.]*\).*/\1/p' "$1" | head -1
+}
+
+base=$(e1_seconds "$BASELINE")
+[ -n "$base" ] || { echo "bench_gate: no E1 record in $BASELINE" >&2; exit 2; }
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+repo=$PWD
+
+runs=()
+for _ in 1 2; do
+  (cd "$tmp" && "$repo/$BENCH" --json E1 >/dev/null)
+  grep -q '"id":"E1".*"ok":true' "$tmp/BENCH_5.json" \
+    || { echo "bench_gate: E1 failed its own verdict" >&2; exit 1; }
+  runs+=("$(e1_seconds "$tmp/BENCH_5.json")")
+done
+
+fresh=$(awk -v a="${runs[0]}" -v b="${runs[1]}" 'BEGIN { print (a < b) ? a : b }')
+quiet=$(awk -v a="${runs[0]}" -v b="${runs[1]}" \
+  'BEGIN { lo = (a < b) ? a : b; hi = (a < b) ? b : a; print (hi <= 1.3 * lo) ? 1 : 0 }')
+
+if [ "$quiet" -ne 1 ]; then
+  echo "skipped:  perf gate needs a quiet runner — back-to-back E1 runs took ${runs[0]}s and ${runs[1]}s (>30% apart), comparison is informational"
+  echo "bench_gate: E1 fastest ${fresh}s, committed baseline ${base}s"
+  exit 0
+fi
+
+pass=$(awk -v f="$fresh" -v b="$base" 'BEGIN { print (f <= 1.2 * b) ? 1 : 0 }')
+if [ "$pass" -ne 1 ]; then
+  echo "bench_gate: FAIL — E1 took ${fresh}s against a ${base}s baseline (>20% regression)" >&2
+  exit 1
+fi
+echo "bench_gate: OK — E1 ${fresh}s vs baseline ${base}s (within the 20% budget)"

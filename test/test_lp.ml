@@ -207,6 +207,132 @@ let simplex_props =
         | Lp.Infeasible -> false);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Pricing rules and the float warm start. Dantzig and Bland may stop
+   at different optimal vertices on degenerate instances, so agreement
+   is asserted on status and objective value, never on the solution
+   vector; the same goes for warm start on/off. *)
+
+let with_pricing p f =
+  let saved = !Simplex.pricing in
+  Simplex.pricing := p;
+  Fun.protect ~finally:(fun () -> Simplex.pricing := saved) f
+
+let with_warmstart b f =
+  let saved = !Simplex.warmstart_enabled in
+  Simplex.warmstart_enabled := b;
+  Fun.protect ~finally:(fun () -> Simplex.warmstart_enabled := saved) f
+
+let outcome_key = function
+  | Simplex.Optimal { objective; _ } -> "optimal " ^ Rat.to_string objective
+  | Simplex.Infeasible -> "infeasible"
+  | Simplex.Unbounded -> "unbounded"
+
+(* random standard-form instance mixing <=, >= and = rows so phase 1,
+   infeasibility and unboundedness all occur with decent frequency *)
+let random_instance seed =
+  let rng = Random.State.make [| seed; 7177 |] in
+  let nv = 1 + Random.State.int rng 4 in
+  let rows = 1 + Random.State.int rng 5 in
+  let rel () =
+    match Random.State.int rng 4 with 0 -> Simplex.Ge | 1 -> Simplex.Eq | _ -> Simplex.Le
+  in
+  let constrs =
+    List.init rows (fun _ ->
+        {
+          Simplex.coeffs = Array.init nv (fun _ -> Rat.of_int (Random.State.int rng 9 - 3));
+          relation = rel ();
+          rhs = Rat.of_int (Random.State.int rng 15 - 4);
+        })
+  in
+  let objective = Array.init nv (fun _ -> Rat.of_int (Random.State.int rng 11 - 5)) in
+  (nv, constrs, objective)
+
+let pricing_props =
+  [
+    prop "Dantzig and Bland agree on status and objective" 300 QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let n_vars, constrs, objective = random_instance seed in
+        with_warmstart false (fun () ->
+            let b = with_pricing Simplex.Bland (fun () -> Simplex.minimize ~n_vars constrs ~objective) in
+            let d = with_pricing Simplex.Dantzig (fun () -> Simplex.minimize ~n_vars constrs ~objective) in
+            String.equal (outcome_key b) (outcome_key d)));
+    prop "float warm start never changes status or objective" 300 QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let n_vars, constrs, objective = random_instance seed in
+        with_pricing Simplex.Bland (fun () ->
+            let cold = with_warmstart false (fun () -> Simplex.minimize ~n_vars constrs ~objective) in
+            let warm = with_warmstart true (fun () -> Simplex.minimize ~n_vars constrs ~objective) in
+            String.equal (outcome_key cold) (outcome_key warm)));
+  ]
+
+(* max 3x + 5y st x <= 4; 2y <= 12; 3x + 2y <= 18 -> 36 at (2,6) *)
+let textbook () =
+  let row coeffs relation rhs =
+    { Simplex.coeffs = Array.map Rat.of_int coeffs; relation; rhs = Rat.of_int rhs }
+  in
+  let constrs =
+    [ row [| 1; 0 |] Simplex.Le 4; row [| 0; 2 |] Simplex.Le 12; row [| 3; 2 |] Simplex.Le 18 ]
+  in
+  (2, constrs, [| Rat.of_int 3; Rat.of_int 5 |])
+
+let warmstart_units =
+  [
+    Alcotest.test_case "accepted warm start is counted and exact" `Quick (fun () ->
+        let n_vars, constrs, objective = textbook () in
+        let acc0, rej0 = Simplex.warm_stats () in
+        let out =
+          with_warmstart true (fun () -> Simplex.maximize ~n_vars constrs ~objective)
+        in
+        let acc1, rej1 = Simplex.warm_stats () in
+        (match out with
+        | Simplex.Optimal { objective; _ } ->
+            Alcotest.(check string) "objective" "36" (Rat.to_string objective)
+        | _ -> Alcotest.fail "expected optimal");
+        Alcotest.(check int) "accepted" (acc0 + 1) acc1;
+        Alcotest.(check int) "rejected" rej0 rej1);
+    Alcotest.test_case "injected rejection falls back to two-phase" `Quick (fun () ->
+        let n_vars, constrs, objective = textbook () in
+        let acc0, rej0 = Simplex.warm_stats () in
+        Rtt_budget.Budget.arm ~site:Simplex.warmstart_reject_site ~after:0;
+        Fun.protect
+          ~finally:(fun () -> Rtt_budget.Budget.disarm_all ())
+          (fun () ->
+            let out =
+              with_warmstart true (fun () -> Simplex.maximize ~n_vars constrs ~objective)
+            in
+            let acc1, rej1 = Simplex.warm_stats () in
+            (match out with
+            | Simplex.Optimal { objective; solution } ->
+                Alcotest.(check string) "objective" "36" (Rat.to_string objective);
+                Alcotest.(check string) "x" "2" (Rat.to_string solution.(0));
+                Alcotest.(check string) "y" "6" (Rat.to_string solution.(1))
+            | _ -> Alcotest.fail "expected optimal");
+            Alcotest.(check int) "rejected" (rej0 + 1) rej1;
+            Alcotest.(check int) "accepted" acc0 acc1;
+            Alcotest.(check bool) "fault disarmed" false
+              (Rtt_budget.Budget.armed ~site:Simplex.warmstart_reject_site)));
+    Alcotest.test_case "disabled warm start counts in neither bucket" `Quick (fun () ->
+        let n_vars, constrs, objective = textbook () in
+        let acc0, rej0 = Simplex.warm_stats () in
+        let out =
+          with_warmstart false (fun () -> Simplex.maximize ~n_vars constrs ~objective)
+        in
+        let acc1, rej1 = Simplex.warm_stats () in
+        (match out with
+        | Simplex.Optimal { objective; _ } ->
+            Alcotest.(check string) "objective" "36" (Rat.to_string objective)
+        | _ -> Alcotest.fail "expected optimal");
+        Alcotest.(check int) "accepted" acc0 acc1;
+        Alcotest.(check int) "rejected" rej0 rej1);
+  ]
+
 let () =
   Alcotest.run "rtt_lp"
-    [ ("linexpr", linexpr_units); ("simplex", simplex_units); ("simplex-properties", simplex_props) ]
+    [
+      ("linexpr", linexpr_units);
+      ("simplex", simplex_units);
+      ("simplex-properties", simplex_props);
+      ("pricing-properties", pricing_props);
+      ("warm-start", warmstart_units);
+    ]

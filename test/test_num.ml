@@ -163,4 +163,90 @@ let property_tests =
         Float.is_finite f);
   ]
 
-let () = Alcotest.run "rtt_num" [ ("bigint-rat units", unit_tests); ("properties", property_tests) ]
+(* ------------------------------------------------------------------ *)
+(* Differential suite for the native-int fast arm: operands log-uniform
+   across the 2^30 promotion boundary, every result checked against the
+   naive bigint cross-product formula and against the canonical-
+   representation invariant (a value sits on the fast arm exactly when
+   its reduced form fits the bound). *)
+
+let small_lim_b = Bigint.of_int (1 lsl 30)
+
+(* magnitude log-uniform in [1, 2^34), random sign: roughly half the
+   products and sums overflow the fast arm, half stay inside *)
+let gen_boundary_int =
+  QCheck.Gen.(
+    let* bits = int_range 1 34 in
+    let base = 1 lsl (bits - 1) in
+    let* off = int_range 0 (base - 1) in
+    let* neg = bool in
+    return (if neg then -(base + off) else base + off))
+
+let arb_boundary_rat =
+  let gen =
+    QCheck.Gen.(
+      let* n = gen_boundary_int in
+      let* d = gen_boundary_int in
+      return (Rat.of_ints n d))
+  in
+  QCheck.make ~print:Rat.to_string gen
+
+let canonical r =
+  let n = Rat.num r and d = Rat.den r in
+  Bigint.sign d > 0
+  && Bigint.(equal (gcd n d) one)
+  && Rat.is_small_repr r = (Bigint.(abs n < small_lim_b) && Bigint.(d < small_lim_b))
+
+let ref_add x y =
+  Rat.make
+    Bigint.(add (mul (Rat.num x) (Rat.den y)) (mul (Rat.num y) (Rat.den x)))
+    Bigint.(mul (Rat.den x) (Rat.den y))
+
+let ref_mul x y = Rat.make Bigint.(mul (Rat.num x) (Rat.num y)) Bigint.(mul (Rat.den x) (Rat.den y))
+let ref_div x y = Rat.make Bigint.(mul (Rat.num x) (Rat.den y)) Bigint.(mul (Rat.den x) (Rat.num y))
+
+let ref_compare x y =
+  Bigint.compare (Bigint.mul (Rat.num x) (Rat.den y)) (Bigint.mul (Rat.num y) (Rat.den x))
+
+let boundary_pair = QCheck.pair arb_boundary_rat arb_boundary_rat
+
+let fast_arm_props =
+  [
+    prop "boundary: add matches bigint reference" 500 boundary_pair (fun (x, y) ->
+        let r = Rat.add x y in
+        Rat.equal r (ref_add x y) && canonical r);
+    prop "boundary: sub matches bigint reference" 500 boundary_pair (fun (x, y) ->
+        let r = Rat.sub x y in
+        Rat.equal r (ref_add x (Rat.neg y)) && canonical r);
+    prop "boundary: mul matches bigint reference" 500 boundary_pair (fun (x, y) ->
+        let r = Rat.mul x y in
+        Rat.equal r (ref_mul x y) && canonical r);
+    prop "boundary: div matches bigint reference" 500 boundary_pair (fun (x, y) ->
+        QCheck.assume (not (Rat.is_zero y));
+        let r = Rat.div x y in
+        Rat.equal r (ref_div x y) && canonical r);
+    prop "boundary: compare matches cross products" 500 boundary_pair (fun (x, y) ->
+        compare (Rat.compare x y) 0 = compare (ref_compare x y) 0);
+    prop "boundary: equal iff compare is zero" 500 boundary_pair (fun (x, y) ->
+        Rat.equal x y = (Rat.compare x y = 0));
+    prop "boundary: mul_int consistent" 500
+      (QCheck.pair arb_boundary_rat (QCheck.int_range (-1048576) 1048576))
+      (fun (x, k) -> Rat.(equal (mul_int x k) (mul x (of_int k))));
+    prop "boundary: generator output is canonical" 500 arb_boundary_rat canonical;
+    prop "promote then demote lands back on the fast arm" 300
+      (QCheck.pair (QCheck.int_range (-9999) 9999) (QCheck.int_range 1 9999))
+      (fun (n, d) ->
+        let x = Rat.of_ints n d in
+        let big = Rat.of_int (1 lsl 40) in
+        let lifted = Rat.add x big in
+        let r = Rat.sub lifted big in
+        (not (Rat.is_small_repr lifted)) && Rat.equal r x && Rat.is_small_repr r);
+  ]
+
+let () =
+  Alcotest.run "rtt_num"
+    [
+      ("bigint-rat units", unit_tests);
+      ("properties", property_tests);
+      ("fast-arm", fast_arm_props);
+    ]

@@ -781,6 +781,62 @@ let frame_units =
         | None -> Alcotest.fail "journal lines must unframe");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* shared JSON escaper (Rtt_engine.Jsonout) — used by [rtt jobs --json]
+   and [bench --json]; the decoder exists purely so we can assert the
+   round trip over arbitrary byte strings *)
+
+let arb_bytes =
+  QCheck.make
+    ~print:String.escaped
+    QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_range 0 48))
+
+let jsonout_props =
+  [
+    prop "escape/unescape round-trips arbitrary bytes" 500 arb_bytes (fun s ->
+        Jsonout.unescape (Jsonout.escape s) = Some s);
+    prop "quote is escape in double quotes" 200 arb_bytes (fun s ->
+        let q = Jsonout.quote s in
+        String.length q >= 2
+        && q.[0] = '"'
+        && q.[String.length q - 1] = '"'
+        && String.sub q 1 (String.length q - 2) = Jsonout.escape s);
+    prop "quoted literal has no control bytes and terminates only at the end" 200 arb_bytes
+      (fun s ->
+        let q = Jsonout.quote s in
+        let n = String.length q in
+        (* walk the body: a backslash consumes the next byte; an
+           unescaped quote before position n-1 would cut the literal
+           short, a control byte would break line-oriented readers *)
+        let rec scan i =
+          if i = n - 1 then true
+          else if i > n - 1 then false
+          else
+            let c = q.[i] in
+            if c < ' ' || c = '"' then false
+            else if c = '\\' then scan (i + 2)
+            else scan (i + 1)
+        in
+        n >= 2 && scan 1);
+  ]
+
+let jsonout_units =
+  [
+    Alcotest.test_case "known escapes" `Quick (fun () ->
+        Alcotest.(check string) "mixed" "a\\\"b\\\\c\\n\\t\\u0001"
+          (Jsonout.escape "a\"b\\c\n\t\001"));
+    Alcotest.test_case "unescape accepts standard optional escapes" `Quick (fun () ->
+        Alcotest.(check (option string)) "solidus" (Some "/") (Jsonout.unescape "\\/");
+        Alcotest.(check (option string)) "u0041" (Some "A") (Jsonout.unescape "\\u0041");
+        Alcotest.(check (option string)) "backspace" (Some "\b") (Jsonout.unescape "\\b");
+        Alcotest.(check (option string)) "formfeed" (Some "\012") (Jsonout.unescape "\\f"));
+    Alcotest.test_case "unescape rejects malformed input" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check (option string)) (String.escaped s) None (Jsonout.unescape s))
+          [ "\\"; "\\x"; "\\u00"; "\\u00zz"; "\\u0100" ]);
+  ]
+
 let () =
   Alcotest.run "service"
     [
@@ -794,4 +850,6 @@ let () =
       ("resume", resume_units);
       ("supervisor", supervisor_units);
       ("process", process_units);
+      ("jsonout-props", jsonout_props);
+      ("jsonout", jsonout_units);
     ]
