@@ -613,8 +613,23 @@ let daemon_cmd =
     Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress lines on stderr.") in
+  let sync_replicas =
+    let doc =
+      "Hold each submission's accepted reply until $(docv) followers have durably applied its \
+       journal record. 0 (the default) acknowledges as soon as the local fsync returns."
+    in
+    Arg.(value & opt int 0 & info [ "sync-replicas" ] ~docv:"K" ~doc)
+  in
+  let inject =
+    let doc =
+      "Arm a fault-injection site (repeatable), e.g. $(b,repl.frame-drop) to drop a shipped \
+       replication frame (the follower must detect the gap and re-sync) — SITE[:AFTER] as in \
+       $(b,rtt solve --inject)."
+    in
+    Arg.(value & opt_all inject_conv [] & info [ "inject" ] ~docv:"SITE[:AFTER]" ~doc)
+  in
   let run () spool socket listen queue max_frame idle_timeout workers fallback max_attempts
-      deadline_fuel cache_dir budget seed verbose =
+      deadline_fuel cache_dir budget seed verbose sync_replicas inject =
     let invalid msg =
       Format.eprintf "rtt: %s@." msg;
       124
@@ -634,7 +649,10 @@ let daemon_cmd =
         else if max_attempts <= 0 then invalid "--max-attempts must be positive"
         else if queue <= 0 then invalid "--queue must be positive"
         else if max_frame < 64 then invalid "--max-frame must be at least 64 bytes"
-        else
+        else if sync_replicas < 0 then invalid "--sync-replicas must be non-negative"
+        else begin
+          Faults.reset ();
+          List.iter (fun (site, after) -> Faults.arm ~after site) inject;
           Daemon.run
             {
               Daemon.service =
@@ -654,7 +672,9 @@ let daemon_cmd =
               queue_capacity = queue;
               max_frame;
               idle_timeout;
+              sync_replicas;
             }
+        end
   in
   let info =
     Cmd.info "daemon"
@@ -670,16 +690,23 @@ let daemon_cmd =
     Term.(
       const run $ no_warmstart_arg $ spool_arg $ socket_arg $ listen $ queue $ max_frame
       $ idle_timeout $ workers $ fallback $ max_attempts $ deadline_fuel $ cache_dir
-      $ budget_arg $ seed_arg $ verbose)
+      $ budget_arg $ seed_arg $ verbose $ sync_replicas $ inject)
 
-let with_client socket k =
+let connect_attempts_arg =
+  let doc =
+    "Connection attempts before giving up (capped exponential backoff with deterministic \
+     jitter between tries) — enough to ride out a failover window while a follower promotes."
+  in
+  Arg.(value & opt int 8 & info [ "connect-attempts" ] ~docv:"N" ~doc)
+
+let with_client ?(attempts = 8) socket k =
   let open Rtt_net in
   match Client.endpoint_of_string socket with
   | Error msg ->
       Format.eprintf "rtt: %s@." msg;
       Client.exit_connect
   | Ok ep -> (
-      match Client.connect ep with
+      match Client.connect_retry ~attempts ep with
       | Error e ->
           Format.eprintf "rtt: %s@." (Client.error_to_string e);
           Client.exit_connect
@@ -730,7 +757,7 @@ let submit_cmd =
     let doc = "Label for the daemon's log; defaults to the instance file name." in
     Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
   in
-  let run path socket wait timeout name =
+  let run path socket wait timeout name attempts =
     let body =
       let ic = open_in_bin path in
       Fun.protect
@@ -738,8 +765,32 @@ let submit_cmd =
         (fun () -> really_input_string ic (in_channel_length ic))
     in
     let name = Option.value name ~default:(Filename.basename path) in
-    with_client socket @@ fun c ->
-    match Client.request c (Protocol.Submit { name; body }) with
+    (* a wait that survives the daemon dying under it: reconnect with
+       backoff and re-send the wait — the journal makes the answer
+       durable, so a promoted follower (or restarted daemon) on the
+       same socket answers it truthfully *)
+    let rec wait_loop ~deadline c id =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then report_client_error Client.Timeout
+      else
+        match Client.request ~timeout:remaining c (Protocol.Wait { id }) with
+        | Ok resp -> finish_terminal resp
+        | Error Client.Timeout -> report_client_error Client.Timeout
+        | Error e -> (
+            Format.eprintf "rtt: connection lost (%s); reconnecting@."
+              (Client.error_to_string e);
+            match Client.endpoint_of_string socket with
+            | Error _ -> report_client_error e
+            | Ok ep -> (
+                match Client.connect_retry ~attempts ep with
+                | Error e -> report_client_error e
+                | Ok c' ->
+                    Fun.protect
+                      ~finally:(fun () -> Client.close c')
+                      (fun () -> wait_loop ~deadline c' id)))
+    in
+    with_client ~attempts socket @@ fun c ->
+    match Client.request ~timeout c (Protocol.Submit { name; body }) with
     | Error e -> report_client_error e
     | Ok (Protocol.Shed { retry_after_ms }) ->
         Format.eprintf "rtt: submission shed; retry in %d ms@." retry_after_ms;
@@ -747,15 +798,12 @@ let submit_cmd =
     | Ok (Protocol.Errored { code; msg }) ->
         Format.eprintf "rtt: rejected (%s): %s@." code msg;
         Option.value (Error.exit_code_of_class code) ~default:Client.exit_connect
-    | Ok (Protocol.Accepted { id }) -> (
+    | Ok (Protocol.Accepted { id }) ->
         if not wait then begin
           print_endline id;
           0
         end
-        else
-          match Client.request ~timeout c (Protocol.Wait { id }) with
-          | Error e -> report_client_error e
-          | Ok resp -> finish_terminal resp)
+        else wait_loop ~deadline:(Unix.gettimeofday () +. timeout) c id
     | Ok _ ->
         Format.eprintf "rtt: unexpected daemon response@.";
         Client.exit_connect
@@ -765,54 +813,217 @@ let submit_cmd =
       ~doc:
         "Submit an instance file to a running $(b,rtt daemon). Prints the durable job id (the \
          instance's content digest — duplicate submissions coalesce), or with $(b,--wait) \
-         blocks for the result. Exit codes: 0 success, 40 connect/protocol failure, 41 shed, \
-         42 wait timeout; a permanently failed job exits with its error class's engine code."
+         blocks for the result. Connections (and a $(b,--wait) interrupted by a failover) are \
+         retried with backoff for up to $(b,--connect-attempts) tries. Exit codes: 0 success, \
+         40 connect/protocol failure, 41 shed, 42 wait timeout; a permanently failed job exits \
+         with its error class's engine code. With the daemon's $(b,--sync-replicas) K, the \
+         accepted reply itself certifies the submission is durable on K followers."
   in
-  Cmd.v info Term.(const run $ instance_arg $ socket_arg $ wait $ timeout $ name_arg)
+  Cmd.v info
+    Term.(const run $ instance_arg $ socket_arg $ wait $ timeout $ name_arg $ connect_attempts_arg)
 
 let status_cmd =
   let open Rtt_net in
   let id_arg =
-    let doc = "Job id as printed by $(b,rtt submit)." in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB_ID" ~doc)
+    let doc =
+      "Job id as printed by $(b,rtt submit). When omitted, asks for the node's replication \
+       stats instead (role, journal length, per-follower watermarks and lag)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"JOB_ID" ~doc)
   in
-  let run id socket =
-    with_client socket @@ fun c ->
-    match Client.request c (Protocol.Status { id }) with
-    | Error e -> report_client_error e
-    | Ok (Protocol.Status_is { json; _ }) ->
-        print_endline json;
-        if
-          (* state "unknown" is still printed, but signalled in the exit code *)
-          let marker = {json|"state":"unknown"|json} in
-          let rec contains i =
-            i + String.length marker <= String.length json
-            && (String.sub json i (String.length marker) = marker || contains (i + 1))
-          in
-          contains 0
-        then Client.exit_unknown_job
-        else 0
-    | Ok (Protocol.Errored { code; msg }) ->
-        Format.eprintf "rtt: daemon error %s: %s@." code msg;
-        Client.exit_connect
-    | Ok _ ->
-        Format.eprintf "rtt: unexpected daemon response@.";
-        Client.exit_connect
+  let run id socket attempts =
+    with_client ~attempts socket @@ fun c ->
+    match id with
+    | None -> (
+        match Client.request c Protocol.Stats with
+        | Error e -> report_client_error e
+        | Ok (Protocol.Stats_is { json }) ->
+            print_endline json;
+            0
+        | Ok (Protocol.Errored { code; msg }) ->
+            Format.eprintf "rtt: daemon error %s: %s@." code msg;
+            Client.exit_connect
+        | Ok _ ->
+            Format.eprintf "rtt: unexpected daemon response@.";
+            Client.exit_connect)
+    | Some id -> (
+        match Client.request c (Protocol.Status { id }) with
+        | Error e -> report_client_error e
+        | Ok (Protocol.Status_is { json; _ }) ->
+            print_endline json;
+            if
+              (* state "unknown" is still printed, but signalled in the exit code *)
+              let marker = {json|"state":"unknown"|json} in
+              let rec contains i =
+                i + String.length marker <= String.length json
+                && (String.sub json i (String.length marker) = marker || contains (i + 1))
+              in
+              contains 0
+            then Client.exit_unknown_job
+            else 0
+        | Ok (Protocol.Errored { code; msg }) ->
+            Format.eprintf "rtt: daemon error %s: %s@." code msg;
+            Client.exit_connect
+        | Ok _ ->
+            Format.eprintf "rtt: unexpected daemon response@.";
+            Client.exit_connect)
   in
   let info =
     Cmd.info "status"
       ~doc:
-        "Ask a running $(b,rtt daemon) for one job's state as JSON (the same object \
-         $(b,rtt jobs --json) prints from the spool). Exit 0, or 43 when the daemon has no \
-         trace of the job."
+        "Ask a running $(b,rtt daemon) (or $(b,rtt replica)) for one job's state as JSON (the \
+         same object $(b,rtt jobs --json) prints from the spool), or — with no job id — for \
+         the node's replication stats: role, journal length, per-follower sent/acked \
+         watermarks and lag, and the depth of the $(b,--sync-replicas) gate. Exit 0, or 43 \
+         when the daemon has no trace of the job."
   in
-  Cmd.v info Term.(const run $ id_arg $ socket_arg)
+  Cmd.v info Term.(const run $ id_arg $ socket_arg $ connect_attempts_arg)
+
+let replica_cmd =
+  let open Rtt_net in
+  let primary =
+    let doc = "The primary to follow: a Unix-socket path or HOST:PORT." in
+    Arg.(required & opt (some string) None & info [ "primary" ] ~docv:"ENDPOINT" ~doc)
+  in
+  let takeover_after =
+    let doc =
+      "Promote automatically once the primary link has been down $(docv) seconds. Without \
+       this, only an explicit $(b,rtt promote) fails over."
+    in
+    Arg.(value & opt (some float) None & info [ "takeover-after" ] ~docv:"SEC" ~doc)
+  in
+  let cache_dir =
+    let doc = "Where shipped cache entries land (and the cache served after promotion)." in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let max_frame =
+    let doc = "Largest inbound protocol line in bytes." in
+    Arg.(value & opt int (16 * 1024 * 1024) & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let workers =
+    let doc = "Forked solver workers once promoted (as $(b,rtt daemon --workers))." in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let fallback =
+    let doc = "Fallback chain once promoted (default exact,bicriteria,greedy,baseline)." in
+    Arg.(value & opt policy_conv Policy.default & info [ "fallback" ] ~docv:"CHAIN" ~doc)
+  in
+  let max_attempts =
+    let doc = "Attempts per job before it is declared dead (once promoted)." in
+    Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"N" ~doc)
+  in
+  let deadline_fuel =
+    let doc = "Per-attempt fuel deadline once promoted." in
+    Arg.(value & opt (some fuel_conv) None & info [ "deadline-fuel" ] ~docv:"F" ~doc)
+  in
+  let queue =
+    let doc = "Admission bound once promoted." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let inject =
+    let doc =
+      "Arm a fault-injection site (repeatable), e.g. $(b,repl.ack-delay) to swallow one \
+       per-frame acknowledgement — SITE[:AFTER] as in $(b,rtt solve --inject)."
+    in
+    Arg.(value & opt_all inject_conv [] & info [ "inject" ] ~docv:"SITE[:AFTER]" ~doc)
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress lines on stderr.") in
+  let run () spool socket primary takeover_after cache_dir max_frame workers fallback
+      max_attempts deadline_fuel queue budget seed inject verbose =
+    match Client.endpoint_of_string primary with
+    | Error msg ->
+        Format.eprintf "rtt: --primary %s@." msg;
+        124
+    | Ok ep -> (
+        Faults.reset ();
+        List.iter (fun (site, after) -> Faults.arm ~after site) inject;
+        let outcome =
+          Standby.run
+            {
+              Standby.spool;
+              socket_path = socket;
+              primary = ep;
+              cache_dir;
+              max_frame;
+              takeover_after;
+              seed;
+              verbose;
+            }
+        in
+        match outcome with
+        | Standby.Exit code -> code
+        | Standby.Promote ->
+            (* same spool, same socket: the startup replay is the claim
+               replay, so a job the dead primary had started resumes at
+               attempt + 1 — exactly once *)
+            Daemon.run
+              {
+                Daemon.service =
+                  {
+                    (Rtt_service.Supervisor.default_config ~spool) with
+                    budget;
+                    policy = fallback;
+                    max_attempts;
+                    deadline_fuel;
+                    seed;
+                    verbose;
+                    workers;
+                    cache_dir;
+                  };
+                socket_path = socket;
+                tcp = None;
+                queue_capacity = queue;
+                max_frame;
+                idle_timeout = 30.0;
+                sync_replicas = 0;
+              })
+  in
+  let info =
+    Cmd.info "replica"
+      ~doc:
+        "Follow a running $(b,rtt daemon) as a warm standby: replay its journal stream \
+         frame-by-frame into a local spool (byte-for-byte identical at quiescence), \
+         acknowledge with a durable watermark, and serve read-only $(b,status)/$(b,stats)/\
+         terminal $(b,wait)s locally. On $(b,rtt promote) — or when the primary stays dead \
+         past $(b,--takeover-after) — seals the journal, replays claims, and takes over as \
+         the primary on the same socket with exactly-once semantics preserved."
+  in
+  Cmd.v info
+    Term.(
+      const run $ no_warmstart_arg $ spool_arg $ socket_arg $ primary $ takeover_after
+      $ cache_dir $ max_frame $ workers $ fallback $ max_attempts $ deadline_fuel $ queue
+      $ budget_arg $ seed_arg $ inject $ verbose)
+
+let promote_cmd =
+  let open Rtt_net in
+  let run socket attempts =
+    with_client ~attempts socket @@ fun c ->
+    match Client.request c Protocol.Promote with
+    | Error e -> report_client_error e
+    | Ok Protocol.Promoting ->
+        print_endline "promoting";
+        0
+    | Ok (Protocol.Errored { code; msg }) ->
+        Format.eprintf "rtt: %s: %s@." code msg;
+        Client.exit_connect
+    | Ok _ ->
+        Format.eprintf "rtt: unexpected response@.";
+        Client.exit_connect
+  in
+  let info =
+    Cmd.info "promote"
+      ~doc:
+        "Tell an $(b,rtt replica) (by its socket) to stop following and take over as primary: \
+         it fsync-seals its journal tail, replays claims, and starts serving on its socket. \
+         Sent to a primary this is refused with $(b,bad-role)."
+  in
+  Cmd.v info Term.(const run $ socket_arg $ connect_attempts_arg)
 
 let main =
   let doc = "Discrete resource-time tradeoff with resource reuse over paths (SPAA '19 reproduction)." in
   let info = Cmd.info "rtt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ solve_cmd; exact_cmd; gen_cmd; sp_cmd; reduce_cmd; pareto_cmd; dot_cmd; demo_cmd; serve_cmd;
-      jobs_cmd; daemon_cmd; submit_cmd; status_cmd ]
+      jobs_cmd; daemon_cmd; submit_cmd; status_cmd; replica_cmd; promote_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -97,6 +97,38 @@ let lookup ~dir ~key =
                 None
               else success_of_payload payload)
 
+(* Raw entry transport for replication: followers warm their cache by
+   copying the entry bytes verbatim. Reconstructing a success from a
+   result file would lose the LP bounds (result files don't carry
+   them), so shipping the checksummed line is both simpler and safer —
+   a hit is still re-validated against the instance on lookup. *)
+let read_raw ~dir ~key =
+  match open_in_bin (path ~dir ~key) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let store_raw ~dir ~key bytes =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+  let final = path ~dir ~key in
+  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.of_string bytes in
+      let len = Bytes.length b in
+      let written = ref 0 in
+      while !written < len do
+        match Unix.write fd b !written (len - !written) with
+        | n -> written := !written + n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp final
+
 let entries ~dir =
   match Sys.readdir dir with
   | exception Sys_error _ -> 0

@@ -26,5 +26,15 @@ val lookup : dir:string -> key:string -> Engine.success option
 (** The entry stored under [key]; [None] when absent, torn, or
     corrupt. The returned success has [fuel_spent = 0]. *)
 
+val read_raw : dir:string -> key:string -> string option
+(** The entry's on-disk bytes (checksum line included), for shipping
+    to a replication follower verbatim; [None] when absent. *)
+
+val store_raw : dir:string -> key:string -> string -> unit
+(** Atomically write entry bytes previously obtained from
+    {!read_raw}. The bytes are not validated here — a corrupt ship
+    reads back as a miss via {!lookup}'s checksum, never as a wrong
+    answer. *)
+
 val entries : dir:string -> int
 (** Number of entries currently in the cache directory. *)

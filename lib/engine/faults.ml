@@ -1,18 +1,27 @@
 open Rtt_budget
 
-type site = Lp_infeasible | Flow_abort | Fuel_zero
+type site = Lp_infeasible | Flow_abort | Fuel_zero | Repl_frame_drop | Repl_ack_delay
+
+(* The replication sites live in the service layer, which this library
+   cannot see; the probe sides use the same literal strings. *)
+let repl_frame_drop_site = "repl.frame-drop"
+let repl_ack_delay_site = "repl.ack-delay"
 
 let key = function
   | Lp_infeasible -> Rtt_lp.Simplex.infeasible_site
   | Flow_abort -> Rtt_flow.Maxflow.augment_site
   | Fuel_zero -> Budget.fuel_zero
+  | Repl_frame_drop -> repl_frame_drop_site
+  | Repl_ack_delay -> repl_ack_delay_site
 
 let name = function
   | Lp_infeasible -> "lp-infeasible"
   | Flow_abort -> "flow-abort"
   | Fuel_zero -> "fuel-zero"
+  | Repl_frame_drop -> "repl.frame-drop"
+  | Repl_ack_delay -> "repl.ack-delay"
 
-let all = [ Lp_infeasible; Flow_abort; Fuel_zero ]
+let all = [ Lp_infeasible; Flow_abort; Fuel_zero; Repl_frame_drop; Repl_ack_delay ]
 let of_string s = List.find_opt (fun f -> name f = String.lowercase_ascii (String.trim s)) all
 
 let arm ?(after = 0) site = Budget.arm ~site:(key site) ~after

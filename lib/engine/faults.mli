@@ -17,9 +17,22 @@ type site =
       (** The triggering fuel tick zeroes the remaining budget, so the
           next tick raises [Fuel_exhausted]. No-op without a fuel
           context. *)
+  | Repl_frame_drop
+      (** The replicating primary silently drops the triggering
+          journal frame before shipping it; the follower sees a
+          sequence gap and must reconnect from its watermark. *)
+  | Repl_ack_delay
+      (** The follower skips the triggering per-frame acknowledgement;
+          its watermark reaches the primary only on the next frame or
+          heartbeat, inflating observed replication lag. *)
 
 val key : site -> string
 (** The underlying {!Rtt_budget.Budget} site string. *)
+
+val repl_frame_drop_site : string
+val repl_ack_delay_site : string
+(** The site strings probed from the service layer (which this library
+    cannot depend on); kept here so {!key} and the probes agree. *)
 
 val name : site -> string
 val all : site list

@@ -40,13 +40,34 @@ let connect ep =
         (Unix.PF_INET, Unix.ADDR_INET (a, port))
   in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  match Unix.connect fd addr with
+  match Eintr.connect fd addr with
   | () -> Ok { fd; reader = Frame.reader () }
   | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Closed (Printf.sprintf "cannot connect: %s" (Unix.error_message e)))
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let fd t = t.fd
+
+(* Capped exponential backoff with the service layer's deterministic
+   jitter, so a client can ride out the window where the old primary is
+   dead and the follower has not finished promoting yet. Backoff units
+   are milliseconds, same scale as Retry.backoff's use elsewhere. *)
+let connect_retry ?(attempts = 8) ?(seed = 0) ep =
+  let rec go n last =
+    if n > attempts then Error last
+    else
+      match connect ep with
+      | Ok t -> Ok t
+      | Error e ->
+          if n = attempts then Error e
+          else begin
+            let ms = Rtt_service.Retry.backoff ~seed ~job:"connect" ~attempt:n in
+            Unix.sleepf (float_of_int ms /. 1000.);
+            go (n + 1) e
+          end
+  in
+  go 1 (Closed "cannot connect")
 
 let recv ~deadline t =
   let buf = Bytes.create 8192 in

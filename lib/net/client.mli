@@ -26,6 +26,18 @@ val error_to_string : error -> string
 val connect : endpoint -> (t, error) result
 val close : t -> unit
 
+val fd : t -> Unix.file_descr
+(** The connected socket, for callers that multiplex it into their own
+    [select] loop (the standby's link to its primary). *)
+
+val connect_retry : ?attempts:int -> ?seed:int -> endpoint -> (t, error) result
+(** {!connect} with a bounded reconnect policy: up to [attempts]
+    (default 8) tries, sleeping {!Rtt_service.Retry.backoff} — capped
+    exponential with deterministic jitter, in milliseconds — between
+    them. This is what lets [rtt submit --wait] and [rtt status] ride
+    out a failover window instead of failing on the first refused
+    connection. *)
+
 val request : ?timeout:float -> t -> Protocol.request -> (Protocol.response, error) result
 (** Send one request, block (default 30 s) for its response. *)
 

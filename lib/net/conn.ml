@@ -27,8 +27,8 @@ let chunk = 8192
 
 let read t ~now =
   let buf = Bytes.create chunk in
-  match Unix.read t.fd buf 0 chunk with
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> `Again
+  match Eintr.read t.fd buf 0 chunk with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Again
   | exception Unix.Unix_error (_, _, _) -> `Eof
   | 0 -> `Eof
   | n ->
@@ -42,9 +42,8 @@ let flush t =
   let rec go () =
     if t.out = "" then `Done
     else
-      match Unix.write_substring t.fd t.out 0 (String.length t.out) with
+      match Eintr.write t.fd (Bytes.unsafe_of_string t.out) 0 (String.length t.out) with
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Again
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
       | exception Unix.Unix_error (_, _, _) -> `Closed
       | n ->
           t.out <- String.sub t.out n (String.length t.out - n);

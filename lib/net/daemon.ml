@@ -8,6 +8,7 @@ type config = {
   queue_capacity : int;
   max_frame : int;
   idle_timeout : float;
+  sync_replicas : int;
 }
 
 let default_config ~spool ~socket_path =
@@ -18,7 +19,10 @@ let default_config ~spool ~socket_path =
     queue_capacity = 64;
     max_frame = 16 * 1024 * 1024;
     idle_timeout = 30.0;
+    sync_replicas = 0;
   }
+
+type repl_peer = { conn : Conn.t; mutable sent : int; mutable acked : int }
 
 type worker = {
   pid : int;
@@ -87,12 +91,21 @@ let run cfg =
       (fun s -> if cfg.service.Work.verbose then Printf.eprintf "[daemon] %s\n%!" s)
       fmt
   in
-  let states = ref (Journal.fold (Journal.replay ~spool)) in
+  (* open first: it seals a torn tail, so the replay below sees exactly
+     the committed prefix that replication sequence numbers count *)
   let journal = Journal.open_ ~spool in
+  let replayed = Journal.replay ~spool in
+  let states = ref (Journal.fold replayed) in
+  let nrecords = ref (List.length replayed) in
+  let after_append : (int -> string -> unit) ref = ref (fun _ _ -> ()) in
   let record event job =
     let r = { Journal.job; event } in
-    Journal.append journal r;
-    states := Journal.apply !states r
+    let line = Journal.encode r in
+    Journal.append_line journal line;
+    states := Journal.apply !states r;
+    let seq = !nrecords in
+    nrecords := seq + 1;
+    !after_append seq line
   in
   let status_of job = List.assoc_opt job !states in
   let terminal job =
@@ -122,9 +135,23 @@ let run cfg =
   let listeners = ref ([] : Unix.file_descr list) in
   let drain = ref false in
   let force = ref false in
+  let followers = ref ([] : repl_peer list) in
+  let sync = Replica.Sync.create ~replicas:cfg.sync_replicas in
+  let is_follower c = List.exists (fun p -> p.conn == c) !followers in
+  let find_follower c = List.find_opt (fun p -> p.conn == c) !followers in
+  let release_sync () =
+    let watermarks = List.map (fun p -> p.acked) !followers in
+    List.iter
+      (fun (c, resp) -> if List.memq c !conns then Conn.send c resp)
+      (Replica.Sync.release sync ~watermarks)
+  in
   let drop_conn c =
     (try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ());
-    conns := List.filter (fun x -> x != c) !conns
+    conns := List.filter (fun x -> x != c) !conns;
+    if is_follower c then begin
+      followers := List.filter (fun p -> p.conn != c) !followers;
+      log "follower %s disconnected" (Conn.peer c)
+    end
   in
   (* ---------------------------------------------------------------- *)
   (* answering terminal jobs                                           *)
@@ -289,6 +316,63 @@ let run cfg =
                 assign_idle ()))
   in
   (* ---------------------------------------------------------------- *)
+  (* replication: ship committed journal lines (plus the spool files
+     they reference) to followers, verbatim                            *)
+  let read_file path =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  in
+  (* Attachments ship before their frame so the follower's journal
+     never leads its spool — the same durability order the primary
+     itself observes (instance before Queued, result before Done). *)
+  let attachments_for (r : Journal.record) =
+    let job = r.Journal.job in
+    match r.Journal.event with
+    | Journal.Queued -> (
+        match read_file (Filename.concat spool job) with
+        | Some body -> [ Protocol.Repl_instance { job; body } ]
+        | None -> [])
+    | Journal.Done _ ->
+        (match read_file (Work.result_path ~spool ~job) with
+        | Some body -> [ Protocol.Repl_result { job; body } ]
+        | None -> [])
+        @ (match cfg.service.Work.cache_dir with
+          | Some dir -> (
+              let key = id_of_job job in
+              match E.Cache.read_raw ~dir ~key with
+              | Some body -> [ Protocol.Repl_cache { key; body } ]
+              | None -> [])
+          | None -> [])
+    | _ -> []
+  in
+  let ship_line p (seq, line) =
+    if Rtt_budget.Budget.probe ~site:E.Faults.repl_frame_drop_site then
+      (* the frame is dropped but [sent] still advances: the follower
+         sees the next frame's sequence gap and reconnects from its
+         watermark — the failure mode the fault exists to exercise *)
+      log "fault: dropped repl frame %d to %s" seq (Conn.peer p.conn)
+    else begin
+      (match Journal.decode line with
+      | Some r -> List.iter (Conn.send p.conn) (attachments_for r)
+      | None -> ());
+      Conn.send p.conn (Protocol.Repl_frame { seq; line })
+    end;
+    p.sent <- max p.sent (seq + 1)
+  in
+  (after_append :=
+     fun seq line ->
+       List.iter (fun p -> if p.sent = seq then ship_line p (seq, line)) !followers);
+  let repl_stats () =
+    let fws = List.map (fun p -> (Conn.peer p.conn, p.sent, p.acked)) !followers in
+    Replica.stats_json ~role:"primary" ~records:!nrecords
+      ~sync_replicas:(Replica.Sync.replicas sync) ~held:(Replica.Sync.pending sync)
+      ~followers:fws
+  in
+  (* ---------------------------------------------------------------- *)
   (* requests                                                          *)
   let write_instance ~job text =
     let final = Filename.concat spool job in
@@ -353,8 +437,39 @@ let run cfg =
                     write_instance ~job (Rtt_core.Io.to_string p);
                     record Journal.Queued job;
                     log "submit %s: accepted as %s" name id;
-                    Conn.send c (Protocol.Accepted { id }))
+                    if Replica.Sync.replicas sync = 0 then
+                      Conn.send c (Protocol.Accepted { id })
+                    else
+                      (* --sync-replicas K: the accepted reply waits
+                         until K followers have durably applied the
+                         Queued record (coalesced duplicates above
+                         answered immediately — their record was
+                         already held or released) *)
+                      Replica.Sync.hold sync ~seq:(!nrecords - 1)
+                        (c, Protocol.Accepted { id }))
         end
+    | Protocol.Repl_hello { version = _; watermark } ->
+        let watermark = min watermark !nrecords in
+        (match find_follower c with
+        | Some p ->
+            p.sent <- watermark;
+            p.acked <- min p.acked watermark
+        | None -> followers := { conn = c; sent = watermark; acked = watermark } :: !followers);
+        Conn.send c (Protocol.Repl_welcome { version = Protocol.version; records = !nrecords });
+        let p = Option.get (find_follower c) in
+        (* catch-up from disk, then the live after_append forwarding
+           keeps [sent] in lockstep with the journal *)
+        List.iter (ship_line p) (Replica.lines_from ~spool watermark);
+        log "follower %s joined at watermark %d of %d" (Conn.peer c) watermark !nrecords
+    | Protocol.Repl_ack { watermark } -> (
+        match find_follower c with
+        | Some p ->
+            p.acked <- max p.acked (min watermark !nrecords);
+            release_sync ()
+        | None -> Conn.send c (Protocol.Errored { code = "bad-role"; msg = "not a follower" }))
+    | Protocol.Promote ->
+        Conn.send c (Protocol.Errored { code = "bad-role"; msg = "already primary" })
+    | Protocol.Stats -> Conn.send c (Protocol.Stats_is { json = repl_stats () })
   in
   let conn_readable c =
     match Conn.read c ~now:(now ()) with
@@ -537,7 +652,11 @@ let run cfg =
                 let t = now () in
                 List.iter
                   (fun c ->
-                    if Conn.waits c = [] && Conn.idle_for c ~now:t > cfg.idle_timeout then begin
+                    if
+                      Conn.waits c = []
+                      && (not (is_follower c))
+                      && Conn.idle_for c ~now:t > cfg.idle_timeout
+                    then begin
                       log "closing idle connection (%s)" (Conn.peer c);
                       drop_conn c
                     end)
@@ -568,6 +687,14 @@ let run cfg =
                 cs)
             waiters;
           Hashtbl.reset waiters;
+          (* held sync-replicas acks: the job is durable here but not
+             yet on K followers — an honest error beats a ghost ack *)
+          List.iter
+            (fun (c, _) ->
+              if List.memq c !conns then
+                Conn.send c
+                  (Protocol.Errored { code = "shutdown"; msg = "sync-replicas not satisfied" }))
+            (Replica.Sync.drain sync);
           List.iter (fun c -> ignore (Conn.flush c)) !conns;
           List.iter (fun c -> try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ()) !conns;
           conns := [];

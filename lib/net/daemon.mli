@@ -43,12 +43,34 @@ type config = {
   queue_capacity : int;  (** Admission bound (queued + in flight). *)
   max_frame : int;  (** Per-connection inbound line limit, bytes. *)
   idle_timeout : float;  (** Read deadline, seconds. *)
+  sync_replicas : int;
+      (** Hold each [submit]'s accepted reply until this many followers
+          have durably applied its [Queued] record; [0] (the default)
+          acknowledges as soon as the local journal append returns. *)
 }
 
 val default_config : spool:string -> socket_path:string -> config
 (** [rtt serve] service defaults; no TCP, capacity 64, 16 MiB frames,
-    30 s read deadline. *)
+    30 s read deadline, [sync_replicas = 0]. *)
+
+(** {1 Replication}
+
+    Followers ([rtt replica], {!Standby}) connect to either listener
+    and send [repl.hello]; from then on every committed journal record
+    is forwarded to them as a verbatim [repl.frame] (preceded by the
+    instance/result/cache attachments it references), and their
+    [repl.ack] watermarks are tracked per connection. [stats] exposes
+    the per-follower sent/acked watermarks and lag as JSON — this is
+    what [rtt status] with no job id prints. *)
 
 val run : config -> int
 (** Serve until signalled. Returns an exit code (see above); the
     listening socket file is removed on the way out. *)
+
+val listen_unix : string -> Unix.file_descr
+(** Bind + listen (non-blocking) on a Unix-domain socket path,
+    evicting a stale socket file only after probing that no live
+    daemon answers on it. Shared with {!Standby}'s local listener.
+    @raise Failure if a live daemon already listens there. *)
+
+val listen_tcp : string * int -> Unix.file_descr

@@ -1,0 +1,42 @@
+let rec read fd buf off len =
+  match Unix.read fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read fd buf off len
+
+let rec write fd buf off len =
+  match Unix.write fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write fd buf off len
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n = write fd buf off len in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let select r w e timeout =
+  match Unix.select r w e timeout with
+  | sets -> sets
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+
+let connect fd addr =
+  match Unix.connect fd addr with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* the connect proceeds in the kernel; poll for the outcome *)
+      let rec settle () =
+        match Unix.select [] [ fd ] [] 1.0 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> settle ()
+        | _, [ _ ], _ -> (
+            match Unix.getsockopt_error fd with
+            | None -> ()
+            | Some e -> raise (Unix.Unix_error (e, "connect", "")))
+        | _ -> settle ()
+      in
+      settle ()
+  | exception Unix.Unix_error (Unix.EISCONN, _, _) -> ()
+
+let rec accept fd =
+  match Unix.accept fd with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept fd

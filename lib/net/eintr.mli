@@ -1,0 +1,37 @@
+(** Retry-on-[EINTR] wrappers for the socket calls in [lib/net].
+
+    The daemon and its clients field real signals mid-syscall — SIGTERM
+    starting a drain, SIGCHLD from the fork pool, SIGINT at a terminal —
+    and an interrupted [read]/[write]/[connect]/[accept] must restart,
+    not surface as a spurious [Unix_error (EINTR, _, _)] that tears a
+    frame in half. [select] is the exception: an interrupted wait
+    returns empty sets so the caller re-checks its own state (drain
+    flags, deadlines) before sleeping again, which is exactly what a
+    signal should cause. *)
+
+val read : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read], restarted on [EINTR]. *)
+
+val write : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.write], restarted on [EINTR]. May still be short. *)
+
+val write_all : Unix.file_descr -> bytes -> int -> int -> unit
+(** Loop {!write} to completion. *)
+
+val select :
+  Unix.file_descr list ->
+  Unix.file_descr list ->
+  Unix.file_descr list ->
+  float ->
+  Unix.file_descr list * Unix.file_descr list * Unix.file_descr list
+(** [Unix.select]; an [EINTR] returns [([], [], [])] — the caller's
+    loop re-evaluates and sleeps again. *)
+
+val connect : Unix.file_descr -> Unix.sockaddr -> unit
+(** [Unix.connect], completed on [EINTR]: an interrupted connect keeps
+    running in the kernel, so retrying the call itself can report
+    [EALREADY]/[EISCONN]. Waits for writability and re-checks
+    [SO_ERROR] instead, re-raising the real failure if there is one. *)
+
+val accept : Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+(** [Unix.accept], restarted on [EINTR]. *)

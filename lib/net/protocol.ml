@@ -9,6 +9,10 @@ type request =
   | Wait of { id : string }
   | Ping
   | Bye
+  | Repl_hello of { version : int; watermark : int }
+  | Repl_ack of { watermark : int }
+  | Promote
+  | Stats
 
 type response =
   | Welcome of { version : int; max_frame : int }
@@ -19,6 +23,13 @@ type response =
   | Failed of { id : string; error_class : string; attempts : int }
   | Errored of { code : string; msg : string }
   | Pong
+  | Repl_welcome of { version : int; records : int }
+  | Repl_frame of { seq : int; line : string }
+  | Repl_instance of { job : string; body : string }
+  | Repl_result of { job : string; body : string }
+  | Repl_cache of { key : string; body : string }
+  | Stats_is of { json : string }
+  | Promoting
 
 let esc = Frame.escape
 
@@ -34,6 +45,10 @@ let encode_request = function
   | Wait { id } -> Printf.sprintf "wait %s" (esc id)
   | Ping -> "ping"
   | Bye -> "bye"
+  | Repl_hello { version; watermark } -> Printf.sprintf "repl.hello %d %d" version watermark
+  | Repl_ack { watermark } -> Printf.sprintf "repl.ack %d" watermark
+  | Promote -> "promote"
+  | Stats -> "stats"
 
 let encode_response = function
   | Welcome { version; max_frame } -> Printf.sprintf "welcome %d %d" version max_frame
@@ -45,6 +60,19 @@ let encode_response = function
       Printf.sprintf "failed %s %s %d" (esc id) (esc error_class) attempts
   | Errored { code; msg } -> Printf.sprintf "error %s %s" (esc code) (esc msg)
   | Pong -> "pong"
+  | Repl_welcome { version; records } -> Printf.sprintf "repl.welcome %d %d" version records
+  | Repl_frame { seq; line } -> Printf.sprintf "repl.frame %d %s" seq (esc line)
+  (* attachments carry the unescaped byte length like submit, and for
+     the same reason: a spliced frame that still passes the CRC must
+     not materialize a truncated spool file on the follower *)
+  | Repl_instance { job; body } ->
+      Printf.sprintf "repl.instance %s %d %s" (esc job) (String.length body) (esc body)
+  | Repl_result { job; body } ->
+      Printf.sprintf "repl.result %s %d %s" (esc job) (String.length body) (esc body)
+  | Repl_cache { key; body } ->
+      Printf.sprintf "repl.cache %s %d %s" (esc key) (String.length body) (esc body)
+  | Stats_is { json } -> Printf.sprintf "stats-is %s" (esc json)
+  | Promoting -> "promoting"
 
 (* ------------------------------------------------------------------ *)
 (* parsing *)
@@ -83,6 +111,15 @@ let parse_request payload =
       Ok (Wait { id })
   | [ "ping" ] -> Ok Ping
   | [ "bye" ] -> Ok Bye
+  | [ "repl.hello"; v; w ] ->
+      let* version = int_field "version" v in
+      let* watermark = int_field "watermark" w in
+      Ok (Repl_hello { version; watermark })
+  | [ "repl.ack"; w ] ->
+      let* watermark = int_field "watermark" w in
+      Ok (Repl_ack { watermark })
+  | [ "promote" ] -> Ok Promote
+  | [ "stats" ] -> Ok Stats
   | verb :: _ -> Error (Printf.sprintf "unknown or malformed request %S" verb)
   | [] -> Error "empty request"
 
@@ -116,5 +153,44 @@ let parse_response payload =
       let* msg = unesc "message" msg in
       Ok (Errored { code; msg })
   | [ "pong" ] -> Ok Pong
+  | [ "repl.welcome"; v; r ] ->
+      let* version = int_field "version" v in
+      let* records = int_field "records" r in
+      Ok (Repl_welcome { version; records })
+  | [ "repl.frame"; s; line ] ->
+      let* seq = int_field "seq" s in
+      let* line = unesc "line" line in
+      Ok (Repl_frame { seq; line })
+  | [ "repl.instance"; job; len; body ] ->
+      let* job = unesc "job" job in
+      let* len = int_field "length" len in
+      let* body = unesc "body" body in
+      if String.length body <> len then
+        Error
+          (Printf.sprintf "length mismatch: declared %d bytes, body has %d" len
+             (String.length body))
+      else Ok (Repl_instance { job; body })
+  | [ "repl.result"; job; len; body ] ->
+      let* job = unesc "job" job in
+      let* len = int_field "length" len in
+      let* body = unesc "body" body in
+      if String.length body <> len then
+        Error
+          (Printf.sprintf "length mismatch: declared %d bytes, body has %d" len
+             (String.length body))
+      else Ok (Repl_result { job; body })
+  | [ "repl.cache"; key; len; body ] ->
+      let* key = unesc "key" key in
+      let* len = int_field "length" len in
+      let* body = unesc "body" body in
+      if String.length body <> len then
+        Error
+          (Printf.sprintf "length mismatch: declared %d bytes, body has %d" len
+             (String.length body))
+      else Ok (Repl_cache { key; body })
+  | [ "stats-is"; json ] ->
+      let* json = unesc "json" json in
+      Ok (Stats_is { json })
+  | [ "promoting" ] -> Ok Promoting
   | verb :: _ -> Error (Printf.sprintf "unknown or malformed response %S" verb)
   | [] -> Error "empty response"

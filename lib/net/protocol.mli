@@ -58,7 +58,44 @@
       stable kebab-case token ([bad-frame], [frame-overflow],
       [unknown-job], [bad-request], or an engine
       {!Rtt_engine.Error.class_name}).
-    - [pong] — answer to [ping]. *)
+    - [pong] — answer to [ping].
+
+    {1 Replication ([repl.*]) and administration}
+
+    A follower ([rtt replica]) speaks the same framed protocol over the
+    same listener; the daemon treats a connection as a replication link
+    from its first [repl.hello] on.
+
+    - [repl.hello <version> <watermark>] (follower -> primary) — join
+      as a follower, offering the number of records already durably
+      applied. The primary answers [repl.welcome <version> <records>]
+      and then catches the follower up from [watermark]: each shipped
+      record is [repl.frame <seq> <line>] where [seq] is the record's
+      0-based index in the journal and [line] the {e verbatim} framed
+      journal line (escaped) — the follower appends the identical
+      bytes, so the journals converge byte-for-byte. Attachments ship
+      {e before} the frame that references them, preserving the
+      invariant that the journal never leads the spool:
+      [repl.instance <job> <len> <body>] before a [queued] record,
+      [repl.result <job> <len> <body>] and [repl.cache <key> <len>
+      <body>] (the raw content-addressed cache entry) before a [done]
+      record. All three carry the unescaped byte length, checked like
+      [submit]'s.
+    - [repl.ack <watermark>] (follower -> primary) — the follower's
+      records are durable through [watermark]. Acks are cumulative and
+      idempotent; followers send one per applied frame and a heartbeat
+      ack (~1 s) when idle so a [--sync-replicas] gate can never
+      deadlock on a lost ack. A follower that observes a sequence gap
+      (a [repl.frame] whose [seq] exceeds its watermark — e.g. under
+      the [repl.frame-drop] fault) reconnects and re-offers its
+      watermark rather than applying out of order.
+    - [promote] (operator -> follower) — seal the journal tail and take
+      over as primary; answered by [promoting]. Sent to a primary it is
+      a no-op [error bad-role].
+    - [stats] — answered by [stats-is <json>]: role, journal length,
+      per-follower sent/acked watermarks and lag, and the depth of the
+      sync-replicas gate. This is what [rtt status] (no job id)
+      prints. *)
 
 val version : int
 (** Protocol version, currently 1. *)
@@ -70,6 +107,10 @@ type request =
   | Wait of { id : string }
   | Ping
   | Bye
+  | Repl_hello of { version : int; watermark : int }
+  | Repl_ack of { watermark : int }
+  | Promote
+  | Stats
 
 type response =
   | Welcome of { version : int; max_frame : int }
@@ -80,6 +121,13 @@ type response =
   | Failed of { id : string; error_class : string; attempts : int }
   | Errored of { code : string; msg : string }
   | Pong
+  | Repl_welcome of { version : int; records : int }
+  | Repl_frame of { seq : int; line : string }
+  | Repl_instance of { job : string; body : string }
+  | Repl_result of { job : string; body : string }
+  | Repl_cache of { key : string; body : string }
+  | Stats_is of { json : string }
+  | Promoting
 
 val encode_request : request -> string
 (** The frame payload (not yet framed — pass to

@@ -1,0 +1,51 @@
+(** The follower process behind [rtt replica]: a warm standby that
+    replays the primary's journal stream and can take over.
+
+    [run] connects to the primary, offers its durable watermark with
+    [repl.hello], and applies the stream: attachments
+    ([repl.instance]/[repl.result]/[repl.cache]) are materialized
+    atomically into the local spool/cache {e before} the journal frame
+    that references them is appended — the same "journal never leads
+    the spool" order the primary observes — and every applied frame is
+    fsync'd and acknowledged with the new watermark. A sequence gap
+    (dropped frame) or an undecodable line tears the link down and
+    reconnects from the watermark rather than applying out of order;
+    an idle link still heartbeats its watermark (~1 s) so the
+    primary's [--sync-replicas] gate cannot deadlock on a lost ack.
+
+    While standing by it serves read-only traffic on its own socket:
+    [status], [stats] (role ["follower"]), [ping], and [wait] — a wait
+    on a job the replayed journal shows terminal is answered from the
+    replicated result file immediately, one on a known in-flight job is
+    parked and answered when its terminal frame arrives, and [submit]
+    is refused with [error read-only].
+
+    Failover: a [promote] request — or the primary link staying dead
+    past [takeover_after] — seals the journal tail (fsync), tears the
+    standby down, and returns {!Promote}; the caller then starts
+    {!Daemon.run} on the same spool and socket, whose startup replay
+    {e is} the claim replay: a job the dead primary had [started] is
+    [Running] in the fold, so the new primary re-attempts it at
+    [attempt + 1] — exactly once, never zero or twice. *)
+
+type config = {
+  spool : string;
+  socket_path : string;  (** Local read-only listener. *)
+  primary : Client.endpoint;
+  cache_dir : string option;  (** Where shipped cache entries land. *)
+  max_frame : int;
+  takeover_after : float option;
+      (** Auto-promote after the primary link has been down this many
+          seconds; [None] = only an explicit [promote] fails over. *)
+  seed : int;  (** Reconnect backoff jitter ({!Rtt_service.Retry.backoff}). *)
+  verbose : bool;
+}
+
+val default_config : spool:string -> socket_path:string -> primary:Client.endpoint -> config
+(** No auto-takeover, no cache dir, 16 MiB frames, seed 0. *)
+
+type outcome =
+  | Promote  (** Sealed and ready: start a {!Daemon} on this spool. *)
+  | Exit of int  (** Clean shutdown (SIGTERM/SIGINT), or a setup failure. *)
+
+val run : config -> outcome

@@ -78,19 +78,76 @@ type t = { fd : Unix.file_descr }
 
 let path ~spool = Filename.concat spool "journal.log"
 
+let read_whole p =
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+(* The committed prefix at the byte level: every line must both decode
+   and carry its terminating newline. A final line that happens to
+   decode but has no '\n' is still a torn write — counting it would let
+   a subsequent append glue a new record onto it, corrupting both. *)
+let replay_wire ~spool =
+  match read_whole (path ~spool) with
+  | None -> ([], 0)
+  | Some s ->
+      let n = String.length s in
+      let lines = ref [] in
+      let ok = ref 0 in
+      let start = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !start < n do
+        match String.index_from_opt s !start '\n' with
+        | None -> stop := true
+        | Some nl -> (
+            let line = String.sub s !start (nl - !start) in
+            match decode line with
+            | Some _ ->
+                lines := line :: !lines;
+                ok := nl + 1;
+                start := nl + 1
+            | None -> stop := true)
+      done;
+      (List.rev !lines, !ok)
+
+let seal ~spool =
+  let lines, ok = replay_wire ~spool in
+  let p = path ~spool in
+  (match Unix.stat p with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | st ->
+      if st.Unix.st_size > ok then begin
+        let fd = Unix.openfile p [ Unix.O_WRONLY ] 0o644 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            Unix.ftruncate fd ok;
+            Unix.fsync fd)
+      end);
+  List.length lines
+
+(* Sealing on open means an append after a torn final write lands on a
+   newline boundary instead of being glued onto the torn line — which
+   would make the new record (and everything after it) unreadable. *)
 let open_ ~spool =
+  ignore (seal ~spool);
   { fd = Unix.openfile (path ~spool) [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 }
 
-let append t r =
-  let line = encode r ^ "\n" in
-  let bytes = Bytes.of_string line in
-  let len = Bytes.length bytes in
-  let written = ref 0 in
-  while !written < len do
-    written := !written + Unix.write t.fd bytes !written (len - !written)
-  done;
+let rec write_all fd bytes off len =
+  if len > 0 then
+    match Unix.write fd bytes off len with
+    | n -> write_all fd bytes (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
+
+let append_line t line =
+  let bytes = Bytes.of_string (line ^ "\n") in
+  write_all t.fd bytes 0 (Bytes.length bytes);
   Unix.fsync t.fd
 
+let append t r = append_line t (encode r)
 let close t = Unix.close t.fd
 let fd t = t.fd
 

@@ -41,11 +41,35 @@ val path : spool:string -> string
 (** [spool ^ "/journal.log"]. *)
 
 val open_ : spool:string -> t
-(** Open (creating if absent) the spool's journal for appending. *)
+(** Open (creating if absent) the spool's journal for appending. Seals
+    first ({!seal}): a torn final line left by a crash is truncated
+    away so the next append starts on a newline boundary rather than
+    corrupting itself against the torn tail. *)
 
 val append : t -> record -> unit
 (** Frame, CRC, write and fsync one record. When [append] returns, the
     record survives a crash. *)
+
+val append_line : t -> string -> unit
+(** Append one already-framed line (no trailing newline) verbatim,
+    then fsync. Used by replication followers so a replayed journal is
+    byte-for-byte the primary's — re-encoding could differ if the wire
+    format ever grows alternate spellings. The line is not validated;
+    callers decode before appending. *)
+
+val replay_wire : spool:string -> string list * int
+(** The committed prefix at the byte level: the framed lines (without
+    their newlines) that both decode and end in ['\n'], and the total
+    byte length of that prefix (newlines included). A decodable final
+    line with no terminating newline is a torn write and is excluded.
+    This is the stream a primary ships to followers and the follower's
+    durable watermark is [List.length (fst (replay_wire ...))]. *)
+
+val seal : spool:string -> int
+(** Truncate the journal to its committed prefix ({!replay_wire}) and
+    fsync; returns the number of committed records. A missing journal
+    seals to 0 records. Promotion calls this to fsync-seal a follower's
+    tail before replaying claims. *)
 
 val close : t -> unit
 

@@ -1,0 +1,93 @@
+type follower = {
+  journal : Journal.t;
+  spool : string;
+  mutable watermark : int;
+  mutable states : (string * Journal.status) list;
+}
+
+let open_follower ~spool =
+  (* Journal.open_ seals, so replay after it sees exactly the committed
+     prefix the watermark counts. *)
+  let journal = Journal.open_ ~spool in
+  let lines, _bytes = Journal.replay_wire ~spool in
+  let records = List.filter_map Journal.decode lines in
+  { journal; spool; watermark = List.length lines; states = Journal.fold records }
+
+let close_follower f = Journal.close f.journal
+
+let apply_line f ~seq ~line =
+  if seq < f.watermark then `Stale
+  else if seq > f.watermark then `Gap
+  else
+    match Journal.decode line with
+    | None -> `Bad
+    | Some r ->
+        Journal.append_line f.journal line;
+        f.states <- Journal.apply f.states r;
+        f.watermark <- f.watermark + 1;
+        `Applied r
+
+let lines_from ~spool from =
+  let lines, _ = Journal.replay_wire ~spool in
+  List.filteri (fun seq _ -> seq >= from) lines |> List.mapi (fun i line -> (from + i, line))
+
+let write_blob ~path body =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.of_string body in
+      let len = Bytes.length b in
+      let written = ref 0 in
+      while !written < len do
+        match Unix.write fd b !written (len - !written) with
+        | n -> written := !written + n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* sync-replicas gate                                                  *)
+
+module Sync = struct
+  type 'a t = { replicas : int; mutable held : (int * 'a) list }
+
+  let create ~replicas = { replicas = max 0 replicas; held = [] }
+  let replicas t = t.replicas
+
+  let hold t ~seq v = t.held <- t.held @ [ (seq, v) ]
+
+  (* a watermark of w covers record seq iff w > seq: the follower has
+     durably applied records 0..w-1 *)
+  let release t ~watermarks =
+    let covered seq =
+      t.replicas = 0
+      || List.length (List.filter (fun w -> w > seq) watermarks) >= t.replicas
+    in
+    let rel, keep = List.partition (fun (seq, _) -> covered seq) t.held in
+    t.held <- keep;
+    List.map snd rel
+
+  let pending t = List.length t.held
+
+  let drain t =
+    let h = t.held in
+    t.held <- [];
+    List.map snd h
+end
+
+(* ------------------------------------------------------------------ *)
+(* status                                                              *)
+
+let stats_json ~role ~records ~sync_replicas ~held ~followers =
+  let quote = Rtt_engine.Jsonout.quote in
+  let follower_json (peer, sent, acked) =
+    Printf.sprintf "{\"peer\":%s,\"sent\":%d,\"acked\":%d,\"lag\":%d}" (quote peer) sent acked
+      (max 0 (records - acked))
+  in
+  Printf.sprintf
+    "{\"role\":%s,\"records\":%d,\"sync_replicas\":%d,\"held\":%d,\"followers\":[%s]}"
+    (quote role) records sync_replicas held
+    (String.concat "," (List.map follower_json followers))

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Two-node replication smoke test: start a primary `rtt daemon` and an
+# `rtt replica` follower, submit work, assert the journals converge
+# byte-for-byte and the follower serves the result read-only; then
+# SIGKILL the primary mid-retry-churn, `rtt promote` the follower, and
+# assert the promoted node finishes the in-flight job EXACTLY once.
+# The whole run is wrapped in a hard timeout by the caller (CI), so a
+# wedged node is a failure, not a hang.
+set -euo pipefail
+
+RTT=${RTT:-_build/default/bin/rtt.exe}
+WORK=$(mktemp -d)
+A="$WORK/a"; B="$WORK/b"
+ASOCK="$WORK/a.sock"; BSOCK="$WORK/b.sock"
+mkdir -p "$A" "$B"
+
+cleanup() {
+  for pid in "${PRIMARY_PID:-}" "${REPLICA_PID:-}"; do
+    [[ -n "$pid" ]] && { kill -KILL "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; }
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_socket() {
+  for _ in $(seq 1 100); do
+    [[ -S "$1" ]] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: $1 never appeared"; exit 1
+}
+
+# ---- phase 1: steady-state replication --------------------------------
+"$RTT" daemon --spool "$A" --socket "$ASOCK" -b 3 &
+PRIMARY_PID=$!
+wait_socket "$ASOCK"
+"$RTT" replica --spool "$B" --socket "$BSOCK" --primary "$ASOCK" &
+REPLICA_PID=$!
+wait_socket "$BSOCK"
+
+"$RTT" gen -k hub -n 16 --seed 7 > "$WORK/i1.txt"
+"$RTT" submit "$WORK/i1.txt" --socket "$ASOCK" --wait --timeout 60 > /dev/null \
+  || { echo "FAIL: submit --wait on the primary"; exit 1; }
+ID=$("$RTT" submit "$WORK/i1.txt" --socket "$ASOCK")
+
+# journals must converge byte-for-byte at quiescence
+for _ in $(seq 1 100); do
+  cmp -s "$A/journal.log" "$B/journal.log" && break
+  sleep 0.1
+done
+cmp "$A/journal.log" "$B/journal.log" \
+  || { echo "FAIL: journals did not converge"; exit 1; }
+
+# the follower answers status locally and refuses writes
+"$RTT" status "$ID" --socket "$BSOCK" | grep -q '"state":"done"' \
+  || { echo "FAIL: follower does not see the job done"; exit 1; }
+if "$RTT" submit "$WORK/i1.txt" --socket "$BSOCK" 2>/dev/null; then
+  echo "FAIL: follower accepted a write"; exit 1
+fi
+"$RTT" status --socket "$ASOCK" | grep -q '"lag":0' \
+  || { echo "FAIL: primary reports follower lag at quiescence"; exit 1; }
+
+# ---- phase 2: SIGKILL the primary, promote the follower ---------------
+# restart the pair with a fuel deadline that keeps the next job in a
+# transient-failure retry loop, so the kill provably lands mid-flight
+kill -KILL "$PRIMARY_PID"; wait "$PRIMARY_PID" 2>/dev/null || true
+kill -KILL "$REPLICA_PID"; wait "$REPLICA_PID" 2>/dev/null || true
+rm -rf "$A" "$B" "$ASOCK" "$BSOCK"; mkdir -p "$A" "$B"
+
+"$RTT" daemon --spool "$A" --socket "$ASOCK" -b 3 \
+  --deadline-fuel 20 --fallback exact --max-attempts 100000 &
+PRIMARY_PID=$!
+wait_socket "$ASOCK"
+"$RTT" replica --spool "$B" --socket "$BSOCK" --primary "$ASOCK" \
+  --max-attempts 100000 &
+REPLICA_PID=$!
+wait_socket "$BSOCK"
+
+"$RTT" gen -k layered -n 9 --seed 42 > "$WORK/i2.txt"
+ID=$("$RTT" submit "$WORK/i2.txt" --socket "$ASOCK")
+
+# wait until the claim (a started record) has replicated to the follower
+for _ in $(seq 1 100); do
+  grep -q " started " "$B/journal.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q " started " "$B/journal.log" \
+  || { echo "FAIL: claim never replicated"; exit 1; }
+
+kill -KILL "$PRIMARY_PID"; wait "$PRIMARY_PID" 2>/dev/null || true
+PRIMARY_PID=""
+
+"$RTT" promote --socket "$BSOCK" | grep -q promoting \
+  || { echo "FAIL: promote not acknowledged"; exit 1; }
+
+# the promoted node must finish the adopted job
+for _ in $(seq 1 300); do
+  "$RTT" status "$ID" --socket "$BSOCK" --connect-attempts 4 2>/dev/null \
+    | grep -q '"state":"done"' && break
+  sleep 0.2
+done
+"$RTT" status "$ID" --socket "$BSOCK" | grep -q '"state":"done"' \
+  || { echo "FAIL: promoted node never finished the job"; exit 1; }
+
+# exactly once: one done record across both lives of the job
+DONES=$(grep -c " done " "$B/journal.log" || true)
+if [[ "$DONES" -ne 1 ]]; then
+  echo "FAIL: expected exactly one done record, got $DONES"
+  exit 1
+fi
+
+echo "PASS: replicated, converged byte-for-byte, failed over, finished exactly once"

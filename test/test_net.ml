@@ -32,6 +32,12 @@ let request_gen =
         map (fun id -> Protocol.Wait { id }) s;
         return Protocol.Ping;
         return Protocol.Bye;
+        map
+          (fun (version, watermark) -> Protocol.Repl_hello { version; watermark })
+          (pair (int_range 0 9) (int_range 0 100_000));
+        map (fun watermark -> Protocol.Repl_ack { watermark }) (int_range 0 100_000);
+        return Protocol.Promote;
+        return Protocol.Stats;
       ])
 
 let response_gen =
@@ -50,6 +56,13 @@ let response_gen =
           (triple s s (int_range 0 9));
         map (fun (code, msg) -> Protocol.Errored { code; msg }) (pair s s);
         return Protocol.Pong;
+        map (fun (version, records) -> Protocol.Repl_welcome { version; records }) (pair (int_range 0 9) n);
+        map (fun (seq, line) -> Protocol.Repl_frame { seq; line }) (pair n s);
+        map (fun (job, body) -> Protocol.Repl_instance { job; body }) (pair s s);
+        map (fun (job, body) -> Protocol.Repl_result { job; body }) (pair s s);
+        map (fun (key, body) -> Protocol.Repl_cache { key; body }) (pair s s);
+        map (fun json -> Protocol.Stats_is { json }) s;
+        return Protocol.Promoting;
       ])
 
 let protocol_props =
@@ -91,6 +104,26 @@ let protocol_units =
         match Protocol.parse_request "status %zz" with
         | Error _ -> ()
         | Ok _ -> Alcotest.fail "bad escape must not parse");
+    Alcotest.test_case "repl attachment length mismatch is rejected" `Quick (fun () ->
+        let good =
+          Protocol.encode_response (Protocol.Repl_instance { job = "j"; body = "vertices 1" })
+        in
+        let bad =
+          match String.split_on_char ' ' good with
+          | [ verb; job; _len; body ] -> String.concat " " [ verb; job; "3"; body ]
+          | _ -> Alcotest.fail "unexpected repl.instance shape"
+        in
+        (match Protocol.parse_response bad with
+        | Error msg -> Alcotest.(check bool) "mentions mismatch" true (contains ~needle:"mismatch" msg)
+        | Ok _ -> Alcotest.fail "length mismatch must not parse"));
+    Alcotest.test_case "repl verbs: bad arity is an error" `Quick (fun () ->
+        List.iter
+          (fun payload ->
+            match Protocol.parse_request payload with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "%S must not parse" payload)
+          [ "repl.hello"; "repl.hello 1"; "repl.hello 1 x"; "repl.ack"; "repl.ack x";
+            "promote extra"; "stats extra" ]);
   ]
 
 (* ------------------------------------------------------------------ *)
