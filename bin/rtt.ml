@@ -1019,11 +1019,221 @@ let promote_cmd =
   in
   Cmd.v info Term.(const run $ socket_arg $ connect_attempts_arg)
 
+let fsck_cmd =
+  let open Rtt_service in
+  let spool_pos =
+    let doc = "Spool directory to audit: instance files, journal, result/checkpoint sidecars." in
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc)
+  in
+  let cache_dir =
+    let doc = "Also audit this result cache directory (checksums, and quarantine on repair)." in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let budget =
+    let doc =
+      "Enable the fingerprint audit: re-validate each cache entry reachable from a spool \
+       instance against that instance under budget $(docv) (must match the daemon's \
+       $(b,--budget) for the digests to line up)."
+    in
+    Arg.(value & opt (some int) None & info [ "b"; "budget" ] ~docv:"B" ~doc)
+  in
+  let fallback =
+    let doc = "Fallback chain the fingerprint audit digests under (as the daemon's)." in
+    Arg.(value & opt policy_conv Policy.default & info [ "fallback" ] ~docv:"CHAIN" ~doc)
+  in
+  let repair =
+    let doc =
+      "Fix what is fixable: seal the journal tail, delete corrupt cache entries, bad \
+       checkpoints and tmp litter, and — with $(b,--from) — backfill missing records and \
+       files from a live peer."
+    in
+    Arg.(value & flag & info [ "repair" ] ~doc)
+  in
+  let from =
+    let doc =
+      "A live primary or replica (Unix-socket path or HOST:PORT) to pull backfill findings \
+       from over the replication protocol."
+    in
+    Arg.(value & opt (some string) None & info [ "from" ] ~docv:"ENDPOINT" ~doc)
+  in
+  let run spool cache_dir budget fallback repair from =
+    let scan () = Fsck.scan ~spool ?cache_dir ?budget ~policy:fallback () in
+    let report = scan () in
+    print_string (Fsck.render report);
+    if not (Fsck.dirty report) then Fsck.clean_exit_code
+    else if not repair then Fsck.dirty_exit_code
+    else begin
+      let performed, remaining = Fsck.repair ~spool report in
+      List.iter
+        (fun f -> Printf.printf "repaired %s: %s\n" f.Fsck.code f.Fsck.file)
+        performed;
+      (* with a peer at hand, always catch up — a sealed journal that
+         lost whole committed records looks locally self-consistent,
+         so only the peer knows the tail is missing *)
+      let pull_error =
+        match (remaining, from) with
+        | [], None -> None
+        | _ :: _, None ->
+            Some
+              "backfill findings remain; pass --from ENDPOINT (a live primary or replica) \
+               to pull them"
+        | _, Some ep -> (
+              match Rtt_net.Client.endpoint_of_string ep with
+              | Error msg -> Some ("--from " ^ msg)
+              | Ok ep -> (
+                  let offer = if Fsck.offer_zero report then Some 0 else None in
+                  match Rtt_net.Catchup.pull ~spool ?cache_dir ?offer ep with
+                  | Ok p ->
+                      Printf.printf
+                        "backfilled %d record%s and %d attachment%s from a peer holding %d\n"
+                        p.Rtt_net.Catchup.applied
+                        (if p.Rtt_net.Catchup.applied = 1 then "" else "s")
+                        p.Rtt_net.Catchup.attachments
+                        (if p.Rtt_net.Catchup.attachments = 1 then "" else "s")
+                        p.Rtt_net.Catchup.records;
+                      None
+                  | Error msg -> Some ("backfill failed: " ^ msg)))
+      in
+      (match pull_error with Some msg -> Printf.eprintf "rtt: %s\n%!" msg | None -> ());
+      (* the verdict is a fresh audit, not bookkeeping: repaired means
+         a rescan now comes back clean *)
+      let after = scan () in
+      if Fsck.dirty after then begin
+        print_string (Fsck.render after);
+        Fsck.dirty_exit_code
+      end
+      else Fsck.repaired_exit_code
+    end
+  in
+  let info =
+    Cmd.info "fsck"
+      ~doc:
+        "Audit a spool (and optionally its result cache) for every kind of damage a crash or \
+         disk fault can leave: torn or truncated journal tails, stranded records, missing or \
+         orphaned instance/result files, corrupt or stale checkpoint sidecars, \
+         checksum-failing cache entries — and, with $(b,--budget), cache entries whose bytes \
+         are intact but whose claim no longer validates against the instance. With \
+         $(b,--repair), seals and deletes what is locally fixable and pulls the rest from a \
+         live peer given by $(b,--from). Exit 0 when clean, 50 when damage remains, 51 when \
+         damage was found and fully repaired."
+  in
+  Cmd.v info Term.(const run $ spool_pos $ cache_dir $ budget $ fallback $ repair $ from)
+
+let chaos_cmd =
+  let open Rtt_service in
+  let seeds =
+    let doc = "Number of seeded fault schedules to run, starting at $(b,--first-seed)." in
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let first_seed =
+    let doc = "First seed of the batch." in
+    Arg.(value & opt int 1 & info [ "first-seed" ] ~docv:"S" ~doc)
+  in
+  let seed =
+    let doc =
+      "Run exactly this one seed (for replaying a reported failure) instead of a batch."
+    in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let schedule =
+    let parse s = Result.map_error (fun m -> `Msg m) (Chaos.schedule_of_string s) in
+    let sched_conv =
+      Arg.conv ~docv:"SITE:AFTER,..."
+        (parse, fun fmt s -> Format.pp_print_string fmt (Chaos.schedule_to_string s))
+    in
+    let doc =
+      "Override the seed-derived schedule with this exact one (requires $(b,--seed) for the \
+       workload), e.g. $(b,disk.fsync-fail:3,engine.fuel-zero:0)."
+    in
+    Arg.(value & opt (some sched_conv) None & info [ "schedule" ] ~docv:"SITE:AFTER,..." ~doc)
+  in
+  let mode =
+    let doc =
+      "Workload: $(b,inproc) (supervisor drain in this process), $(b,nodes) (a real \
+       primary/replica pair per run), or $(b,both) (inproc every seed, nodes every \
+       $(b,--nodes-every)-th)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("inproc", `Inproc); ("nodes", `Nodes); ("both", `Both) ]) `Both
+      & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let nodes_every =
+    let doc = "In $(b,both) mode, run the (costlier) two-node workload every $(docv)-th seed." in
+    Arg.(value & opt int 5 & info [ "nodes-every" ] ~docv:"K" ~doc)
+  in
+  let jobs =
+    let doc = "Jobs per run (the last duplicates the first to exercise coalescing)." in
+    Arg.(value & opt int 4 & info [ "jobs" ] ~docv:"K" ~doc)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"One progress line per run on stderr.")
+  in
+  let run seeds first_seed seed schedule mode nodes_every jobs verbose =
+    let rtt = Sys.executable_name in
+    let log s = if verbose then Printf.eprintf "[chaos] %s\n%!" s in
+    match (seed, schedule) with
+    | None, Some _ ->
+        Format.eprintf "rtt: --schedule needs --seed (the workload is generated from it)@.";
+        124
+    | Some seed, sched -> (
+        (* single run, optionally with an explicit schedule — the
+           replay path for a reported failure *)
+        let mname = match mode with `Nodes -> "nodes" | _ -> "inproc" in
+        let sched =
+          match sched with
+          | Some s -> s
+          | None -> Chaos.schedule_of_seed ~nodes:(mname = "nodes") seed
+        in
+        log (Printf.sprintf "seed %d %s  [%s]" seed mname (Chaos.schedule_to_string sched));
+        let check s =
+          if mname = "nodes" then Chaos.run_nodes ~rtt ~jobs ~seed s
+          else Chaos.run_inproc ~jobs ~seed s
+        in
+        match check sched with
+        | Ok () ->
+            Printf.printf "chaos: 1 run passed\n";
+            0
+        | Error reason ->
+            let minimal, reason = Chaos.shrink ~check sched reason in
+            print_string
+              (Chaos.render_failure
+                 { Chaos.seed = Some seed; mode = mname; schedule = minimal; reason });
+            1)
+    | None, None -> (
+        match
+          Chaos.run_seeds ~jobs ~nodes_every ~rtt ~log ~mode ~first:first_seed ~count:seeds ()
+        with
+        | Ok n ->
+            Printf.printf "chaos: %d runs passed (seeds %d..%d)\n" n first_seed
+              (first_seed + seeds - 1);
+            0
+        | Error f ->
+            print_string (Chaos.render_failure f);
+            1)
+  in
+  let info =
+    Cmd.info "chaos"
+      ~doc:
+        "Deterministic chaos testing: derive a fault schedule from each seed (disk faults — \
+         fsync/short-write/ENOSPC/EIO/rename — plus solver and replication faults, each armed \
+         with a trigger count), drive a real workload under it (an in-process supervisor \
+         drain, and periodically a live primary/replica pair), crash and recover as needed, \
+         then check the durability invariants: the journal replays clean, every job reaches \
+         exactly one terminal outcome, cache entries stay checksum-valid, replicas converge \
+         byte-for-byte, and $(b,rtt fsck) finds nothing beyond benign crash residue. On \
+         failure the schedule is shrunk to a local minimum and the seed printed for replay. \
+         Exit 0 when every run passes, 1 on a failure."
+  in
+  Cmd.v info
+    Term.(
+      const run $ seeds $ first_seed $ seed $ schedule $ mode $ nodes_every $ jobs $ verbose)
+
 let main =
   let doc = "Discrete resource-time tradeoff with resource reuse over paths (SPAA '19 reproduction)." in
   let info = Cmd.info "rtt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ solve_cmd; exact_cmd; gen_cmd; sp_cmd; reduce_cmd; pareto_cmd; dot_cmd; demo_cmd; serve_cmd;
-      jobs_cmd; daemon_cmd; submit_cmd; status_cmd; replica_cmd; promote_cmd ]
+      jobs_cmd; daemon_cmd; submit_cmd; status_cmd; replica_cmd; promote_cmd; fsck_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main)

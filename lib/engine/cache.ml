@@ -64,20 +64,7 @@ let store ~dir ~key (s : Engine.success) =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
   let payload = payload_of s in
   let line = Printf.sprintf "%s %s" (Stdlib.Digest.to_hex (Stdlib.Digest.string payload)) payload in
-  let final = path ~dir ~key in
-  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let bytes = Bytes.of_string line in
-      let len = Bytes.length bytes in
-      let written = ref 0 in
-      while !written < len do
-        written := !written + Unix.write fd bytes !written (len - !written)
-      done;
-      Unix.fsync fd);
-  Unix.rename tmp final
+  Rtt_diskio.Diskio.atomic_write ~path:(path ~dir ~key) line
 
 let lookup ~dir ~key =
   match open_in_bin (path ~dir ~key) with
@@ -112,27 +99,40 @@ let read_raw ~dir ~key =
 
 let store_raw ~dir ~key bytes =
   (try Unix.mkdir dir 0o755 with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
-  let final = path ~dir ~key in
-  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let b = Bytes.of_string bytes in
-      let len = Bytes.length b in
-      let written = ref 0 in
-      while !written < len do
-        match Unix.write fd b !written (len - !written) with
-        | n -> written := !written + n
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      done;
-      Unix.fsync fd);
-  Unix.rename tmp final
+  Rtt_diskio.Diskio.atomic_write ~path:(path ~dir ~key) bytes
 
-let entries ~dir =
+let keys ~dir =
   match Sys.readdir dir with
-  | exception Sys_error _ -> 0
+  | exception Sys_error _ -> []
   | names ->
-      Array.fold_left
-        (fun acc name -> if Filename.check_suffix name ".rttc" then acc + 1 else acc)
-        0 names
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if Filename.check_suffix name ".rttc" then Some (Filename.chop_suffix name ".rttc")
+             else None)
+      |> List.sort compare
+
+let entries ~dir = List.length (keys ~dir)
+
+(* The audit mirrors [lookup] but names the reason an entry would read
+   as a miss — what fsck reports (and deletes under --repair), since a
+   silently ignored corrupt entry is litter that hides real damage. *)
+let audit ~dir ~key =
+  match open_in_bin (path ~dir ~key) with
+  | exception Sys_error _ -> Error "unreadable"
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          if len < 33 then Error (Printf.sprintf "truncated (%d bytes)" len)
+          else
+            let line = really_input_string ic len in
+            if line.[32] <> ' ' then Error "malformed checksum line"
+            else
+              let payload = String.sub line 33 (len - 33) in
+              if Stdlib.Digest.to_hex (Stdlib.Digest.string payload) <> String.sub line 0 32 then
+                Error "checksum mismatch"
+              else
+                match success_of_payload payload with
+                | Some _ -> Ok ()
+                | None -> Error "unparseable payload")

@@ -36,5 +36,15 @@ val store_raw : dir:string -> key:string -> string -> unit
     reads back as a miss via {!lookup}'s checksum, never as a wrong
     answer. *)
 
+val keys : dir:string -> string list
+(** The keys of every entry currently in the cache directory, sorted —
+    what [rtt fsck] iterates. *)
+
 val entries : dir:string -> int
 (** Number of entries currently in the cache directory. *)
+
+val audit : dir:string -> key:string -> (unit, string) result
+(** Why the entry under [key] would {e not} be served: [Error] with a
+    reason for an unreadable, truncated, checksum-failing, or
+    unparseable entry; [Ok ()] for one {!lookup} would accept. Never
+    mutates the entry. *)

@@ -1,6 +1,16 @@
 open Rtt_budget
 
-type site = Lp_infeasible | Flow_abort | Fuel_zero | Repl_frame_drop | Repl_ack_delay
+type site =
+  | Lp_infeasible
+  | Flow_abort
+  | Fuel_zero
+  | Repl_frame_drop
+  | Repl_ack_delay
+  | Disk_fsync_fail
+  | Disk_short_write
+  | Disk_enospc
+  | Disk_eio
+  | Disk_rename_fail
 
 (* The replication sites live in the service layer, which this library
    cannot see; the probe sides use the same literal strings. *)
@@ -13,6 +23,11 @@ let key = function
   | Fuel_zero -> Budget.fuel_zero
   | Repl_frame_drop -> repl_frame_drop_site
   | Repl_ack_delay -> repl_ack_delay_site
+  | Disk_fsync_fail -> Rtt_diskio.Diskio.fsync_fail_site
+  | Disk_short_write -> Rtt_diskio.Diskio.short_write_site
+  | Disk_enospc -> Rtt_diskio.Diskio.enospc_site
+  | Disk_eio -> Rtt_diskio.Diskio.eio_site
+  | Disk_rename_fail -> Rtt_diskio.Diskio.rename_fail_site
 
 let name = function
   | Lp_infeasible -> "lp-infeasible"
@@ -20,8 +35,27 @@ let name = function
   | Fuel_zero -> "fuel-zero"
   | Repl_frame_drop -> "repl.frame-drop"
   | Repl_ack_delay -> "repl.ack-delay"
+  (* the disk sites' CLI names are their Diskio site strings, like the
+     repl pair above *)
+  | Disk_fsync_fail -> Rtt_diskio.Diskio.fsync_fail_site
+  | Disk_short_write -> Rtt_diskio.Diskio.short_write_site
+  | Disk_enospc -> Rtt_diskio.Diskio.enospc_site
+  | Disk_eio -> Rtt_diskio.Diskio.eio_site
+  | Disk_rename_fail -> Rtt_diskio.Diskio.rename_fail_site
 
-let all = [ Lp_infeasible; Flow_abort; Fuel_zero; Repl_frame_drop; Repl_ack_delay ]
+let all =
+  [
+    Lp_infeasible;
+    Flow_abort;
+    Fuel_zero;
+    Repl_frame_drop;
+    Repl_ack_delay;
+    Disk_fsync_fail;
+    Disk_short_write;
+    Disk_enospc;
+    Disk_eio;
+    Disk_rename_fail;
+  ]
 let of_string s = List.find_opt (fun f -> name f = String.lowercase_ascii (String.trim s)) all
 
 let arm ?(after = 0) site = Budget.arm ~site:(key site) ~after

@@ -25,6 +25,21 @@ type site =
       (** The follower skips the triggering per-frame acknowledgement;
           its watermark reaches the primary only on the next frame or
           heartbeat, inflating observed replication lag. *)
+  | Disk_fsync_fail
+      (** The triggering {!Rtt_diskio.Diskio.fsync} raises [EIO]; the
+          preceding writes may or may not be durable. *)
+  | Disk_short_write
+      (** The triggering {!Rtt_diskio.Diskio.write_all} lands only a
+          prefix of its bytes, then raises [EIO] — a torn write. *)
+  | Disk_enospc
+      (** The triggering {!Rtt_diskio.Diskio.write_all} raises
+          [ENOSPC] before writing anything. *)
+  | Disk_eio
+      (** The triggering {!Rtt_diskio.Diskio.write_all} or
+          [ftruncate] raises [EIO] before touching the file. *)
+  | Disk_rename_fail
+      (** The triggering {!Rtt_diskio.Diskio.rename} raises [EIO]
+          without renaming; the temp file stays behind as litter. *)
 
 val key : site -> string
 (** The underlying {!Rtt_budget.Budget} site string. *)

@@ -1,0 +1,97 @@
+open Rtt_service
+module E = Rtt_engine
+
+type progress = { records : int; applied : int; attachments : int }
+
+let pull ~spool ?cache_dir ?offer ?(timeout = 30.0) endpoint =
+  let f = Replica.open_follower ~spool in
+  Fun.protect
+    ~finally:(fun () -> Replica.close_follower f)
+    (fun () ->
+      match Client.connect endpoint with
+      | Error e -> Error (Client.error_to_string e)
+      | Ok c ->
+          let fd = Client.fd c in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let offered = Option.value ~default:f.Replica.watermark offer in
+              Frame.write fd
+                (Protocol.encode_request
+                   (Protocol.Repl_hello { version = Protocol.version; watermark = offered }));
+              let reader = Frame.reader ~max_frame:(16 * 1024 * 1024) () in
+              let deadline = Unix.gettimeofday () +. timeout in
+              let records = ref None in
+              let applied = ref 0 in
+              let attachments = ref 0 in
+              (* the catch-up is complete when we have seen the frame
+                 just below the peer's record count — not when our own
+                 watermark reaches it, because a full re-ship (offer 0)
+                 delivers mostly stale frames whose attachments are the
+                 whole point *)
+              let seen = ref (offered - 1) in
+              let finished () =
+                match !records with Some r -> !seen >= r - 1 | None -> false
+              in
+              let failure = ref None in
+              let fail msg = if !failure = None then failure := Some msg in
+              let handle = function
+                | Protocol.Repl_welcome { version = _; records = r } -> records := Some r
+                | Protocol.Repl_instance { job; body } ->
+                    Replica.write_blob ~path:(Filename.concat spool job) body;
+                    incr attachments
+                | Protocol.Repl_result { job; body } ->
+                    Replica.write_blob ~path:(Work.result_path ~spool ~job) body;
+                    incr attachments
+                | Protocol.Repl_cache { key; body } -> (
+                    match cache_dir with
+                    | Some dir ->
+                        E.Cache.store_raw ~dir ~key body;
+                        incr attachments
+                    | None -> ())
+                | Protocol.Repl_frame { seq; line } -> (
+                    seen := max !seen seq;
+                    match Replica.apply_line f ~seq ~line with
+                    | `Applied _ -> incr applied
+                    | `Stale -> ()
+                    | `Gap -> fail (Printf.sprintf "sequence gap at frame %d" seq)
+                    | `Bad -> fail (Printf.sprintf "undecodable frame at seq %d" seq))
+                | Protocol.Errored { code; msg } ->
+                    fail (Printf.sprintf "peer error %s: %s" code msg)
+                | _ -> ()
+              in
+              let buf = Bytes.create 8192 in
+              (try
+                 while (not (finished ())) && !failure = None do
+                   let left = deadline -. Unix.gettimeofday () in
+                   if left <= 0.0 then fail "catch-up timed out"
+                   else
+                     match Eintr.select [ fd ] [] [] left with
+                     | [], _, _ -> ()
+                     | _ -> (
+                         match Eintr.read fd buf 0 (Bytes.length buf) with
+                         | 0 -> fail "peer closed before catch-up completed"
+                         | n ->
+                             List.iter
+                               (fun item ->
+                                 if !failure = None then
+                                   match item with
+                                   | `Frame payload -> (
+                                       match Protocol.parse_response payload with
+                                       | Ok resp -> handle resp
+                                       | Error msg -> fail ("unparseable frame: " ^ msg))
+                                   | `Corrupt _ -> fail "corrupt frame from peer"
+                                   | `Overflow -> fail "frame overflow from peer")
+                               (Frame.feed reader (Bytes.sub_string buf 0 n)))
+                 done
+               with Unix.Unix_error (e, fn, _) ->
+                 fail (Printf.sprintf "%s: %s" fn (Unix.error_message e)));
+              match !failure with
+              | Some msg -> Error msg
+              | None ->
+                  Ok
+                    {
+                      records = Option.value ~default:0 !records;
+                      applied = !applied;
+                      attachments = !attachments;
+                    }))

@@ -1,0 +1,40 @@
+(** One-shot catch-up pull over the [repl.*] protocol — the transport
+    behind [rtt fsck --repair --from].
+
+    Where {!Standby} maintains a persistent link and tails the primary
+    forever, [pull] wants a snapshot: offer a watermark, drain the
+    welcome + attachments + frames the peer ships in response, and hang
+    up once the last catch-up frame has landed. The peer can be a
+    primary daemon (whose replication path serves this natively) or a
+    standing-by follower (which serves the same catch-up statically) —
+    so a spool can be repaired from whichever side of a failover is
+    still alive.
+
+    Offering watermark 0 instead of the local committed count forces a
+    full re-ship: every frame below the local watermark applies as
+    stale, but its attachments (instance, result, cache entry) are
+    re-materialized on the way past — which is how a spool whose
+    journal is intact but whose {e files} are missing gets them back
+    ({!Rtt_service.Fsck.offer_zero}). *)
+
+type progress = {
+  records : int;  (** The peer's committed record count at hello time. *)
+  applied : int;  (** Frames newly appended to the local journal. *)
+  attachments : int;  (** Instance/result/cache blobs (re)materialized. *)
+}
+
+val pull :
+  spool:string ->
+  ?cache_dir:string ->
+  ?offer:int ->
+  ?timeout:float ->
+  Client.endpoint ->
+  (progress, string) result
+(** Seal the local journal tail, offer [offer] (default: the local
+    committed record count) to the peer at [endpoint], and apply
+    everything it ships until the catch-up is complete. Cache
+    attachments are dropped unless [cache_dir] is given. Fails on
+    connection errors, a sequence gap, an undecodable frame, or the
+    [timeout] (default 30 s) expiring first; the journal holds
+    whatever prefix was applied before the failure, so a retry
+    resumes rather than restarts. *)

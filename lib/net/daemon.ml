@@ -271,8 +271,7 @@ let run cfg =
   in
   let worker_readable w =
     let buf = Bytes.create 4096 in
-    match Unix.read w.from_w buf 0 4096 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    match Eintr.read w.from_w buf 0 4096 with
     | 0 -> handle_death w
     | n ->
         List.iter
@@ -318,36 +317,13 @@ let run cfg =
   (* ---------------------------------------------------------------- *)
   (* replication: ship committed journal lines (plus the spool files
      they reference) to followers, verbatim                            *)
-  let read_file path =
-    match open_in_bin path with
-    | exception Sys_error _ -> None
-    | ic ->
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> Some (really_input_string ic (in_channel_length ic)))
-  in
-  (* Attachments ship before their frame so the follower's journal
-     never leads its spool — the same durability order the primary
-     itself observes (instance before Queued, result before Done). *)
-  let attachments_for (r : Journal.record) =
-    let job = r.Journal.job in
-    match r.Journal.event with
-    | Journal.Queued -> (
-        match read_file (Filename.concat spool job) with
-        | Some body -> [ Protocol.Repl_instance { job; body } ]
-        | None -> [])
-    | Journal.Done _ ->
-        (match read_file (Work.result_path ~spool ~job) with
-        | Some body -> [ Protocol.Repl_result { job; body } ]
-        | None -> [])
-        @ (match cfg.service.Work.cache_dir with
-          | Some dir -> (
-              let key = id_of_job job in
-              match E.Cache.read_raw ~dir ~key with
-              | Some body -> [ Protocol.Repl_cache { key; body } ]
-              | None -> [])
-          | None -> [])
-    | _ -> []
+  let attachments_for r =
+    List.map
+      (function
+        | `Instance (job, body) -> Protocol.Repl_instance { job; body }
+        | `Result (job, body) -> Protocol.Repl_result { job; body }
+        | `Cache (key, body) -> Protocol.Repl_cache { key; body })
+      (Replica.attachment_specs ~spool ~cache_dir:cfg.service.Work.cache_dir r)
   in
   let ship_line p (seq, line) =
     if Rtt_budget.Budget.probe ~site:E.Faults.repl_frame_drop_site then
@@ -375,20 +351,7 @@ let run cfg =
   (* ---------------------------------------------------------------- *)
   (* requests                                                          *)
   let write_instance ~job text =
-    let final = Filename.concat spool job in
-    let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
-    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-    Fun.protect
-      ~finally:(fun () -> Unix.close fd)
-      (fun () ->
-        let b = Bytes.of_string text in
-        let len = Bytes.length b in
-        let written = ref 0 in
-        while !written < len do
-          written := !written + Unix.write fd b !written (len - !written)
-        done;
-        Unix.fsync fd);
-    Unix.rename tmp final
+    Rtt_diskio.Diskio.atomic_write ~path:(Filename.concat spool job) text
   in
   let handle_request c = function
     | Protocol.Hello _ ->
@@ -533,15 +496,13 @@ let run cfg =
     let deadline = now () +. 30.0 in
     while busy () && now () < deadline do
       let fds = List.map (fun w -> w.from_w) !workers in
-      match Unix.select fds [] [] 0.1 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | r, _, _ ->
-          List.iter
-            (fun fd ->
-              match List.find_opt (fun w -> w.from_w = fd) !workers with
-              | Some w -> worker_readable w
-              | None -> ())
-            r
+      let r, _, _ = Eintr.select fds [] [] 0.1 in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun w -> w.from_w = fd) !workers with
+          | Some w -> worker_readable w
+          | None -> ())
+        r
     done;
     List.iter
       (fun w ->

@@ -121,8 +121,34 @@ let run cfg =
         log "promotion requested by %s" (Conn.peer c);
         Conn.send c Protocol.Promoting;
         promote_via := Some c
-    | Protocol.Repl_hello _ | Protocol.Repl_ack _ ->
-        Conn.send c (Protocol.Errored { code = "bad-role"; msg = "followers do not replicate" })
+    | Protocol.Repl_hello { version = _; watermark } ->
+        (* static catch-up serving: [rtt fsck --repair] can pull records
+           and attachments from a live follower while the primary is
+           dead. Unlike the primary's replication path this is a
+           snapshot — we ship the committed prefix as of now and do not
+           stream frames that arrive later. *)
+        let records = f.Replica.watermark in
+        let from = max 0 (min watermark records) in
+        log "serving catch-up to %s from record %d of %d" (Conn.peer c) from records;
+        Conn.send c (Protocol.Repl_welcome { version = Protocol.version; records });
+        List.iter
+          (fun (seq, line) ->
+            (match Journal.decode line with
+            | Some r ->
+                List.iter
+                  (fun spec ->
+                    Conn.send c
+                      (match spec with
+                      | `Instance (job, body) -> Protocol.Repl_instance { job; body }
+                      | `Result (job, body) -> Protocol.Repl_result { job; body }
+                      | `Cache (key, body) -> Protocol.Repl_cache { key; body }))
+                  (Replica.attachment_specs ~spool ~cache_dir:cfg.cache_dir r)
+            | None -> ());
+            Conn.send c (Protocol.Repl_frame { seq; line }))
+          (Replica.lines_from ~spool from)
+    | Protocol.Repl_ack _ ->
+        (* a puller has no business acking a snapshot; ignore *)
+        ()
   in
   let conn_readable c =
     match Conn.read c ~now:(now ()) with

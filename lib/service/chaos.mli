@@ -1,0 +1,95 @@
+(** Deterministic chaos harness behind [rtt chaos]: run seeded fault
+    schedules against a real workload and check the durability
+    invariants the rest of the system promises.
+
+    A {e schedule} arms one or more {!Rtt_engine.Faults} sites, each
+    with a trigger count — fire on the [after]-th probe of that site.
+    Schedules are derived deterministically from a seed, so a failing
+    seed replays bit-for-bit; on failure the harness shrinks the
+    schedule to a local minimum (drop arms, halve trigger counts)
+    before reporting.
+
+    Two workloads:
+
+    - {b inproc}: a temp spool of small generated instances (with a
+      deliberate duplicate pair) drained by {!Supervisor.run} in this
+      process. A fault that escapes an attempt — a journal fsync
+      failure, say — crashes the run exactly like a power cut; the
+      harness re-runs the supervisor over the same spool, which {e is}
+      the recovery path.
+    - {b nodes}: a primary [rtt daemon] and an [rtt replica] spawned as
+      real subprocesses (faults delivered via [--inject]), jobs pushed
+      through [rtt submit]; a crashed primary is restarted and the
+      drain resumed.
+
+    Invariants checked at quiescence, both modes: the journal replays
+    clean to its last byte; every job reaches exactly one terminal
+    state (at most one [done] record, ever); completed jobs have
+    parseable result files (the duplicate pair agreeing on makespan);
+    every cache entry passes its checksum audit; an {!Fsck.scan} finds
+    nothing beyond benign crash residue (tmp litter, stale
+    checkpoints), and {!Fsck.repair} leaves the spool clean. The nodes
+    workload additionally requires the two journals byte-identical. *)
+
+type schedule = (Rtt_engine.Faults.site * int) list
+(** Arms, in order: fire [site] on its [after]-th probe. *)
+
+val schedule_of_seed : ?nodes:bool -> int -> schedule
+(** 1–3 distinct arms, deterministic in [seed]. [nodes] widens the
+    site pool with the replication sites ([repl.frame-drop],
+    [repl.ack-delay]), which only exist on the two-node workload. *)
+
+val schedule_to_string : schedule -> string
+(** [SITE:AFTER,SITE:AFTER,...] — the [--schedule] syntax. *)
+
+val schedule_of_string : string -> (schedule, string) result
+
+val run_inproc : ?jobs:int -> seed:int -> schedule -> (unit, string) result
+(** One in-process run: [jobs] instances (default 4, last a duplicate
+    of the first) generated from [seed], schedule armed, supervisor
+    driven to quiescence through up to 8 crash/recovery rounds, then
+    the invariants. [Error reason] keeps the spool on disk for
+    inspection and says where. *)
+
+val run_nodes : rtt:string -> ?jobs:int -> seed:int -> schedule -> (unit, string) result
+(** One two-node run against the [rtt] binary at that path. The
+    replication sites arm the replica process; everything else arms
+    the primary. *)
+
+val shrink :
+  check:(schedule -> (unit, string) result) ->
+  schedule ->
+  string ->
+  schedule * string
+(** Greedy minimization of a failing schedule: repeatedly drop any arm
+    (then halve any trigger count) whose removal still fails [check],
+    to a local minimum. Returns the minimal schedule and its failure
+    reason. Each probe is a full chaos run, so cost is bounded by the
+    schedule's size (at most 3 arms). *)
+
+type failure = {
+  seed : int option;  (** [None] when the schedule was given explicitly. *)
+  mode : string;  (** ["inproc"] or ["nodes"]. *)
+  schedule : schedule;  (** Minimal (post-{!shrink}). *)
+  reason : string;
+}
+
+val render_failure : failure -> string
+(** Multi-line report ending with the exact replay commands. *)
+
+val run_seeds :
+  ?jobs:int ->
+  ?nodes_every:int ->
+  ?rtt:string ->
+  ?log:(string -> unit) ->
+  mode:[ `Inproc | `Nodes | `Both ] ->
+  first:int ->
+  count:int ->
+  unit ->
+  (int, failure) result
+(** Drive seeds [first .. first + count - 1]; stop at the first
+    failure, shrink it, and return it. [`Both] runs inproc on every
+    seed and nodes on every [nodes_every]-th (default 5 — the
+    two-node workload costs two process spawns per run); [`Nodes]
+    and [`Both] require [rtt]. [Ok n] is the number of runs that
+    passed. [log] receives one progress line per run. *)

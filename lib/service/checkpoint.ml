@@ -1,21 +1,7 @@
 let path ~spool ~job = Filename.concat spool (job ^ ".ckpt")
 
 let store ~spool ~job snapshot =
-  let final = path ~spool ~job in
-  let tmp = final ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let line = Frame.frame snapshot in
-      let bytes = Bytes.of_string line in
-      let len = Bytes.length bytes in
-      let written = ref 0 in
-      while !written < len do
-        written := !written + Unix.write fd bytes !written (len - !written)
-      done;
-      Unix.fsync fd);
-  Unix.rename tmp final
+  Rtt_diskio.Diskio.atomic_write ~path:(path ~spool ~job) (Frame.frame snapshot)
 
 let load ~spool ~job =
   match open_in (path ~spool ~job) with

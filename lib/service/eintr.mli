@@ -1,13 +1,14 @@
-(** Retry-on-[EINTR] wrappers for the socket calls in [lib/net].
+(** Retry-on-[EINTR] wrappers for the fd calls in the service and net
+    layers — the pool's parent↔worker pipes and the daemon's sockets.
 
-    The daemon and its clients field real signals mid-syscall — SIGTERM
-    starting a drain, SIGCHLD from the fork pool, SIGINT at a terminal —
-    and an interrupted [read]/[write]/[connect]/[accept] must restart,
-    not surface as a spurious [Unix_error (EINTR, _, _)] that tears a
-    frame in half. [select] is the exception: an interrupted wait
-    returns empty sets so the caller re-checks its own state (drain
-    flags, deadlines) before sleeping again, which is exactly what a
-    signal should cause. *)
+    These processes field real signals mid-syscall — SIGTERM starting a
+    drain, SIGCHLD from the fork pool, SIGINT at a terminal — and an
+    interrupted [read]/[write]/[connect]/[accept] must restart, not
+    surface as a spurious [Unix_error (EINTR, _, _)] that tears a frame
+    (or a pool assignment) in half. [select] is the exception: an
+    interrupted wait returns empty sets so the caller re-checks its own
+    state (drain flags, deadlines) before sleeping again, which is
+    exactly what a signal should cause. *)
 
 val read : Unix.file_descr -> bytes -> int -> int -> int
 (** [Unix.read], restarted on [EINTR]. *)

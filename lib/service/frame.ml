@@ -42,11 +42,7 @@ let unframe line =
       | _ -> None)
   | _ -> None
 
-let rec write_all fd bytes off len =
-  if len > 0 then
-    match Unix.write fd bytes off len with
-    | n -> write_all fd bytes (off + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
+let write_all = Eintr.write_all
 
 let write fd payload =
   let b = Bytes.of_string (frame payload ^ "\n") in

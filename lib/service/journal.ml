@@ -124,8 +124,8 @@ let seal ~spool =
         Fun.protect
           ~finally:(fun () -> Unix.close fd)
           (fun () ->
-            Unix.ftruncate fd ok;
-            Unix.fsync fd)
+            Rtt_diskio.Diskio.ftruncate fd ok;
+            Rtt_diskio.Diskio.fsync fd)
       end);
   List.length lines
 
@@ -136,16 +136,10 @@ let open_ ~spool =
   ignore (seal ~spool);
   { fd = Unix.openfile (path ~spool) [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 }
 
-let rec write_all fd bytes off len =
-  if len > 0 then
-    match Unix.write fd bytes off len with
-    | n -> write_all fd bytes (off + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
-
 let append_line t line =
   let bytes = Bytes.of_string (line ^ "\n") in
-  write_all t.fd bytes 0 (Bytes.length bytes);
-  Unix.fsync t.fd
+  Rtt_diskio.Diskio.write_all t.fd bytes 0 (Bytes.length bytes);
+  Rtt_diskio.Diskio.fsync t.fd
 
 let append t r = append_line t (encode r)
 let close t = Unix.close t.fd

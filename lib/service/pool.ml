@@ -46,7 +46,13 @@ let parse_report payload =
 (* worker side                                                         *)
 
 (* Blocking byte-at-a-time line read; assignments are a few dozen bytes
-   and arrive at job granularity, so simplicity beats buffering. *)
+   and arrive at job granularity, so simplicity beats buffering. This
+   is the one read that must NOT go through {!Eintr}'s blind restart:
+   the signal that interrupts it is exactly the SIGTERM that set [stop],
+   and restarting without the [stop ()] re-check would leave an idle
+   worker blocked in [read] until the parent happens to close the pipe.
+   A partial line survives the interruption in [buf], so the assignment
+   still can't tear. *)
 let read_assignment ~stop fd =
   let buf = Buffer.create 64 in
   let byte = Bytes.create 1 in
@@ -247,9 +253,10 @@ let drain (cfg : Work.config) ~(record : Journal.event -> string -> unit)
     | _, _ -> log (Printf.sprintf "unexpected message %S from worker %d ignored" payload w.pid)
   in
   let handle_readable w =
+    (* {!Eintr.read}: select already reported the fd readable, so a
+       restart never blocks and a signal can't tear the report frame *)
     let chunk = Bytes.create 4096 in
-    match Unix.read w.from_w chunk 0 4096 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    match Eintr.read w.from_w chunk 0 4096 with
     | 0 -> handle_death w
     | n ->
         w.acc <- w.acc ^ Bytes.sub_string chunk 0 n;
@@ -300,15 +307,13 @@ let drain (cfg : Work.config) ~(record : Journal.event -> string -> unit)
   let busy () = List.exists (fun w -> w.current <> None) !workers in
   let select_step timeout =
     let fds = List.map (fun w -> w.from_w) !workers in
-    match Unix.select fds [] [] timeout with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, _, _ ->
-        List.iter
-          (fun fd ->
-            match List.find_opt (fun w -> w.from_w = fd) !workers with
-            | Some w -> handle_readable w
-            | None -> ())
-          readable
+    let readable, _, _ = Eintr.select fds [] [] timeout in
+    List.iter
+      (fun fd ->
+        match List.find_opt (fun w -> w.from_w = fd) !workers with
+        | Some w -> handle_readable w
+        | None -> ())
+      readable
   in
   Fun.protect
     ~finally:(fun () ->

@@ -31,22 +31,43 @@ let lines_from ~spool from =
   let lines, _ = Journal.replay_wire ~spool in
   List.filteri (fun seq _ -> seq >= from) lines |> List.mapi (fun i line -> (from + i, line))
 
-let write_blob ~path body =
-  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let b = Bytes.of_string body in
-      let len = Bytes.length b in
-      let written = ref 0 in
-      while !written < len do
-        match Unix.write fd b !written (len - !written) with
-        | n -> written := !written + n
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      done;
-      Unix.fsync fd);
-  Unix.rename tmp path
+let write_blob ~path body = Rtt_diskio.Diskio.atomic_write ~path body
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+(* Attachments ship before their frame so the receiver's journal never
+   leads its spool — the same durability order the primary itself
+   observes (instance before Queued, result before Done). Transport-
+   free: the net layer maps each spec onto its Protocol response. *)
+let attachment_specs ~spool ~cache_dir (r : Journal.record) =
+  let job = r.Journal.job in
+  let key =
+    if Filename.check_suffix job Work.instance_suffix then
+      Filename.chop_suffix job Work.instance_suffix
+    else job
+  in
+  match r.Journal.event with
+  | Journal.Queued -> (
+      match read_file (Filename.concat spool job) with
+      | Some body -> [ `Instance (job, body) ]
+      | None -> [])
+  | Journal.Done _ ->
+      (match read_file (Work.result_path ~spool ~job) with
+      | Some body -> [ `Result (job, body) ]
+      | None -> [])
+      @ (match cache_dir with
+        | Some dir -> (
+            match Rtt_engine.Cache.read_raw ~dir ~key with
+            | Some body -> [ `Cache (key, body) ]
+            | None -> [])
+        | None -> [])
+  | _ -> []
 
 (* ------------------------------------------------------------------ *)
 (* sync-replicas gate                                                  *)

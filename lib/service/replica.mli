@@ -59,6 +59,18 @@ val write_blob : path:string -> string -> unit
     — an instance or result file — so the follower's spool never holds
     a torn file. *)
 
+val attachment_specs :
+  spool:string ->
+  cache_dir:string option ->
+  Journal.record ->
+  [ `Instance of string * string | `Result of string * string | `Cache of string * string ] list
+(** The spool files a shipped record references, read from disk:
+    the instance body for a [Queued] record, the result file (and
+    cache entry, when a cache directory is configured) for a [Done].
+    Shipped {e before} the frame itself so the receiver's journal
+    never leads its spool. Shared by the primary's replication path
+    and a follower serving catch-up to [rtt fsck --repair]. *)
+
 (** {1 Sync-replicas gate (primary side)} *)
 
 module Sync : sig

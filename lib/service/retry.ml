@@ -22,8 +22,15 @@ let max_backoff = 2000
 let backoff ~seed ~job ~attempt =
   if attempt < 1 then invalid_arg "Retry.backoff: attempts are 1-based";
   let exp =
-    (* saturating doubling: attempt 1 -> base, 2 -> 2*base, ... *)
-    let rec go acc k = if k <= 1 || acc >= max_backoff then acc else go (acc * 2) (k - 1) in
+    (* saturating doubling: attempt 1 -> base, 2 -> 2*base, ... The
+       half-cap guard clamps before multiplying, so the accumulator can
+       never exceed max_backoff — no intermediate overflow at any
+       attempt count (a spool that has retried a job 10_000 times still
+       gets the cap, not a negative sleep). *)
+    let rec go acc k =
+      if k <= 1 || acc >= max_backoff then acc
+      else go (if acc > max_backoff / 2 then max_backoff else acc * 2) (k - 1)
+    in
     min max_backoff (go base_backoff attempt)
   in
   let jitter =

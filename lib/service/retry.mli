@@ -31,5 +31,9 @@ val max_backoff : int
 val backoff : seed:int -> job:string -> attempt:int -> int
 (** Backoff units to wait after failed attempt [attempt] (1-based):
     [min max_backoff (base * 2^(attempt-1))] plus jitter in
-    [0, base/2), deterministic in [(seed, job, attempt)].
+    [0, base/2), deterministic in [(seed, job, attempt)]. The
+    exponential saturates at {!max_backoff} with no intermediate
+    overflow, so the result stays in
+    [[base_backoff, max_backoff + base_backoff / 2)] for every
+    attempt count however large.
     @raise Invalid_argument when [attempt < 1]. *)

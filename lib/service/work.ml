@@ -47,37 +47,22 @@ let render p (s : Engine.success) =
   ^ Format.asprintf "allocation: %s@." (Engine.render_allocation p s.Engine.allocation)
 
 let write_result ?rendered ~spool ~job ~attempt ~cached (s : Engine.success) =
-  let final = result_path ~spool ~job in
-  (* suffix the temp name with the pid: concurrent workers finishing
-     duplicate jobs must not clobber each other's in-flight temp file *)
-  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let text =
-        Printf.sprintf
-          "job %s\nrung %s\nattempt %d\nmakespan %d\nbudget_used %d\nfuel %d\ncached %d\ndegraded %d\nallocation %s\n"
-          job (Policy.rung_name s.Engine.rung) attempt s.Engine.makespan s.Engine.budget_used
-          s.Engine.fuel_spent
-          (if cached then 1 else 0)
-          (List.length s.Engine.degraded)
-          (String.concat " " (Array.to_list (Array.map string_of_int s.Engine.allocation)))
-        ^
-        (* the blob is percent-encoded onto one line so the key-value
-           reader stays line-oriented *)
-        match rendered with
-        | Some r -> Printf.sprintf "rendered %s\n" (Frame.escape r)
-        | None -> ""
-      in
-      let bytes = Bytes.of_string text in
-      let len = Bytes.length bytes in
-      let written = ref 0 in
-      while !written < len do
-        written := !written + Unix.write fd bytes !written (len - !written)
-      done;
-      Unix.fsync fd);
-  Unix.rename tmp final
+  let text =
+    Printf.sprintf
+      "job %s\nrung %s\nattempt %d\nmakespan %d\nbudget_used %d\nfuel %d\ncached %d\ndegraded %d\nallocation %s\n"
+      job (Policy.rung_name s.Engine.rung) attempt s.Engine.makespan s.Engine.budget_used
+      s.Engine.fuel_spent
+      (if cached then 1 else 0)
+      (List.length s.Engine.degraded)
+      (String.concat " " (Array.to_list (Array.map string_of_int s.Engine.allocation)))
+    ^
+    (* the blob is percent-encoded onto one line so the key-value
+       reader stays line-oriented *)
+    match rendered with
+    | Some r -> Printf.sprintf "rendered %s\n" (Frame.escape r)
+    | None -> ""
+  in
+  Rtt_diskio.Diskio.atomic_write ~path:(result_path ~spool ~job) text
 
 let read_result ~spool ~job =
   match open_in (result_path ~spool ~job) with
@@ -138,10 +123,17 @@ let cache_lookup cfg p ~log =
               log (Printf.sprintf "cache entry rejected by validation (%s)" (Error.to_string e));
               None))
 
-let cache_store cfg p s =
+(* The cache is an optimization: a disk failure publishing an entry
+   (ENOSPC, failed rename) must not fail the attempt that produced a
+   perfectly good result. The torn tmp it may leave behind is fsck's
+   business. *)
+let cache_store cfg p s ~log =
   match cfg.cache_dir with
   | None -> ()
-  | Some dir -> Cache.store ~dir ~key:(digest_of cfg p) s
+  | Some dir -> (
+      try Cache.store ~dir ~key:(digest_of cfg p) s
+      with Unix.Unix_error (e, fn, _) ->
+        log (Printf.sprintf "cache store failed (%s in %s); continuing" (Unix.error_message e) fn))
 
 (* One attempt at [job], shared verbatim by the sequential supervisor
    and by pool workers: load, consult the cache, otherwise solve with
@@ -155,12 +147,34 @@ let attempt cfg ~stop ~log ~job ~attempt =
       log (Printf.sprintf "%s attempt %d: unloadable (%s)" job attempt (Error.to_string e));
       Failed { error_class = Error.class_name e; transient = false; backoff = 0 }
   | Ok p -> (
+      (* A failed result write is a transient attempt failure, not a
+         crash: the computation was fine, only the publish failed — the
+         retry rewrites the identical (deterministic) result. *)
+      let publish ~cached s =
+        match write_result ~rendered:(render p s) ~spool ~job ~attempt ~cached s with
+        | () -> None
+        | exception Unix.Unix_error (e, fn, _) ->
+            log
+              (Printf.sprintf "%s attempt %d: result write failed (%s in %s)" job attempt
+                 (Unix.error_message e) fn);
+            Some
+              (Failed
+                 {
+                   error_class = Error.class_name (Error.Io_error fn);
+                   transient = true;
+                   backoff = Retry.backoff ~seed:cfg.seed ~job ~attempt;
+                 })
+      in
       match cache_lookup cfg p ~log with
-      | Some s ->
-          write_result ~rendered:(render p s) ~spool ~job ~attempt ~cached:true s;
-          Checkpoint.clear ~spool ~job;
-          log (Printf.sprintf "%s attempt %d: cache hit (makespan %d)" job attempt s.Engine.makespan);
-          Solved (s, true)
+      | Some s -> (
+          match publish ~cached:true s with
+          | Some failed -> failed
+          | None ->
+              Checkpoint.clear ~spool ~job;
+              log
+                (Printf.sprintf "%s attempt %d: cache hit (makespan %d)" job attempt
+                   s.Engine.makespan);
+              Solved (s, true))
       | None -> (
           let warm_start =
             Option.bind (Checkpoint.load ~spool ~job) Exact.allocation_of_snapshot
@@ -177,18 +191,20 @@ let attempt cfg ~stop ~log ~job ~attempt =
                   ~budget:cfg.budget)
           in
           match solve () with
-          | Ok s ->
+          | Ok s -> (
               (* result (and cache entry) before any completion report: a
                  crash in between re-runs the job and rewrites the
                  identical (deterministic) result, so `done` is only ever
                  journaled for a durable result *)
-              cache_store cfg p s;
-              write_result ~rendered:(render p s) ~spool ~job ~attempt ~cached:false s;
-              Checkpoint.clear ~spool ~job;
-              log
-                (Printf.sprintf "%s attempt %d: done (makespan %d, fuel %d)" job attempt
-                   s.Engine.makespan s.Engine.fuel_spent);
-              Solved (s, false)
+              cache_store cfg p s ~log;
+              match publish ~cached:false s with
+              | Some failed -> failed
+              | None ->
+                  Checkpoint.clear ~spool ~job;
+                  log
+                    (Printf.sprintf "%s attempt %d: done (makespan %d, fuel %d)" job attempt
+                       s.Engine.makespan s.Engine.fuel_spent);
+                  Solved (s, false))
           | Error e ->
               let error_class = Error.class_name e in
               let transient = Retry.classify e = Retry.Transient in

@@ -67,6 +67,11 @@ type outcome =
           which the caller owns. [backoff] is the deterministic
           [(seed, job, attempt)] value whenever [transient]. *)
 
+val claim_of : Engine.success -> budget:int -> Validate.claim
+(** The {!Validate.claim} this success asserts under [budget] and the
+    pinned alpha — what cache re-validation (and [rtt fsck]'s
+    fingerprint audit) checks against the instance. *)
+
 val digest_of : config -> Rtt_core.Problem.t -> string
 (** {!Fingerprint.digest} under this configuration's budget, policy,
     and pinned alpha. *)

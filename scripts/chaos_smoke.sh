@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Chaos smoke test: drive `rtt chaos` over a seeded batch of fault
+# schedules (in-process supervisor drains, and periodically a real
+# primary/replica pair), then run `rtt fsck` through a full
+# damage-and-repair cycle against a live peer. Deterministic: a failing
+# seed prints its exact replay command. Tunables:
+#   CHAOS_SEEDS       number of seeds to run (default 25)
+#   CHAOS_FIRST_SEED  first seed (default 1)
+#   CHAOS_MODE        inproc | nodes | both (default both)
+#   CHAOS_TRANSCRIPT  file to keep the per-seed transcript in
+# The whole run is wrapped in a hard timeout by the caller (CI), so a
+# wedged node is a failure, not a hang.
+set -euo pipefail
+
+RTT=${RTT:-_build/default/bin/rtt.exe}
+CHAOS_SEEDS=${CHAOS_SEEDS:-25}
+CHAOS_FIRST_SEED=${CHAOS_FIRST_SEED:-1}
+CHAOS_MODE=${CHAOS_MODE:-both}
+WORK=$(mktemp -d)
+TRANSCRIPT=${CHAOS_TRANSCRIPT:-$WORK/chaos.log}
+
+cleanup() {
+  for pid in "${PRIMARY_PID:-}" "${REPLICA_PID:-}"; do
+    [[ -n "$pid" ]] && { kill -KILL "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; }
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_socket() {
+  for _ in $(seq 1 100); do
+    [[ -S "$1" ]] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: $1 never appeared"; exit 1
+}
+
+# ---- phase 1: the seeded chaos batch ----------------------------------
+if ! "$RTT" chaos --seeds "$CHAOS_SEEDS" --first-seed "$CHAOS_FIRST_SEED" \
+       --mode "$CHAOS_MODE" -v > "$TRANSCRIPT" 2>&1; then
+  echo "FAIL: chaos batch (transcript follows)"
+  cat "$TRANSCRIPT"
+  exit 1
+fi
+tail -n 1 "$TRANSCRIPT"
+
+# ---- phase 2: fsck damage-and-repair against a live replica -----------
+A="$WORK/a"; B="$WORK/b"; CA="$WORK/ca"; CB="$WORK/cb"
+ASOCK="$WORK/a.sock"; BSOCK="$WORK/b.sock"
+mkdir -p "$A" "$B"
+
+"$RTT" daemon --spool "$A" --socket "$ASOCK" -b 3 --cache-dir "$CA" &
+PRIMARY_PID=$!
+wait_socket "$ASOCK"
+"$RTT" replica --spool "$B" --socket "$BSOCK" --primary "$ASOCK" --cache-dir "$CB" &
+REPLICA_PID=$!
+wait_socket "$BSOCK"
+
+"$RTT" gen -k er -n 8 --seed 11 > "$WORK/i1.txt"
+"$RTT" gen -k layered -n 8 --seed 12 > "$WORK/i2.txt"
+for f in "$WORK/i1.txt" "$WORK/i2.txt"; do
+  "$RTT" submit "$f" --socket "$ASOCK" --wait --timeout 60 > /dev/null \
+    || { echo "FAIL: submit --wait"; exit 1; }
+done
+for _ in $(seq 1 100); do
+  cmp -s "$A/journal.log" "$B/journal.log" && break
+  sleep 0.1
+done
+cmp "$A/journal.log" "$B/journal.log" \
+  || { echo "FAIL: journals did not converge before the damage"; exit 1; }
+
+# power-cut the primary, then vandalize its spool: torn journal tail
+# (losing committed records), a deleted result file, a bit-flipped
+# cache entry
+kill -KILL "$PRIMARY_PID"; wait "$PRIMARY_PID" 2>/dev/null || true
+PRIMARY_PID=""
+SIZE=$(wc -c < "$A/journal.log")
+head -c "$((SIZE - 40))" "$A/journal.log" > "$A/journal.tmp" \
+  && mv "$A/journal.tmp" "$A/journal.log"
+RESULT=$(ls "$A"/*.result | head -n 1)
+rm "$RESULT"
+ENTRY=$(ls "$CA"/*.rttc | head -n 1)
+printf 'X' | dd of="$ENTRY" bs=1 seek=30 count=1 conv=notrunc 2>/dev/null
+
+# a plain scan must refuse to bless this spool
+if "$RTT" fsck "$A" --cache-dir "$CA" -b 3 > /dev/null; then
+  echo "FAIL: fsck called a damaged spool clean"; exit 1
+fi
+
+# repair against the live replica, then a rescan must come back clean
+CODE=0
+"$RTT" fsck "$A" --cache-dir "$CA" -b 3 --repair --from "$BSOCK" > /dev/null || CODE=$?
+[[ "$CODE" -eq 51 ]] || { echo "FAIL: fsck --repair exited $CODE, want 51"; exit 1; }
+"$RTT" fsck "$A" --cache-dir "$CA" -b 3 > /dev/null \
+  || { echo "FAIL: rescan after repair is not clean"; exit 1; }
+cmp "$A/journal.log" "$B/journal.log" \
+  || { echo "FAIL: repaired journal is not byte-identical to the replica's"; exit 1; }
+[[ -f "$RESULT" ]] || { echo "FAIL: deleted result file was not backfilled"; exit 1; }
+
+# the daemon restarts on the repaired spool and still serves
+"$RTT" daemon --spool "$A" --socket "$ASOCK" -b 3 --cache-dir "$CA" &
+PRIMARY_PID=$!
+"$RTT" submit "$WORK/i1.txt" --socket "$ASOCK" --wait --timeout 60 > /dev/null \
+  || { echo "FAIL: restarted daemon did not serve"; exit 1; }
+DONES=$(grep -c " done " "$A/journal.log" || true)
+JOBS=$(grep -c " queued " "$A/journal.log" || true)
+[[ "$DONES" -le "$JOBS" ]] \
+  || { echo "FAIL: more done records than jobs ($DONES > $JOBS)"; exit 1; }
+
+echo "PASS: $CHAOS_SEEDS chaos seeds survived; damaged spool repaired from a live replica and served again"

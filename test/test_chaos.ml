@@ -1,0 +1,155 @@
+(* Tests for the chaos harness itself: schedule determinism and string
+   round-tripping, the shrinker against a pure fake check, and real
+   seeded runs of both workloads — including explicit crash schedules
+   (a journal fsync failure mid-drain) that force the harness through
+   its crash/recovery path. *)
+
+open Rtt_engine
+open Rtt_service
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let sched = Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Chaos.schedule_to_string s))
+    ( = )
+
+let schedule_units =
+  [
+    prop "schedule_of_seed: deterministic, 1-3 distinct arms, after in [0,25]" 200
+      QCheck.(pair small_nat bool)
+      (fun (seed, nodes) ->
+        let s = Chaos.schedule_of_seed ~nodes seed in
+        let again = Chaos.schedule_of_seed ~nodes seed in
+        let sites = List.map fst s in
+        s = again
+        && List.length s >= 1
+        && List.length s <= 3
+        && List.length (List.sort_uniq compare sites) = List.length sites
+        && List.for_all (fun (_, after) -> after >= 0 && after <= 25) s);
+    prop "schedule string round-trips" 200 QCheck.(pair small_nat bool)
+      (fun (seed, nodes) ->
+        let s = Chaos.schedule_of_seed ~nodes seed in
+        Chaos.schedule_of_string (Chaos.schedule_to_string s) = Ok s);
+    Alcotest.test_case "schedule_of_string rejects junk" `Quick (fun () ->
+        let bad s = Alcotest.(check bool) s true
+            (Result.is_error (Chaos.schedule_of_string s))
+        in
+        bad "not-a-site:0";
+        bad "disk.fsync-fail:x";
+        bad "disk.fsync-fail:-1";
+        (* a bare site is shorthand for trigger count 0 *)
+        Alcotest.(check bool) "bare site defaults to 0" true
+          (Chaos.schedule_of_string "disk.fsync-fail"
+          = Ok [ (Faults.Disk_fsync_fail, 0) ]));
+    Alcotest.test_case "replication sites only appear with ~nodes" `Quick (fun () ->
+        let repl = [ Faults.Repl_frame_drop; Faults.Repl_ack_delay ] in
+        for seed = 0 to 199 do
+          List.iter
+            (fun (site, _) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d: %s is inproc-safe" seed (Faults.name site))
+                false (List.mem site repl))
+            (Chaos.schedule_of_seed ~nodes:false seed)
+        done);
+  ]
+
+(* the shrinker is pure control flow — test it against a fake check
+   where "failing" means "still arms disk.eio" *)
+let shrink_units =
+  [
+    Alcotest.test_case "shrink drops irrelevant arms and halves counts" `Quick (fun () ->
+        let check s =
+          match List.assoc_opt Faults.Disk_eio s with
+          | Some _ -> Error "boom"
+          | None -> Ok ()
+        in
+        let minimal, reason =
+          Chaos.shrink ~check
+            [ (Faults.Disk_enospc, 7); (Faults.Disk_eio, 12); (Faults.Fuel_zero, 3) ]
+            "boom"
+        in
+        Alcotest.(check string) "reason survives" "boom" reason;
+        Alcotest.(check sched) "minimal" [ (Faults.Disk_eio, 0) ] minimal);
+    Alcotest.test_case "shrink keeps arms the failure needs" `Quick (fun () ->
+        let check s =
+          if List.mem_assoc Faults.Disk_eio s && List.mem_assoc Faults.Fuel_zero s then
+            Error "pair"
+          else Ok ()
+        in
+        let minimal, _ =
+          Chaos.shrink ~check
+            [ (Faults.Disk_enospc, 1); (Faults.Disk_eio, 8); (Faults.Fuel_zero, 2) ]
+            "pair"
+        in
+        Alcotest.(check bool) "both kept" true
+          (List.mem_assoc Faults.Disk_eio minimal
+          && List.mem_assoc Faults.Fuel_zero minimal);
+        Alcotest.(check bool) "bystander dropped" false
+          (List.mem_assoc Faults.Disk_enospc minimal));
+  ]
+
+let rtt_exe =
+  let candidates =
+    [
+      Filename.concat (Filename.dirname (Sys.getcwd ())) "bin/rtt.exe";
+      Filename.concat (Sys.getcwd ()) "_build/default/bin/rtt.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let run_units =
+  [
+    Alcotest.test_case "inproc: explicit crash schedules pass the invariants" `Slow
+      (fun () ->
+        (* each of these fires a disk fault that crashes the supervisor
+           mid-drain; passing means the re-run recovered to exactly-once *)
+        List.iteri
+          (fun i sch ->
+            match Chaos.run_inproc ~seed:(800 + i) sch with
+            | Ok () -> ()
+            | Error reason ->
+                Alcotest.failf "schedule %s: %s" (Chaos.schedule_to_string sch) reason)
+          [
+            [ (Faults.Disk_fsync_fail, 0) ];
+            [ (Faults.Disk_short_write, 1) ];
+            [ (Faults.Disk_enospc, 0); (Faults.Disk_rename_fail, 2) ];
+            [ (Faults.Disk_eio, 3); (Faults.Fuel_zero, 1) ];
+          ]);
+    Alcotest.test_case "run_seeds: a batch of inproc seeds passes" `Slow (fun () ->
+        match Chaos.run_seeds ~mode:`Inproc ~first:1 ~count:6 () with
+        | Ok n -> Alcotest.(check int) "all ran" 6 n
+        | Error f -> Alcotest.fail (Chaos.render_failure f));
+    Alcotest.test_case "nodes: one seeded two-process run passes" `Slow (fun () ->
+        let seed = 3 in
+        let sch = Chaos.schedule_of_seed ~nodes:true seed in
+        match Chaos.run_nodes ~rtt:rtt_exe ~seed sch with
+        | Ok () -> ()
+        | Error reason ->
+            Alcotest.failf "seed %d (%s): %s" seed (Chaos.schedule_to_string sch) reason);
+    Alcotest.test_case "render_failure carries the replay commands" `Quick (fun () ->
+        let f =
+          {
+            Chaos.seed = Some 42;
+            mode = "inproc";
+            schedule = [ (Faults.Disk_eio, 1) ];
+            reason = "journal has uncommitted bytes";
+          }
+        in
+        let text = Chaos.render_failure f in
+        let contains needle hay =
+          let n = String.length needle and h = String.length hay in
+          let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "seed replay" true (contains "--seed 42" text);
+        Alcotest.(check bool) "schedule replay" true
+          (contains (Chaos.schedule_to_string f.Chaos.schedule) text);
+        Alcotest.(check bool) "reason" true (contains f.Chaos.reason text));
+  ]
+
+let () =
+  Alcotest.run "chaos"
+    [ ("schedule", schedule_units); ("shrink", shrink_units); ("run", run_units) ]

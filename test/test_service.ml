@@ -354,6 +354,23 @@ let retry_units =
           (b 40 < Retry.max_backoff + (Retry.base_backoff / 2));
         Alcotest.check_raises "attempts are 1-based"
           (Invalid_argument "Retry.backoff: attempts are 1-based") (fun () -> ignore (b 0)));
+    (* the saturating doubling must hold for ANY attempt count — the
+       naive [base * 2^(attempt-1)] overflows to garbage (negative
+       backoffs, Invalid sleeps) past attempt ~55 *)
+    prop "backoff: bounded and overflow-free over attempt in [0, 10_000]" 500
+      QCheck.(triple small_nat (int_range 0 10_000) small_string)
+      (fun (seed, attempt, job) ->
+        if attempt = 0 then
+          match Retry.backoff ~seed ~job ~attempt with
+          | exception Invalid_argument _ -> true
+          | _ -> false
+        else
+          let v = Retry.backoff ~seed ~job ~attempt in
+          let again = Retry.backoff ~seed ~job ~attempt in
+          v = again
+          && v >= Retry.base_backoff
+          && v < Retry.max_backoff + (Retry.base_backoff / 2)
+          && (attempt < 6 || v >= Retry.max_backoff));
   ]
 
 (* ------------------------------------------------------------------ *)
