@@ -1029,6 +1029,31 @@ let () =
   (match !json_chan with
   | Some oc ->
       close_out oc;
-      Format.printf "wrote %s@." json_path
+      Format.printf "wrote %s@." json_path;
+      (* timestamped history + a stable `latest` name, so a CI artifact
+         shelf (or a human diffing two runs) never races the next run
+         overwriting BENCH_5.json *)
+      (try
+         let body =
+           let ic = open_in_bin json_path in
+           Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () -> really_input_string ic (in_channel_length ic))
+         in
+         let tm = Unix.gmtime (Unix.time ()) in
+         let stamped =
+           Printf.sprintf "bench-%04d%02d%02d-%02d%02d%02d.json" (tm.Unix.tm_year + 1900)
+             (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+         in
+         let write path =
+           let oc = open_out_bin path in
+           Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc body)
+         in
+         write stamped;
+         (try Sys.remove "bench-latest.json" with Sys_error _ -> ());
+         (try Unix.symlink stamped "bench-latest.json"
+          with Unix.Unix_error _ -> write "bench-latest.json");
+         Format.printf "wrote %s (and bench-latest.json)@." stamped
+       with Sys_error _ | Unix.Unix_error _ -> ())
   | None -> ());
   exit (if !failures = 0 then 0 else 1)

@@ -517,19 +517,43 @@ let serve_cmd =
 
 let jobs_cmd =
   let run spool cache_dir json =
+    (* a sharded daemon's spool is a directory of shard-<k> sub-spools,
+       each with its own journal; the report is their union (jobs are
+       partitioned by fingerprint, so no id appears twice) *)
+    let shard_spools =
+      match Sys.readdir spool with
+      | exception Sys_error _ -> []
+      | entries ->
+          Array.to_list entries
+          |> List.filter (fun d ->
+                 String.length d > 6
+                 && String.sub d 0 6 = "shard-"
+                 && try Sys.is_directory (Filename.concat spool d) with Sys_error _ -> false)
+          |> List.sort compare
+          |> List.map (Filename.concat spool)
+    in
+    let spools = match shard_spools with [] -> [ spool ] | ds -> ds in
     if json then
       (* one Jobview object per job — the same serializer the daemon's
          `rtt status` answers with, so scripts parse one format *)
       List.iter
-        (fun (job, status) ->
-          let id =
-            let suffix = Rtt_service.Work.instance_suffix in
-            if Filename.check_suffix job suffix then Filename.chop_suffix job suffix else job
-          in
-          print_endline (Rtt_service.Jobview.json_of ~id (Some status)))
-        (Rtt_service.Supervisor.report ~spool)
+        (fun spool ->
+          List.iter
+            (fun (job, status) ->
+              let id =
+                let suffix = Rtt_service.Work.instance_suffix in
+                if Filename.check_suffix job suffix then Filename.chop_suffix job suffix
+                else job
+              in
+              print_endline (Rtt_service.Jobview.json_of ~id (Some status)))
+            (Rtt_service.Supervisor.report ~spool))
+        spools
     else begin
-      print_string (Rtt_service.Supervisor.render_report ~spool);
+      List.iter
+        (fun sp ->
+          if List.length spools > 1 then Printf.printf "== %s ==\n" (Filename.basename sp);
+          print_string (Rtt_service.Supervisor.render_report ~spool:sp))
+        spools;
       match cache_dir with
       | Some dir -> Printf.printf "cache entries: %d\n" (Rtt_engine.Cache.entries ~dir)
       | None -> ()
@@ -628,8 +652,18 @@ let daemon_cmd =
     in
     Arg.(value & opt_all inject_conv [] & info [ "inject" ] ~docv:"SITE[:AFTER]" ~doc)
   in
+  let shards =
+    let doc =
+      "Fork $(docv) acceptor shards over the shared listening socket(s): each shard owns a \
+       sub-spool (journal, workers, admission queue) keyed by instance fingerprint, and \
+       requests arriving at a non-owner shard are relayed internally — duplicate coalescing \
+       and exactly-once stay fleet-wide. 1 (the default) keeps the flat single-process \
+       daemon. Incompatible with $(b,--sync-replicas)."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
   let run () spool socket listen queue max_frame idle_timeout workers fallback max_attempts
-      deadline_fuel cache_dir budget seed verbose sync_replicas inject =
+      deadline_fuel cache_dir budget seed verbose sync_replicas shards inject =
     let invalid msg =
       Format.eprintf "rtt: %s@." msg;
       124
@@ -650,6 +684,9 @@ let daemon_cmd =
         else if queue <= 0 then invalid "--queue must be positive"
         else if max_frame < 64 then invalid "--max-frame must be at least 64 bytes"
         else if sync_replicas < 0 then invalid "--sync-replicas must be non-negative"
+        else if shards < 1 then invalid "--shards must be at least 1"
+        else if shards > 1 && sync_replicas > 0 then
+          invalid "--shards and --sync-replicas are incompatible (replication follows one journal writer; run --shards 1)"
         else begin
           Faults.reset ();
           List.iter (fun (site, after) -> Faults.arm ~after site) inject;
@@ -673,6 +710,7 @@ let daemon_cmd =
               max_frame;
               idle_timeout;
               sync_replicas;
+              shards;
             }
         end
   in
@@ -684,13 +722,15 @@ let daemon_cmd =
          same crash-safe spool + journal + worker machinery as $(b,rtt serve) — an accepted \
          job survives $(b,kill -9) and is adopted by the next daemon on the same spool. First \
          SIGTERM drains (submissions shed, in-flight clients answered, exit 0/31); a second \
-         forces checkpoint-and-abandon (exit 30)."
+         forces checkpoint-and-abandon (exit 30). With $(b,--shards) N the daemon forks N \
+         acceptor processes over the shared socket, each a complete daemon over its own \
+         fingerprint-keyed sub-spool."
   in
   Cmd.v info
     Term.(
       const run $ no_warmstart_arg $ spool_arg $ socket_arg $ listen $ queue $ max_frame
       $ idle_timeout $ workers $ fallback $ max_attempts $ deadline_fuel $ cache_dir
-      $ budget_arg $ seed_arg $ verbose $ sync_replicas $ inject)
+      $ budget_arg $ seed_arg $ verbose $ sync_replicas $ shards $ inject)
 
 let connect_attempts_arg =
   let doc =
@@ -757,13 +797,176 @@ let submit_cmd =
     let doc = "Label for the daemon's log; defaults to the instance file name." in
     Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
   in
-  let run path socket wait timeout name attempts =
-    let body =
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
+  let instance_opt =
+    let doc = "Instance file (omit with $(b,--many))." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc)
+  in
+  let many_arg =
+    let doc =
+      "Batch submit: $(docv) is a manifest of instance file paths, one per line ($(b,-) reads \
+       the manifest from stdin; blank lines and $(b,#) comments are skipped). The whole batch \
+       rides one pipelined round trip and is acknowledged per entry, in entry order."
     in
+    Arg.(value & opt (some string) None & info [ "many" ] ~docv:"MANIFEST" ~doc)
+  in
+  let read_body path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* batch path: one submit-many frame, n per-entry acks in order; with
+     --wait, pipelined waits matched by id (completion order) *)
+  let run_many manifest socket wait timeout name attempts =
+    let manifest_lines =
+      if manifest = "-" then (
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line stdin :: !acc
+           done
+         with End_of_file -> ());
+        List.rev !acc)
+      else begin
+        let ic = open_in manifest in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let acc = ref [] in
+            (try
+               while true do
+                 acc := input_line ic :: !acc
+               done
+             with End_of_file -> ());
+            List.rev !acc)
+      end
+    in
+    let paths =
+      List.filter_map
+        (fun l ->
+          let l = String.trim l in
+          if l = "" || l.[0] = '#' then None else Some l)
+        manifest_lines
+    in
+    match List.map (fun p -> (p, read_body p)) paths with
+    | exception Sys_error msg ->
+        Format.eprintf "rtt: --many: %s@." msg;
+        124
+    | [] ->
+        Format.eprintf "rtt: --many %s: no instance paths in manifest@." manifest;
+        124
+    | entries -> (
+        let name =
+          Option.value name
+            ~default:(if manifest = "-" then "stdin" else Filename.basename manifest)
+        in
+        let bodies = List.map snd entries in
+        with_client ~attempts socket @@ fun c ->
+        match Client.send c (Protocol.Submit_many { name; bodies }) with
+        | Error e -> report_client_error e
+        | Ok () -> (
+            let deadline = Unix.gettimeofday () +. timeout in
+            let rec collect k acc =
+              if k = 0 then Ok (List.rev acc)
+              else
+                match Client.recv ~deadline c with
+                | Error e -> Error e
+                | Ok r -> collect (k - 1) (r :: acc)
+            in
+            match collect (List.length bodies) [] with
+            | Error e -> report_client_error e
+            | Ok resps ->
+                let accepted = ref [] and shed = ref 0 and rejected = ref None in
+                List.iter2
+                  (fun (path, _) resp ->
+                    match resp with
+                    | Protocol.Accepted { id } ->
+                        Printf.printf "%s %s\n" path id;
+                        if not (List.mem id !accepted) then accepted := id :: !accepted
+                    | Protocol.Shed { retry_after_ms } ->
+                        incr shed;
+                        Format.eprintf "rtt: %s shed; retry in %d ms@." path retry_after_ms
+                    | Protocol.Errored { code; msg } ->
+                        if !rejected = None then rejected := Some code;
+                        Format.eprintf "rtt: %s rejected (%s): %s@." path code msg
+                    | _ ->
+                        if !rejected = None then rejected := Some "bad-response";
+                        Format.eprintf "rtt: %s: unexpected daemon response@." path)
+                  entries resps;
+                let submit_code =
+                  match !rejected with
+                  | Some code ->
+                      Option.value (Error.exit_code_of_class code) ~default:Client.exit_connect
+                  | None -> if !shed > 0 then Client.exit_shed else 0
+                in
+                if (not wait) || !accepted = [] then submit_code
+                else begin
+                  (* pipelined waits: answers arrive in completion
+                     order, so match them by job id *)
+                  let ids = List.rev !accepted in
+                  let pending = Hashtbl.create 16 in
+                  List.iter (fun id -> Hashtbl.replace pending id ()) ids;
+                  let send_err =
+                    List.fold_left
+                      (fun acc id ->
+                        match acc with
+                        | Some _ -> acc
+                        | None -> (
+                            match Client.send c (Protocol.Wait { id }) with
+                            | Ok () -> None
+                            | Error e -> Some e))
+                      None ids
+                  in
+                  match send_err with
+                  | Some e -> report_client_error e
+                  | None ->
+                      let failure = ref None in
+                      let settle id code =
+                        if Hashtbl.mem pending id then begin
+                          Hashtbl.remove pending id;
+                          match code with
+                          | None -> Printf.printf "%s done\n" id
+                          | Some c ->
+                              if !failure = None then failure := Some c;
+                              Printf.printf "%s failed\n" id
+                        end
+                      in
+                      let rec drain () =
+                        if Hashtbl.length pending = 0 then
+                          if submit_code <> 0 then submit_code
+                          else Option.value !failure ~default:0
+                        else
+                          match Client.recv ~deadline c with
+                          | Error e -> report_client_error e
+                          | Ok (Protocol.Result { id; _ }) ->
+                              settle id None;
+                              drain ()
+                          | Ok (Protocol.Failed { id; error_class; _ }) ->
+                              settle id
+                                (Some
+                                   (Option.value
+                                      (Error.exit_code_of_class error_class)
+                                      ~default:Rtt_service.Supervisor.failed_jobs_exit_code));
+                              drain ()
+                          | Ok (Protocol.Errored { code = "unknown-job"; msg }) ->
+                              settle msg (Some Client.exit_unknown_job);
+                              drain ()
+                          | Ok _ -> drain ()
+                      in
+                      drain ()
+                end))
+  in
+  let run path socket wait timeout name attempts many =
+    match (path, many) with
+    | None, None ->
+        Format.eprintf "rtt: an INSTANCE file (or --many MANIFEST) is required@.";
+        124
+    | Some _, Some _ ->
+        Format.eprintf "rtt: INSTANCE and --many are mutually exclusive@.";
+        124
+    | None, Some manifest -> run_many manifest socket wait timeout name attempts
+    | Some path, None ->
+    let body = read_body path in
     let name = Option.value name ~default:(Filename.basename path) in
     (* a wait that survives the daemon dying under it: reconnect with
        backoff and re-send the wait — the journal makes the answer
@@ -817,10 +1020,15 @@ let submit_cmd =
          retried with backoff for up to $(b,--connect-attempts) tries. Exit codes: 0 success, \
          40 connect/protocol failure, 41 shed, 42 wait timeout; a permanently failed job exits \
          with its error class's engine code. With the daemon's $(b,--sync-replicas) K, the \
-         accepted reply itself certifies the submission is durable on K followers."
+         accepted reply itself certifies the submission is durable on K followers. With \
+         $(b,--many) MANIFEST, submits every listed instance in one pipelined batch — one \
+         round trip, per-entry acks (and with $(b,--wait), one $(b,id done/failed) line per \
+         distinct job)."
   in
   Cmd.v info
-    Term.(const run $ instance_arg $ socket_arg $ wait $ timeout $ name_arg $ connect_attempts_arg)
+    Term.(
+      const run $ instance_opt $ socket_arg $ wait $ timeout $ name_arg $ connect_attempts_arg
+      $ many_arg)
 
 let status_cmd =
   let open Rtt_net in
@@ -878,6 +1086,96 @@ let status_cmd =
          when the daemon has no trace of the job."
   in
   Cmd.v info Term.(const run $ id_arg $ socket_arg $ connect_attempts_arg)
+
+let loadgen_cmd =
+  let open Rtt_net in
+  let clients =
+    let doc = "Concurrent pipelined connections." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"C" ~doc)
+  in
+  let rate =
+    let doc =
+      "Offered load in jobs/sec across all connections, open-loop: the arrival schedule does \
+       not slow down when the daemon does (no coordinated omission). 0 switches to \
+       saturation mode: every connection is kept topped up to $(b,--depth) in-flight."
+    in
+    Arg.(value & opt float 0. & info [ "rate" ] ~docv:"JOBS/SEC" ~doc)
+  in
+  let depth =
+    let doc = "Per-connection in-flight bound in saturation mode." in
+    Arg.(value & opt int 32 & info [ "depth" ] ~docv:"N" ~doc)
+  in
+  let duration =
+    let doc = "Measured seconds (after warmup)." in
+    Arg.(value & opt float 10. & info [ "duration" ] ~docv:"SEC" ~doc)
+  in
+  let warmup =
+    let doc = "Leading seconds excluded from the statistics." in
+    Arg.(value & opt float 1. & info [ "warmup" ] ~docv:"SEC" ~doc)
+  in
+  let distinct =
+    let doc =
+      "Number of distinct generated instances cycled through (the daemon coalesces duplicate \
+       fingerprints, so repeats of these measure the dedup/ack path, not fresh solves)."
+    in
+    Arg.(value & opt int 64 & info [ "distinct" ] ~docv:"N" ~doc)
+  in
+  let out =
+    let doc = "Also write the JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run socket clients rate depth duration warmup distinct seed out =
+    let invalid msg =
+      Format.eprintf "rtt: %s@." msg;
+      124
+    in
+    if clients < 1 then invalid "--clients must be positive"
+    else if rate < 0. then invalid "--rate must be non-negative"
+    else if depth < 1 then invalid "--depth must be positive"
+    else if distinct < 1 then invalid "--distinct must be positive"
+    else
+      match Client.endpoint_of_string socket with
+      | Error msg -> invalid msg
+      | Ok endpoint -> (
+          (* small hub instances, the bench workload shape: distinct
+             seeds give distinct fingerprints, so shard routing spreads
+             them and coalescing still gets exercised by the cycling *)
+          let bodies =
+            Array.init distinct (fun i ->
+                let rng = Random.State.make [| seed + i |] in
+                let g = Gen.layered rng ~layers:3 ~width:3 ~edge_prob:0.4 in
+                Io.to_string (Problem.of_race_dag g Problem.Binary))
+          in
+          match
+            Loadgen.run
+              { Loadgen.endpoint; clients; rate; depth; duration; warmup; bodies }
+          with
+          | Error msg ->
+              Format.eprintf "rtt: loadgen: %s@." msg;
+              Client.exit_connect
+          | Ok report ->
+              let json = Loadgen.to_json report in
+              print_endline json;
+              (match out with
+              | None -> ()
+              | Some path -> Rtt_diskio.Diskio.atomic_write ~path (json ^ "\n"));
+              if report.Loadgen.acked = 0 then Client.exit_connect else 0)
+  in
+  let info =
+    Cmd.info "loadgen"
+      ~doc:
+        "Generate load against a running $(b,rtt daemon) and report throughput and latency \
+         quantiles: $(b,--clients) concurrent pipelined connections submit generated \
+         instances either open-loop at a fixed $(b,--rate) (latency under offered load, no \
+         coordinated omission) or in saturation mode (peak jobs/sec), with ack latencies in \
+         an HDR-style histogram. Prints one JSON object ($(b,rtt-loadgen/1)); \
+         $(b,scripts/loadgen_gate.sh) turns it into a CI latency-SLO gate. Exit 0, or 40 if \
+         nothing was acknowledged."
+  in
+  Cmd.v info
+    Term.(
+      const run $ socket_arg $ clients $ rate $ depth $ duration $ warmup $ distinct $ seed_arg
+      $ out)
 
 let replica_cmd =
   let open Rtt_net in
@@ -976,6 +1274,7 @@ let replica_cmd =
                 max_frame;
                 idle_timeout = 30.0;
                 sync_replicas = 0;
+                shards = 1;
               })
   in
   let info =
@@ -1234,6 +1533,7 @@ let main =
   let info = Cmd.info "rtt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ solve_cmd; exact_cmd; gen_cmd; sp_cmd; reduce_cmd; pareto_cmd; dot_cmd; demo_cmd; serve_cmd;
-      jobs_cmd; daemon_cmd; submit_cmd; status_cmd; replica_cmd; promote_cmd; fsck_cmd; chaos_cmd ]
+      jobs_cmd; daemon_cmd; submit_cmd; status_cmd; loadgen_cmd; replica_cmd; promote_cmd;
+      fsck_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -38,6 +38,36 @@ let requeue t ~id =
   if Hashtbl.mem t.tracked id && not (Queue.fold (fun acc j -> acc || j = id) false t.queue)
   then Queue.push id t.queue
 
+(* one queue's load figures, in a stable textual form a sharded daemon
+   can drop in a stat file for its siblings to read *)
+let snapshot t = Printf.sprintf "%d %.3f" (Hashtbl.length t.tracked) t.ewma_ms
+
+let clamp_hint ms = int_of_float (Float.min 60_000. (Float.max 100. ms))
+
+let aggregate snapshots =
+  let parsed =
+    List.filter_map
+      (fun s ->
+        match String.split_on_char ' ' (String.trim s) with
+        | [ tr; ew ] -> (
+            match (int_of_string_opt tr, float_of_string_opt ew) with
+            | Some tr, Some ew when tr >= 0 && ew >= 0. -> Some (tr, ew)
+            | _ -> None)
+        | _ -> None)
+      snapshots
+  in
+  match parsed with
+  | [] -> clamp_hint 0.
+  | _ ->
+      (* the fleet drains [shards] jobs per smoothed service time, so a
+         client that honors [total occupancy * ewma / shards] re-arrives
+         roughly when some shard has a free slot — the same estimate
+         retry_after_ms makes for a single queue *)
+      let shards = float_of_int (List.length parsed) in
+      let occupancy = List.fold_left (fun acc (tr, _) -> acc + tr) 0 parsed + 1 in
+      let ewma = List.fold_left (fun acc (_, ew) -> acc +. ew) 0. parsed /. shards in
+      clamp_hint (ewma *. float_of_int occupancy /. shards)
+
 let finish t ~id ~elapsed_ms =
   if Hashtbl.mem t.tracked id then begin
     Hashtbl.remove t.tracked id;

@@ -50,3 +50,23 @@ val in_flight : t -> int
 val retry_after_ms : t -> int
 (** Occupancy times the smoothed service time, clamped to
     [[100 ms, 60 s]]. *)
+
+(** {1 Cross-shard aggregation}
+
+    A sharded daemon has one admission queue per shard; a shed answered
+    from one shard's occupancy alone would overestimate how long the
+    {e fleet} needs to free a slot. Each shard periodically writes its
+    {!snapshot} to a stat file, and the shedding shard feeds every
+    sibling's snapshot to {!aggregate} for the fleet-wide hint. *)
+
+val snapshot : t -> string
+(** This queue's [tracked] count and smoothed service time, in the
+    textual form {!aggregate} parses. Stable across processes. *)
+
+val aggregate : string list -> int
+(** Fleet-wide retry-after hint from one {!snapshot} per shard: total
+    occupancy times the mean smoothed service time, divided by the
+    shard count (the fleet drains that many jobs concurrently), clamped
+    like {!retry_after_ms}. Unparseable snapshots (a torn stat file)
+    are skipped; [aggregate [snapshot t]] equals {!retry_after_ms}[ t]
+    up to rounding. *)

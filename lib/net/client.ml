@@ -12,7 +12,14 @@ let endpoint_of_string s =
       | _ -> Error (Printf.sprintf "bad endpoint %S (expected HOST:PORT or a socket path)" s))
   | _ -> if s = "" then Error "empty endpoint" else Ok (Unix_socket s)
 
-type t = { fd : Unix.file_descr; reader : Frame.reader }
+type t = {
+  fd : Unix.file_descr;
+  reader : Frame.reader;
+  (* responses already reassembled but not yet returned: one socket
+     read can surface several frames when requests are pipelined, and
+     dropping the tail would desynchronize every later exchange *)
+  mutable pending : string Queue.t;
+}
 
 type error = Timeout | Closed of string | Bad_frame of string
 
@@ -41,7 +48,7 @@ let connect ep =
   in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   match Eintr.connect fd addr with
-  | () -> Ok { fd; reader = Frame.reader () }
+  | () -> Ok { fd; reader = Frame.reader (); pending = Queue.create () }
   | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Closed (Printf.sprintf "cannot connect: %s" (Unix.error_message e)))
@@ -69,34 +76,56 @@ let connect_retry ?(attempts = 8) ?(seed = 0) ep =
   in
   go 1 (Closed "cannot connect")
 
+let parse_payload payload =
+  match Protocol.parse_response payload with
+  | Ok resp -> Ok resp
+  | Error msg -> Error (Bad_frame msg)
+
+(* enqueue a whole feed batch; a corrupt or oversized frame poisons the
+   stream (framing sync cannot be trusted past it), reported once the
+   queue drains down to it *)
+let enqueue_frames t items =
+  let rec go = function
+    | [] -> Ok ()
+    | `Frame payload :: tl ->
+        Queue.push payload t.pending;
+        go tl
+    | `Corrupt line :: _ -> Error (Bad_frame (Printf.sprintf "corrupt frame %S" line))
+    | `Overflow :: _ -> Error (Bad_frame "oversized response frame")
+  in
+  go items
+
 let recv ~deadline t =
   let buf = Bytes.create 8192 in
   let rec go () =
-    let remaining = deadline -. Unix.gettimeofday () in
-    if remaining <= 0. then Error Timeout
-    else
-      match Unix.select [ t.fd ] [] [] remaining with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-      | [], _, _ -> Error Timeout
-      | _ -> (
-          match Unix.read t.fd buf 0 (Bytes.length buf) with
+    match Queue.take_opt t.pending with
+    | Some payload -> parse_payload payload
+    | None -> (
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then Error Timeout
+        else
+          match Unix.select [ t.fd ] [] [] remaining with
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-          | exception Unix.Unix_error (e, _, _) ->
-              Error (Closed (Unix.error_message e))
-          | 0 -> Error (Closed "the daemon closed the connection")
-          | n -> (
-              match Frame.feed t.reader (Bytes.sub_string buf 0 n) with
-              | [] -> go ()
-              | `Frame payload :: _ -> (
-                  match Protocol.parse_response payload with
-                  | Ok resp -> Ok resp
-                  | Error msg -> Error (Bad_frame msg))
-              | `Corrupt line :: _ -> Error (Bad_frame (Printf.sprintf "corrupt frame %S" line))
-              | `Overflow :: _ -> Error (Bad_frame "oversized response frame")))
+          | [], _, _ -> Error Timeout
+          | _ -> (
+              match Unix.read t.fd buf 0 (Bytes.length buf) with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+              | exception Unix.Unix_error (e, _, _) ->
+                  Error (Closed (Unix.error_message e))
+              | 0 -> Error (Closed "the daemon closed the connection")
+              | n -> (
+                  match enqueue_frames t (Frame.feed t.reader (Bytes.sub_string buf 0 n)) with
+                  | Ok () -> go ()
+                  | Error _ as e -> if Queue.is_empty t.pending then e else go ())))
   in
   go ()
 
-let request ?(timeout = 30.) t req =
+let send t req =
   match Frame.write t.fd (Protocol.encode_request req) with
   | exception Unix.Unix_error (e, _, _) -> Error (Closed (Unix.error_message e))
-  | () -> recv ~deadline:(Unix.gettimeofday () +. timeout) t
+  | () -> Ok ()
+
+let request ?(timeout = 30.) t req =
+  match send t req with
+  | Error e -> Error e
+  | Ok () -> recv ~deadline:(Unix.gettimeofday () +. timeout) t

@@ -41,6 +41,22 @@ val connect_retry : ?attempts:int -> ?seed:int -> endpoint -> (t, error) result
 val request : ?timeout:float -> t -> Protocol.request -> (Protocol.response, error) result
 (** Send one request, block (default 30 s) for its response. *)
 
+(** {1 Pipelining}
+
+    The daemon answers pipelined requests in order (waits excepted —
+    see {!Protocol}), so a client may {!send} several frames
+    back-to-back and then {!recv} each response: one round trip per
+    {e batch}, not per request. Responses that arrive while an earlier
+    one is being read are queued internally, never dropped. *)
+
+val send : t -> Protocol.request -> (unit, error) result
+(** Frame and write one request without waiting for its response. *)
+
+val recv : deadline:float -> t -> (Protocol.response, error) result
+(** Next response — from the internal queue if one is already
+    buffered, otherwise read from the socket until [deadline]
+    (absolute, {!Unix.gettimeofday} scale). *)
+
 (** {1 CLI exit codes}
 
     The client-side contract, disjoint from the engine's 2–13 and the

@@ -9,6 +9,7 @@ type config = {
   max_frame : int;
   idle_timeout : float;
   sync_replicas : int;
+  shards : int;
 }
 
 let default_config ~spool ~socket_path =
@@ -20,6 +21,7 @@ let default_config ~spool ~socket_path =
     max_frame = 16 * 1024 * 1024;
     idle_timeout = 30.0;
     sync_replicas = 0;
+    shards = 1;
   }
 
 type repl_peer = { conn : Conn.t; mutable sent : int; mutable acked : int }
@@ -30,6 +32,18 @@ type worker = {
   from_w : Unix.file_descr;
   reader : Frame.reader;
   mutable current : (string * int) option;
+}
+
+(* a request relayed to the shard that owns its job id, waiting for the
+   owner's response to come back over the link *)
+type relay = { relay_id : string; deliver : Protocol.response -> unit }
+
+type link = {
+  peer_shard : int;
+  lfd : Unix.file_descr;
+  lreader : Frame.reader;
+  mutable relays : relay list; (* FIFO *)
+  mutable last_ping : float;
 }
 
 let reap pid =
@@ -66,7 +80,7 @@ let listen_unix path =
         Unix.unlink path;
         Unix.bind fd (Unix.ADDR_UNIX path)
       end);
-  Unix.listen fd 16;
+  Unix.listen fd 128;
   Unix.set_nonblock fd;
   fd
 
@@ -79,16 +93,66 @@ let listen_tcp (host, port) =
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (* shards share one bound descriptor inherited across fork, but
+     SO_REUSEPORT additionally lets an operator run independently bound
+     acceptors behind the same port during a rolling restart *)
+  (try Unix.setsockopt fd Unix.SO_REUSEPORT true with Unix.Unix_error _ | Invalid_argument _ -> ());
   Unix.bind fd (Unix.ADDR_INET (addr, port));
-  Unix.listen fd 16;
+  Unix.listen fd 128;
   Unix.set_nonblock fd;
   fd
 
-let run cfg =
+(* deterministic digest -> shard routing, stable across processes and
+   OCaml versions (no Hashtbl.hash): job ids are fingerprint digests,
+   so the leading 28 bits of hex are already uniform; anything else
+   (a client probing a made-up id) falls back to a polynomial hash so
+   every id still routes somewhere fixed *)
+let shard_of_id ~shards id =
+  if shards <= 1 then 0
+  else
+    let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false in
+    let hex_prefix =
+      if String.length id >= 7 then begin
+        let ok = ref true in
+        for i = 0 to 6 do
+          if not (is_hex id.[i]) then ok := false
+        done;
+        if !ok then int_of_string_opt ("0x" ^ String.sub id 0 7) else None
+      end
+      else None
+    in
+    let h =
+      match hex_prefix with
+      | Some h -> h
+      | None ->
+          let acc = ref 0 in
+          String.iter (fun ch -> acc := ((!acc * 131) + Char.code ch) land 0xFFFFFFF) id;
+          !acc
+    in
+    h mod shards
+
+let shard_spool ~spool k = Filename.concat spool (Printf.sprintf "shard-%d" k)
+let intern_socket cfg k = Printf.sprintf "%s.shard%d" cfg.socket_path k
+let stat_file ~root k = Filename.concat root (Printf.sprintf "admission-%d.stat" k)
+
+let read_small_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (min 256 (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* one shard's serve loop (shards = 1 is the whole daemon)             *)
+
+let serve cfg ~shard ~shards ~own_socket ls =
   let spool = cfg.service.Work.spool in
   let log fmt =
     Printf.ksprintf
-      (fun s -> if cfg.service.Work.verbose then Printf.eprintf "[daemon] %s\n%!" s)
+      (fun s ->
+        if cfg.service.Work.verbose then
+          Printf.eprintf "[daemon%s] %s\n%!"
+            (if shards > 1 then Printf.sprintf ".%d" shard else "")
+            s)
       fmt
   in
   (* open first: it seals a torn tail, so the replay below sees exactly
@@ -133,17 +197,18 @@ let run cfg =
   let waiters : (string, Conn.t list) Hashtbl.t = Hashtbl.create 16 in
   let workers = ref ([] : worker list) in
   let listeners = ref ([] : Unix.file_descr list) in
+  let links : (int, link) Hashtbl.t = Hashtbl.create 8 in
   let drain = ref false in
   let force = ref false in
   let followers = ref ([] : repl_peer list) in
-  let sync = Replica.Sync.create ~replicas:cfg.sync_replicas in
+  (* a sharded daemon does not replicate (each shard is its own journal
+     writer; replication composes with shards = 1 only) *)
+  let sync = Replica.Sync.create ~replicas:(if shards > 1 then 0 else cfg.sync_replicas) in
   let is_follower c = List.exists (fun p -> p.conn == c) !followers in
   let find_follower c = List.find_opt (fun p -> p.conn == c) !followers in
   let release_sync () =
     let watermarks = List.map (fun p -> p.acked) !followers in
-    List.iter
-      (fun (c, resp) -> if List.memq c !conns then Conn.send c resp)
-      (Replica.Sync.release sync ~watermarks)
+    List.iter (fun (reply, resp) -> reply resp) (Replica.Sync.release sync ~watermarks)
   in
   let drop_conn c =
     (try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ());
@@ -152,6 +217,33 @@ let run cfg =
       followers := List.filter (fun p -> p.conn != c) !followers;
       log "follower %s disconnected" (Conn.peer c)
     end
+  in
+  (* ---------------------------------------------------------------- *)
+  (* cross-shard load figures: each shard publishes its admission
+     snapshot ~1 Hz; a shed is answered with the fleet-wide hint       *)
+  let stats_root = if shards > 1 then Filename.dirname spool else spool in
+  let last_stat = ref 0.0 in
+  let publish_stats () =
+    if shards > 1 && now () -. !last_stat > 1.0 then begin
+      last_stat := now ();
+      try
+        Rtt_diskio.Diskio.atomic_write
+          ~path:(stat_file ~root:stats_root shard)
+          (Admission.snapshot admission)
+      with Sys_error _ | Unix.Unix_error _ -> ()
+    end
+  in
+  let shed_hint () =
+    if shards <= 1 then Admission.retry_after_ms admission
+    else
+      Admission.aggregate
+        (List.filter_map
+           (fun k ->
+             if k = shard then Some (Admission.snapshot admission)
+             else
+               try Some (read_small_file (stat_file ~root:stats_root k))
+               with Sys_error _ | Unix.Unix_error _ -> None)
+           (List.init shards Fun.id))
   in
   (* ---------------------------------------------------------------- *)
   (* answering terminal jobs                                           *)
@@ -212,6 +304,7 @@ let run cfg =
         Unix.close br;
         List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
         List.iter (fun c -> try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ()) !conns;
+        Hashtbl.iter (fun _ l -> try Unix.close l.lfd with Unix.Unix_error _ -> ()) links;
         List.iter
           (fun w ->
             Unix.close w.to_w;
@@ -349,68 +442,223 @@ let run cfg =
       ~followers:fws
   in
   (* ---------------------------------------------------------------- *)
+  (* cross-shard forwarding: a request whose job id routes elsewhere is
+     relayed over a persistent link to the owner's internal socket.
+     Immediate answers come back in request order (FIFO); deferred wait
+     answers carry the job id and may overtake, so id-bearing responses
+     match the first relay holding that id.                            *)
+  let drop_link ?(code = "shard-unavailable") l reason =
+    Hashtbl.remove links l.peer_shard;
+    (try Unix.close l.lfd with Unix.Unix_error _ -> ());
+    let pend = l.relays in
+    l.relays <- [];
+    if pend <> [] then log "link to shard %d down (%s): %d relays errored" l.peer_shard reason (List.length pend);
+    List.iter (fun r -> r.deliver (Protocol.Errored { code; msg = reason })) pend
+  in
+  let link_to owner =
+    match Hashtbl.find_opt links owner with
+    | Some l -> Some l
+    | None -> (
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Eintr.connect fd (Unix.ADDR_UNIX (intern_socket cfg owner)) with
+        | () ->
+            let l =
+              { peer_shard = owner; lfd = fd; lreader = Frame.reader (); relays = [];
+                last_ping = now () }
+            in
+            Hashtbl.replace links owner l;
+            log "linked to shard %d" owner;
+            Some l
+        | exception Unix.Unix_error _ ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            None)
+  in
+  let forward ~owner ~id req ~deliver =
+    match link_to owner with
+    | None ->
+        deliver
+          (Protocol.Errored
+             { code = "shard-unavailable"; msg = Printf.sprintf "shard %d is not answering" owner })
+    | Some l -> (
+        match Frame.write l.lfd (Protocol.encode_request req) with
+        | () -> l.relays <- l.relays @ [ { relay_id = id; deliver } ]
+        | exception Unix.Unix_error _ ->
+            drop_link l "link write failed";
+            deliver
+              (Protocol.Errored
+                 {
+                   code = "shard-unavailable";
+                   msg = Printf.sprintf "shard %d is not answering" owner;
+                 }))
+  in
+  let relay_deliver l resp =
+    let take pred =
+      let rec go acc = function
+        | [] -> None
+        | r :: tl when pred r ->
+            l.relays <- List.rev_append acc tl;
+            Some r
+        | r :: tl -> go (r :: acc) tl
+      in
+      go [] l.relays
+    in
+    let by_id id = match take (fun r -> r.relay_id = id) with Some r -> Some r | None -> take (fun _ -> true) in
+    let taken =
+      match resp with
+      | Protocol.Pong -> None (* keepalive answer, not a relay *)
+      | Protocol.Accepted { id }
+      | Protocol.Status_is { id; _ }
+      | Protocol.Result { id; _ }
+      | Protocol.Failed { id; _ } ->
+          by_id id
+      | Protocol.Errored { code = "unknown-job"; msg } -> by_id msg
+      | _ -> take (fun _ -> true)
+    in
+    match (taken, resp) with
+    | Some r, _ -> r.deliver resp
+    | None, Protocol.Pong -> ()
+    | None, _ -> log "unmatched relay response from shard %d ignored" l.peer_shard
+  in
+  let link_readable l =
+    let buf = Bytes.create 8192 in
+    match Eintr.read l.lfd buf 0 8192 with
+    | exception Unix.Unix_error _ -> drop_link l "link read failed"
+    | 0 -> drop_link l "peer shard closed the link"
+    | n ->
+        List.iter
+          (function
+            | `Frame payload -> (
+                match Protocol.parse_response payload with
+                | Ok resp -> relay_deliver l resp
+                | Error _ -> log "unparseable relay response ignored")
+            | `Corrupt _ | `Overflow -> drop_link l "bad relay frame")
+          (Frame.feed l.lreader (Bytes.sub_string buf 0 n))
+  in
+  let relays_pending () = Hashtbl.fold (fun _ l acc -> acc + List.length l.relays) links 0 in
+  let ping_links () =
+    (* the owner's idle sweep must not reap a quiet link while relays
+       could still need it; pings well inside the idle timeout keep it
+       warm, and pongs are filtered out of relay matching *)
+    let dead =
+      Hashtbl.fold
+        (fun _ l acc ->
+          if now () -. l.last_ping > 10.0 then begin
+            l.last_ping <- now ();
+            match Frame.write l.lfd (Protocol.encode_request Protocol.Ping) with
+            | () -> acc
+            | exception Unix.Unix_error _ -> l :: acc
+          end
+          else acc)
+        links []
+    in
+    List.iter (fun l -> drop_link l "keepalive write failed") dead
+  in
+  (* ---------------------------------------------------------------- *)
   (* requests                                                          *)
   let write_instance ~job text =
     Rtt_diskio.Diskio.atomic_write ~path:(Filename.concat spool job) text
   in
-  let handle_request c = function
+  let submit_local ~reply ~name ~id p =
+    let job = job_of_id id in
+    if status_of job <> None then begin
+      log "submit %s: coalesced onto %s" name id;
+      reply (Protocol.Accepted { id })
+    end
+    else
+      match Admission.offer admission ~id:job with
+      | `Shed _ ->
+          log "submit %s: shed (queue full)" name;
+          reply (Protocol.Shed { retry_after_ms = shed_hint () })
+      | `Duplicate -> reply (Protocol.Accepted { id })
+      | `Admitted ->
+          (* durability order: instance file, then journal record, then
+             the accepted reply — a crash between any two steps leaves
+             either an adoptable spool file or a fully journaled job,
+             never an accepted ghost *)
+          write_instance ~job (Rtt_core.Io.to_string p);
+          record Journal.Queued job;
+          log "submit %s: accepted as %s" name id;
+          if Replica.Sync.replicas sync = 0 then reply (Protocol.Accepted { id })
+          else
+            (* --sync-replicas K: the accepted reply waits until K
+               followers have durably applied the Queued record
+               (coalesced duplicates above answered immediately — their
+               record was already held or released) *)
+            Replica.Sync.hold sync ~seq:(!nrecords - 1) (reply, Protocol.Accepted { id })
+  in
+  let submit_entry ~reply ~name ~body =
+    if !drain then reply (Protocol.Shed { retry_after_ms = shed_hint () })
+    else
+      match E.Engine.load_string body with
+      | Error e ->
+          reply (Protocol.Errored { code = E.Error.class_name e; msg = E.Error.to_string e })
+      | Ok p ->
+          let id = Work.digest_of cfg.service p in
+          let owner = shard_of_id ~shards id in
+          if owner = shard then submit_local ~reply ~name ~id p
+          else forward ~owner ~id (Protocol.Submit { name; body }) ~deliver:reply
+  in
+  let handle_request c =
+    let reply_to_c resp = if List.memq c !conns then Conn.send c resp in
+    function
     | Protocol.Hello _ ->
         Conn.send c (Protocol.Welcome { version = Protocol.version; max_frame = cfg.max_frame })
     | Protocol.Ping -> Conn.send c Protocol.Pong
     | Protocol.Bye -> Conn.close_after_flush c
     | Protocol.Status { id } ->
-        let json = Jobview.json_of ~id (status_of (job_of_id id)) in
-        Conn.send c (Protocol.Status_is { id; json })
+        let owner = shard_of_id ~shards id in
+        if owner <> shard then forward ~owner ~id (Protocol.Status { id }) ~deliver:reply_to_c
+        else
+          let json = Jobview.json_of ~id (status_of (job_of_id id)) in
+          Conn.send c (Protocol.Status_is { id; json })
     | Protocol.Wait { id } ->
-        let job = job_of_id id in
-        if terminal job then Conn.send c (terminal_response job)
-        else if status_of job <> None then begin
+        let owner = shard_of_id ~shards id in
+        if owner <> shard then begin
+          (* the wait is relayed; mark the conn so the idle sweep keeps
+             it alive until the owner answers *)
           Conn.add_wait c id;
-          Hashtbl.replace waiters job
-            (c :: Option.value ~default:[] (Hashtbl.find_opt waiters job))
+          forward ~owner ~id (Protocol.Wait { id })
+            ~deliver:(fun resp ->
+              Conn.remove_wait c id;
+              reply_to_c resp)
         end
-        else Conn.send c (Protocol.Errored { code = "unknown-job"; msg = id })
-    | Protocol.Submit { name; body } ->
-        if !drain then
-          Conn.send c (Protocol.Shed { retry_after_ms = Admission.retry_after_ms admission })
-        else begin
-          match E.Engine.load_string body with
-          | Error e ->
-              Conn.send c
-                (Protocol.Errored { code = E.Error.class_name e; msg = E.Error.to_string e })
-          | Ok p -> (
-              let id = Work.digest_of cfg.service p in
-              let job = job_of_id id in
-              if status_of job <> None then begin
-                log "submit %s: coalesced onto %s" name id;
-                Conn.send c (Protocol.Accepted { id })
-              end
-              else
-                match Admission.offer admission ~id:job with
-                | `Shed ms ->
-                    log "submit %s: shed (queue full)" name;
-                    Conn.send c (Protocol.Shed { retry_after_ms = ms })
-                | `Duplicate -> Conn.send c (Protocol.Accepted { id })
-                | `Admitted ->
-                    (* durability order: instance file, then journal
-                       record, then the accepted reply — a crash between
-                       any two steps leaves either an adoptable spool
-                       file or a fully journaled job, never an accepted
-                       ghost *)
-                    write_instance ~job (Rtt_core.Io.to_string p);
-                    record Journal.Queued job;
-                    log "submit %s: accepted as %s" name id;
-                    if Replica.Sync.replicas sync = 0 then
-                      Conn.send c (Protocol.Accepted { id })
-                    else
-                      (* --sync-replicas K: the accepted reply waits
-                         until K followers have durably applied the
-                         Queued record (coalesced duplicates above
-                         answered immediately — their record was
-                         already held or released) *)
-                      Replica.Sync.hold sync ~seq:(!nrecords - 1)
-                        (c, Protocol.Accepted { id }))
-        end
+        else
+          let job = job_of_id id in
+          if terminal job then Conn.send c (terminal_response job)
+          else if status_of job <> None then begin
+            Conn.add_wait c id;
+            Hashtbl.replace waiters job
+              (c :: Option.value ~default:[] (Hashtbl.find_opt waiters job))
+          end
+          else Conn.send c (Protocol.Errored { code = "unknown-job"; msg = id })
+    | Protocol.Submit { name; body } -> submit_entry ~reply:reply_to_c ~name ~body
+    | Protocol.Submit_many { name; bodies } ->
+        (* per-entry acks in entry order: answers for local entries are
+           synchronous, cross-shard and sync-held ones arrive later, so
+           a reorder buffer releases the reply prefix as it fills *)
+        let slots = Array.make (List.length bodies) None in
+        let next = ref 0 in
+        let fill i resp =
+          if slots.(i) = None then begin
+            slots.(i) <- Some resp;
+            while !next < Array.length slots && slots.(!next) <> None do
+              (match slots.(!next) with Some r -> reply_to_c r | None -> ());
+              incr next
+            done
+          end
+        in
+        List.iteri
+          (fun i body ->
+            submit_entry ~reply:(fill i) ~name:(Printf.sprintf "%s[%d]" name i) ~body)
+          bodies
+    | Protocol.Repl_hello _ when shards > 1 ->
+        Conn.send c
+          (Protocol.Errored
+             { code = "bad-role"; msg = "a sharded daemon does not replicate; run --shards 1" })
+    | Protocol.Repl_ack _ when shards > 1 ->
+        Conn.send c
+          (Protocol.Errored
+             { code = "bad-role"; msg = "a sharded daemon does not replicate; run --shards 1" })
     | Protocol.Repl_hello { version = _; watermark } ->
         let watermark = min watermark !nrecords in
         (match find_follower c with
@@ -540,14 +788,13 @@ let run cfg =
       Journal.close journal)
     (fun () ->
       match
-        let l = listen_unix cfg.socket_path in
-        l :: (match cfg.tcp with Some hp -> [ listen_tcp hp ] | None -> [])
+        if shards > 1 then [ listen_unix (intern_socket cfg shard) ] else []
       with
       | exception Failure msg ->
           Printf.eprintf "rtt: %s\n%!" msg;
           124
-      | ls ->
-          listeners := ls;
+      | intern ->
+          listeners := ls @ intern;
           (* adopt the startup backlog: every spool instance file is
              journaled and every non-terminal one re-admitted — the
              accepted jobs of a crashed daemon are solved, not lost *)
@@ -571,14 +818,17 @@ let run cfg =
                 && Admission.queued admission = 0
                 && Admission.in_flight admission = 0
                 && workers_idle
+                && relays_pending () = 0
               then running := false
               else begin
+                let link_fds = Hashtbl.fold (fun _ l acc -> l.lfd :: acc) links [] in
                 let reads =
                   !listeners
                   @ List.filter_map
                       (fun c -> if Conn.closing c then None else Some (Conn.fd c))
                       !conns
                   @ List.map (fun w -> w.from_w) !workers
+                  @ link_fds
                 in
                 let writes =
                   List.filter_map
@@ -597,7 +847,14 @@ let run cfg =
                           | None -> (
                               match List.find_opt (fun c -> Conn.fd c = fd) !conns with
                               | Some c -> conn_readable c
-                              | None -> ()))
+                              | None -> (
+                                  match
+                                    Hashtbl.fold
+                                      (fun _ l acc -> if l.lfd = fd then Some l else acc)
+                                      links None
+                                  with
+                                  | Some l -> link_readable l
+                                  | None -> ())))
                       r;
                     List.iter
                       (fun fd ->
@@ -622,6 +879,10 @@ let run cfg =
                       drop_conn c
                     end)
                   !conns;
+                if shards > 1 then begin
+                  ping_links ();
+                  publish_stats ()
+                end;
                 (* keep the worker complement up while there is work *)
                 if (not !drain) || Admission.queued admission > 0 then begin
                   let width = max 1 cfg.service.Work.workers in
@@ -648,18 +909,135 @@ let run cfg =
                 cs)
             waiters;
           Hashtbl.reset waiters;
+          (* relays still in flight (forced shutdown, or a wedged peer):
+             an honest error beats a silent hang *)
+          let open_links = Hashtbl.fold (fun _ l acc -> l :: acc) links [] in
+          List.iter (fun l -> drop_link ~code:"shutdown" l "shutting down") open_links;
           (* held sync-replicas acks: the job is durable here but not
              yet on K followers — an honest error beats a ghost ack *)
           List.iter
-            (fun (c, _) ->
-              if List.memq c !conns then
-                Conn.send c
-                  (Protocol.Errored { code = "shutdown"; msg = "sync-replicas not satisfied" }))
+            (fun (reply, _) ->
+              reply
+                (Protocol.Errored { code = "shutdown"; msg = "sync-replicas not satisfied" }))
             (Replica.Sync.drain sync);
           List.iter (fun c -> ignore (Conn.flush c)) !conns;
           List.iter (fun c -> try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ()) !conns;
           conns := [];
           List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !listeners;
           listeners := [];
-          (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+          if shards > 1 then begin
+            (try Unix.unlink (intern_socket cfg shard) with Unix.Unix_error _ -> ());
+            (try Unix.unlink (stat_file ~root:stats_root shard) with Unix.Unix_error _ -> ())
+          end;
+          if own_socket then (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
           exit_code ())
+
+(* ------------------------------------------------------------------ *)
+(* entry points                                                        *)
+
+let bind_listeners cfg =
+  match
+    let l = listen_unix cfg.socket_path in
+    l :: (match cfg.tcp with Some hp -> [ listen_tcp hp ] | None -> [])
+  with
+  | exception Failure msg ->
+      Printf.eprintf "rtt: %s\n%!" msg;
+      Error 124
+  | ls -> Ok ls
+
+let mkdir_p dir =
+  try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error (Unix.ENOENT, _, _) ->
+      failwith (Printf.sprintf "%s: parent directory missing" dir)
+
+(* the sharded front-end: the parent binds the listeners once, forks
+   one acceptor per shard over the shared descriptors (the kernel
+   distributes accepts), then supervises — forwarding SIGTERM/SIGINT
+   and reaping. Each shard serves its own sub-spool and journal. *)
+let run_sharded cfg =
+  let n = cfg.shards in
+  let spool = cfg.service.Work.spool in
+  match bind_listeners cfg with
+  | Error code -> code
+  | Ok ls -> (
+      match
+        for k = 0 to n - 1 do
+          mkdir_p (shard_spool ~spool k)
+        done
+      with
+      | exception Failure msg ->
+          Printf.eprintf "rtt: %s\n%!" msg;
+          List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) ls;
+          (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+          124
+      | () ->
+          let children = ref [] in
+          for k = 0 to n - 1 do
+            match Unix.fork () with
+            | 0 ->
+                let cfg_k =
+                  { cfg with service = { cfg.service with Work.spool = shard_spool ~spool k } }
+                in
+                Stdlib.exit (serve cfg_k ~shard:k ~shards:n ~own_socket:false ls)
+            | pid -> children := (k, pid) :: !children
+          done;
+          (* the parent only supervises: its copies of the listeners
+             close so the shards alone own the accept queue *)
+          List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) ls;
+          let signalled = ref false in
+          let forward s =
+            List.iter (fun (_, pid) -> try Unix.kill pid s with Unix.Unix_error _ -> ()) !children
+          in
+          let on_signal s _ =
+            signalled := true;
+            forward s
+          in
+          let saved_term = Sys.signal Sys.sigterm (Sys.Signal_handle (on_signal Sys.sigterm)) in
+          let saved_int = Sys.signal Sys.sigint (Sys.Signal_handle (on_signal Sys.sigint)) in
+          Fun.protect
+            ~finally:(fun () ->
+              Sys.set_signal Sys.sigterm saved_term;
+              Sys.set_signal Sys.sigint saved_int;
+              try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+            (fun () ->
+              let codes = Hashtbl.create n in
+              let rec reap_all () =
+                if Hashtbl.length codes < List.length !children then begin
+                  match Unix.wait () with
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap_all ()
+                  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+                  | pid, status ->
+                      (match List.find_opt (fun (_, p) -> p = pid) !children with
+                      | Some (k, _) ->
+                          let code =
+                            match status with
+                            | Unix.WEXITED c -> c
+                            | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+                                Supervisor.shutdown_exit_code
+                          in
+                          Hashtbl.replace codes k code;
+                          (* a shard dying before any drain was requested
+                             is a fleet failure: stop the others rather
+                             than serve a partial keyspace *)
+                          if not !signalled then begin
+                            Printf.eprintf "rtt: shard %d exited %d unexpectedly; stopping\n%!" k
+                              code;
+                            signalled := true;
+                            forward Sys.sigterm
+                          end
+                      | None -> ());
+                      reap_all ()
+                end
+              in
+              reap_all ();
+              (* worst child verdict wins: 31 (failed jobs) over 30
+                 (forced) over 0 (clean drain) *)
+              Hashtbl.fold (fun _ c acc -> max c acc) codes 0))
+
+let run cfg =
+  if cfg.shards > 1 then run_sharded cfg
+  else
+    match bind_listeners cfg with
+    | Error code -> code
+    | Ok ls -> serve cfg ~shard:0 ~shards:1 ~own_socket:true ls

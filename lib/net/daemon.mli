@@ -46,12 +46,43 @@ type config = {
   sync_replicas : int;
       (** Hold each [submit]'s accepted reply until this many followers
           have durably applied its [Queued] record; [0] (the default)
-          acknowledges as soon as the local journal append returns. *)
+          acknowledges as soon as the local journal append returns.
+          Incompatible with [shards > 1]. *)
+  shards : int;
+      (** Fork this many acceptor shards over the shared listening
+          socket(s). [1] (the default) keeps the flat single-process
+          topology. See {!section-sharding}. *)
 }
 
 val default_config : spool:string -> socket_path:string -> config
 (** [rtt serve] service defaults; no TCP, capacity 64, 16 MiB frames,
-    30 s read deadline, [sync_replicas = 0]. *)
+    30 s read deadline, [sync_replicas = 0], [shards = 1]. *)
+
+(** {1:sharding Sharding}
+
+    With [shards = N > 1], [run] binds the listener(s) once, forks [N]
+    shard processes that inherit the shared descriptors (the kernel
+    distributes accepts among them), and supervises: SIGTERM/SIGINT are
+    forwarded to every shard, children are reaped, and the exit code is
+    the worst child verdict. Each shard is a complete daemon over its
+    own sub-spool [<spool>/shard-<k>/] — own journal, own workers, own
+    admission queue — so the single-writer discipline (and with it
+    exactly-once) is preserved per shard.
+
+    Jobs are partitioned by {!shard_of_id} over the instance
+    fingerprint, so duplicate submissions still coalesce fleet-wide: a
+    request that arrives at a non-owner shard is relayed over a
+    persistent internal link ([<socket_path>.shard<k>]) to the owner
+    and the response relayed back; the accept-side shard never touches
+    the job's journal. Sheds are answered with a fleet-wide retry hint
+    ({!Admission.aggregate} over per-shard stat files in the root
+    spool). A sharded daemon refuses [repl.hello] ([bad-role]):
+    replication composes with [shards = 1] only. *)
+
+val shard_of_id : shards:int -> string -> int
+(** The shard that owns a job id: deterministic, stable across
+    processes (leading fingerprint hex, with a polynomial-hash fallback
+    for ids that are not hex). [shard_of_id ~shards:1 id = 0]. *)
 
 (** {1 Replication}
 

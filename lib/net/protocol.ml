@@ -5,6 +5,7 @@ let version = 1
 type request =
   | Hello of { version : int }
   | Submit of { name : string; body : string }
+  | Submit_many of { name : string; bodies : string list }
   | Status of { id : string }
   | Wait of { id : string }
   | Ping
@@ -41,6 +42,15 @@ let encode_request = function
          the CRC (a client bug, not line noise) cannot silently submit
          a truncated instance *)
       Printf.sprintf "submit %s %d %s" (esc name) (String.length body) (esc body)
+  | Submit_many { name; bodies } ->
+      (* one frame, many instances: [<len_i> <body_i>] pairs after the
+         count, each length-checked like submit's so a spliced frame
+         cannot silently truncate one entry of a batch *)
+      let entries =
+        List.map (fun b -> Printf.sprintf "%d %s" (String.length b) (esc b)) bodies
+      in
+      String.concat " "
+        (Printf.sprintf "submit-many %s %d" (esc name) (List.length bodies) :: entries)
   | Status { id } -> Printf.sprintf "status %s" (esc id)
   | Wait { id } -> Printf.sprintf "wait %s" (esc id)
   | Ping -> "ping"
@@ -103,6 +113,28 @@ let parse_request payload =
           (Printf.sprintf "length mismatch: declared %d bytes, body has %d" len
              (String.length body))
       else Ok (Submit { name; body })
+  | "submit-many" :: name :: n :: rest ->
+      let* name = unesc "name" name in
+      let* n = int_field "count" n in
+      if List.length rest <> 2 * n then
+        Error
+          (Printf.sprintf "batch arity mismatch: declared %d entries, found %d tokens" n
+             (List.length rest))
+      else
+        let rec entries acc = function
+          | [] -> Ok (List.rev acc)
+          | len :: body :: tl ->
+              let* len = int_field "length" len in
+              let* body = unesc "body" body in
+              if String.length body <> len then
+                Error
+                  (Printf.sprintf "length mismatch: declared %d bytes, body has %d" len
+                     (String.length body))
+              else entries (body :: acc) tl
+          | [ _ ] -> Error "batch entry missing its body"
+        in
+        let* bodies = entries [] rest in
+        Ok (Submit_many { name; bodies })
   | [ "status"; id ] ->
       let* id = unesc "id" id in
       Ok (Status { id })

@@ -11,6 +11,12 @@
     [--max-frame] poisons the connection ([error frame-overflow],
     close).
 
+    Connections are pipelined: a client may write several request
+    frames back-to-back and the daemon answers each in arrival order —
+    except [wait], whose answer is deferred until the job is terminal
+    and may be overtaken by answers to later requests (wait answers
+    carry the job id, so a pipelining client matches them by id).
+
     {1 Requests (client -> daemon)}
 
     - [hello <version>] — handshake; the daemon answers {!Welcome}.
@@ -27,6 +33,14 @@
       {!Shed} (admission queue full, retry later) or {!Errored}
       (unparseable instance; the code is the
       {!Rtt_engine.Error.class_name}).
+    - [submit-many <name> <n> <len_1> <body_1> ... <len_n> <body_n>] —
+      a batch of [n] instances in one frame, each entry length-checked
+      exactly like [submit]'s. Answered by [n] per-entry responses
+      ({!Accepted}, {!Shed} or {!Errored}), one frame each, {e in entry
+      order} — so one round trip can carry hundreds of jobs while the
+      per-job durability contract (and any [--sync-replicas] hold) is
+      unchanged. Entries that are duplicates of each other coalesce
+      onto the same id, like repeated [submit]s would.
     - [status <job-id>] — answered by {!Status_is} with the job's
       {!Rtt_service.Jobview} JSON (state ["unknown"] for a job the
       daemon has never seen).
@@ -103,6 +117,7 @@ val version : int
 type request =
   | Hello of { version : int }
   | Submit of { name : string; body : string }
+  | Submit_many of { name : string; bodies : string list }
   | Status of { id : string }
   | Wait of { id : string }
   | Ping

@@ -117,6 +117,15 @@ let run cfg =
     | Protocol.Submit _ ->
         Conn.send c
           (Protocol.Errored { code = "read-only"; msg = "this is a follower; submit to the primary" })
+    | Protocol.Submit_many { bodies; _ } ->
+        (* one error per entry, preserving the batch's answer-count
+           contract for a client that did not check the role first *)
+        List.iter
+          (fun _ ->
+            Conn.send c
+              (Protocol.Errored
+                 { code = "read-only"; msg = "this is a follower; submit to the primary" }))
+          bodies
     | Protocol.Promote ->
         log "promotion requested by %s" (Conn.peer c);
         Conn.send c Protocol.Promoting;

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Daemon smoke test: start `rtt daemon`, throw 8 concurrent submissions
-# at it (6 unique instances + 2 duplicates), wait for every waiter, and
-# assert the spool journal shows exactly 6 jobs, all done.  The whole
-# run is wrapped in a hard timeout by the caller (CI) or the default
-# `timeout` below, so a wedged daemon is a failure, not a hang.
+# Daemon smoke test, sharded: start `rtt daemon --shards 2`, throw 8
+# concurrent single submissions at it (6 unique instances + 2
+# duplicates), then a pipelined batch (`submit --many`) that re-submits
+# all of them plus 2 fresh instances, wait for everything, and assert
+# the union of the shard journals shows exactly 8 jobs, all done —
+# duplicates coalesced fleet-wide even when the accepting shard is not
+# the owner.  The whole run is wrapped in a hard timeout by the caller
+# (CI) or the default `timeout` below, so a wedged daemon is a
+# failure, not a hang.
 set -euo pipefail
 
 RTT=${RTT:-_build/default/bin/rtt.exe}
@@ -29,8 +33,11 @@ for i in 1 2 3 4 5 6; do
 done
 cp "$WORK/in_1.txt" "$WORK/in_7.txt"
 cp "$WORK/in_2.txt" "$WORK/in_8.txt"
+# two fresh instances the batch alone submits
+"$RTT" gen -k hub -n 56 --seed 107 > "$WORK/in_9.txt"
+"$RTT" gen -k hub -n 64 --seed 108 > "$WORK/in_10.txt"
 
-"$RTT" daemon --spool "$SPOOL" --socket "$SOCKET" -b 3 --workers 2 &
+"$RTT" daemon --spool "$SPOOL" --socket "$SOCKET" --shards 2 -b 3 --workers 2 &
 DAEMON_PID=$!
 
 # wait for the socket to appear (daemon binds before accepting)
@@ -41,6 +48,8 @@ done
 [[ -S "$SOCKET" ]] || { echo "FAIL: daemon never created its socket"; exit 1; }
 
 # 8 concurrent waiters; every one must come back with a rendered result
+# (half of these land on a shard that does not own the job and are
+# relayed — the waiter cannot tell, which is the point)
 PIDS=()
 for i in 1 2 3 4 5 6 7 8; do
   "$RTT" submit "$WORK/in_$i.txt" --socket "$SOCKET" --wait --timeout 120 \
@@ -55,20 +64,47 @@ for i in 1 2 3 4 5 6 7 8; do
     || { echo "FAIL: waiter $i got no rendering"; exit 1; }
 done
 
-# duplicates must have coalesced: exactly 6 unique jobs, all done
-JOBS=$("$RTT" jobs "$SPOOL" --json)
-TOTAL=$(printf '%s\n' "$JOBS" | grep -c '"id"' || true)
-DONE=$(printf '%s\n' "$JOBS" | grep -c '"state":"done"' || true)
-if [[ "$TOTAL" -ne 6 || "$DONE" -ne 6 ]]; then
-  echo "FAIL: expected 6 unique done jobs, got total=$TOTAL done=$DONE"
-  printf '%s\n' "$JOBS"
+# one pipelined batch: all ten instances in a single round trip, every
+# already-solved one must coalesce (same id back), the two fresh ones
+# must solve
+printf '%s\n' "$WORK"/in_*.txt > "$WORK/manifest.txt"
+"$RTT" submit --many "$WORK/manifest.txt" --socket "$SOCKET" --wait --timeout 120 \
+  > "$WORK/batch.txt" \
+  || { echo "FAIL: batch submit exited non-zero"; cat "$WORK/batch.txt"; exit 1; }
+ACKS=$(grep -c '^/' "$WORK/batch.txt" || true)
+DONES=$(grep -c ' done$' "$WORK/batch.txt" || true)
+if [[ "$ACKS" -ne 10 || "$DONES" -ne 8 ]]; then
+  echo "FAIL: batch expected 10 acks and 8 distinct done lines, got acks=$ACKS done=$DONES"
+  cat "$WORK/batch.txt"
   exit 1
 fi
 
-# graceful shutdown: SIGTERM drains and exits 0, removing the socket
+# duplicates must have coalesced fleet-wide: exactly 8 unique jobs, all
+# done, across the union of the shard journals — and both shards must
+# actually own some of them (the fingerprint partition is not degenerate
+# for this instance set)
+JOBS=$("$RTT" jobs "$SPOOL" --json)
+TOTAL=$(printf '%s\n' "$JOBS" | grep -c '"id"' || true)
+DONE=$(printf '%s\n' "$JOBS" | grep -c '"state":"done"' || true)
+if [[ "$TOTAL" -ne 8 || "$DONE" -ne 8 ]]; then
+  echo "FAIL: expected 8 unique done jobs, got total=$TOTAL done=$DONE"
+  printf '%s\n' "$JOBS"
+  exit 1
+fi
+for shard in shard-0 shard-1; do
+  [[ -s "$SPOOL/$shard/journal.log" ]] \
+    || { echo "FAIL: $shard owns no jobs — partition degenerate"; exit 1; }
+done
+
+# graceful shutdown: SIGTERM drains both shards and exits 0, removing
+# the public socket and the internal shard sockets
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || { echo "FAIL: drained daemon exited non-zero"; exit 1; }
 DAEMON_PID=""
 [[ -e "$SOCKET" ]] && { echo "FAIL: socket file left behind"; exit 1; }
+if compgen -G "$SOCKET.shard*" >/dev/null; then
+  echo "FAIL: internal shard socket left behind"
+  exit 1
+fi
 
-echo "PASS: 8 submissions, 6 unique jobs done, duplicates coalesced, clean drain"
+echo "PASS: 8 waiters + 10-entry pipelined batch over 2 shards, 8 unique jobs done, duplicates coalesced fleet-wide, clean drain"

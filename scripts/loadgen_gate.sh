@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Latency-SLO gate for the serving front-end, driven by `rtt loadgen`.
+#
+#   loadgen_gate.sh            gate mode: compare fresh p99 against the
+#                              committed BENCH_LOADGEN.json baseline
+#   loadgen_gate.sh baseline   measure and (re)write BENCH_LOADGEN.json
+#
+# Gate mode boots a one-shard daemon on a scratch spool, runs the
+# open-loop generator twice, and fails when the better of the two p99s
+# regresses more than 25% past the committed baseline — with an
+# absolute floor (RTT_LOADGEN_SLO_MS, default 50 ms) below which p99
+# differences are timer noise, not regressions. Two fresh runs more
+# than 30% apart mean the runner is too noisy to judge: the gate prints
+# a `skipped:` line and exits 0 (same convention as bench_gate.sh).
+#
+# When the machine has at least 4 cores, both modes also measure a
+# 4-shard daemon and check the scaling claim: sharded throughput at
+# least 2x the one-shard figure. Below 4 cores the claim is
+# unmeasurable (the shards time-slice one core) and is reported as
+# `skipped:`, never failed — BENCH_LOADGEN.json records whether the
+# committed numbers were measured with the speedup gated.
+#
+# Tunables (env): RTT_LOADGEN_RATE (jobs/sec, default 100),
+# RTT_LOADGEN_DURATION (s, default 4), RTT_LOADGEN_CLIENTS (default 4),
+# RTT_LOADGEN_DISTINCT (default 32), RTT_LOADGEN_SLO_MS (default 50).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+RTT=_build/default/bin/rtt.exe
+BASELINE=BENCH_LOADGEN.json
+
+RATE="${RTT_LOADGEN_RATE:-100}"
+DURATION="${RTT_LOADGEN_DURATION:-4}"
+CLIENTS="${RTT_LOADGEN_CLIENTS:-4}"
+DISTINCT="${RTT_LOADGEN_DISTINCT:-32}"
+SLO_MS="${RTT_LOADGEN_SLO_MS:-50}"
+
+[ -x "$RTT" ] || { echo "loadgen_gate: $RTT missing — run dune build first" >&2; exit 2; }
+
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+tmp=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -TERM "$DAEMON_PID" 2>/dev/null || true
+    for _ in $(seq 1 100); do kill -0 "$DAEMON_PID" 2>/dev/null || break; sleep 0.1; done
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+field() { # field <json-file> <key>  — numeric scalar
+  sed -n 's/.*"'"$2"'":\([0-9.]*\).*/\1/p' "$1" | head -1
+}
+
+# one measurement: boot a daemon with $1 shards, drive it, leave the
+# report in $2
+measure() {
+  local shards="$1" out="$2" spool sock
+  spool="$tmp/spool-$shards-$RANDOM"
+  sock="$tmp/sock-$shards-$RANDOM"
+  mkdir -p "$spool"
+  "$RTT" daemon --spool "$spool" --socket "$sock" --shards "$shards" -b 3 &
+  DAEMON_PID=$!
+  local up=0
+  for _ in $(seq 1 100); do [ -S "$sock" ] && { up=1; break; }; sleep 0.1; done
+  [ "$up" -eq 1 ] || { echo "loadgen_gate: daemon did not come up" >&2; exit 2; }
+  "$RTT" loadgen --socket "$sock" --clients "$CLIENTS" --rate "$RATE" \
+    --duration "$DURATION" --warmup 1 --distinct "$DISTINCT" --out "$out" >/dev/null
+  kill -TERM "$DAEMON_PID" 2>/dev/null || true
+  for _ in $(seq 1 200); do kill -0 "$DAEMON_PID" 2>/dev/null || break; sleep 0.1; done
+  kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+}
+
+stamp() {
+  # timestamped history + a stable `latest` name, the bench convention
+  local src="$1" ts
+  ts=$(date -u +%Y%m%d-%H%M%S)
+  cp "$src" "loadgen-$ts.json"
+  ln -sfn "loadgen-$ts.json" loadgen-latest.json
+}
+
+speedup_check() { # prints its verdict; returns 1 only on a real failure
+  if [ "$cores" -lt 4 ]; then
+    echo "skipped:  shard speedup gate needs >= 4 cores (have $cores) — 4 shards on $cores core(s) time-slice, the 2x claim is unmeasurable"
+    return 0
+  fi
+  measure 4 "$tmp/shard4.json"
+  local j1 j4 ok
+  j1=$(field "$tmp/shard1.json" jobs_per_sec)
+  j4=$(field "$tmp/shard4.json" jobs_per_sec)
+  ok=$(awk -v a="$j1" -v b="$j4" 'BEGIN { print (b >= 2 * a) ? 1 : 0 }')
+  if [ "$ok" -eq 1 ]; then
+    echo "loadgen_gate: OK — 4 shards ${j4} jobs/s vs 1 shard ${j1} jobs/s (>= 2x)"
+    return 0
+  fi
+  echo "loadgen_gate: FAIL — 4 shards ${j4} jobs/s vs 1 shard ${j1} jobs/s (< 2x)" >&2
+  return 1
+}
+
+mode="${1:-gate}"
+case "$mode" in
+baseline)
+  # saturation for the throughput figures, open-loop for the SLO p99
+  measure 1 "$tmp/shard1.json"
+  p99=$(field "$tmp/shard1.json" p99)
+  jps=$(field "$tmp/shard1.json" jobs_per_sec)
+  speedup="null"
+  gated=true
+  if [ "$cores" -ge 4 ]; then
+    gated=false
+    measure 4 "$tmp/shard4.json"
+    j4=$(field "$tmp/shard4.json" jobs_per_sec)
+    speedup=$(awk -v a="$jps" -v b="$j4" 'BEGIN { printf "%.2f", b / a }')
+  fi
+  printf '{"schema":"rtt-loadgen-baseline/1","cores":%s,"rate":%s,"duration_s":%s,"clients":%s,"shard1":{"jobs_per_sec":%s,"p99_ms":%s},"shard4_speedup":%s,"speedup_gated":%s}\n' \
+    "$cores" "$RATE" "$DURATION" "$CLIENTS" "$jps" "$p99" "$speedup" "$gated" >"$BASELINE"
+  stamp "$tmp/shard1.json"
+  echo "loadgen_gate: wrote $BASELINE (cores=$cores, p99=${p99}ms, ${jps} jobs/s, speedup=$speedup)"
+  ;;
+gate)
+  [ -f "$BASELINE" ] || {
+    echo "loadgen_gate: committed baseline $BASELINE missing — run 'scripts/loadgen_gate.sh baseline' and commit it" >&2
+    exit 2
+  }
+  base=$(sed -n 's/.*"p99_ms":\([0-9.]*\).*/\1/p' "$BASELINE" | head -1)
+  [ -n "$base" ] || { echo "loadgen_gate: no p99_ms in $BASELINE" >&2; exit 2; }
+  measure 1 "$tmp/run1.json"
+  measure 1 "$tmp/run2.json"
+  a=$(field "$tmp/run1.json" p99)
+  b=$(field "$tmp/run2.json" p99)
+  best=$(awk -v a="$a" -v b="$b" 'BEGIN { print (a < b) ? a : b }')
+  stamp "$tmp/run1.json"
+  quiet=$(awk -v a="$a" -v b="$b" \
+    'BEGIN { lo = (a < b) ? a : b; hi = (a < b) ? b : a; print (hi <= 1.3 * lo) ? 1 : 0 }')
+  if [ "$quiet" -ne 1 ]; then
+    echo "skipped:  latency gate needs a quiet runner — back-to-back p99s ${a}ms and ${b}ms (>30% apart), comparison is informational"
+    echo "loadgen_gate: best p99 ${best}ms, committed baseline ${base}ms"
+    speedup_check || true
+    exit 0
+  fi
+  allowed=$(awk -v b="$base" -v f="$SLO_MS" 'BEGIN { a = 1.25 * b; print (a > f) ? a : f }')
+  pass=$(awk -v p="$best" -v a="$allowed" 'BEGIN { print (p <= a) ? 1 : 0 }')
+  if [ "$pass" -ne 1 ]; then
+    echo "loadgen_gate: FAIL — p99 ${best}ms against a ${base}ms baseline (allowed ${allowed}ms)" >&2
+    exit 1
+  fi
+  echo "loadgen_gate: OK — p99 ${best}ms vs baseline ${base}ms (allowed ${allowed}ms)"
+  speedup_check
+  ;;
+*)
+  echo "usage: loadgen_gate.sh [gate|baseline]" >&2
+  exit 2
+  ;;
+esac

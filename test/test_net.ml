@@ -28,6 +28,9 @@ let request_gen =
       [
         map (fun version -> Protocol.Hello { version }) (int_range 0 9);
         map (fun (name, body) -> Protocol.Submit { name; body }) (pair s s);
+        map
+          (fun (name, bodies) -> Protocol.Submit_many { name; bodies })
+          (pair s (list_size (int_range 0 5) s));
         map (fun id -> Protocol.Status { id }) s;
         map (fun id -> Protocol.Wait { id }) s;
         return Protocol.Ping;
@@ -78,6 +81,37 @@ let protocol_props =
       (fun r ->
         let open Rtt_service in
         Frame.unframe (Frame.frame (Protocol.encode_request r)) = Some (Protocol.encode_request r));
+    (* the pipelining contract: a client may write many framed requests
+       back to back, and the server's incremental reader must recover
+       each one in order no matter how the kernel chunks the stream *)
+    prop "pipelined frames survive arbitrary chunking" 200
+      (QCheck.make
+         ~print:(fun (rs, chunk) ->
+           Printf.sprintf "chunk=%d [%s]" chunk
+             (String.concat " | " (List.map Protocol.encode_request rs)))
+         QCheck.Gen.(pair (list_size (int_range 0 8) request_gen) (int_range 1 7)))
+      (fun (rs, chunk) ->
+        let open Rtt_service in
+        let stream =
+          String.concat ""
+            (List.map (fun r -> Frame.frame (Protocol.encode_request r) ^ "\n") rs)
+        in
+        let reader = Frame.reader () in
+        let got = ref [] in
+        let n = String.length stream in
+        let rec go i =
+          if i < n then begin
+            let len = min chunk (n - i) in
+            List.iter
+              (function
+                | `Frame p -> got := Protocol.parse_request p :: !got
+                | `Corrupt _ | `Overflow -> got := Error "corrupt" :: !got)
+              (Frame.feed reader (String.sub stream i len));
+            go (i + len)
+          end
+        in
+        go 0;
+        List.rev !got = List.map (fun r -> Ok r) rs && Frame.buffered reader = 0);
   ]
 
 let protocol_units =
@@ -116,6 +150,54 @@ let protocol_units =
         (match Protocol.parse_response bad with
         | Error msg -> Alcotest.(check bool) "mentions mismatch" true (contains ~needle:"mismatch" msg)
         | Ok _ -> Alcotest.fail "length mismatch must not parse"));
+    Alcotest.test_case "submit-many: batch arity mismatch is rejected" `Quick (fun () ->
+        let req = Protocol.Submit_many { name = "batch"; bodies = [ "vertices 1"; ""; "a b" ] } in
+        let enc = Protocol.encode_request req in
+        Alcotest.(check bool) "round-trips" true (Protocol.parse_request enc = Ok req);
+        (* drop the final token: the declared count now exceeds the
+           entries present, which must be an arity error, not a
+           truncated batch *)
+        let tokens = String.split_on_char ' ' enc in
+        let short =
+          String.concat " " (List.filteri (fun i _ -> i < List.length tokens - 1) tokens)
+        in
+        (match Protocol.parse_request short with
+        | Error msg -> Alcotest.(check bool) "mentions arity" true (contains ~needle:"arity" msg)
+        | Ok _ -> Alcotest.fail "arity mismatch must not parse");
+        List.iter
+          (fun payload ->
+            match Protocol.parse_request payload with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "%S must not parse" payload)
+          [ "submit-many"; "submit-many n"; "submit-many n x"; "submit-many n 1";
+            "submit-many n 1 3"; "submit-many n 2 0  0" ]);
+    Alcotest.test_case "submit-many: per-entry length mismatch is rejected" `Quick (fun () ->
+        let good =
+          Protocol.encode_request (Protocol.Submit_many { name = "n"; bodies = [ "vertices 1" ] })
+        in
+        let bad =
+          match String.split_on_char ' ' good with
+          | [ verb; name; count; _len; body ] -> String.concat " " [ verb; name; count; "3"; body ]
+          | _ -> Alcotest.fail "unexpected submit-many shape"
+        in
+        match Protocol.parse_request bad with
+        | Error msg -> Alcotest.(check bool) "mentions mismatch" true (contains ~needle:"mismatch" msg)
+        | Ok _ -> Alcotest.fail "length mismatch must not parse");
+    Alcotest.test_case "shard_of_id: deterministic, in range, hex-prefix routed" `Quick (fun () ->
+        (* the hex fast path: the first 7 digest nibbles, mod shards *)
+        Alcotest.(check int) "shards=1 is always 0" 0
+          (Daemon.shard_of_id ~shards:1 "deadbeefdeadbeefdeadbeefdeadbeef");
+        Alcotest.(check int) "hex prefix mod shards" (0xdeadbee mod 4)
+          (Daemon.shard_of_id ~shards:4 "deadbeefdeadbeefdeadbeefdeadbeef");
+        for shards = 1 to 8 do
+          List.iter
+            (fun id ->
+              let k = Daemon.shard_of_id ~shards id in
+              Alcotest.(check bool) "in range" true (k >= 0 && k < shards);
+              Alcotest.(check int) "deterministic" k (Daemon.shard_of_id ~shards id))
+            [ ""; "x"; "0123456"; "0123456789abcdef"; "not-hex-at-all";
+              "ffffffffffffffffffffffffffffffff" ]
+        done);
     Alcotest.test_case "repl verbs: bad arity is an error" `Quick (fun () ->
         List.iter
           (fun payload ->
@@ -165,6 +247,53 @@ let admission_units =
         match Admission.offer a ~id:"c" with
         | `Shed _ -> ()
         | _ -> Alcotest.fail "over capacity after force: fresh submits shed");
+    Alcotest.test_case "aggregate of one snapshot matches retry_after_ms" `Quick (fun () ->
+        let a = Admission.create ~capacity:8 () in
+        ignore (Admission.offer a ~id:"a");
+        ignore (Admission.offer a ~id:"b");
+        ignore (Admission.take a);
+        Admission.finish a ~id:"a" ~elapsed_ms:7_300;
+        (* the snapshot carries the ewma at millisecond precision, so
+           the fleet estimate for a one-shard fleet reproduces the
+           local hint up to rounding *)
+        let direct = Admission.retry_after_ms a in
+        let fleet = Admission.aggregate [ Admission.snapshot a ] in
+        Alcotest.(check bool)
+          (Printf.sprintf "within 1ms: direct=%d fleet=%d" direct fleet)
+          true
+          (abs (direct - fleet) <= 1));
+    Alcotest.test_case "aggregate skips torn snapshots, clamps when empty" `Quick (fun () ->
+        let a = Admission.create ~capacity:8 () in
+        ignore (Admission.offer a ~id:"a");
+        Admission.finish a ~id:"a" ~elapsed_ms:10_000;
+        let good = Admission.aggregate [ Admission.snapshot a ] in
+        (* a torn or garbage stat file must not poison the estimate *)
+        List.iter
+          (fun torn ->
+            Alcotest.(check int)
+              (Printf.sprintf "torn %S skipped" torn)
+              good
+              (Admission.aggregate [ torn; Admission.snapshot a ]))
+          [ ""; "garbage"; "3"; "-1 5.0"; "3 -2.0"; "x 5.0"; "3 y"; "1 2 3" ];
+        (* no parseable snapshot at all: the floor of the clamp range *)
+        Alcotest.(check int) "empty clamps to floor" 100 (Admission.aggregate []);
+        Alcotest.(check int) "all torn clamps to floor" 100 (Admission.aggregate [ "nope" ]));
+    Alcotest.test_case "aggregate spreads occupancy over the fleet" `Quick (fun () ->
+        (* two idle shards drain twice as fast as one: with the same
+           total occupancy and ewma, the two-shard hint is at most the
+           one-shard hint (it halves, modulo the clamp floor) *)
+        let a = Admission.create ~capacity:8 () in
+        ignore (Admission.offer a ~id:"a");
+        ignore (Admission.offer a ~id:"b");
+        ignore (Admission.take a);
+        Admission.finish a ~id:"a" ~elapsed_ms:20_000;
+        let solo = Admission.aggregate [ Admission.snapshot a ] in
+        let idle = "0 0.000" in
+        let fleet = Admission.aggregate [ Admission.snapshot a; idle ] in
+        Alcotest.(check bool)
+          (Printf.sprintf "fleet hint %d <= solo hint %d" fleet solo)
+          true (fleet <= solo);
+        Alcotest.(check bool) "still clamped to range" true (fleet >= 100 && fleet <= 60_000));
     Alcotest.test_case "requeue returns an in-flight job to the tail" `Quick (fun () ->
         let a = Admission.create ~capacity:4 () in
         ignore (Admission.offer a ~id:"a");
@@ -279,6 +408,32 @@ let kill_quietly pid signal = try Unix.kill pid signal with Unix.Unix_error _ ->
 
 let line_with ~needle text =
   List.find_opt (fun l -> contains ~needle l) (String.split_on_char '\n' text)
+
+(* pull a ["key":"value"] string field out of one line of jobs --json *)
+let json_field key line =
+  let needle = Printf.sprintf {|"%s":"|} key in
+  let n = String.length needle and h = String.length line in
+  let rec find i =
+    if i + n > h then None else if String.sub line i n = needle then Some (i + n) else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some stop -> Some (String.sub line start (stop - start)))
+
+(* the (id, state) outcomes a spool's journals record, sorted — the
+   unit of comparison between a flat and a sharded deployment *)
+let outcomes_of spool =
+  let code, json = run_rtt [ "jobs"; spool; "--json" ] in
+  Alcotest.(check int) "jobs --json exits 0" 0 code;
+  String.split_on_char '\n' json
+  |> List.filter_map (fun line ->
+         match (json_field "id" line, json_field "state" line) with
+         | Some id, Some state -> Some (id, state)
+         | _ -> None)
+  |> List.sort compare
 
 let process_units =
   [
@@ -467,6 +622,91 @@ let process_units =
                accepting work it will never run — and after exit, the
                socket file is gone *)
             Alcotest.(check bool) "socket removed" false (Sys.file_exists socket)));
+    Alcotest.test_case "shards=4 journal outcomes equal shards=1, exactly-once per shard" `Slow
+      (fun () ->
+        let flat = fresh_dir "flat" in
+        let sharded = fresh_dir "sharded" in
+        let sock_flat = Filename.concat flat "d.sock" in
+        let sock_sharded = Filename.concat sharded "d.sock" in
+        let insts =
+          List.map
+            (fun i ->
+              let p = Filename.concat flat (Printf.sprintf "in_%d.txt" i) in
+              (* distinct hub counts keep the five digests distinct *)
+              gen_instance ~seed:(40 + i) ~n:(8 * (i + 1)) p;
+              p)
+            [ 0; 1; 2; 3; 4 ]
+        in
+        let d_flat = spawn_daemon ~spool:flat ~socket:sock_flat () in
+        let d_sharded =
+          spawn_daemon ~extra:[ "--shards"; "4" ] ~spool:sharded ~socket:sock_sharded ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            kill_quietly d_flat Sys.sigkill;
+            ignore (wait_exit d_flat);
+            kill_quietly d_sharded Sys.sigkill;
+            ignore (wait_exit d_sharded))
+          (fun () ->
+            let submit sock inst =
+              let code, out =
+                run_rtt [ "submit"; inst; "--socket"; sock; "--wait"; "--timeout"; "120" ]
+              in
+              Alcotest.(check int) (Printf.sprintf "submit --wait %s ok" inst) 0 code;
+              out
+            in
+            List.iter
+              (fun inst ->
+                let o_flat = submit sock_flat inst in
+                let o_sharded = submit sock_sharded inst in
+                Alcotest.(check string) "same rendering from either topology" o_flat o_sharded)
+              insts;
+            (* a second pass over the sharded fleet: every digest must
+               coalesce onto its owner's existing job, wherever the
+               accepting shard was *)
+            List.iter (fun inst -> ignore (submit sock_sharded inst)) insts;
+            kill_quietly d_flat Sys.sigterm;
+            kill_quietly d_sharded Sys.sigterm;
+            (match wait_exit d_flat with
+            | `Exited 0 -> ()
+            | _ -> Alcotest.fail "flat daemon must drain to exit 0");
+            match wait_exit d_sharded with
+            | `Exited 0 -> ()
+            | _ -> Alcotest.fail "sharded daemon must drain to exit 0");
+        (* per fingerprint, both deployments journaled the same outcome *)
+        let o_flat = outcomes_of flat in
+        let o_sharded = outcomes_of sharded in
+        Alcotest.(check (list (pair string string)))
+          "same (id, state) outcomes either way" o_flat o_sharded;
+        Alcotest.(check int) "five distinct jobs" 5 (List.length o_sharded);
+        List.iter
+          (fun (_, state) -> Alcotest.(check string) "all done" "done" state)
+          o_sharded;
+        (* exactly-once under sharding: each job's instance file lives
+           in exactly one shard spool, and that shard is the one the
+           router names — no double-journaling, no orphan copies *)
+        let shard_dirs =
+          Sys.readdir sharded |> Array.to_list
+          |> List.filter (fun d ->
+                 String.length d > 6
+                 && String.sub d 0 6 = "shard-"
+                 && Sys.is_directory (Filename.concat sharded d))
+          |> List.sort compare
+        in
+        Alcotest.(check (list string)) "four shard spools"
+          [ "shard-0"; "shard-1"; "shard-2"; "shard-3" ] shard_dirs;
+        List.iter
+          (fun (id, _) ->
+            let owners =
+              List.filter
+                (fun d -> Sys.file_exists (Filename.concat (Filename.concat sharded d) (id ^ ".rtt")))
+                shard_dirs
+            in
+            Alcotest.(check (list string))
+              (Printf.sprintf "job %s owned by exactly the shard the router names" id)
+              [ Printf.sprintf "shard-%d" (Daemon.shard_of_id ~shards:4 id) ]
+              owners)
+          o_sharded);
   ]
 
 let () =
