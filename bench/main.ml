@@ -940,6 +940,56 @@ let t1 () =
   verdict "T1" !ok
 
 (* ------------------------------------------------------------------ *)
+(* S1: sessions — 10-mutation warm re-solve vs cold solves            *)
+
+let s1 () =
+  section "S1" "Sessions: 10-mutation warm re-solve vs cold solves (exact rung)";
+  Format.printf
+    "claim: a session's warm re-solve returns the cold answer byte for byte, for >= 2x less fuel@.";
+  Format.printf
+    "workload: hub-heavy race DAG, binary durations; 10 set-budget mutations sweeping budget 1..10@.";
+  let module Session = Rtt_session.Session in
+  let spool = bench_spool "s1" in
+  let rng = rng_of 6364136 in
+  let g = hub_instance rng ~hubs:2 ~fan:8 in
+  let p = Problem.of_race_dag g Problem.Binary in
+  let store = Session.create_store ~spool in
+  let must = function Ok v -> v | Error m -> failwith m in
+  let t = must (Session.open_ store "bench-s1") in
+  ignore (must (Session.mutate t (Session.Seed (Io.to_string p))));
+  let ok = ref true in
+  let warm_fuel = ref 0 and cold_fuel = ref 0 in
+  let warm_secs = ref 0.0 and cold_secs = ref 0.0 in
+  Format.printf "%6s | %10s | %10s | %s@." "budget" "cold fuel" "warm fuel" "identical";
+  for budget = 1 to 10 do
+    ignore (must (Session.mutate t (Session.Set_budget budget)));
+    let t0 = Unix.gettimeofday () in
+    let w =
+      match Session.solve ~policy:[ Policy.Exact ] t with
+      | Ok w -> w
+      | Error e -> failwith (Error.to_string e)
+    in
+    warm_secs := !warm_secs +. (Unix.gettimeofday () -. t0);
+    warm_fuel := !warm_fuel + w.Session.success.Engine.fuel_spent;
+    let t1 = Unix.gettimeofday () in
+    let c = engine_exact p ~budget in
+    cold_secs := !cold_secs +. (Unix.gettimeofday () -. t1);
+    cold_fuel := !cold_fuel + c.Engine.fuel_spent;
+    let same = String.equal w.Session.rendered (Session.cold_render p c) in
+    if not same then ok := false;
+    Format.printf "%6d | %10d | %10d | %s%s@." budget c.Engine.fuel_spent
+      w.Session.success.Engine.fuel_spent
+      (if same then "yes" else "NO")
+      (if w.Session.warm then "" else "  (first solve: cold)")
+  done;
+  Session.close store t;
+  let ratio = float_of_int !cold_fuel /. float_of_int (max 1 !warm_fuel) in
+  Format.printf
+    "measured: 10 cold solves %d fuel (%.3fs); session %d fuel (%.3fs); fuel speedup %.2fx@."
+    !cold_fuel !cold_secs !warm_fuel !warm_secs ratio;
+  verdict "S1" (!ok && ratio >= 2.0)
+
+(* ------------------------------------------------------------------ *)
 (* perf: Bechamel micro-benchmarks                                     *)
 
 let perf () =
@@ -1003,7 +1053,7 @@ let all_experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8);
     ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15);
-    ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("T1", t1); ("perf", perf);
+    ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4); ("A5", a5); ("T1", t1); ("S1", s1); ("perf", perf);
   ]
 
 let () =

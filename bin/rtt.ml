@@ -12,7 +12,8 @@
      jobs     report the journaled state of a spool
      daemon   serve the batch service over a socket
      submit   send an instance to a running daemon
-     status   ask a running daemon for one job's state *)
+     status   ask a running daemon for one job's state
+     session  drive a live mutable instance on a running daemon *)
 
 open Cmdliner
 open Rtt_dag
@@ -1087,6 +1088,108 @@ let status_cmd =
   in
   Cmd.v info Term.(const run $ id_arg $ socket_arg $ connect_attempts_arg)
 
+let session_cmd =
+  let open Rtt_net in
+  let action =
+    let doc = "open | mutate | solve | close." in
+    Arg.(
+      required
+      & pos 0
+          (some (enum [ ("open", `Open); ("mutate", `Mutate); ("solve", `Solve); ("close", `Close) ]))
+          None
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let sid_arg =
+    let doc = "Session id: 1-64 characters from [A-Za-z0-9._-]." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"SID" ~doc)
+  in
+  let rest =
+    let doc =
+      "For $(b,open): an optional instance file that seeds a fresh session. For $(b,mutate): \
+       the mutation, unquoted — e.g. $(b,add-edge 0 3), $(b,set-budget 4), $(b,add-job 1:5 \
+       2:2), $(b,set-duration-option 1 1:4), $(b,set-alpha 2/3), $(b,remove-job 2), or \
+       $(b,seed) followed by an instance file."
+    in
+    Arg.(value & pos_right 1 string [] & info [] ~docv:"ARG" ~doc)
+  in
+  let timeout =
+    let doc = "Give up after $(docv) seconds (exit 42)." in
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"SEC" ~doc)
+  in
+  let read_body path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let run action sid rest socket timeout attempts =
+    let usage msg =
+      Format.eprintf "rtt: %s@." msg;
+      124
+    in
+    let roundtrip req =
+      with_client ~attempts socket @@ fun c ->
+      match Client.request ~timeout c req with
+      | Error e -> report_client_error e
+      | Ok (Protocol.Session_ok { revision; _ }) ->
+          Printf.printf "%s revision %d\n" sid revision;
+          0
+      | Ok (Protocol.Session_result { fuel; warm; rendered; _ }) ->
+          (* the canonical answer on stdout (byte-identical to a cold
+             solve); the per-solve cost on stderr where it cannot
+             perturb a diff against one *)
+          print_string rendered;
+          Format.eprintf "fuel: %d steps (%s)@." fuel (if warm then "warm" else "cold");
+          0
+      | Ok (Protocol.Errored { code = "unknown-session"; msg }) ->
+          Format.eprintf "rtt: unknown session %s@." msg;
+          Client.exit_unknown_job
+      | Ok (Protocol.Errored { code; msg }) ->
+          Format.eprintf "rtt: daemon error %s: %s@." code msg;
+          Option.value (Error.exit_code_of_class code) ~default:Client.exit_connect
+      | Ok _ ->
+          Format.eprintf "rtt: unexpected daemon response@.";
+          Client.exit_connect
+    in
+    match action with
+    | `Open -> (
+        match rest with
+        | [] -> roundtrip (Protocol.Session_open { sid; body = None })
+        | [ path ] -> (
+            match read_body path with
+            | body -> roundtrip (Protocol.Session_open { sid; body = Some body })
+            | exception Sys_error msg -> usage msg)
+        | _ -> usage "session open takes at most one instance file")
+    | `Mutate -> (
+        match rest with
+        | [] -> usage "session mutate needs a mutation, e.g. add-edge 0 3"
+        | [ "seed"; path ] -> (
+            (* the seed op carries a whole instance: accept a file path
+               on the command line and escape it client-side *)
+            match read_body path with
+            | body ->
+                roundtrip
+                  (Protocol.Session_mutate
+                     { sid; op = "seed " ^ Rtt_service.Frame.escape body })
+            | exception Sys_error msg -> usage msg)
+        | words -> roundtrip (Protocol.Session_mutate { sid; op = String.concat " " words }))
+    | `Solve -> roundtrip (Protocol.Session_solve { sid })
+    | `Close -> roundtrip (Protocol.Session_close { sid })
+  in
+  let info =
+    Cmd.info "session"
+      ~doc:
+        "Drive a live session on a running $(b,rtt daemon): $(b,open) creates (or reattaches \
+         to) a mutable instance, $(b,mutate) applies one validated, journaled mutation, \
+         $(b,solve) re-solves warm from the previous answer (printing the canonical answer \
+         text — byte-identical to a cold solve — on stdout and the fuel actually spent on \
+         stderr), and $(b,close) discards the session. Every acknowledged mutation survives \
+         $(b,kill -9): the daemon replays the session journal on reattach. Exit 0, 43 for an \
+         unknown session, 40/42 for connection failures and timeouts."
+  in
+  Cmd.v info
+    Term.(const run $ action $ sid_arg $ rest $ socket_arg $ timeout $ connect_attempts_arg)
+
 let loadgen_cmd =
   let open Rtt_net in
   let clients =
@@ -1533,7 +1636,7 @@ let main =
   let info = Cmd.info "rtt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ solve_cmd; exact_cmd; gen_cmd; sp_cmd; reduce_cmd; pareto_cmd; dot_cmd; demo_cmd; serve_cmd;
-      jobs_cmd; daemon_cmd; submit_cmd; status_cmd; loadgen_cmd; replica_cmd; promote_cmd;
-      fsck_cmd; chaos_cmd ]
+      jobs_cmd; daemon_cmd; submit_cmd; status_cmd; session_cmd; loadgen_cmd; replica_cmd;
+      promote_cmd; fsck_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -54,7 +54,7 @@ let allocation_of_snapshot s =
       | exception _ -> None)
   | _ -> None
 
-let min_makespan ?(max_states = 2_000_000) ?warm_start (p : Problem.t) ~budget =
+let min_makespan ?(max_states = 2_000_000) ?warm_start ?warm_hint (p : Problem.t) ~budget =
   if budget < 0 then invalid_arg "Exact.min_makespan: negative budget";
   let options = options_of p ~cap:budget in
   check_size ~max_states options;
@@ -68,11 +68,25 @@ let min_makespan ?(max_states = 2_000_000) ?warm_start (p : Problem.t) ~budget =
       if used <= budget then
         best := { makespan = Schedule.makespan p a; budget_used = used; allocation = Array.copy a }
   | _ -> ());
+  (* A warm HINT is weaker than a warm start: it never becomes the
+     incumbent, it only caps exploration. A feasible hint of makespan
+     m_W proves opt <= m_W, so subtrees whose lower bound exceeds m_W
+     cannot contain the optimum — nor any leaf that participates in the
+     cold run's final answer, which is the first enumerated feasible
+     leaf achieving the optimum and whose ancestors all have lower
+     bounds <= opt <= m_W. Every pruned-away leaf has makespan > m_W,
+     so the surviving fold over feasible leaves reaches the identical
+     final record: same answer as a cold run, strictly less fuel. *)
+  let cap = ref max_int in
+  (match warm_hint with
+  | Some a when Array.length a = n && Array.for_all (fun r -> r >= 0) a ->
+      if Schedule.min_budget p a <= budget then cap := Schedule.makespan p a + 1
+  | _ -> ());
   let alloc = Array.make n 0 and time = Array.make n 0 in
   let rec go v =
     Budget.tick ~stage:"exact";
     if !best.makespan < max_int then Budget.checkpoint (fun () -> snapshot_of !best);
-    if partial_lower_bound p time v >= !best.makespan then ()
+    if partial_lower_bound p time v >= min !best.makespan !cap then ()
     else if v = n then begin
       let ms = Longest_path.makespan p.dag ~weight:(fun u -> time.(u)) in
       if ms < !best.makespan then begin

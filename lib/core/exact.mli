@@ -15,7 +15,8 @@ exception Too_large of int
 (** Raised when the search space exceeds [max_states] (the payload is
     the estimated state count). *)
 
-val min_makespan : ?max_states:int -> ?warm_start:int array -> Problem.t -> budget:int -> t
+val min_makespan :
+  ?max_states:int -> ?warm_start:int array -> ?warm_hint:int array -> Problem.t -> budget:int -> t
 (** The true optimal makespan with the given budget (Question 1.3
     semantics: resources reused over paths).
 
@@ -25,6 +26,15 @@ val min_makespan : ?max_states:int -> ?warm_start:int array -> Problem.t -> budg
     first node, so a resumed run spends strictly less fuel than a cold
     one and returns the identical optimum. An infeasible or ill-sized
     warm start is a hint and is silently ignored.
+
+    [warm_hint] is the weaker, bit-identity-preserving cousin used by
+    incremental re-solves: a feasible allocation whose makespan [m]
+    proves the optimum is at most [m], so the search additionally prunes
+    every subtree with lower bound above [m] — but the hint never
+    becomes the incumbent, so the answer (including which of several
+    optimal allocations is returned) is the cold run's, byte for byte,
+    reached with strictly less fuel. Infeasible or ill-sized hints are
+    silently ignored; both options compose.
     @raise Too_large when the product of per-vertex option counts
     exceeds [max_states] (default [2_000_000]).
     @raise Invalid_argument on negative budget. *)

@@ -4,10 +4,20 @@ let cap_budget p = function
   | Some b -> min b (Problem.max_meaningful_budget p)
   | None -> Problem.max_meaningful_budget p
 
+(* Adjacent budgets have adjacent optima, which both sweeps exploit:
+   the exact sweep hands each solve the previous budget's allocation as
+   a phantom upper bound (feasible at the larger budget too, so it can
+   only prune — see {!Exact.min_makespan}'s [warm_hint]), and the
+   approximate sweep re-offers the previous budget's optimal LP basis,
+   which the simplex re-verifies exactly and discards on any mismatch.
+   Both reuses are answer-preserving by construction; they only save
+   work. *)
 let exact ?max_budget ?max_states p =
   let top = cap_budget p max_budget in
+  let prev = ref None in
   List.init (top + 1) (fun budget ->
-      let r = Exact.min_makespan ?max_states p ~budget in
+      let r = Exact.min_makespan ?max_states ?warm_hint:!prev p ~budget in
+      prev := Some r.Exact.allocation;
       { budget; makespan = r.Exact.makespan; allocation = r.Exact.allocation })
 
 let knees points =
@@ -21,6 +31,8 @@ let approximate ?max_budget p =
   let top = cap_budget p max_budget in
   let best = ref None in
   List.init (top + 1) (fun budget ->
+      if budget > 0 then
+        Option.iter Rtt_lp.Simplex.set_basis_hint (Rtt_lp.Simplex.last_basis ());
       let r = Binary_bicriteria.min_makespan p ~budget in
       let candidate = { budget; makespan = r.Binary_bicriteria.makespan; allocation = r.Binary_bicriteria.allocation } in
       let chosen =

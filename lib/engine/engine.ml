@@ -19,7 +19,7 @@ let degraded_to s = s.degraded <> []
 
 (* One raw rung invocation. Runs inside the caller's fuel context, so
    any exception here is a structured failure of this rung only. *)
-let attempt p ~budget ~alpha ~max_states ~warm_start rung : Validate.claim =
+let attempt p ~budget ~alpha ~max_states ~warm_start ~warm_hint rung : Validate.claim =
   let plain allocation makespan budget_used =
     {
       Validate.rung;
@@ -34,7 +34,7 @@ let attempt p ~budget ~alpha ~max_states ~warm_start rung : Validate.claim =
   in
   match rung with
   | Policy.Exact ->
-      let r = Exact.min_makespan ~max_states ?warm_start p ~budget in
+      let r = Exact.min_makespan ~max_states ?warm_start ?warm_hint p ~budget in
       plain r.Exact.allocation r.Exact.makespan r.Exact.budget_used
   | Policy.Bicriteria ->
       let bi = Bicriteria.min_makespan p ~budget ~alpha in
@@ -89,7 +89,7 @@ let error_of_exn = function
   | _ -> None
 
 let solve ?fuel ?(policy = Policy.default) ?(alpha = Rat.half) ?(max_states = 2_000_000)
-    ?warm_start (p : Problem.t) ~budget =
+    ?warm_start ?warm_hint (p : Problem.t) ~budget =
   if budget < 0 then Error (Error.Invalid_request "budget must be non-negative")
   else if Rat.(alpha <= Rat.zero) || Rat.(alpha >= Rat.one) then
     Error (Error.Invalid_request "alpha must lie strictly inside (0, 1)")
@@ -105,7 +105,7 @@ let solve ?fuel ?(policy = Policy.default) ?(alpha = Rat.half) ?(max_states = 2_
           Budget.with_fuel fuel (fun () ->
               Fun.protect
                 ~finally:(fun () -> rung_spent := Budget.spent ())
-                (fun () -> attempt p ~budget ~alpha ~max_states ~warm_start rung))
+                (fun () -> attempt p ~budget ~alpha ~max_states ~warm_start ~warm_hint rung))
         with
         | claim -> Ok claim
         | exception e -> (

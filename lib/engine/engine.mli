@@ -35,11 +35,12 @@ val solve :
   ?alpha:Rat.t ->
   ?max_states:int ->
   ?warm_start:int array ->
+  ?warm_hint:int array ->
   Problem.t ->
   budget:int ->
   (success, Error.t) result
-(** [solve ?fuel ?policy ?alpha ?max_states ?warm_start p ~budget]
-    minimizes the makespan under [budget] resource units.
+(** [solve ?fuel ?policy ?alpha ?max_states ?warm_start ?warm_hint p
+    ~budget] minimizes the makespan under [budget] resource units.
 
     [fuel] is a per-rung step budget; a rung that exhausts it fails with
     [Fuel_exhausted] and the next rung starts fresh, so one runaway rung
@@ -49,7 +50,12 @@ val solve :
     space. [warm_start] primes the exact rung's branch-and-bound
     incumbent (see {!Rtt_core.Exact.min_makespan}) — the serving layer
     passes a checkpointed allocation here to resume an interrupted
-    solve instead of restarting it from scratch.
+    solve instead of restarting it from scratch. [warm_hint] instead
+    feeds the exact rung's answer-preserving exploration cap (see
+    {!Rtt_core.Exact.min_makespan}'s [warm_hint]) — the session layer
+    passes the previous revision's allocation here, so an incremental
+    re-solve spends less fuel yet returns what a cold solve would,
+    byte for byte.
 
     Returns [Error (Invalid_request _)] on bad parameters and
     [Error (All_rungs_failed _)] when no rung produces a validated

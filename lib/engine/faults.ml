@@ -11,11 +11,13 @@ type site =
   | Disk_enospc
   | Disk_eio
   | Disk_rename_fail
+  | Session_mutate_drop
 
-(* The replication sites live in the service layer, which this library
+(* The replication and session sites live in layers this library
    cannot see; the probe sides use the same literal strings. *)
 let repl_frame_drop_site = "repl.frame-drop"
 let repl_ack_delay_site = "repl.ack-delay"
+let session_mutate_drop_site = "session.mutate.drop"
 
 let key = function
   | Lp_infeasible -> Rtt_lp.Simplex.infeasible_site
@@ -28,6 +30,7 @@ let key = function
   | Disk_enospc -> Rtt_diskio.Diskio.enospc_site
   | Disk_eio -> Rtt_diskio.Diskio.eio_site
   | Disk_rename_fail -> Rtt_diskio.Diskio.rename_fail_site
+  | Session_mutate_drop -> session_mutate_drop_site
 
 let name = function
   | Lp_infeasible -> "lp-infeasible"
@@ -42,6 +45,7 @@ let name = function
   | Disk_enospc -> Rtt_diskio.Diskio.enospc_site
   | Disk_eio -> Rtt_diskio.Diskio.eio_site
   | Disk_rename_fail -> Rtt_diskio.Diskio.rename_fail_site
+  | Session_mutate_drop -> session_mutate_drop_site
 
 let all =
   [
@@ -55,6 +59,7 @@ let all =
     Disk_enospc;
     Disk_eio;
     Disk_rename_fail;
+    Session_mutate_drop;
   ]
 let of_string s = List.find_opt (fun f -> name f = String.lowercase_ascii (String.trim s)) all
 

@@ -40,14 +40,20 @@ type site =
   | Disk_rename_fail
       (** The triggering {!Rtt_diskio.Diskio.rename} raises [EIO]
           without renaming; the temp file stays behind as litter. *)
+  | Session_mutate_drop
+      (** The daemon drops the triggering [session.mutate] before
+          journaling or applying it, answering [error fault-injected]
+          — the deterministic stand-in for a mutation lost in flight,
+          used by the session crash tests. *)
 
 val key : site -> string
 (** The underlying {!Rtt_budget.Budget} site string. *)
 
 val repl_frame_drop_site : string
 val repl_ack_delay_site : string
-(** The site strings probed from the service layer (which this library
-    cannot depend on); kept here so {!key} and the probes agree. *)
+val session_mutate_drop_site : string
+(** The site strings probed from layers this library cannot depend on
+    (service, session); kept here so {!key} and the probes agree. *)
 
 val name : site -> string
 val all : site list

@@ -37,6 +37,27 @@ let warm_rejected = ref 0
 let pivot_count () = !pivots
 let warm_stats () = (!warm_accepted, !warm_rejected)
 
+(* The counters are plain process-global refs, so a forked child (a
+   pool worker, a daemon shard) inherits whatever the parent had
+   accumulated. Every fork point calls this so per-process stats start
+   at zero instead of double-counting the parent's history. *)
+let reset_stats () =
+  pivots := 0;
+  warm_accepted := 0;
+  warm_rejected := 0
+
+(* A reusable basis: the (standard-form row, column) pairs of the last
+   optimal solve, in exactly the shape {!crash_basis} consumes, plus
+   the standard form's dimensions so a hint is only ever tried against
+   an LP of the same shape. Abstract outside this module. *)
+type basis = { b_rows : int; b_cols : int; b_pairs : (int * int) array }
+
+let captured_basis : basis option ref = ref None
+let basis_hint : basis option ref = ref None
+let last_basis () = !captured_basis
+let set_basis_hint b = basis_hint := Some b
+let clear_basis_hint () = basis_hint := None
+
 (* The tableau holds m rows of length [width]; column [width - 1] is the
    right-hand side. [z] is the objective row maintained alongside, with
    z.(width - 1) = -(current objective value). Basic columns always read
@@ -176,8 +197,12 @@ let build_std ~n_vars constraints =
   { n_vars; n_slack; rows }
 
 (* Phase 2 from a feasible tableau over real columns only: price the
-   objective out of the basic columns and run the pivot loop. *)
-let solve_phase2 tableau basis ~n_vars ~width ~objective =
+   objective out of the basic columns and run the pivot loop.
+   [orig_rows] maps each (compacted) tableau row back to its row in the
+   standard form and [std_rows] is the standard form's row count — on
+   an optimal exit the final basis is recorded in those coordinates so
+   a later solve of a same-shaped LP can crash from it. *)
+let solve_phase2 tableau basis ~n_vars ~width ~objective ~orig_rows ~std_rows =
   let rhs = width - 1 in
   let z = Array.make width Rat.zero in
   for j = 0 to n_vars - 1 do
@@ -194,6 +219,13 @@ let solve_phase2 tableau basis ~n_vars ~width ~objective =
   match run_phase tableau z basis ~width with
   | `Unbounded -> Unbounded
   | `Optimal ->
+      captured_basis :=
+        Some
+          {
+            b_rows = std_rows;
+            b_cols = width - 1;
+            b_pairs = Array.mapi (fun i b -> (orig_rows.(i), b)) basis;
+          };
       let solution = Array.make n_vars Rat.zero in
       Array.iteri (fun i b -> if b < n_vars then solution.(b) <- tableau.(i).(rhs)) basis;
       Optimal { objective = Rat.neg z.(rhs); solution }
@@ -264,6 +296,7 @@ let solve_two_phase std ~objective =
     in
     let basis2 = Array.of_list (List.map (fun i -> basis.(i)) keep_rows) in
     solve_phase2 tableau2 basis2 ~n_vars:std.n_vars ~width:width2 ~objective
+      ~orig_rows:(Array.of_list keep_rows) ~std_rows:m
   end
 
 (* ------------------------------------------------------------------ *)
@@ -349,7 +382,9 @@ let crash_basis std ~objective pairs =
       else begin
         let rows = Array.of_list (List.map (fun i -> tableau.(i)) !keep) in
         let basis = Array.of_list (List.map (fun i -> assigned.(i)) !keep) in
-        Some (solve_phase2 rows basis ~n_vars:std.n_vars ~width ~objective)
+        Some
+          (solve_phase2 rows basis ~n_vars:std.n_vars ~width ~objective
+             ~orig_rows:(Array.of_list !keep) ~std_rows:m)
       end
     end
   end
@@ -372,16 +407,36 @@ let minimize_tableau ~n_vars constraints ~objective =
     (fun c -> if Array.length c.coeffs <> n_vars then invalid_arg "Simplex.minimize: constraint size")
     constraints;
   let std = build_std ~n_vars constraints in
-  if !warmstart_enabled then begin
-    match try_warm_start std ~objective with
-    | Some outcome ->
-        incr warm_accepted;
-        outcome
-    | None ->
-        incr warm_rejected;
-        solve_two_phase std ~objective
-  end
-  else solve_two_phase std ~objective
+  (* An explicitly installed basis hint (a previous optimal basis of a
+     same-shaped LP — set by the session layer and the Pareto sweep) is
+     consumed one-shot and tried before the float advisor. It goes
+     through the same exact crash/verify discipline, so like the float
+     basis it can only save pivots, never change the outcome. *)
+  let hint =
+    match !basis_hint with
+    | None -> None
+    | Some b ->
+        basis_hint := None;
+        if b.b_rows = Array.length std.rows && b.b_cols = std.n_vars + std.n_slack then
+          Some b.b_pairs
+        else None
+  in
+  match (match hint with Some pairs -> crash_basis std ~objective pairs | None -> None) with
+  | Some outcome ->
+      incr warm_accepted;
+      outcome
+  | None ->
+      if Option.is_some hint then incr warm_rejected;
+      if !warmstart_enabled then begin
+        match try_warm_start std ~objective with
+        | Some outcome ->
+            incr warm_accepted;
+            outcome
+        | None ->
+            incr warm_rejected;
+            solve_two_phase std ~objective
+      end
+      else solve_two_phase std ~objective
 
 let minimize ~n_vars constraints ~objective =
   if Budget.probe ~site:infeasible_site then Infeasible

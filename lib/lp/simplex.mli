@@ -64,6 +64,36 @@ val warm_stats : unit -> int * int
 (** [(accepted, rejected)] warm-start attempts since program start.
     Solves with warm start disabled count in neither bucket. *)
 
+val reset_stats : unit -> unit
+(** Zero {!pivot_count} and {!warm_stats}. The counters are
+    process-global refs, so forked children (pool workers, daemon
+    shards) inherit the parent's totals — every fork point calls this
+    so per-process stats are actually per-process. *)
+
+type basis
+(** An optimal basis in standard-form coordinates, reusable as a warm
+    start for a later solve of a same-shaped LP. Opaque: the only
+    things to do with one are capture it ({!last_basis}) and offer it
+    back ({!set_basis_hint}). *)
+
+val last_basis : unit -> basis option
+(** The final basis of the most recent optimal solve in this process
+    ([None] before the first). The session layer snapshots this right
+    after a solve so the next re-solve of the (possibly mutated)
+    instance can start from it. *)
+
+val set_basis_hint : basis -> unit
+(** Install a one-shot starting-basis hint: the next {!minimize} (or
+    {!maximize}) consumes it and, if its LP has the same standard-form
+    shape, crashes the basis in exact arithmetic — accepted only if it
+    re-derives to a proven basic feasible solution, discarded on any
+    mismatch (the same verify-or-discard discipline as the float
+    advisor, counted in {!warm_stats}). A hint for a different shape
+    (the instance gained or lost columns/rows) is discarded silently.
+    Outcomes are identical with or without a hint. *)
+
+val clear_basis_hint : unit -> unit
+
 val minimize : n_vars:int -> constr list -> objective:Rat.t array -> outcome
 (** All variables implicitly satisfy [x >= 0].
     @raise Invalid_argument on dimension mismatches.

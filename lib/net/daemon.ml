@@ -1,5 +1,6 @@
 open Rtt_service
 module E = Rtt_engine
+module Session = Rtt_session.Session
 
 type config = {
   service : Work.config;
@@ -192,6 +193,7 @@ let serve cfg ~shard ~shards ~own_socket ls =
     | None -> Some 1
   in
   let admission = Admission.create ~capacity:cfg.queue_capacity () in
+  let sessions = Session.create_store ~spool in
   let started_at : (string, float) Hashtbl.t = Hashtbl.create 32 in
   let conns = ref ([] : Conn.t list) in
   let waiters : (string, Conn.t list) Hashtbl.t = Hashtbl.create 16 in
@@ -311,6 +313,10 @@ let serve cfg ~shard ~shards ~own_socket ls =
             Unix.close w.from_w)
           !workers;
         (try Unix.close (Journal.fd journal) with Unix.Unix_error _ -> ());
+        (* the parent's LP counters (warm-start stats, pivot counts) are
+           inherited across fork; zero them so the worker's figures are
+           its own *)
+        Rtt_lp.Simplex.reset_stats ();
         Pool.worker_loop cfg.service ~from_parent:ar ~to_parent:bw
     | pid ->
         Unix.close ar;
@@ -511,7 +517,8 @@ let serve cfg ~shard ~shards ~own_socket ls =
       | Protocol.Result { id; _ }
       | Protocol.Failed { id; _ } ->
           by_id id
-      | Protocol.Errored { code = "unknown-job"; msg } -> by_id msg
+      | Protocol.Session_ok { sid; _ } | Protocol.Session_result { sid; _ } -> by_id sid
+      | Protocol.Errored { code = "unknown-job" | "unknown-session"; msg } -> by_id msg
       | _ -> take (fun _ -> true)
     in
     match (taken, resp) with
@@ -598,8 +605,32 @@ let serve cfg ~shard ~shards ~own_socket ls =
           if owner = shard then submit_local ~reply ~name ~id p
           else forward ~owner ~id (Protocol.Submit { name; body }) ~deliver:reply
   in
+  (* sessions: a session journaled before a restart (or by a previous
+     connection) reattaches lazily — but only if its journal exists, so
+     a mutate against a typo'd id cannot conjure an empty session *)
+  let find_session sid =
+    match Session.find sessions sid with
+    | Some t -> Some t
+    | None ->
+        if List.mem sid (Session.list_sids ~spool) then
+          match Session.open_ sessions sid with Ok t -> Some t | Error _ -> None
+        else None
+  in
   let handle_request c =
     let reply_to_c resp = if List.memq c !conns then Conn.send c resp in
+    (* session verbs route to the shard owning the sid, like jobs *)
+    let session_owned sid req k =
+      if not (Session.valid_sid sid) then
+        Conn.send c
+          (Protocol.Errored
+             {
+               code = "bad-request";
+               msg = "bad session id (want 1-64 characters from [A-Za-z0-9._-])";
+             })
+      else
+        let owner = shard_of_id ~shards sid in
+        if owner <> shard then forward ~owner ~id:sid req ~deliver:reply_to_c else k ()
+    in
     function
     | Protocol.Hello _ ->
         Conn.send c (Protocol.Welcome { version = Protocol.version; max_frame = cfg.max_frame })
@@ -681,6 +712,71 @@ let serve cfg ~shard ~shards ~own_socket ls =
     | Protocol.Promote ->
         Conn.send c (Protocol.Errored { code = "bad-role"; msg = "already primary" })
     | Protocol.Stats -> Conn.send c (Protocol.Stats_is { json = repl_stats () })
+    | Protocol.Session_open { sid; body } as req ->
+        session_owned sid req (fun () ->
+            match Session.open_ sessions sid with
+            | Error msg -> Conn.send c (Protocol.Errored { code = "bad-request"; msg })
+            | Ok t -> (
+                match body with
+                | Some text when Session.revision t = 0 -> (
+                    (* the seed only lands in a fresh session: a reattach
+                       keeps its journaled history, so retrying an open
+                       after a crash is safe *)
+                    match Session.mutate t (Session.Seed text) with
+                    | Ok revision -> Conn.send c (Protocol.Session_ok { sid; revision })
+                    | Error msg ->
+                        Conn.send c (Protocol.Errored { code = "bad-request"; msg }))
+                | _ ->
+                    Conn.send c
+                      (Protocol.Session_ok { sid; revision = Session.revision t })))
+    | Protocol.Session_mutate { sid; op } as req ->
+        session_owned sid req (fun () ->
+            if Rtt_budget.Budget.probe ~site:E.Faults.session_mutate_drop_site then
+              (* dropped before journaling or applying: the client sees
+                 the error and the session is exactly as it was *)
+              Conn.send c
+                (Protocol.Errored { code = "fault-injected"; msg = "session.mutate.drop" })
+            else
+              match find_session sid with
+              | None -> Conn.send c (Protocol.Errored { code = "unknown-session"; msg = sid })
+              | Some t -> (
+                  match Session.op_of_string op with
+                  | Error msg -> Conn.send c (Protocol.Errored { code = "bad-request"; msg })
+                  | Ok op -> (
+                      match Session.mutate t op with
+                      | Ok revision -> Conn.send c (Protocol.Session_ok { sid; revision })
+                      | Error msg ->
+                          Conn.send c (Protocol.Errored { code = "bad-request"; msg }))))
+    | Protocol.Session_solve { sid } as req ->
+        session_owned sid req (fun () ->
+            match find_session sid with
+            | None -> Conn.send c (Protocol.Errored { code = "unknown-session"; msg = sid })
+            | Some t -> (
+                match
+                  Session.solve ?fuel:cfg.service.Work.deadline_fuel
+                    ~policy:cfg.service.Work.policy t
+                with
+                | Ok s ->
+                    Conn.send c
+                      (Protocol.Session_result
+                         {
+                           sid;
+                           fuel = s.Session.success.E.Engine.fuel_spent;
+                           warm = s.Session.warm;
+                           rendered = s.Session.rendered;
+                         })
+                | Error e ->
+                    Conn.send c
+                      (Protocol.Errored
+                         { code = E.Error.class_name e; msg = E.Error.to_string e })))
+    | Protocol.Session_close { sid } as req ->
+        session_owned sid req (fun () ->
+            match find_session sid with
+            | None -> Conn.send c (Protocol.Errored { code = "unknown-session"; msg = sid })
+            | Some t ->
+                let revision = Session.revision t in
+                Session.close sessions t;
+                Conn.send c (Protocol.Session_ok { sid; revision }))
   in
   let conn_readable c =
     match Conn.read c ~now:(now ()) with
@@ -979,6 +1075,9 @@ let run_sharded cfg =
                 let cfg_k =
                   { cfg with service = { cfg.service with Work.spool = shard_spool ~spool k } }
                 in
+                (* each shard's LP counters start from zero, not from
+                   whatever the parent accumulated before forking *)
+                Rtt_lp.Simplex.reset_stats ();
                 Stdlib.exit (serve cfg_k ~shard:k ~shards:n ~own_socket:false ls)
             | pid -> children := (k, pid) :: !children
           done;

@@ -14,6 +14,10 @@ type request =
   | Repl_ack of { watermark : int }
   | Promote
   | Stats
+  | Session_open of { sid : string; body : string option }
+  | Session_mutate of { sid : string; op : string }
+  | Session_solve of { sid : string }
+  | Session_close of { sid : string }
 
 type response =
   | Welcome of { version : int; max_frame : int }
@@ -31,6 +35,8 @@ type response =
   | Repl_cache of { key : string; body : string }
   | Stats_is of { json : string }
   | Promoting
+  | Session_ok of { sid : string; revision : int }
+  | Session_result of { sid : string; fuel : int; warm : bool; rendered : string }
 
 let esc = Frame.escape
 
@@ -59,6 +65,14 @@ let encode_request = function
   | Repl_ack { watermark } -> Printf.sprintf "repl.ack %d" watermark
   | Promote -> "promote"
   | Stats -> "stats"
+  (* the optional seed body carries its unescaped byte length exactly
+     like submit's, and for the same reason *)
+  | Session_open { sid; body = None } -> Printf.sprintf "session.open %s" (esc sid)
+  | Session_open { sid; body = Some body } ->
+      Printf.sprintf "session.open %s %d %s" (esc sid) (String.length body) (esc body)
+  | Session_mutate { sid; op } -> Printf.sprintf "session.mutate %s %s" (esc sid) (esc op)
+  | Session_solve { sid } -> Printf.sprintf "session.solve %s" (esc sid)
+  | Session_close { sid } -> Printf.sprintf "session.close %s" (esc sid)
 
 let encode_response = function
   | Welcome { version; max_frame } -> Printf.sprintf "welcome %d %d" version max_frame
@@ -83,6 +97,10 @@ let encode_response = function
       Printf.sprintf "repl.cache %s %d %s" (esc key) (String.length body) (esc body)
   | Stats_is { json } -> Printf.sprintf "stats-is %s" (esc json)
   | Promoting -> "promoting"
+  | Session_ok { sid; revision } -> Printf.sprintf "session-ok %s %d" (esc sid) revision
+  | Session_result { sid; fuel; warm; rendered } ->
+      Printf.sprintf "session-result %s %d %d %s" (esc sid) fuel (if warm then 1 else 0)
+        (esc rendered)
 
 (* ------------------------------------------------------------------ *)
 (* parsing *)
@@ -152,6 +170,28 @@ let parse_request payload =
       Ok (Repl_ack { watermark })
   | [ "promote" ] -> Ok Promote
   | [ "stats" ] -> Ok Stats
+  | [ "session.open"; sid ] ->
+      let* sid = unesc "sid" sid in
+      Ok (Session_open { sid; body = None })
+  | [ "session.open"; sid; len; body ] ->
+      let* sid = unesc "sid" sid in
+      let* len = int_field "length" len in
+      let* body = unesc "body" body in
+      if String.length body <> len then
+        Error
+          (Printf.sprintf "length mismatch: declared %d bytes, body has %d" len
+             (String.length body))
+      else Ok (Session_open { sid; body = Some body })
+  | [ "session.mutate"; sid; op ] ->
+      let* sid = unesc "sid" sid in
+      let* op = unesc "op" op in
+      Ok (Session_mutate { sid; op })
+  | [ "session.solve"; sid ] ->
+      let* sid = unesc "sid" sid in
+      Ok (Session_solve { sid })
+  | [ "session.close"; sid ] ->
+      let* sid = unesc "sid" sid in
+      Ok (Session_close { sid })
   | verb :: _ -> Error (Printf.sprintf "unknown or malformed request %S" verb)
   | [] -> Error "empty request"
 
@@ -224,5 +264,15 @@ let parse_response payload =
       let* json = unesc "json" json in
       Ok (Stats_is { json })
   | [ "promoting" ] -> Ok Promoting
+  | [ "session-ok"; sid; rev ] ->
+      let* sid = unesc "sid" sid in
+      let* revision = int_field "revision" rev in
+      Ok (Session_ok { sid; revision })
+  | [ "session-result"; sid; fuel; warm; rendered ] ->
+      let* sid = unesc "sid" sid in
+      let* fuel = int_field "fuel" fuel in
+      let* rendered = unesc "rendered" rendered in
+      if warm <> "0" && warm <> "1" then Error (Printf.sprintf "bad warm flag %S" warm)
+      else Ok (Session_result { sid; fuel; warm = warm = "1"; rendered })
   | verb :: _ -> Error (Printf.sprintf "unknown or malformed response %S" verb)
   | [] -> Error "empty response"

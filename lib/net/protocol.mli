@@ -109,7 +109,44 @@
     - [stats] — answered by [stats-is <json>]: role, journal length,
       per-follower sent/acked watermarks and lag, and the depth of the
       sync-replicas gate. This is what [rtt status] (no job id)
-      prints. *)
+      prints.
+
+    {1 Sessions ([session.*])}
+
+    A session is a live mutable instance the daemon re-solves
+    incrementally ({!Rtt_session.Session}). Sessions are owned by the
+    shard their id hashes to ({!Daemon.shard_of_id}), exactly like
+    jobs: any shard accepts the verbs and relays to the owner.
+
+    - [session.open <sid> [<length> <body>]] — create or reattach the
+      session named [sid] (1–64 chars from [A-Za-z0-9._-]). The
+      optional [body] (length-checked like [submit]'s) seeds a fresh
+      session with an instance; a reattach (the session already has
+      journaled mutations) ignores the seed, so retrying an [open]
+      after a daemon restart is safe. Answered by [session-ok] carrying
+      the replayed revision, or [error].
+    - [session.mutate <sid> <op>] — apply one mutation ([op] escaped,
+      e.g. [add-edge 0 3]; see {!Rtt_session.Session.op_of_string}).
+      The mutation is validated (cycle/duplicate-edge rejections name
+      their witness), journaled and fsync'd {e before} the [session-ok]
+      answer, so an acknowledged mutation survives [kill -9]. A
+      rejected mutation answers [error bad-request] and changes
+      nothing.
+    - [session.solve <sid>] — re-solve the current instance, warm from
+      the previous answer when there is one. Answered by
+      [session-result].
+    - [session.close <sid>] — discard the session and its journal;
+      answered by [session-ok].
+
+    Session responses:
+
+    - [session-ok <sid> <revision>] — the session exists and has
+      [revision] committed mutations.
+    - [session-result <sid> <fuel> <warm> <rendered>] — the re-solve's
+      answer: [rendered] (escaped) is the canonical answer text, byte
+      identical to a cold solve of the same instance; [fuel] the steps
+      this solve actually spent; [warm] ([0]/[1]) whether a previous
+      answer primed it. *)
 
 val version : int
 (** Protocol version, currently 1. *)
@@ -126,6 +163,10 @@ type request =
   | Repl_ack of { watermark : int }
   | Promote
   | Stats
+  | Session_open of { sid : string; body : string option }
+  | Session_mutate of { sid : string; op : string }
+  | Session_solve of { sid : string }
+  | Session_close of { sid : string }
 
 type response =
   | Welcome of { version : int; max_frame : int }
@@ -143,6 +184,8 @@ type response =
   | Repl_cache of { key : string; body : string }
   | Stats_is of { json : string }
   | Promoting
+  | Session_ok of { sid : string; revision : int }
+  | Session_result of { sid : string; fuel : int; warm : bool; rendered : string }
 
 val encode_request : request -> string
 (** The frame payload (not yet framed — pass to

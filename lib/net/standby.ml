@@ -158,6 +158,11 @@ let run cfg =
     | Protocol.Repl_ack _ ->
         (* a puller has no business acking a snapshot; ignore *)
         ()
+    | Protocol.Session_open _ | Protocol.Session_mutate _ | Protocol.Session_solve _
+    | Protocol.Session_close _ ->
+        Conn.send c
+          (Protocol.Errored
+             { code = "read-only"; msg = "this is a follower; sessions live on the primary" })
   in
   let conn_readable c =
     match Conn.read c ~now:(now ()) with

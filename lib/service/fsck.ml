@@ -1,6 +1,11 @@
 open Rtt_engine
 
-type action = Seal | Delete of string | Backfill | Note
+type action =
+  | Seal
+  | Truncate of { path : string; bytes : int }
+  | Delete of string
+  | Backfill
+  | Note
 
 type finding = { code : string; file : string; detail : string; action : action }
 
@@ -225,6 +230,55 @@ let spool_findings ~spool states =
   List.rev !out
 
 (* ------------------------------------------------------------------ *)
+(* session journals                                                    *)
+
+(* One CRC-framed [mut <escaped-op>] line per committed session
+   mutation, audited at the frame level — the op grammar itself is the
+   session layer's concern (its replay rejects what a byte scan cannot
+   see), but a torn or corrupt tail is exactly the journal-torn-tail
+   damage class and repairs the same way: truncate to the committed
+   prefix. The owning daemon performs the same seal on reattach; fsck
+   does it offline. *)
+let session_findings ~spool =
+  let root = Filename.concat spool "sessions" in
+  let out = ref [] in
+  List.iter
+    (fun sid ->
+      let rel = Filename.concat (Filename.concat "sessions" sid) "journal.log" in
+      let jpath = Filename.concat spool rel in
+      match read_whole jpath with
+      | None -> ()
+      | Some s ->
+          let n = String.length s in
+          let ok = ref 0 and start = ref 0 and stop = ref false in
+          while (not !stop) && !start < n do
+            match String.index_from_opt s !start '\n' with
+            | None -> stop := true
+            | Some nl -> (
+                let line = String.sub s !start (nl - !start) in
+                match Frame.unframe line with
+                | Some payload
+                  when String.length payload >= 4 && String.sub payload 0 4 = "mut " ->
+                    ok := nl + 1;
+                    start := nl + 1
+                | _ -> stop := true)
+          done;
+          if n > !ok then
+            out :=
+              {
+                code = "session-journal-torn-tail";
+                file = rel;
+                detail =
+                  Printf.sprintf "%d uncommitted byte%s past the committed mutation prefix"
+                    (n - !ok)
+                    (if n - !ok = 1 then "" else "s");
+                action = Truncate { path = jpath; bytes = !ok };
+              }
+              :: !out)
+    (List.sort compare (list_dir root));
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
 (* cache audit                                                         *)
 
 let cache_findings ~spool ~cache_dir ~budget ~policy =
@@ -310,7 +364,9 @@ let scan ~spool ?cache_dir ?budget ?policy () =
   in
   let cache, cache_entries = cache_findings ~spool ~cache_dir ~budget ~policy in
   {
-    findings = journal @ coherence_findings records @ spool_findings ~spool states @ cache;
+    findings =
+      journal @ coherence_findings records @ spool_findings ~spool states
+      @ session_findings ~spool @ cache;
     records = List.length records;
     journal_bytes;
     committed_bytes;
@@ -338,6 +394,16 @@ let repair ~spool r =
             sealed := true
           end;
           performed := f :: !performed
+      | Truncate { path; bytes } ->
+          (try
+             let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+             Fun.protect
+               ~finally:(fun () -> Unix.close fd)
+               (fun () ->
+                 Rtt_diskio.Diskio.ftruncate fd bytes;
+                 Rtt_diskio.Diskio.fsync fd)
+           with Unix.Unix_error _ -> ());
+          performed := f :: !performed
       | Delete path ->
           (try Sys.remove path with Sys_error _ -> ());
           performed := f :: !performed
@@ -353,6 +419,7 @@ let render r =
       let verb =
         match f.action with
         | Seal -> "seal"
+        | Truncate _ -> "truncate"
         | Delete _ -> "delete"
         | Backfill -> "backfill"
         | Note -> "note"

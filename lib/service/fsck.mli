@@ -15,6 +15,11 @@
       interrupted atomic writes;
     - {b checkpoints}: [*.ckpt] sidecars that fail the frame CRC, and
       stale sidecars for jobs already terminal;
+    - {b session journals}: each
+      [sessions/<sid>/journal.log] ({!Rtt_session.Session}) is scanned
+      at the frame level for bytes past its committed mutation prefix —
+      the same torn-tail class as the main journal, repaired by
+      truncating that journal alone;
     - {b cache}: checksum audit of every entry
       ({!Rtt_engine.Cache.audit}), and — when a budget is supplied — a
       fingerprint audit that re-validates each entry reachable from a
@@ -30,6 +35,10 @@
 
 type action =
   | Seal  (** Repairable locally by truncating the journal to its committed prefix. *)
+  | Truncate of { path : string; bytes : int }
+      (** Repairable locally by truncating this file (a session
+          journal) to [bytes] — the per-journal generalization of
+          {!Seal}. *)
   | Delete of string  (** Repairable locally by deleting this path. *)
   | Backfill  (** Needs records or files from a reachable primary/replica. *)
   | Note  (** Informational; never makes the spool dirty. *)

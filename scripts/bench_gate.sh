@@ -23,7 +23,7 @@ BASELINE=BENCH_5.json
 BENCH=_build/default/bench/main.exe
 
 # section -> regression budget (T1 forks workers, so it breathes more)
-SECTIONS=(E1 E2 E3 E14 A2 A4 T1)
+SECTIONS=(E1 E2 E3 E14 A2 A4 T1 S1)
 budget_of() { case "$1" in T1) echo 1.3 ;; *) echo 1.2 ;; esac; }
 FLOOR=0.05
 

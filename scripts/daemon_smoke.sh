@@ -96,6 +96,27 @@ for shard in shard-0 shard-1; do
     || { echo "FAIL: $shard owns no jobs — partition degenerate"; exit 1; }
 done
 
+# session round trip over the sharded fleet: the sid-hashed owner may
+# not be the shard that accepted the connection — the internal relay
+# makes that invisible to the client. The second solve runs warm off
+# the first answer and must render byte-identically to it
+"$RTT" session open smoke1 --socket "$SOCKET" > /dev/null
+"$RTT" session mutate smoke1 add-job 0:6 1:3 --socket "$SOCKET" > /dev/null
+"$RTT" session mutate smoke1 add-job 0:4 2:1 --socket "$SOCKET" > /dev/null
+"$RTT" session mutate smoke1 add-edge 0 1 --socket "$SOCKET" > /dev/null
+REV=$("$RTT" session mutate smoke1 set-budget 3 --socket "$SOCKET")
+[[ "$REV" == "smoke1 revision 4" ]] \
+  || { echo "FAIL: expected 'smoke1 revision 4' after 4 mutations, got '$REV'"; exit 1; }
+"$RTT" session solve smoke1 --socket "$SOCKET" > "$WORK/sess_cold.txt" 2>/dev/null
+"$RTT" session solve smoke1 --socket "$SOCKET" > "$WORK/sess_warm.txt" 2> "$WORK/sess_warm.err"
+cmp -s "$WORK/sess_cold.txt" "$WORK/sess_warm.txt" \
+  || { echo "FAIL: warm session re-solve diverged from the cold solve"; exit 1; }
+grep -q makespan "$WORK/sess_cold.txt" \
+  || { echo "FAIL: session solve produced no rendering"; exit 1; }
+grep -q '(warm)' "$WORK/sess_warm.err" \
+  || { echo "FAIL: second session solve did not report a warm start"; exit 1; }
+"$RTT" session close smoke1 --socket "$SOCKET" > /dev/null
+
 # graceful shutdown: SIGTERM drains both shards and exits 0, removing
 # the public socket and the internal shard sockets
 kill -TERM "$DAEMON_PID"
@@ -107,4 +128,4 @@ if compgen -G "$SOCKET.shard*" >/dev/null; then
   exit 1
 fi
 
-echo "PASS: 8 waiters + 10-entry pipelined batch over 2 shards, 8 unique jobs done, duplicates coalesced fleet-wide, clean drain"
+echo "PASS: 8 waiters + 10-entry pipelined batch over 2 shards, 8 unique jobs done, duplicates coalesced fleet-wide, session round trip warm==cold, clean drain"

@@ -41,6 +41,10 @@ let request_gen =
         map (fun watermark -> Protocol.Repl_ack { watermark }) (int_range 0 100_000);
         return Protocol.Promote;
         return Protocol.Stats;
+        map (fun (sid, body) -> Protocol.Session_open { sid; body }) (pair s (opt s));
+        map (fun (sid, op) -> Protocol.Session_mutate { sid; op }) (pair s s);
+        map (fun sid -> Protocol.Session_solve { sid }) s;
+        map (fun sid -> Protocol.Session_close { sid }) s;
       ])
 
 let response_gen =
@@ -66,6 +70,11 @@ let response_gen =
         map (fun (key, body) -> Protocol.Repl_cache { key; body }) (pair s s);
         map (fun json -> Protocol.Stats_is { json }) s;
         return Protocol.Promoting;
+        map (fun (sid, revision) -> Protocol.Session_ok { sid; revision }) (pair s n);
+        map
+          (fun ((sid, fuel), (warm, rendered)) ->
+            Protocol.Session_result { sid; fuel; warm; rendered })
+          (pair (pair s n) (pair bool s));
       ])
 
 let protocol_props =
@@ -198,6 +207,26 @@ let protocol_units =
             [ ""; "x"; "0123456"; "0123456789abcdef"; "not-hex-at-all";
               "ffffffffffffffffffffffffffffffff" ]
         done);
+    Alcotest.test_case "session verbs: bad arity is an error" `Quick (fun () ->
+        List.iter
+          (fun payload ->
+            match Protocol.parse_request payload with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "%S must not parse" payload)
+          [ "session.open"; "session.open a b"; "session.mutate a"; "session.solve";
+            "session.solve a b"; "session.close"; "session.close a b" ]);
+    Alcotest.test_case "session.open seed body length mismatch is rejected" `Quick (fun () ->
+        let good =
+          Protocol.encode_request (Protocol.Session_open { sid = "s"; body = Some "vertices 1" })
+        in
+        let bad =
+          match String.split_on_char ' ' good with
+          | [ verb; sid; _len; body ] -> String.concat " " [ verb; sid; "3"; body ]
+          | _ -> Alcotest.fail "unexpected session.open shape"
+        in
+        match Protocol.parse_request bad with
+        | Error msg -> Alcotest.(check bool) "mentions mismatch" true (contains ~needle:"mismatch" msg)
+        | Ok _ -> Alcotest.fail "length mismatch must not parse");
     Alcotest.test_case "repl verbs: bad arity is an error" `Quick (fun () ->
         List.iter
           (fun payload ->
@@ -707,6 +736,104 @@ let process_units =
               [ Printf.sprintf "shard-%d" (Daemon.shard_of_id ~shards:4 id) ]
               owners)
           o_sharded);
+    Alcotest.test_case "session: SIGKILL mid-mutation-stream replays to the uninterrupted answer"
+      `Slow (fun () ->
+        (* the same six mutations, streamed into two daemons; one of
+           them is SIGKILLed halfway through the stream and restarted.
+           The journaled session must replay and the final solve must
+           render byte-identically to the never-interrupted run *)
+        let first = [ [ "add-job"; "0:6"; "1:3" ]; [ "add-job"; "0:4"; "2:1" ];
+                      [ "add-job"; "0:5"; "1:2" ] ]
+        and rest = [ [ "add-edge"; "0"; "1" ]; [ "add-edge"; "1"; "2" ]; [ "set-budget"; "3" ] ]
+        in
+        let mutate sock words =
+          run_rtt ([ "session"; "mutate"; "s1"; "--socket"; sock ] @ words)
+        in
+        let mutate_ok sock words =
+          let code, _ = mutate sock words in
+          Alcotest.(check int) (String.concat " " ("mutate" :: words)) 0 code
+        in
+        let solve sock =
+          let code, out = run_rtt [ "session"; "solve"; "s1"; "--socket"; sock ] in
+          Alcotest.(check int) "session solve exits 0" 0 code;
+          Alcotest.(check bool) "solve rendered an answer" true (contains ~needle:"makespan" out);
+          out
+        in
+        (* control: all six mutations, no interruption *)
+        let control = fresh_dir "sess_ctl" in
+        let sock_c = Filename.concat control "d.sock" in
+        let d_c = spawn_daemon ~spool:control ~socket:sock_c () in
+        let expected =
+          Fun.protect
+            ~finally:(fun () ->
+              kill_quietly d_c Sys.sigkill;
+              ignore (wait_exit d_c))
+            (fun () ->
+              let code, _ = run_rtt [ "session"; "open"; "s1"; "--socket"; sock_c ] in
+              Alcotest.(check int) "open ok" 0 code;
+              List.iter (mutate_ok sock_c) (first @ rest);
+              solve sock_c)
+        in
+        (* crash run: three mutations land, the daemon dies, a restart
+           replays them, and the stream continues where it stopped *)
+        let spool = fresh_dir "sess_crash" in
+        let sock = Filename.concat spool "d.sock" in
+        let d1 = spawn_daemon ~spool ~socket:sock () in
+        let got =
+          Fun.protect
+            ~finally:(fun () ->
+              kill_quietly d1 Sys.sigkill;
+              ignore (wait_exit d1))
+            (fun () ->
+              let code, _ = run_rtt [ "session"; "open"; "s1"; "--socket"; sock ] in
+              Alcotest.(check int) "open ok" 0 code;
+              List.iter (mutate_ok sock) first;
+              kill_quietly d1 Sys.sigkill;
+              ignore (wait_exit d1);
+              if Sys.file_exists sock then Sys.remove sock;
+              let d2 = spawn_daemon ~spool ~socket:sock () in
+              Fun.protect
+                ~finally:(fun () ->
+                  kill_quietly d2 Sys.sigkill;
+                  ignore (wait_exit d2))
+                (fun () ->
+                  (* no explicit reopen: the restarted daemon reattaches
+                     the journaled session on first use *)
+                  List.iter (mutate_ok sock) rest;
+                  solve sock))
+        in
+        Alcotest.(check string) "crash-replayed answer is byte-identical" expected got);
+    Alcotest.test_case "session: an injected mutate drop loses nothing but the ack" `Slow
+      (fun () ->
+        let spool = fresh_dir "sess_fault" in
+        let socket = Filename.concat spool "d.sock" in
+        (* the first two mutate probes pass, the third fires and disarms *)
+        let daemon =
+          spawn_daemon ~spool ~socket ~extra:[ "--inject"; "session.mutate.drop:2" ] ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            kill_quietly daemon Sys.sigkill;
+            ignore (wait_exit daemon))
+          (fun () ->
+            let mutate words = run_rtt ([ "session"; "mutate"; "s1"; "--socket"; socket ] @ words) in
+            let code, _ = run_rtt [ "session"; "open"; "s1"; "--socket"; socket ] in
+            Alcotest.(check int) "open ok" 0 code;
+            let c1, o1 = mutate [ "set-budget"; "2" ] in
+            Alcotest.(check int) "first mutate ok" 0 c1;
+            Alcotest.(check bool) "revision 1" true (contains ~needle:"revision 1" o1);
+            let c2, _ = mutate [ "add-job"; "0:3" ] in
+            Alcotest.(check int) "second mutate ok" 0 c2;
+            let c3, _ = mutate [ "add-job"; "0:2"; "1:1" ] in
+            Alcotest.(check bool) "injected drop surfaces as an error" true (c3 <> 0);
+            (* the drop happened before journaling: the session is
+               exactly as it was, so the retry lands as revision 3 *)
+            let c4, o4 = mutate [ "add-job"; "0:2"; "1:1" ] in
+            Alcotest.(check int) "retry ok" 0 c4;
+            Alcotest.(check bool) "retry is revision 3" true (contains ~needle:"revision 3" o4);
+            let sc, sout = run_rtt [ "session"; "solve"; "s1"; "--socket"; socket ] in
+            Alcotest.(check int) "solve ok" 0 sc;
+            Alcotest.(check bool) "solve answers" true (contains ~needle:"makespan" sout)));
   ]
 
 let () =
