@@ -57,6 +57,11 @@ let build (t : Transform.t) =
   let budget_expr = List.fold_left (fun acc i -> Linexpr.add acc (fx i)) Linexpr.zero outbound.(t.source) in
   (lp, fv, tv, fx, tx, budget_expr)
 
+let dimensions (t : Transform.t) =
+  let lp, _fv, _tv, _fx, _tx, budget_expr = build t in
+  Lp.add_le lp budget_expr (Linexpr.const Rat.zero);
+  (Lp.n_vars lp, Lp.n_constraints lp)
+
 let extract (t : Transform.t) (s : Lp.solution) fv tv budget_expr =
   let flow = Array.map (fun v -> s.Lp.value v) fv in
   let times = Array.map (fun v -> s.Lp.value v) tv in

@@ -26,6 +26,11 @@ type solution = {
 val edge_duration : Transform.edge -> Rat.t -> Rat.t
 (** The relaxed duration [t_e(f)] of an edge at flow [f]. *)
 
+val dimensions : Transform.t -> int * int
+(** [(variables, constraints)] of the makespan LP for this transformed
+    DAG — the size of the system either simplex engine factorizes. Used
+    by the bench harness to report instance scale next to wall time. *)
+
 val min_makespan : Transform.t -> budget:int -> solution
 (** Minimize [T_sink] under resource budget. Always feasible (zero flow).
     @raise Invalid_argument on a negative budget. *)

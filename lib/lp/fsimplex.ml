@@ -157,3 +157,17 @@ let solve ~rows ~n_real ~objective =
               Some (Array.of_list !pairs)
         end
   end
+
+(* Sparse-input entry for the revised exact engine: build the same
+   dense float matrix the dense engine would hand to [solve] — the
+   rationals are identical, so the doubles are identical and the two
+   engines receive the same advice — from column-wise standard form. *)
+let solve_cols ~m ~n_real ~col ~rhs ~objective =
+  let rows = Array.make_matrix m (n_real + 1) 0.0 in
+  for j = 0 to n_real - 1 do
+    Array.iter (fun (i, v) -> rows.(i).(j) <- Rtt_num.Rat.to_float v) (col j : (int * Rtt_num.Rat.t) array)
+  done;
+  for i = 0 to m - 1 do
+    rows.(i).(n_real) <- Rtt_num.Rat.to_float rhs.(i)
+  done;
+  solve ~rows ~n_real ~objective:(Array.init n_real objective)

@@ -19,3 +19,15 @@ val solve :
     redundant — or [None] when the float run was inconclusive
     (iteration cap, apparent infeasibility or unboundedness, or an
     artificial variable left in the basis). *)
+
+val solve_cols :
+  m:int ->
+  n_real:int ->
+  col:(int -> (int * Rtt_num.Rat.t) array) ->
+  rhs:Rtt_num.Rat.t array ->
+  objective:(int -> float) ->
+  (int * int) array option
+(** [solve_cols] is {!solve} fed from column-wise sparse standard form
+    ([col j] lists column [j]'s (row, value) nonzeros): it converts the
+    exact rationals to the same doubles the dense path would produce,
+    so both exact engines receive identical advice. *)

@@ -42,24 +42,25 @@ let to_dense n e =
   fill_dense arr n e;
   arr
 
+(* Already ascending, nonzero, and (after the guard) in range — exactly
+   the shape Simplex.sparse_constr requires. *)
+let to_sparse n e = List.filter (fun (v, _) -> v < n) (Linexpr.terms e)
+
 let solve direction lp obj =
   let n = lp.n in
-  let m = List.length lp.constrs in
-  let rows = Array.make_matrix m n Rat.zero in
+  (* constraints are stored newest-first; rev_map restores build order *)
   let constraints =
-    List.rev
-      (List.mapi
-         (fun i { expr; relation; bound } ->
-           fill_dense rows.(i) n expr;
-           { Simplex.coeffs = rows.(i); relation; rhs = bound })
-         lp.constrs)
+    List.rev_map
+      (fun { expr; relation; bound } ->
+        { Simplex.sp_terms = to_sparse n expr; sp_relation = relation; sp_rhs = bound })
+      lp.constrs
   in
   let obj_dense = to_dense n obj in
   let obj_const = Linexpr.constant obj in
   let result =
     match direction with
-    | `Min -> Simplex.minimize ~n_vars:n constraints ~objective:obj_dense
-    | `Max -> Simplex.maximize ~n_vars:n constraints ~objective:obj_dense
+    | `Min -> Simplex.minimize_sparse ~n_vars:n constraints ~objective:obj_dense
+    | `Max -> Simplex.maximize_sparse ~n_vars:n constraints ~objective:obj_dense
   in
   match result with
   | Simplex.Infeasible -> Infeasible

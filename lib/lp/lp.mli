@@ -29,6 +29,16 @@ val add_ge : t -> Linexpr.t -> Linexpr.t -> unit
 val add_eq : t -> Linexpr.t -> Linexpr.t -> unit
 val n_constraints : t -> int
 
+val to_dense : int -> Linexpr.t -> Rat.t array
+(** [to_dense n e] is [e]'s coefficients over variables [0..n-1] as a
+    dense array (used for objectives, which {!Simplex} takes dense). *)
+
+val to_sparse : int -> Linexpr.t -> (int * Rat.t) list
+(** [to_sparse n e] is [e]'s nonzero terms over variables [0..n-1],
+    ascending — the sparse row shape {!Simplex.minimize_sparse} takes.
+    Solves go through this path, so the constraint matrix is never
+    materialized densely. *)
+
 type solution = { objective : Rat.t; value : var -> Rat.t; expr_value : Linexpr.t -> Rat.t }
 
 type outcome = Optimal of solution | Infeasible | Unbounded

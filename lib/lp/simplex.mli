@@ -9,8 +9,15 @@
     suggest a starting basis, which is re-validated in exact arithmetic
     and discarded on any mismatch — results never depend on floating
     point. This is the engine behind the LP relaxation of Section 3.1
-    ({!Rtt_core.Lp_relax}). Dense tableau; intended for the small/medium
-    instances the paper's constructions produce. *)
+    ({!Rtt_core.Lp_relax}).
+
+    Two interchangeable engines execute every solve ({!engine}): the
+    default {e revised} simplex over sparse columns with an eta-file
+    basis factorization ({!Basis_factor}), whose per-pivot work is
+    proportional to nonzeros; and the original dense tableau, kept as
+    the differential oracle. Exact arithmetic makes every priced
+    reduced cost and every ratio identical between them, so the two
+    engines pivot identically and return bit-identical outcomes. *)
 
 open Rtt_num
 
@@ -19,6 +26,13 @@ type relation = Le | Ge | Eq
 type constr = { coeffs : Rat.t array; relation : relation; rhs : Rat.t }
 (** One row: [coeffs · x relation rhs]. [coeffs] must have length equal
     to the number of variables. *)
+
+type sparse_constr = { sp_terms : (int * Rat.t) list; sp_relation : relation; sp_rhs : Rat.t }
+(** One row in sparse form: [sp_terms] are (variable, coefficient)
+    pairs sorted by strictly ascending variable index (zero
+    coefficients are permitted and ignored). The preferred input for
+    the LPs this project builds — {!Rtt_lp.Lp} feeds {!minimize_sparse}
+    straight from its {!Rtt_lp.Linexpr} terms. *)
 
 type outcome =
   | Optimal of { objective : Rat.t; solution : Rat.t array }
@@ -56,19 +70,62 @@ val warmstart_enabled : bool ref
     variable [RTT_LP_WARMSTART] is ["0"], ["false"], ["no"] or ["off"].
     Purely a performance toggle — outcomes are identical either way. *)
 
+type engine = Dense | Sparse
+
+val engine : engine ref
+(** Which implementation executes solves. [Sparse] (the default) is the
+    revised simplex over sparse columns with an eta-file basis
+    factorization; [Dense] is the original full-tableau code, kept as
+    the differential oracle. Initialized to [Dense] when the
+    environment variable [RTT_LP_ENGINE] is ["dense"]. The engines
+    pivot identically and return bit-identical outcomes — switching is
+    purely a performance choice. *)
+
+val engine_name : unit -> string
+(** ["sparse"] or ["dense"], for stats output. *)
+
 val pivot_count : unit -> int
 (** Cumulative exact pivots (including warm-start crash pivots) since
-    program start. Observability for the bench harness. *)
+    program start. Observability for the bench harness. Identical
+    under both engines by construction. *)
 
 val warm_stats : unit -> int * int
 (** [(accepted, rejected)] warm-start attempts since program start.
     Solves with warm start disabled count in neither bucket. *)
 
+type factor_stats = { refactorizations : int; etas : int; eta_peak : int; nnz : int; cells : int }
+(** Sparse-engine observability since the last {!reset_stats}:
+    refactorization count and eta-file traffic from {!Basis_factor},
+    plus the structural nonzeros ([nnz]) out of total constraint-matrix
+    cells ([cells]) of every standard form built — [nnz /. cells] is
+    the aggregate density the revised engine exploited. All zero while
+    the dense engine is selected. *)
+
+val factor_stats : unit -> factor_stats
+
+val lp_stats_json : unit -> string
+(** One-line JSON object with the engine name and every counter above
+    (pivots, warm stats, factorization stats) — embedded by the daemon
+    in its [stats] response. *)
+
 val reset_stats : unit -> unit
-(** Zero {!pivot_count} and {!warm_stats}. The counters are
-    process-global refs, so forked children (pool workers, daemon
-    shards) inherit the parent's totals — every fork point calls this
-    so per-process stats are actually per-process. *)
+(** Zero {!pivot_count}, {!warm_stats} and {!factor_stats}. The
+    counters are process-global refs, so forked children (pool workers,
+    daemon shards) inherit the parent's totals — every fork point calls
+    this so per-process stats are actually per-process. *)
+
+(** {1 Test instrumentation} *)
+
+val trace_pivots : bool ref
+(** When [true], every pivot appends an engine-independent record to
+    the log read by {!take_pivot_log}: (entering column, leaving
+    column) for pricing and drive-out pivots, (column, [-(row+1)]) for
+    warm-start crash pivots. The differential qcheck suite runs both
+    engines under tracing and requires the logs to match entry for
+    entry. Off by default; tracing allocates per pivot. *)
+
+val take_pivot_log : unit -> (int * int) list
+(** The trace since the last call, oldest first; clears the log. *)
 
 type basis
 (** An optimal basis in standard-form coordinates, reusable as a warm
@@ -94,6 +151,11 @@ val set_basis_hint : basis -> unit
 
 val clear_basis_hint : unit -> unit
 
+val basis_repr : basis -> string
+(** Debug/test representation ("RxC:(row,col)(row,col)…", pairs in
+    ascending row order). Both engines print equal strings for equal
+    bases, which is what the differential suite compares. *)
+
 val minimize : n_vars:int -> constr list -> objective:Rat.t array -> outcome
 (** All variables implicitly satisfy [x >= 0].
     @raise Invalid_argument on dimension mismatches.
@@ -103,3 +165,12 @@ val minimize : n_vars:int -> constr list -> objective:Rat.t array -> outcome
 val maximize : n_vars:int -> constr list -> objective:Rat.t array -> outcome
 (** [maximize] negates the objective and delegates to {!minimize}; the
     reported [objective] is the maximum. *)
+
+val minimize_sparse : n_vars:int -> sparse_constr list -> objective:Rat.t array -> outcome
+(** {!minimize} over sparse rows. Under the sparse engine the columns
+    are used directly (no dense materialization); under the dense
+    engine they are expanded to the exact arrays {!minimize} would have
+    received, so answers are independent of which entry was called.
+    @raise Invalid_argument on out-of-range or unsorted variables. *)
+
+val maximize_sparse : n_vars:int -> sparse_constr list -> objective:Rat.t array -> outcome

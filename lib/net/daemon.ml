@@ -443,9 +443,9 @@ let serve cfg ~shard ~shards ~own_socket ls =
        List.iter (fun p -> if p.sent = seq then ship_line p (seq, line)) !followers);
   let repl_stats () =
     let fws = List.map (fun p -> (Conn.peer p.conn, p.sent, p.acked)) !followers in
-    Replica.stats_json ~role:"primary" ~records:!nrecords
+    Replica.stats_json ~lp:(Rtt_lp.Simplex.lp_stats_json ()) ~role:"primary" ~records:!nrecords
       ~sync_replicas:(Replica.Sync.replicas sync) ~held:(Replica.Sync.pending sync)
-      ~followers:fws
+      ~followers:fws ()
   in
   (* ---------------------------------------------------------------- *)
   (* cross-shard forwarding: a request whose job id routes elsewhere is

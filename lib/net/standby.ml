@@ -93,8 +93,8 @@ let run cfg =
           cs
   in
   let stats_json () =
-    Replica.stats_json ~role:"follower" ~records:f.Replica.watermark ~sync_replicas:0 ~held:0
-      ~followers:[]
+    Replica.stats_json ~lp:(Rtt_lp.Simplex.lp_stats_json ()) ~role:"follower"
+      ~records:f.Replica.watermark ~sync_replicas:0 ~held:0 ~followers:[] ()
   in
   let handle_request c = function
     | Protocol.Hello _ ->

@@ -102,13 +102,14 @@ end
 (* ------------------------------------------------------------------ *)
 (* status                                                              *)
 
-let stats_json ~role ~records ~sync_replicas ~held ~followers =
+let stats_json ?lp ~role ~records ~sync_replicas ~held ~followers () =
   let quote = Rtt_engine.Jsonout.quote in
   let follower_json (peer, sent, acked) =
     Printf.sprintf "{\"peer\":%s,\"sent\":%d,\"acked\":%d,\"lag\":%d}" (quote peer) sent acked
       (max 0 (records - acked))
   in
   Printf.sprintf
-    "{\"role\":%s,\"records\":%d,\"sync_replicas\":%d,\"held\":%d,\"followers\":[%s]}"
+    "{\"role\":%s,\"records\":%d,\"sync_replicas\":%d,\"held\":%d,\"followers\":[%s]%s}"
     (quote role) records sync_replicas held
     (String.concat "," (List.map follower_json followers))
+    (match lp with None -> "" | Some j -> Printf.sprintf ",\"lp\":%s" j)

@@ -105,12 +105,16 @@ end
 (** {1 Status} *)
 
 val stats_json :
+  ?lp:string ->
   role:string ->
   records:int ->
   sync_replicas:int ->
   held:int ->
   followers:(string * int * int) list ->
+  unit ->
   string
 (** The [stats] verb's JSON: role, journal length, per-follower
     [(peer, sent, acked)] with lag [records - acked], and the sync
-    gate's depth. *)
+    gate's depth. [?lp] is a pre-rendered JSON object with the LP
+    engine's counters (see {!Rtt_lp.Simplex.lp_stats_json}) appended as
+    an ["lp"] field when provided. *)

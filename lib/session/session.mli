@@ -24,7 +24,13 @@
       in exact arithmetic and discarded on any mismatch. Both reuses
       only prune work, so the answer is what a cold solve of the
       current instance returns, byte for byte, for strictly less
-      fuel. *)
+      fuel. Basis hints are held in standard-form coordinates
+      ([(row, column)] pairs over the constraint rows and real
+      variables), which both simplex engines share — a hint captured
+      under the dense tableau warm-starts the revised sparse engine
+      and vice versa, so warm re-solves are indifferent to the
+      [RTT_LP_ENGINE] setting (the differential suite in
+      [test/test_lp.ml] asserts this on random hinted LPs). *)
 
 open Rtt_num
 

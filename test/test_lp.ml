@@ -327,6 +327,151 @@ let warmstart_units =
         Alcotest.(check int) "rejected" rej0 rej1);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Differential: the sparse revised engine against the dense tableau
+   oracle. The contract is stronger than "same answer": same status,
+   same objective, same solution vector, same captured basis, same
+   pivot sequence (via the trace log), same pivot count, same fuel.
+   Everything is folded into one fingerprint string so a mismatch
+   prints both sides. *)
+
+let with_engine e f =
+  let saved = !Simplex.engine in
+  Simplex.engine := e;
+  Fun.protect ~finally:(fun () -> Simplex.engine := saved) f
+
+let fingerprint_run solve =
+  Simplex.trace_pivots := true;
+  ignore (Simplex.take_pivot_log ());
+  let p0 = Simplex.pivot_count () in
+  let acc0, rej0 = Simplex.warm_stats () in
+  let out = Rtt_budget.Budget.with_fuel (Some 200_000) (fun () ->
+      let out = solve () in
+      (out, Rtt_budget.Budget.spent ()))
+  in
+  let out, fuel = out in
+  let log = Simplex.take_pivot_log () in
+  Simplex.trace_pivots := false;
+  let acc1, rej1 = Simplex.warm_stats () in
+  let buf = Buffer.create 256 in
+  (match out with
+  | Simplex.Optimal { objective; solution } ->
+      Buffer.add_string buf ("optimal " ^ Rat.to_string objective ^ " [");
+      Array.iter (fun v -> Buffer.add_string buf (Rat.to_string v ^ ";")) solution;
+      Buffer.add_string buf "] basis=";
+      Buffer.add_string buf
+        (match Simplex.last_basis () with Some b -> Simplex.basis_repr b | None -> "none")
+  | Simplex.Infeasible -> Buffer.add_string buf "infeasible"
+  | Simplex.Unbounded -> Buffer.add_string buf "unbounded");
+  Buffer.add_string buf
+    (Printf.sprintf " pivots=%d fuel=%d warm=+%d/+%d log="
+       (Simplex.pivot_count () - p0) fuel (acc1 - acc0) (rej1 - rej0));
+  List.iter (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "(%d,%d)" a b)) log;
+  Buffer.contents buf
+
+let check_engines_agree solve =
+  let d = with_engine Simplex.Dense (fun () -> fingerprint_run solve) in
+  let s = with_engine Simplex.Sparse (fun () -> fingerprint_run solve) in
+  if not (String.equal d s) then
+    Alcotest.fail (Printf.sprintf "engines diverge:\n--- dense\n%s\n--- sparse\n%s" d s);
+  true
+
+let with_eta_limit n f =
+  let saved = !Rtt_lp.Basis_factor.eta_limit in
+  Rtt_lp.Basis_factor.eta_limit := n;
+  Fun.protect ~finally:(fun () -> Rtt_lp.Basis_factor.eta_limit := saved) f
+
+(* same LP twice: first solve captures a basis, second consumes it as a
+   hint — under each engine independently, then compared. [perturb]
+   optionally bumps one rhs so the hint is same-shaped but stale. *)
+let hint_fingerprint ~n_vars constrs ~objective ~perturb =
+  let constrs2 =
+    if not perturb then constrs
+    else
+      List.mapi
+        (fun i c -> if i = 0 then { c with Simplex.rhs = Rat.add c.Simplex.rhs Rat.one } else c)
+        constrs
+  in
+  let first = fingerprint_run (fun () -> Simplex.minimize ~n_vars constrs ~objective) in
+  (* [last_basis] is process-global and survives a non-optimal solve,
+     so a capture left behind by an earlier run (possibly under the
+     other engine) would leak in here: only hint when THIS first solve
+     was optimal and therefore overwrote the capture itself. *)
+  if not (String.length first >= 7 && String.equal (String.sub first 0 7) "optimal") then first
+  else
+    match Simplex.last_basis () with
+    | None -> first (* first solve was not optimal; nothing to hint with *)
+    | Some b ->
+      Simplex.set_basis_hint b;
+      Fun.protect ~finally:Simplex.clear_basis_hint (fun () ->
+          first ^ " || " ^ fingerprint_run (fun () -> Simplex.minimize ~n_vars:n_vars constrs2 ~objective))
+
+let differential_props =
+  [
+    prop "engines agree bit for bit: cold two-phase (Bland)" 400 QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let n_vars, constrs, objective = random_instance seed in
+        with_warmstart false (fun () ->
+            check_engines_agree (fun () -> Simplex.minimize ~n_vars constrs ~objective)));
+    prop "engines agree bit for bit: float warm start (Bland)" 400 QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let n_vars, constrs, objective = random_instance seed in
+        with_warmstart true (fun () ->
+            check_engines_agree (fun () -> Simplex.minimize ~n_vars constrs ~objective)));
+    prop "engines agree bit for bit: Dantzig pricing" 200 QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let n_vars, constrs, objective = random_instance seed in
+        with_pricing Simplex.Dantzig (fun () ->
+            check_engines_agree (fun () -> Simplex.minimize ~n_vars constrs ~objective)));
+    prop "engines agree on the basis-hint path" 200 QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let n_vars, constrs, objective = random_instance seed in
+        with_warmstart true (fun () ->
+            let d =
+              with_engine Simplex.Dense (fun () ->
+                  hint_fingerprint ~n_vars constrs ~objective ~perturb:false)
+            in
+            let s =
+              with_engine Simplex.Sparse (fun () ->
+                  hint_fingerprint ~n_vars constrs ~objective ~perturb:false)
+            in
+            if not (String.equal d s) then
+              Alcotest.fail (Printf.sprintf "hint path diverges:\n--- dense\n%s\n--- sparse\n%s" d s);
+            true));
+    prop "engines agree on a stale (perturbed) basis hint" 200 QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let n_vars, constrs, objective = random_instance seed in
+        with_warmstart true (fun () ->
+            let d =
+              with_engine Simplex.Dense (fun () ->
+                  hint_fingerprint ~n_vars constrs ~objective ~perturb:true)
+            in
+            let s =
+              with_engine Simplex.Sparse (fun () ->
+                  hint_fingerprint ~n_vars constrs ~objective ~perturb:true)
+            in
+            if not (String.equal d s) then
+              Alcotest.fail
+                (Printf.sprintf "stale-hint path diverges:\n--- dense\n%s\n--- sparse\n%s" d s);
+            true));
+    prop "forced refactorization changes nothing" 200 QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let n_vars, constrs, objective = random_instance seed in
+        with_engine Simplex.Sparse (fun () ->
+            let lazy_refac =
+              fingerprint_run (fun () -> Simplex.minimize ~n_vars constrs ~objective)
+            in
+            let eager =
+              with_eta_limit 0 (fun () ->
+                  fingerprint_run (fun () -> Simplex.minimize ~n_vars constrs ~objective))
+            in
+            if not (String.equal lazy_refac eager) then
+              Alcotest.fail
+                (Printf.sprintf "refactorization changed the solve:\n--- lazy\n%s\n--- eager\n%s"
+                   lazy_refac eager);
+            true));
+  ]
+
 let () =
   Alcotest.run "rtt_lp"
     [
@@ -335,4 +480,5 @@ let () =
       ("simplex-properties", simplex_props);
       ("pricing-properties", pricing_props);
       ("warm-start", warmstart_units);
+      ("differential", differential_props);
     ]

@@ -125,6 +125,28 @@ let protocol_props =
 
 let protocol_units =
   [
+    Alcotest.test_case "stats codec round-trips the lp factorization fields" `Quick (fun () ->
+        (* the exact JSON the daemon serves: replica stats with the live
+           LP engine counters embedded — the codec must carry every new
+           factorization field through unscathed *)
+        let json =
+          Rtt_service.Replica.stats_json
+            ~lp:(Rtt_lp.Simplex.lp_stats_json ())
+            ~role:"primary" ~records:5 ~sync_replicas:1 ~held:0 ~followers:[ ("unix", 5, 5) ] ()
+        in
+        (match Protocol.parse_response (Protocol.encode_response (Protocol.Stats_is { json })) with
+        | Ok (Protocol.Stats_is { json = json' }) ->
+            Alcotest.(check string) "round-trip" json json'
+        | _ -> Alcotest.fail "stats response did not round-trip");
+        let has key =
+          let needle = Printf.sprintf "\"%s\":" key in
+          let nl = String.length needle and jl = String.length json in
+          let rec scan i = i + nl <= jl && (String.sub json i nl = needle || scan (i + 1)) in
+          Alcotest.(check bool) (key ^ " present") true (scan 0)
+        in
+        List.iter has
+          [ "engine"; "pivots"; "warm_accepted"; "warm_rejected"; "refactors"; "etas";
+            "eta_peak"; "nnz"; "cells" ]);
     Alcotest.test_case "submit length mismatch is rejected" `Quick (fun () ->
         let good = Protocol.encode_request (Protocol.Submit { name = "n"; body = "vertices 1" }) in
         (* splice a wrong declared length into the otherwise valid frame *)

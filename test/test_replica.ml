@@ -144,7 +144,12 @@ let sync_units =
         Alcotest.(check string) "exact"
           {|{"role":"primary","records":9,"sync_replicas":1,"held":2,"followers":[{"peer":"unix","sent":9,"acked":7,"lag":2}]}|}
           (Replica.stats_json ~role:"primary" ~records:9 ~sync_replicas:1 ~held:2
-             ~followers:[ ("unix", 9, 7) ]));
+             ~followers:[ ("unix", 9, 7) ] ()));
+    Alcotest.test_case "stats_json embeds the lp object verbatim" `Quick (fun () ->
+        Alcotest.(check string) "exact"
+          {|{"role":"follower","records":3,"sync_replicas":0,"held":0,"followers":[],"lp":{"engine":"sparse","pivots":7}}|}
+          (Replica.stats_json ~lp:{|{"engine":"sparse","pivots":7}|} ~role:"follower" ~records:3
+             ~sync_replicas:0 ~held:0 ~followers:[] ()));
   ]
 
 (* ------------------------------------------------------------------ *)
